@@ -1,0 +1,83 @@
+"""FIG13 — the per-pass validation-effort table (Fig. 13 analogue).
+
+The paper's evaluation is a per-pass table of verification effort
+(Coq spec/proof lines, "CompCert vs Ours"). The executable analogue
+measures translation-validation effort per pass over the workload:
+baseline obligations (message matching — what a sequential validator
+needs, the "CompCert" column role) vs footprint-preserving obligations
+(FPmatch + scope + LG, the "Ours" column role), plus rely moves and
+wall time.
+
+Shape claims checked: every one of the 12 passes validates, and the
+footprint-preserving column strictly exceeds the baseline on every row
+(the paper's observation that concurrency support adds work to every
+pass, but modestly — here a constant factor ~3 of obligations).
+"""
+
+import pytest
+
+from repro.framework import (
+    ClientSystem,
+    format_table,
+    lock_counter_system,
+    per_pass_table,
+)
+
+from tests.helpers import SUITE
+
+PASS_NAMES = [
+    "Cshmgen", "Cminorgen", "Selection", "RTLgen", "Tailcall",
+    "Renumber", "Allocation", "Tunneling", "Linearize",
+    "CleanupLabels", "Stacking", "Asmgen",
+]
+
+
+@pytest.fixture(scope="module")
+def workload_system():
+    """Lock-counter clients + the full sequential suite in one unit."""
+    return lock_counter_system(2)
+
+
+def test_fig13_per_pass_table(benchmark, workload_system):
+    rows = benchmark.pedantic(
+        per_pass_table, args=(workload_system,), rounds=3, iterations=1
+    )
+    assert [r.pass_name for r in rows] == PASS_NAMES
+    for row in rows:
+        assert row.baseline_obligations > 0
+        assert row.fp_obligations > row.baseline_obligations
+        # The footprint obligations are a modest constant factor over
+        # the baseline (3 checks per message: FPmatch, scope, LG).
+        assert row.fp_obligations == 3 * row.baseline_obligations
+    print("\n[FIG13] per-pass validation effort (lock-counter system)")
+    print(format_table(rows))
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_fig13_suite_programs(benchmark, name):
+    system = ClientSystem([SUITE[name]], ["main"])
+    rows = benchmark.pedantic(
+        per_pass_table, args=(system,), rounds=1, iterations=1
+    )
+    assert [r.pass_name for r in rows] == PASS_NAMES
+
+
+OPT_PASS_NAMES = (
+    PASS_NAMES[:6] + ["ConstProp", "CSE", "Deadcode"] + PASS_NAMES[6:]
+)
+
+
+def test_fig13_optimizing_pipeline(benchmark):
+    """The paper's remaining-passes future work: the table extends to
+    the 15-pass optimizing pipeline with the same uniform overhead."""
+    system = ClientSystem(
+        [SUITE["globals"]], ["main"], optimize=True
+    )
+    rows = benchmark.pedantic(
+        per_pass_table, args=(system,), rounds=1, iterations=1
+    )
+    assert [r.pass_name for r in rows] == OPT_PASS_NAMES
+    for row in rows:
+        assert row.fp_obligations == 3 * row.baseline_obligations
+    print("\n[FIG13+] optimizing pipeline (15 passes)")
+    print(format_table(rows))

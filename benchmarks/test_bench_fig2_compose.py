@@ -1,0 +1,67 @@
+"""FIG2-5 and FIG2-34 — steps ⑤ (Lem. 6 compositionality), ④ (flip
+under determinism) and ③ (Lem. 7 soundness).
+
+Shape claims: per-module local simulations (checked by translation
+validation) compose into whole-program behaviour preservation, in both
+semantics, with equality (the flip) because the targets are
+deterministic."""
+
+import pytest
+
+from repro.framework import (
+    ClientSystem,
+    check_correct,
+    lock_counter_system,
+)
+from repro.simulation.compose import check_compositionality
+
+from tests.helpers import EXAMPLE_2_2, SUITE
+
+
+@pytest.fixture(scope="module")
+def system():
+    return lock_counter_system(2)
+
+
+def test_fig2_local_sims_validate(benchmark, system):
+    ok, validations = benchmark.pedantic(
+        check_correct, args=(system,), rounds=1, iterations=1
+    )
+    assert ok
+    per_module = validations[0]
+    assert all(v.ok for v in per_module)
+
+
+def test_fig2_composition_lock_counter(benchmark, system):
+    src = system.source_program()
+    tgt = system.sc_program()
+    result = benchmark.pedantic(
+        check_compositionality, args=(src, tgt),
+        kwargs={"max_states": 800000}, rounds=1, iterations=1,
+    )
+    assert result.ok, result.detail
+
+
+def test_fig2_composition_example22(benchmark):
+    system = ClientSystem(
+        [EXAMPLE_2_2], ["thread1", "thread2"], use_lock=True
+    )
+    src = system.source_program()
+    tgt = system.sc_program()
+    result = benchmark.pedantic(
+        check_compositionality, args=(src, tgt),
+        kwargs={"max_states": 2000000}, rounds=1, iterations=1,
+    )
+    assert result.ok, result.detail
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_fig2_composition_sequential_suite(benchmark, name):
+    system = ClientSystem([SUITE[name]], ["main"])
+    src = system.source_program()
+    tgt = system.sc_program()
+    result = benchmark.pedantic(
+        check_compositionality, args=(src, tgt),
+        kwargs={"max_states": 800000}, rounds=1, iterations=1,
+    )
+    assert result.ok, (name, result.detail)

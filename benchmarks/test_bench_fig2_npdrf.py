@@ -1,0 +1,54 @@
+"""FIG2-68 and FIG2-7 — steps ⑥⑧ (DRF ⇔ NPDRF) and step ⑦ (Lem. 8:
+the compilation preserves NPDRF).
+
+Shape claims: the two race notions agree on every workload program
+(racy and race-free alike); compiling the DRF clients through all 12
+passes preserves NPDRF."""
+
+import pytest
+
+from repro.framework import lock_counter_system
+from repro.simulation.compose import (
+    check_drf_npdrf_equivalence,
+    check_npdrf_preservation,
+)
+
+from tests.helpers import cimp_program
+
+RACE_WORKLOAD = [
+    ("ww-race", "t1(){ [C] := 1; } t2(){ [C] := 2; }", False),
+    ("rw-race", "t1(){ x := [C]; } t2(){ [C] := 2; }", False),
+    ("guarded-race",
+     "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+     "t2(){ [C] := 2; }", False),
+    ("atomic-counter",
+     "t1(){ <x := [C]; [C] := x + 1;> }"
+     "t2(){ <x := [C]; [C] := x + 1;> }", True),
+    ("readers", "t1(){ x := [C]; } t2(){ y := [C]; }", True),
+    ("atomic-vs-plain",
+     "t1(){ <x := [C]; [C] := x + 1;> } t2(){ [C] := 5; }", False),
+]
+
+
+@pytest.mark.parametrize("name,src,expected_drf", RACE_WORKLOAD)
+def test_fig2_drf_npdrf_agreement(benchmark, name, src, expected_drf):
+    prog = cimp_program(src, ["t1", "t2"])
+    result = benchmark.pedantic(
+        check_drf_npdrf_equivalence, args=(prog,), rounds=1,
+        iterations=1,
+    )
+    assert result.ok, (name, result.detail)
+    assert ("DRF={}".format(expected_drf)) in result.detail, (
+        name, result.detail,
+    )
+
+
+def test_fig2_npdrf_preservation(benchmark):
+    system = lock_counter_system(2)
+    src = system.source_program()
+    tgt = system.sc_program()
+    result = benchmark.pedantic(
+        check_npdrf_preservation, args=(src, tgt),
+        kwargs={"max_states": 800000}, rounds=1, iterations=1,
+    )
+    assert result.ok and "preserved" in result.detail, result.detail

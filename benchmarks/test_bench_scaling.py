@@ -1,0 +1,63 @@
+"""SCALE — state-space growth with thread count (extension study).
+
+The paper has no performance evaluation (its costs are proof-effort);
+for the executable reproduction, exploration cost is the limiting
+resource, so we record how the reachable world count grows with thread
+count and abstraction level for the lock-counter workload.
+
+Shape claims: growth is exponential in threads (as expected of explicit
+interleaving exploration); each abstraction level multiplies the space
+(source < x86-SC < x86-TSO — finer steps and store-buffer contents);
+and the 2-thread Thm 14/15 checks stay comfortably in budget.
+"""
+
+import pytest
+
+from repro.framework import lock_counter_system
+from repro.semantics import GlobalContext, PreemptiveSemantics, explore
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 3])
+def test_scaling_source(benchmark, nthreads):
+    system = lock_counter_system(nthreads)
+    prog = system.source_program()
+
+    def measure():
+        return explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=3000000, strict=True,
+        ).state_count()
+
+    states = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n[SCALE] source, {} thread(s): {} states".format(
+        nthreads, states))
+    assert states > 0
+
+
+@pytest.mark.parametrize("nthreads", [1, 2])
+def test_scaling_levels(benchmark, nthreads):
+    system = lock_counter_system(nthreads)
+    programs = [
+        ("source", system.source_program()),
+        ("x86-SC", system.sc_program()),
+        ("x86-TSO", system.tso_program()),
+    ]
+
+    def measure():
+        return [
+            (
+                name,
+                explore(
+                    GlobalContext(prog), PreemptiveSemantics(),
+                    max_states=3000000, strict=True,
+                ).state_count(),
+            )
+            for name, prog in programs
+        ]
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n[SCALE] {} thread(s): {}".format(nthreads, counts))
+    by_name = dict(counts)
+    assert by_name["source"] <= by_name["x86-SC"] <= by_name["x86-TSO"], (
+        "each refinement level enlarges the state space"
+    )

@@ -1,0 +1,47 @@
+"""THM14 — the final theorem of the basic framework (GCorrect):
+certified separate compilation of DRF concurrent Clight programs to
+x86-SC, with all premises checked.
+
+Shape claims: GCorrect holds on the lock-counter workload across thread
+counts; the premises are necessary (racy variant fails the DRF
+premise)."""
+
+import pytest
+
+from repro.framework import ClientSystem, check_gcorrect, lock_counter_system
+
+from tests.helpers import EXAMPLE_2_2
+
+
+@pytest.mark.parametrize("nthreads", [1, 2])
+def test_thm14_lock_counter(benchmark, nthreads):
+    system = lock_counter_system(nthreads)
+    result = benchmark.pedantic(
+        check_gcorrect, args=(system,),
+        kwargs={"max_states": 1500000}, rounds=1, iterations=1,
+    )
+    assert result.ok, (result.detail, result.premises)
+    assert all(result.premises.values())
+
+
+def test_thm14_example22(benchmark):
+    system = ClientSystem(
+        [EXAMPLE_2_2], ["thread1", "thread2"], use_lock=True
+    )
+    result = benchmark.pedantic(
+        check_gcorrect, args=(system,),
+        kwargs={"max_states": 2000000}, rounds=1, iterations=1,
+    )
+    assert result.ok, (result.detail, result.premises)
+
+
+def test_thm14_racy_premise_fails(benchmark):
+    racy = ClientSystem(
+        ["int x = 0; void t1() { x = 1; } void t2() { x = 2; }"],
+        ["t1", "t2"],
+    )
+    result = benchmark.pedantic(
+        check_gcorrect, args=(racy,), rounds=1, iterations=1
+    )
+    assert not result.ok
+    assert not result.premises["drf"]

@@ -1,0 +1,48 @@
+"""VSCALE — translation-validation cost vs. program size.
+
+Sweeps straight-line programs of N assignments through the full
+pipeline and the validator, recording obligations and time. Shape
+claims: obligations grow linearly with observation points, validator
+work grows roughly linearly with program size (co-execution is
+single-pass per segment) — the property that makes per-module
+validation practical, mirroring the paper's "less than one person week
+per pass" scalability story."""
+
+import pytest
+
+from repro.langs.minic import compile_unit, link_units
+from repro.compiler import compile_minic
+from repro.simulation.validate import validate_compilation
+
+
+def _program(n):
+    body = []
+    for i in range(n):
+        body.append("g = g + {};".format(i % 3 + 1))
+        if i % 4 == 3:
+            body.append("print(g);")
+    return "int g = 0;\nvoid main() {\n" + "\n".join(body) + "\n}\n"
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_validator_scaling(benchmark, size):
+    mods, genvs, _ = link_units([compile_unit(_program(size))])
+    mem = genvs[0].memory()
+
+    def run():
+        result = compile_minic(mods[0], optimize=True)
+        return validate_compilation(result, mem, mem.domain())
+
+    validations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(v.ok for v in validations)
+    total_msgs = sum(
+        v.report.stats.messages_matched for v in validations
+    )
+    total_steps = sum(
+        v.report.stats.src_steps + v.report.stats.tgt_steps
+        for v in validations
+    )
+    print("\n[VSCALE] size={}: msgs={} steps={}".format(
+        size, total_msgs, total_steps))
+    # Observation points scale with the number of prints.
+    assert total_msgs >= size // 4

@@ -1,0 +1,75 @@
+"""WD — well-definedness (Def. 1) of the concrete languages.
+
+The paper proves ``wd`` for Clight, Cminor and x86 in Coq (Sec. 3.1,
+7.1). The executable analogue runs the perturbation checker over
+executions of a representative module at *every* level of the pipeline
+plus CImp, counting zero violations."""
+
+import pytest
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.wd import check_execution_wd
+from repro.langs.cimp import CIMP, parse_module as parse_cimp
+from repro.langs.minic import compile_unit, link_units
+from repro.compiler import compile_minic
+
+FLIST = FreeList.for_thread(0)
+
+SRC = """
+int g = 3;
+int addg(int a) { return a + g; }
+void main() {
+  int r;
+  r = addg(4);
+  g = r * 2;
+  print(r);
+}
+"""
+
+STAGES = [
+    "source", "Cshmgen", "Cminorgen", "Selection", "RTLgen",
+    "Tailcall", "Renumber", "Allocation", "Tunneling", "Linearize",
+    "CleanupLabels", "Stacking", "Asmgen",
+]
+
+
+@pytest.fixture(scope="module")
+def compilation():
+    mods, genvs, _ = link_units([compile_unit(SRC)])
+    return compile_minic(mods[0]), genvs[0].memory()
+
+
+@pytest.mark.parametrize("stage_name", STAGES)
+def test_wd_pipeline_language(benchmark, compilation, stage_name):
+    result, mem = compilation
+    stage = (
+        result.source if stage_name == "source"
+        else result.stage(stage_name)
+    )
+
+    def check():
+        core = stage.lang.init_core(stage.module, "main")
+        return check_execution_wd(
+            stage.lang, stage.module, core, mem, FLIST, max_steps=150
+        )
+
+    violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert violations == [], (stage.lang.name, violations[:3])
+
+
+def test_wd_cimp(benchmark):
+    module = parse_cimp(
+        "main(){ x := [G]; <[G] := x + 1;> "
+        "if (x == 0) { print(x); } }",
+        symbols={"G": 10},
+    )
+    mem = Memory({10: VInt(0), 11: VInt(5)})
+
+    def check():
+        core = CIMP.init_core(module, "main")
+        return check_execution_wd(CIMP, module, core, mem, FLIST)
+
+    violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert violations == []

@@ -1,0 +1,2 @@
+"""Root conftest: makes the ``tests`` package importable from the
+benchmark suite as well (pytest inserts the rootdir on sys.path)."""

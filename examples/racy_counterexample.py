@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Why DRF is the load-bearing premise.
+
+For a *racy* program:
+
+1. the preemptive and non-preemptive semantics genuinely differ
+   (Lem. 9's premise is necessary);
+2. the GCorrect premise check fails loudly instead of certifying a
+   compilation whose correctness argument does not apply.
+
+Run:  python examples/racy_counterexample.py
+"""
+
+from repro.framework import ClientSystem, check_gcorrect
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    drf,
+    equivalent,
+    program_behaviours,
+)
+
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.cimp import CIMP, parse_module
+from repro.common.values import VInt
+
+
+def behaviours(prog, semantics):
+    return program_behaviours(
+        GlobalContext(prog), semantics, max_states=400000
+    )
+
+
+def main():
+    # A racy CImp program: t1 writes 1 then 2; t2 reads once.
+    module = parse_module(
+        "t1(){ [C] := 1; [C] := 2; }"
+        "t2(){ x := [C]; print(x); }",
+        symbols={"C": 100},
+    )
+    ge = GlobalEnv({"C": 100}, {100: VInt(0)})
+    prog = Program([ModuleDecl(CIMP, ge, module)], ["t1", "t2"])
+
+    print("DRF:", drf(prog))
+    pre = behaviours(prog, PreemptiveSemantics())
+    non = behaviours(prog, NonPreemptiveSemantics())
+    print("\npreemptive behaviours:")
+    for b in sorted(pre, key=repr):
+        print("   ", b)
+    print("non-preemptive behaviours:")
+    for b in sorted(non, key=repr):
+        print("   ", b)
+    verdict = equivalent(pre, non)
+    print("\nLem. 9 equivalence without the DRF premise:",
+          bool(verdict))
+    print("counterexamples:", list(verdict.counterexamples))
+
+    # The framework refuses to certify a racy MiniC program.
+    racy = ClientSystem(
+        ["int x = 0; void t1() { x = 1; } void t2() { x = 2; }"],
+        ["t1", "t2"],
+    )
+    result = check_gcorrect(racy)
+    print("\nGCorrect on a racy client:", result.ok,
+          "--", result.detail)
+
+
+if __name__ == "__main__":
+    main()

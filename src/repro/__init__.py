@@ -1,0 +1,21 @@
+"""CASCompCert reproduction: certified separate compilation for
+concurrent programs (Jiang, Liang, Xiao, Zha, Feng — PLDI 2019), as an
+executable semantics and translation-validation framework.
+
+Top-level layout:
+
+* :mod:`repro.common` — values, memory, footprints, freelists;
+* :mod:`repro.lang` — the abstract concurrent language (Fig. 4) and
+  the well-definedness checker (Def. 1);
+* :mod:`repro.semantics` — preemptive/non-preemptive global semantics,
+  behaviours, refinement, data races (Figs. 7, 9);
+* :mod:`repro.langs` — CImp, MiniC (Clight), the IR chain, x86-SC/TSO;
+* :mod:`repro.compiler` — the 12-pass mini-CompCert (Fig. 11);
+* :mod:`repro.simulation` — the footprint-preserving simulation
+  checker and the whole-program lemma checks (Secs. 4–6);
+* :mod:`repro.tso` — γ_lock/π_lock, object refinement, the
+  strengthened DRF guarantee (Sec. 7.3);
+* :mod:`repro.framework` — theorem pipelines and effort reports.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``compile FILE [--dump STAGE] [-O]`` — run the pipeline on a MiniC
+  file; print the pass list, or the pretty-printed module at a stage;
+* ``run FILE --threads entry1,entry2 [--stage STAGE] [--lock]`` —
+  enumerate the behaviours of the program under the preemptive
+  semantics (optionally linked against the lock object);
+* ``validate FILE [-O]`` — translation-validate every pass;
+* ``drf FILE --threads entry1,entry2 [--lock]`` — race-check.
+"""
+
+import argparse
+import sys
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.cimp.semantics import CIMP
+from repro.langs.minic import compile_unit, link_units
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    drf,
+    program_behaviours,
+)
+from repro.compiler import compile_minic
+from repro.compiler.pprint import dump_pipeline, dump_stage
+from repro.simulation.validate import validate_compilation
+from repro.tso import DEFAULT_LOCK_ADDR, lock_spec
+
+
+def _build(path, use_lock):
+    with open(path) as handle:
+        text = handle.read()
+    extra = {"L": DEFAULT_LOCK_ADDR} if use_lock else None
+    modules, genvs, _ = link_units([compile_unit(text)], extra)
+    if use_lock:
+        modules = [m.with_forbidden({DEFAULT_LOCK_ADDR}) for m in modules]
+    return modules[0], genvs[0]
+
+
+def _program(stage, genv, entries, use_lock):
+    decls = [ModuleDecl(stage.lang, genv, stage.module)]
+    if use_lock:
+        spec_mod, spec_ge = lock_spec()
+        decls.append(ModuleDecl(CIMP, spec_ge, spec_mod))
+    return Program(decls, entries)
+
+
+def cmd_compile(args):
+    module, _genv = _build(args.file, args.lock)
+    result = compile_minic(module, optimize=args.optimize)
+    if args.dump == "all":
+        print(dump_pipeline(result))
+        return 0
+    if args.dump:
+        wanted = (
+            result.source
+            if args.dump == "source"
+            else result.stage(args.dump)
+        )
+        print(dump_stage(wanted))
+        return 0
+    for stage in result.stages:
+        print("{:14s} ({})".format(stage.name, stage.lang.name))
+    return 0
+
+
+def cmd_run(args):
+    module, genv = _build(args.file, args.lock)
+    result = compile_minic(module, optimize=args.optimize)
+    stage = (
+        result.source
+        if args.stage == "source"
+        else result.stage(args.stage)
+    )
+    entries = args.threads.split(",")
+    prog = _program(stage, genv, entries, args.lock)
+    behs = program_behaviours(
+        GlobalContext(prog),
+        PreemptiveSemantics(),
+        max_states=args.max_states,
+    )
+    for b in sorted(behs, key=repr):
+        print(b)
+    return 0
+
+
+def cmd_validate(args):
+    module, genv = _build(args.file, args.lock)
+    result = compile_minic(module, optimize=args.optimize)
+    mem = genv.memory()
+    ok = True
+    for v in validate_compilation(result, mem, mem.domain()):
+        status = "ok" if v.ok else "FAILED"
+        print("{:14s} {}".format(v.pass_name, status))
+        for failure in v.report.failures[:3]:
+            print("    ", failure)
+        ok = ok and v.ok
+    return 0 if ok else 1
+
+
+def cmd_drf(args):
+    module, genv = _build(args.file, args.lock)
+    result = compile_minic(module, optimize=args.optimize)
+    entries = args.threads.split(",")
+    prog = _program(result.source, genv, entries, args.lock)
+    verdict = drf(prog, max_states=args.max_states)
+    print("DRF:", verdict)
+    return 0 if verdict else 1
+
+
+def make_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CASCompCert reproduction: compile, run, validate "
+        "and race-check concurrent MiniC programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument(
+            "-O", "--optimize", action="store_true",
+            help="enable ConstProp/CSE/Deadcode",
+        )
+        p.add_argument(
+            "--lock", action="store_true",
+            help="link against the lock object (lock()/unlock())",
+        )
+
+    p = sub.add_parser("compile", help="run the pipeline")
+    common(p)
+    p.add_argument(
+        "--dump", metavar="STAGE",
+        help="pretty-print a stage (pass name, 'source', or 'all')",
+    )
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="enumerate behaviours")
+    common(p)
+    p.add_argument(
+        "--threads", default="main",
+        help="comma-separated thread entry functions",
+    )
+    p.add_argument("--stage", default="source")
+    p.add_argument("--max-states", type=int, default=400000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("validate", help="translation-validate all passes")
+    common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("drf", help="data-race-freedom check")
+    common(p)
+    p.add_argument("--threads", default="main")
+    p.add_argument("--max-states", type=int, default=400000)
+    p.set_defaults(func=cmd_drf)
+    return parser
+
+
+def main(argv=None):
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Shared substrate: values, memory, footprints, freelists.
+
+These modules implement the state model of the paper's abstract concurrent
+language (Fig. 4 and Fig. 5): a word-addressed partial-map memory, values
+that may be pointers (so that ``closed`` can trace reachability), footprints
+``(rs, ws)`` recording the memory locations a step reads and writes, and
+disjoint per-thread freelists reserving address space for stack allocation.
+"""
+
+from repro.common.values import VInt, VPtr, VUndef, Value, wrap32
+from repro.common.footprint import EMP, Footprint, conflict
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.errors import (
+    CompileError,
+    ParseError,
+    ReproError,
+    SemanticsError,
+    TypeCheckError,
+    ValidationError,
+)
+
+__all__ = [
+    "VInt",
+    "VPtr",
+    "VUndef",
+    "Value",
+    "wrap32",
+    "EMP",
+    "Footprint",
+    "conflict",
+    "FreeList",
+    "Memory",
+    "ReproError",
+    "ParseError",
+    "TypeCheckError",
+    "CompileError",
+    "SemanticsError",
+    "ValidationError",
+]

@@ -1,0 +1,79 @@
+"""A compact base class for immutable, hashable AST/IR nodes.
+
+Every language in the reproduction represents programs as trees of
+immutable nodes (they appear inside core states, which are graph-node
+keys). Subclasses declare ``_fields``; the base provides the
+constructor, structural equality, hashing and ``repr``.
+
+Tuples passed for a field are kept as tuples; lists are converted, so
+nodes stay hashable as long as leaf values are.
+"""
+
+
+class Node:
+    """Immutable node with fields declared via ``_fields``."""
+
+    _fields = ()
+    __slots__ = ("_hash",)
+
+    def __init__(self, *args, **kwargs):
+        if len(args) > len(self._fields):
+            raise TypeError(
+                "{} takes {} arguments".format(
+                    type(self).__name__, len(self._fields)
+                )
+            )
+        values = dict(zip(self._fields, args))
+        for name, value in kwargs.items():
+            if name not in self._fields:
+                raise TypeError(
+                    "{} has no field {!r}".format(
+                        type(self).__name__, name
+                    )
+                )
+            if name in values:
+                raise TypeError("duplicate field {!r}".format(name))
+            values[name] = value
+        for name in self._fields:
+            value = values.get(name)
+            if isinstance(value, list):
+                value = tuple(value)
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            "{} is immutable".format(type(self).__name__)
+        )
+
+    def _key(self):
+        return (type(self).__name__,) + tuple(
+            getattr(self, f) for f in self._fields
+        )
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self):
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash(self._key()))
+        return self._hash
+
+    def __repr__(self):
+        args = ", ".join(
+            "{}={!r}".format(f, getattr(self, f)) for f in self._fields
+        )
+        return "{}({})".format(type(self).__name__, args)
+
+    def replace(self, **kwargs):
+        """A copy with the given fields replaced."""
+        values = {f: getattr(self, f) for f in self._fields}
+        for name, value in kwargs.items():
+            if name not in self._fields:
+                raise TypeError(
+                    "{} has no field {!r}".format(
+                        type(self).__name__, name
+                    )
+                )
+            values[name] = value
+        return type(self)(**values)

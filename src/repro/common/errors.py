@@ -1,0 +1,50 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine Python bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """A source program (MiniC or CImp) failed to parse.
+
+    Carries an optional 1-based ``line`` attribute for diagnostics.
+    """
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class TypeCheckError(ReproError):
+    """A MiniC program is syntactically valid but ill-typed."""
+
+
+class CompileError(ReproError):
+    """A compiler pass could not translate its input module."""
+
+
+class SemanticsError(ReproError):
+    """An interpreter reached a state that the semantics does not define.
+
+    This indicates a bug in the library (or an IR invariant violated by a
+    pass), *not* a program abort: program-level aborts are first-class
+    semantic outcomes (``StepAbort``), never exceptions.
+    """
+
+
+class ValidationError(ReproError):
+    """A translation-validation obligation failed.
+
+    Raised by the footprint-preserving simulation checker when a compiled
+    module does not simulate its source, with a description of the first
+    violated obligation (mismatched message, footprint out of scope,
+    ``FPmatch`` failure, ...).
+    """

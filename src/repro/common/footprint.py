@@ -1,0 +1,104 @@
+"""Footprints: the sets of memory locations a step reads and writes.
+
+A footprint ``δ = (rs, ws)`` (Fig. 4) is the central instrument of the
+paper: module-local steps are labelled with footprints, data races are
+conflicts between footprints of different threads (Sec. 5), and the
+compilation correctness criterion requires the target's footprints to be
+contained in the source's, modulo an address mapping (``FPmatch``,
+Fig. 8).
+
+Footprints are immutable and hashable, so they can label transitions in
+the explored state graphs. When a footprint is "used as a set" (as the
+paper does in the conflict definition), it denotes ``rs ∪ ws`` — that is
+:meth:`Footprint.locs`.
+"""
+
+
+class Footprint:
+    """An immutable footprint ``(rs, ws)`` of read and written addresses."""
+
+    __slots__ = ("rs", "ws")
+
+    def __init__(self, rs=(), ws=()):
+        object.__setattr__(self, "rs", frozenset(rs))
+        object.__setattr__(self, "ws", frozenset(ws))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Footprint is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Footprint)
+            and self.rs == other.rs
+            and self.ws == other.ws
+        )
+
+    def __hash__(self):
+        return hash((self.rs, self.ws))
+
+    def __repr__(self):
+        return "Footprint(rs={}, ws={})".format(
+            sorted(self.rs), sorted(self.ws)
+        )
+
+    def locs(self):
+        """All locations touched: ``rs ∪ ws`` (the paper's ``δ`` as a set)."""
+        return self.rs | self.ws
+
+    def union(self, other):
+        """``δ ∪ δ'`` — componentwise union (Fig. 6)."""
+        return Footprint(self.rs | other.rs, self.ws | other.ws)
+
+    def subset_of(self, other):
+        """``δ ⊆ δ'`` — componentwise inclusion (Fig. 6)."""
+        return self.rs <= other.rs and self.ws <= other.ws
+
+    def is_empty(self):
+        return not self.rs and not self.ws
+
+    def restricted(self, region):
+        """The part of this footprint inside ``region`` (a set of addrs)."""
+        region = frozenset(region)
+        return Footprint(self.rs & region, self.ws & region)
+
+    def within(self, region):
+        """True iff every touched location lies in ``region``.
+
+        This is the in-scope condition ``δ ⊆ (F ∪ S)`` of Def. 3, where
+        ``region`` is the union of the module's freelist addresses and the
+        shared locations.
+        """
+        return all(l in region for l in self.locs())
+
+
+#: The empty footprint ``emp``.
+EMP = Footprint()
+
+
+def union_all(footprints):
+    """Union of an iterable of footprints (``emp`` for the empty one)."""
+    rs = set()
+    ws = set()
+    for fp in footprints:
+        rs |= fp.rs
+        ws |= fp.ws
+    return Footprint(rs, ws)
+
+
+def conflict(d1, d2):
+    """``δ1 ⌢ δ2``: one footprint writes what the other touches (Sec. 5).
+
+    ``(δ1.ws ∩ δ2 ≠ ∅) ∨ (δ2.ws ∩ δ1 ≠ ∅)`` where ``δ`` as a set means
+    ``rs ∪ ws``.
+    """
+    return bool(d1.ws & d2.locs()) or bool(d2.ws & d1.locs())
+
+
+def conflict_atomic(d1, atomic1, d2, atomic2):
+    """``(δ1,d1) ⌢ (δ2,d2)``: conflict with atomic-bit instrumentation.
+
+    Two conflicting footprints race unless *both* were generated inside
+    atomic blocks (Sec. 5): atomic blocks are the language-level
+    synchronization, so contention inside them is not a data race.
+    """
+    return conflict(d1, d2) and (not atomic1 or not atomic2)

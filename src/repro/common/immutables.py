@@ -1,0 +1,85 @@
+"""A small immutable, hashable mapping used inside core states.
+
+Core states must be hashable (they are graph-node components), so their
+register files / variable environments cannot be plain dicts.
+:class:`ImmutableMap` wraps a dict, forbids mutation, and hashes by
+content.
+"""
+
+
+class ImmutableMap:
+    """An immutable, hashable mapping."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data=None, **kwargs):
+        merged = dict(data) if data else {}
+        merged.update(kwargs)
+        object.__setattr__(self, "_data", merged)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ImmutableMap is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, ImmutableMap) and self._data == other._data
+
+    def __hash__(self):
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._data.items()))
+            )
+        return self._hash
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self):
+        return len(self._data)
+
+    def __repr__(self):
+        items = ", ".join(
+            "{!r}: {!r}".format(k, v)
+            for k, v in sorted(self._data.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "ImmutableMap({{{}}})".format(items)
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def items(self):
+        return self._data.items()
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def set(self, key, value):
+        """A copy with ``key`` (re)bound to ``value``."""
+        data = dict(self._data)
+        data[key] = value
+        return ImmutableMap(data)
+
+    def update(self, other):
+        """A copy with all bindings of ``other`` applied."""
+        data = dict(self._data)
+        data.update(
+            other.items() if hasattr(other, "items") else dict(other)
+        )
+        return ImmutableMap(data)
+
+    def remove(self, key):
+        """A copy without ``key`` (no error if absent)."""
+        data = {k: v for k, v in self._data.items() if k != key}
+        return ImmutableMap(data)
+
+
+EMPTY_MAP = ImmutableMap()

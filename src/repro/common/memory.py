@@ -1,0 +1,197 @@
+"""The memory state ``σ``: an immutable finite partial map Addr ⇀ Val.
+
+Matches Fig. 4's ``State``. Memories are *values*: ``store`` and ``alloc``
+return new memories, leaving the old one intact, so that explored world
+graphs can share states and hash them. ``load``/``store`` on unallocated
+addresses return ``None`` rather than raising — whether that is a program
+abort is the calling interpreter's decision.
+
+The module also implements the footprint/state predicates of Fig. 6
+(``forward``, ``LEqPre``, ``LEqPost``, ``LEffect``) and the ``closed``
+predicates of Fig. 7 used by the rely/guarantee conditions.
+"""
+
+from repro.common.values import VPtr
+
+
+class Memory:
+    """An immutable finite partial map from addresses to values."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data=None):
+        object.__setattr__(self, "_data", dict(data) if data else {})
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Memory is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Memory) and self._data == other._data
+
+    def __hash__(self):
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._data.items()))
+            )
+        return self._hash
+
+    def __repr__(self):
+        items = ", ".join(
+            "{}: {!r}".format(a, v) for a, v in sorted(self._data.items())
+        )
+        return "Memory({{{}}})".format(items)
+
+    def __contains__(self, addr):
+        return addr in self._data
+
+    def __len__(self):
+        return len(self._data)
+
+    def domain(self):
+        """``dom(σ)`` as a frozenset of addresses."""
+        return frozenset(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    def load(self, addr):
+        """The value at ``addr``, or ``None`` if unallocated."""
+        return self._data.get(addr)
+
+    def store(self, addr, value):
+        """A memory with ``addr`` updated, or ``None`` if unallocated.
+
+        Stores never allocate: writing outside ``dom(σ)`` is undefined
+        behaviour to be handled by the caller (usually an abort).
+        """
+        if addr not in self._data:
+            return None
+        data = dict(self._data)
+        data[addr] = value
+        return Memory(data)
+
+    def alloc(self, addr, value):
+        """A memory extended with a fresh address.
+
+        Allocation of an already-present address is ``None``: freelist
+        indices make this unreachable in correct interpreters, and the
+        well-definedness checker relies on it being an observable error.
+        """
+        if addr in self._data:
+            return None
+        data = dict(self._data)
+        data[addr] = value
+        return Memory(data)
+
+    def alloc_range(self, addrs, value):
+        """Allocate several fresh addresses at once (``None`` on clash)."""
+        data = dict(self._data)
+        for addr in addrs:
+            if addr in data:
+                return None
+            data[addr] = value
+        return Memory(data)
+
+    def union(self, other):
+        """Union of two memories; ``None`` if they disagree on an address.
+
+        This is ``GE(Π)`` (Fig. 7): global environments of linked modules
+        are compatible iff they agree on the overlap.
+        """
+        data = dict(self._data)
+        for addr, val in other.items():
+            if addr in data and data[addr] != val:
+                return None
+            data[addr] = val
+        return Memory(data)
+
+    def restrict(self, region):
+        """The sub-memory on ``dom(σ) ∩ region``."""
+        return Memory(
+            {a: v for a, v in self._data.items() if a in region}
+        )
+
+
+def eq_on(m1, m2, region):
+    """``σ1 ==region== σ2`` (Fig. 6).
+
+    For every address in ``region``: either it is outside both domains,
+    or in both with equal contents.
+    """
+    for addr in region:
+        in1 = addr in m1
+        in2 = addr in m2
+        if in1 != in2:
+            return False
+        if in1 and m1.load(addr) != m2.load(addr):
+            return False
+    return True
+
+
+def forward(m1, m2):
+    """``forward(σ, σ')``: the domain may only grow (Def. 1 item 1)."""
+    return m1.domain() <= m2.domain()
+
+
+def leffect(m1, m2, fp, flist_addrs):
+    """``LEffect(σ1, σ2, δ, F)`` (Fig. 6).
+
+    The step leaves everything outside the write set unchanged, and any
+    newly allocated addresses come from the freelist and appear in the
+    write set.
+    """
+    unchanged = m1.domain() - fp.ws
+    if not eq_on(m1, m2, unchanged):
+        return False
+    fresh = m2.domain() - m1.domain()
+    return fresh <= (fp.ws & flist_addrs)
+
+
+def leq_pre(m1, m2, fp, flist_addrs):
+    """``LEqPre(σ1, σ2, δ, F)`` (Fig. 6): pre-states equivalent for δ.
+
+    Equal contents on the read set, equal availability of the write set,
+    and the same set of already-allocated freelist addresses.
+    """
+    if not eq_on(m1, m2, fp.rs):
+        return False
+    if (m1.domain() & fp.ws) != (m2.domain() & fp.ws):
+        return False
+    return (m1.domain() & flist_addrs) == (m2.domain() & flist_addrs)
+
+
+def leq_post(m1, m2, fp, flist_addrs):
+    """``LEqPost(σ1, σ2, δ, F)`` (Fig. 6): post-states equivalent."""
+    if not eq_on(m1, m2, fp.ws):
+        return False
+    return (m1.domain() & flist_addrs) == (m2.domain() & flist_addrs)
+
+
+def pointers_in(value):
+    """The set of addresses a value mentions (for reachability)."""
+    if isinstance(value, VPtr):
+        return {value.addr}
+    return set()
+
+
+def closed_region(region, mem):
+    """``closed(S, σ)`` (Fig. 7): pointers stored in ``S`` stay in ``S``.
+
+    This is the no-escape condition of the rely/guarantee setup: shared
+    memory must not leak pointers into any module's local freelist space,
+    or another thread could reach and mutate private memory.
+    """
+    for addr in region:
+        val = mem.load(addr)
+        if val is None:
+            continue
+        for target in pointers_in(val):
+            if target not in region:
+                return False
+    return True
+
+
+def closed(mem):
+    """``closed(σ)``: no wild pointers — ``closed(dom(σ), σ)``."""
+    return closed_region(mem.domain(), mem)

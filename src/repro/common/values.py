@@ -1,0 +1,282 @@
+"""Runtime values.
+
+The paper's value domain (Fig. 4) is ``v ::= l | ...`` — values are memory
+addresses or other scalars. We realize it with three immutable value
+classes:
+
+* :class:`VInt` — a 32-bit machine integer (two's complement);
+* :class:`VPtr` — a pointer carrying a flat word address, kept distinct
+  from integers so that ``closed(σ)`` (Fig. 7) can trace the pointers
+  stored in memory;
+* :data:`VUndef` — the undefined value (CompCert's ``Vundef``), produced
+  by reading uninitialized storage.
+
+Arithmetic follows 32-bit wraparound semantics; operations on ``VUndef``
+or ill-typed operands yield ``VUndef`` (as in CompCert's ``Val`` module)
+rather than raising, so that interpreters can decide locally whether an
+undefined result is an abort.
+"""
+
+INT_BITS = 32
+INT_MOD = 1 << INT_BITS
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+
+def wrap32(n):
+    """Wrap an unbounded integer to signed 32-bit two's complement."""
+    n &= INT_MOD - 1
+    if n > INT_MAX:
+        n -= INT_MOD
+    return n
+
+
+class Value:
+    """Abstract base of runtime values. Instances are immutable."""
+
+    __slots__ = ()
+
+    def is_true(self):
+        """Truth value for conditionals; ``None`` when undefined."""
+        return None
+
+
+class VInt(Value):
+    """A 32-bit signed machine integer."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n):
+        object.__setattr__(self, "n", wrap32(n))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("VInt is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, VInt) and self.n == other.n
+
+    def __hash__(self):
+        return hash(("VInt", self.n))
+
+    def __repr__(self):
+        return "VInt({})".format(self.n)
+
+    def is_true(self):
+        return self.n != 0
+
+
+class VPtr(Value):
+    """A pointer to a flat word address ``addr``.
+
+    Pointer arithmetic is word-granular: ``VPtr(a) + k`` points at
+    ``a + k``. Addresses are plain non-negative ints (see
+    :mod:`repro.common.freelist` for the address-space layout).
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        object.__setattr__(self, "addr", addr)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("VPtr is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, VPtr) and self.addr == other.addr
+
+    def __hash__(self):
+        return hash(("VPtr", self.addr))
+
+    def __repr__(self):
+        return "VPtr({})".format(self.addr)
+
+    def is_true(self):
+        return True
+
+
+class _VUndef(Value):
+    """The undefined value. A singleton, exported as ``VUndef``."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other):
+        return isinstance(other, _VUndef)
+
+    def __hash__(self):
+        return hash("VUndef")
+
+    def __repr__(self):
+        return "VUndef"
+
+
+VUndef = _VUndef()
+
+
+def _both_ints(a, b):
+    return isinstance(a, VInt) and isinstance(b, VInt)
+
+
+def add(a, b):
+    """Addition: int+int, ptr+int, int+ptr. Anything else is VUndef."""
+    if _both_ints(a, b):
+        return VInt(a.n + b.n)
+    if isinstance(a, VPtr) and isinstance(b, VInt):
+        return VPtr(a.addr + b.n)
+    if isinstance(a, VInt) and isinstance(b, VPtr):
+        return VPtr(b.addr + a.n)
+    return VUndef
+
+
+def sub(a, b):
+    """Subtraction: int-int, ptr-int, ptr-ptr (word distance)."""
+    if _both_ints(a, b):
+        return VInt(a.n - b.n)
+    if isinstance(a, VPtr) and isinstance(b, VInt):
+        return VPtr(a.addr - b.n)
+    if isinstance(a, VPtr) and isinstance(b, VPtr):
+        return VInt(a.addr - b.addr)
+    return VUndef
+
+
+def mul(a, b):
+    if _both_ints(a, b):
+        return VInt(a.n * b.n)
+    return VUndef
+
+
+def divs(a, b):
+    """Signed division truncating toward zero (C semantics).
+
+    Division by zero and the INT_MIN / -1 overflow case are VUndef.
+    """
+    if not _both_ints(a, b) or b.n == 0:
+        return VUndef
+    if a.n == INT_MIN and b.n == -1:
+        return VUndef
+    q = abs(a.n) // abs(b.n)
+    if (a.n < 0) != (b.n < 0):
+        q = -q
+    return VInt(q)
+
+
+def mods(a, b):
+    """Signed remainder matching :func:`divs` (sign of the dividend)."""
+    q = divs(a, b)
+    if q is VUndef:
+        return VUndef
+    return VInt(a.n - q.n * b.n)
+
+
+def _cmp_bool(flag):
+    return VInt(1 if flag else 0)
+
+
+def cmp_eq(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n == b.n)
+    if isinstance(a, VPtr) and isinstance(b, VPtr):
+        return _cmp_bool(a.addr == b.addr)
+    return VUndef
+
+
+def cmp_ne(a, b):
+    r = cmp_eq(a, b)
+    if r is VUndef:
+        return VUndef
+    return _cmp_bool(r.n == 0)
+
+
+def cmp_lt(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n < b.n)
+    return VUndef
+
+
+def cmp_le(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n <= b.n)
+    return VUndef
+
+
+def cmp_gt(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n > b.n)
+    return VUndef
+
+
+def cmp_ge(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n >= b.n)
+    return VUndef
+
+
+def bool_and(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n != 0 and b.n != 0)
+    return VUndef
+
+
+def bool_or(a, b):
+    if _both_ints(a, b):
+        return _cmp_bool(a.n != 0 or b.n != 0)
+    return VUndef
+
+
+def neg(a):
+    if isinstance(a, VInt):
+        return VInt(-a.n)
+    return VUndef
+
+
+def bool_not(a):
+    t = a.is_true()
+    if t is None:
+        return VUndef
+    return _cmp_bool(not t)
+
+
+def shl(a, b):
+    """Left shift; shift amounts outside [0, 31] are VUndef (as in C)."""
+    if _both_ints(a, b) and 0 <= b.n < INT_BITS:
+        return VInt(a.n << b.n)
+    return VUndef
+
+
+def shr(a, b):
+    """Arithmetic right shift; amounts outside [0, 31] are VUndef."""
+    if _both_ints(a, b) and 0 <= b.n < INT_BITS:
+        return VInt(a.n >> b.n)
+    return VUndef
+
+
+#: Binary operator table shared by all IR interpreters. Keys are the
+#: operator names used throughout the IRs.
+BINOPS = {
+    "+": add,
+    "-": sub,
+    "*": mul,
+    "/": divs,
+    "%": mods,
+    "==": cmp_eq,
+    "!=": cmp_ne,
+    "<": cmp_lt,
+    "<=": cmp_le,
+    ">": cmp_gt,
+    ">=": cmp_ge,
+    "&&": bool_and,
+    "||": bool_or,
+    "<<": shl,
+    ">>": shr,
+}
+
+#: Unary operator table shared by all IR interpreters.
+UNOPS = {
+    "-": neg,
+    "!": bool_not,
+}

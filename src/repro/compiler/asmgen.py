@@ -1,0 +1,167 @@
+"""Pass 12 — Asmgen: Mach → mini-x86.
+
+Nearly one-to-one, handling the impedance mismatches of a real ISA:
+
+* explicit ``Pallocframe``/``Pfreeframe`` with a back-link word at
+  frame offset 0, shifting every stack offset by one;
+* two-address arithmetic (``dst := dst op src``), using the reserved
+  assembler scratch register ``ebp`` when the destination collides
+  with the second operand of a non-commutative operator;
+* comparisons materialized through ``cmp`` + ``setcc`` and branches
+  through ``cmp`` + ``jcc``;
+* tail calls become ``freeframe; call; ret`` (the abstract return
+  stack grows, but the memory frame is released first — the
+  observable behaviour is identical).
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import mach as mh
+from repro.langs.x86 import ast as x86
+
+#: Assembler-reserved scratch register (never produced by Allocation).
+ASM_SCRATCH = "ebp"
+
+_CONDS = {
+    "==": "e",
+    "!=": "ne",
+    "<": "l",
+    "<=": "le",
+    ">": "g",
+    ">=": "ge",
+}
+
+_ARITH = ("+", "-", "*", "<<", ">>")
+_COMMUTATIVE = ("+", "*")
+
+
+def _slot_mode(idx):
+    return ("base", "esp", 1 + idx)
+
+
+def _two_address(op_ctor, op, dst, a1, a2):
+    """Emit ``dst := a1 op a2`` with two-address instructions."""
+    if dst == a1:
+        return [op_ctor(op, dst, a2)]
+    if dst == a2:
+        if op in _COMMUTATIVE:
+            return [op_ctor(op, dst, a1)]
+        return [
+            x86.Pmov_rr(ASM_SCRATCH, a1),
+            op_ctor(op, ASM_SCRATCH, a2),
+            x86.Pmov_rr(dst, ASM_SCRATCH),
+        ]
+    return [x86.Pmov_rr(dst, a1), op_ctor(op, dst, a2)]
+
+
+def _arith(op, dst, a1, a2):
+    return _two_address(
+        lambda o, d, s: x86.Parith_rr(o, d, s), op, dst, a1, a2
+    )
+
+
+def _div_like(ctor, dst, a1, a2):
+    return _two_address(
+        lambda _o, d, s: ctor(d, s), "/", dst, a1, a2
+    )
+
+
+def _transf_op(instr):
+    op = instr.op
+    args = instr.args
+    dst = instr.dst
+    if op == "move":
+        return [x86.Pmov_rr(dst, args[0])]
+    if op == "-" and len(args) == 1:
+        seq = []
+        if dst != args[0]:
+            seq.append(x86.Pmov_rr(dst, args[0]))
+        seq.append(x86.Pneg(dst))
+        return seq
+    if op in _ARITH:
+        return _arith(op, dst, args[0], args[1])
+    if op == "/":
+        return _div_like(x86.Pdivs, dst, args[0], args[1])
+    if op == "%":
+        return _div_like(x86.Pmods, dst, args[0], args[1])
+    if op in _CONDS:
+        return [
+            x86.Pcmp_rr(args[0], args[1]),
+            x86.Psetcc(_CONDS[op], dst),
+        ]
+    if op == "!":
+        return [
+            x86.Pcmp_ri(args[0], 0),
+            x86.Psetcc("e", dst),
+        ]
+    raise CompileError("cannot select x86 for op {!r}".format(op))
+
+
+def _transf_instr(instr, framesize):
+    if isinstance(instr, mh.MLabel):
+        return [x86.Plabel(instr.lbl)]
+    if isinstance(instr, mh.MConst):
+        return [x86.Pmov_ri(instr.dst, instr.n)]
+    if isinstance(instr, mh.MAddrGlobal):
+        return [x86.Plea(instr.dst, ("global", instr.name))]
+    if isinstance(instr, mh.MAddrStack):
+        return [x86.Plea(instr.dst, ("base", "esp", 1 + instr.ofs))]
+    if isinstance(instr, mh.MGetstack):
+        return [x86.Pmov_rm(instr.dst, _slot_mode(instr.idx))]
+    if isinstance(instr, mh.MSetstack):
+        return [x86.Pmov_mr(_slot_mode(instr.idx), instr.src)]
+    if isinstance(instr, mh.MOp):
+        return _transf_op(instr)
+    if isinstance(instr, mh.MLoad):
+        return [x86.Pmov_rm(instr.dst, ("base", instr.addr, 0))]
+    if isinstance(instr, mh.MStore):
+        return [x86.Pmov_mr(("base", instr.addr, 0), instr.src)]
+    if isinstance(instr, mh.MCall):
+        return [x86.Pcall(instr.fname, instr.arity, instr.external)]
+    if isinstance(instr, mh.MTailcall):
+        seq = []
+        if framesize > 0:
+            seq.append(x86.Pfreeframe(framesize + 1))
+        seq.append(x86.Pcall(instr.fname, instr.arity, False))
+        seq.append(x86.Pret())
+        return seq
+    if isinstance(instr, mh.MGoto):
+        return [x86.Pjmp(instr.lbl)]
+    if isinstance(instr, mh.MCond):
+        if instr.op not in _CONDS:
+            raise CompileError(
+                "non-comparison condition {!r}".format(instr.op)
+            )
+        return [
+            x86.Pcmp_rr(instr.args[0], instr.args[1]),
+            x86.Pjcc(_CONDS[instr.op], instr.lbl),
+        ]
+    if isinstance(instr, mh.MReturn):
+        seq = []
+        if framesize > 0:
+            seq.append(x86.Pfreeframe(framesize + 1))
+        seq.append(x86.Pret())
+        return seq
+    if isinstance(instr, mh.MSpawn):
+        return [x86.Pspawn(instr.fname)]
+    if isinstance(instr, mh.MPrint):
+        return [x86.Pprint(instr.src)]
+    raise CompileError("cannot select x86 for {!r}".format(instr))
+
+
+def transf_function(func):
+    """Emit one function's x86 code."""
+    code = []
+    if func.framesize > 0:
+        code.append(x86.Pallocframe(func.framesize + 1))
+    for instr in func.code:
+        code.extend(_transf_instr(instr, func.framesize))
+    return x86.X86Function(func.name, func.nparams, code)
+
+
+def asmgen(module):
+    """Translate a Mach module to mini-x86."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,44 @@
+"""Pass 10 — CleanupLabels: Linear → Linear.
+
+Removes the labels no goto or conditional branch references. Purely
+syntactic, yet it changes the instruction stream (labels are steps in
+our semantics), so it exercises the stuttering case of the simulation:
+source label steps correspond to zero target steps.
+"""
+
+from repro.langs.ir import linear as ln
+
+
+def referenced_labels(code):
+    """Labels used by any branch in an instruction sequence."""
+    used = set()
+    for instr in code:
+        if isinstance(instr, (ln.LinGoto, ln.LinCond)):
+            used.add(instr.lbl)
+    return used
+
+
+def transf_function(func):
+    """Drop unreferenced labels from one function."""
+    used = referenced_labels(func.code)
+    code = [
+        instr
+        for instr in func.code
+        if not (isinstance(instr, ln.LinLabel) and instr.lbl not in used)
+    ]
+    return ln.LinearFunction(
+        func.name,
+        func.nparams,
+        func.stacksize,
+        func.numslots,
+        code,
+    )
+
+
+def cleanuplabels(module):
+    """Clean up labels in every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

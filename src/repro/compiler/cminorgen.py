@@ -1,0 +1,123 @@
+"""Pass 2 — Cminorgen: Csharpminor → Cminor.
+
+Stack layout construction: the named stack locals of Csharpminor are
+packed into a single per-activation stack block (one word each), and
+``EAddrLocal(name)`` becomes ``EAddrStack(offset)``. Named temporaries
+become consecutive integers, parameters first — the numbering CompCert
+establishes for the register-based middle end.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import csharpminor as csm
+
+
+def _collect_temps(node, acc):
+    if isinstance(node, csm.ETemp):
+        acc.append(node.name)
+    if isinstance(node, csm.SSet):
+        acc.append(node.temp)
+    if isinstance(node, csm.SCall) and node.dst is not None:
+        acc.append(node.dst)
+    for field in getattr(node, "_fields", ()):
+        value = getattr(node, field)
+        if isinstance(value, csm.Node):
+            _collect_temps(value, acc)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, csm.Node):
+                    _collect_temps(item, acc)
+
+
+class _FunctionTranslator:
+    def __init__(self, func):
+        self.func = func
+        ordered = list(func.params)
+        seen = set(ordered)
+        found = []
+        _collect_temps(func.body, found)
+        for name in found:
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        self.temp_index = {name: i for i, name in enumerate(ordered)}
+        self.slot_offset = {
+            name: i for i, name in enumerate(func.stack_locals)
+        }
+
+    def temp(self, name):
+        idx = self.temp_index.get(name)
+        if idx is None:
+            raise CompileError("unknown temp {!r}".format(name))
+        return idx
+
+    def expr(self, e):
+        if isinstance(e, csm.EConst):
+            return cm.EConst(e.n)
+        if isinstance(e, csm.ETemp):
+            return cm.ETemp(self.temp(e.name))
+        if isinstance(e, csm.EAddrLocal):
+            ofs = self.slot_offset.get(e.name)
+            if ofs is None:
+                raise CompileError(
+                    "unknown stack local {!r}".format(e.name)
+                )
+            return cm.EAddrStack(ofs)
+        if isinstance(e, csm.EAddrGlobal):
+            return cm.EAddrGlobal(e.name)
+        if isinstance(e, csm.ELoad):
+            return cm.ELoad(self.expr(e.addr))
+        if isinstance(e, csm.EUnop):
+            return cm.EUnop(e.op, self.expr(e.arg))
+        if isinstance(e, csm.EBinop):
+            return cm.EBinop(e.op, self.expr(e.left), self.expr(e.right))
+        raise CompileError("cannot translate expression {!r}".format(e))
+
+    def stmt(self, s):
+        if isinstance(s, csm.SSkip):
+            return cm.SSkip()
+        if isinstance(s, csm.SSet):
+            return cm.SSet(self.temp(s.temp), self.expr(s.expr))
+        if isinstance(s, csm.SStore):
+            return cm.SStore(self.expr(s.addr), self.expr(s.expr))
+        if isinstance(s, csm.SCall):
+            dst = self.temp(s.dst) if s.dst is not None else None
+            return cm.SCall(
+                dst,
+                s.fname,
+                [self.expr(a) for a in s.args],
+                s.external,
+            )
+        if isinstance(s, csm.SPrint):
+            return cm.SPrint(self.expr(s.expr))
+        if isinstance(s, csm.SSeq):
+            return cm.SSeq([self.stmt(x) for x in s.stmts])
+        if isinstance(s, csm.SIf):
+            return cm.SIf(
+                self.expr(s.cond), self.stmt(s.then), self.stmt(s.els)
+            )
+        if isinstance(s, csm.SWhile):
+            return cm.SWhile(self.expr(s.cond), self.stmt(s.body))
+        if isinstance(s, csm.SSpawn):
+            return cm.SSpawn(s.fname)
+        if isinstance(s, csm.SReturn):
+            expr = self.expr(s.expr) if s.expr is not None else None
+            return cm.SReturn(expr)
+        raise CompileError("cannot translate statement {!r}".format(s))
+
+    def translate(self):
+        return cm.CmFunction(
+            self.func.name,
+            len(self.func.params),
+            len(self.func.stack_locals),
+            self.stmt(self.func.body),
+        )
+
+
+def cminorgen(module):
+    """Translate a Csharpminor module to Cminor."""
+    functions = {
+        name: _FunctionTranslator(func).translate()
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,134 @@
+"""Extension pass — ConstProp: RTL constant propagation and folding.
+
+One of the CompCert optimization passes the paper leaves as future work
+("proving other optimization passes would be similar"). A forward
+dataflow analysis over the lattice ``⊥ < const n < ⊤`` per virtual
+register computes the registers with statically known values; the
+rewrite then
+
+* folds ``Iop`` whose operands are all known into ``Iconst`` (only
+  when the result is *defined* — folding an undefined operation would
+  erase an abort);
+* resolves ``Icond`` with a known outcome into an ``Inop`` to the
+  taken branch.
+
+Memory operations are never touched, so source footprints only shrink
+(condition evaluation disappears), which ``FPmatch`` permits.
+"""
+
+from repro.common.values import BINOPS, UNOPS, VInt
+from repro.langs.ir import rtl
+
+#: Lattice top: statically unknown.
+TOP = "top"
+
+
+def _transfer(instr, env):
+    """The abstract post-state of one instruction."""
+    env = dict(env)
+    if isinstance(instr, rtl.Iconst):
+        env[instr.dst] = instr.n
+    elif isinstance(instr, rtl.Iop):
+        value = _eval_op(instr, env)
+        env[instr.dst] = value
+    elif isinstance(instr, (rtl.Iaddrglobal, rtl.Iaddrstack,
+                            rtl.Iload)):
+        env[instr.dst] = TOP
+    elif isinstance(instr, rtl.Icall) and instr.dst is not None:
+        env[instr.dst] = TOP
+    return env
+
+
+def _eval_op(instr, env):
+    if instr.op == "move":
+        return env.get(instr.args[0], TOP)
+    values = [env.get(r, TOP) for r in instr.args]
+    if any(v is TOP for v in values):
+        return TOP
+    if len(values) == 1:
+        result = UNOPS[instr.op](VInt(values[0]))
+    else:
+        result = BINOPS[instr.op](VInt(values[0]), VInt(values[1]))
+    if not isinstance(result, VInt):
+        return TOP  # undefined: keep the runtime behaviour
+    return result.n
+
+
+def _join(a, b):
+    """Pointwise lattice join of two environments."""
+    if a is None:
+        return dict(b)
+    out = {}
+    for reg in set(a) | set(b):
+        va = a.get(reg, TOP)
+        vb = b.get(reg, TOP)
+        out[reg] = va if va == vb else TOP
+    return out
+
+
+def _successors(instr):
+    if isinstance(instr, rtl.Icond):
+        return (instr.iftrue, instr.iffalse)
+    if isinstance(instr, (rtl.Ireturn, rtl.Itailcall)):
+        return ()
+    return (instr.next,)
+
+
+def analyze(func):
+    """``pc -> env`` mapping at the entry of each node."""
+    in_env = {func.entry: {}}
+    worklist = [func.entry]
+    while worklist:
+        pc = worklist.pop()
+        instr = func.code[pc]
+        out = _transfer(instr, in_env.get(pc, {}))
+        for succ in _successors(instr):
+            joined = (
+                dict(out)
+                if succ not in in_env
+                else _join(in_env[succ], out)
+            )
+            if joined != in_env.get(succ):
+                in_env[succ] = joined
+                worklist.append(succ)
+    return in_env
+
+
+def _rewrite(pc, instr, env):
+    if isinstance(instr, rtl.Iop) and instr.op != "move":
+        value = _eval_op(instr, env)
+        if value is not TOP:
+            return rtl.Iconst(value, instr.dst, instr.next)
+    if isinstance(instr, rtl.Icond):
+        values = [env.get(r, TOP) for r in instr.args]
+        if all(v is not TOP for v in values):
+            result = BINOPS[instr.op](
+                VInt(values[0]), VInt(values[1])
+            )
+            if isinstance(result, VInt):
+                target = (
+                    instr.iftrue if result.n else instr.iffalse
+                )
+                return rtl.Inop(target)
+    return instr
+
+
+def transf_function(func):
+    """Constant-propagate one function."""
+    in_env = analyze(func)
+    code = {
+        pc: _rewrite(pc, instr, in_env.get(pc, {}))
+        for pc, instr in func.code.items()
+    }
+    return rtl.RTLFunction(
+        func.name, func.params, func.stacksize, func.entry, code
+    )
+
+
+def constprop(module):
+    """Constant-propagate every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

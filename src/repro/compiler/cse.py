@@ -1,0 +1,164 @@
+"""Extension pass — CSE: local value numbering on RTL.
+
+Per-basic-block classic LVN: every definition gets a value number;
+pure computations (constants, address computations, operators) and
+loads are keyed by operator + operand value numbers, so two loads of
+the same global through *different* address registers are still
+recognized. A later recomputation of an available value becomes a
+``move`` from the register that holds it.
+
+Loads are invalidated by stores and calls (memory may have changed);
+eliminating a repeated load removes a read from the footprint — the
+paper's footprint-consistency direction (``δ`` may be smaller than
+``Δ``), which is exactly why CASCompCert's criterion admits CSE while
+CompCertTSO's stricter same-memory-events simulation restricts it
+(Sec. 8 related work).
+"""
+
+from repro.langs.ir import rtl
+
+
+def _successors(instr):
+    if isinstance(instr, rtl.Icond):
+        return (instr.iftrue, instr.iffalse)
+    if isinstance(instr, (rtl.Ireturn, rtl.Itailcall)):
+        return ()
+    return (instr.next,)
+
+
+def _block_leaders(func):
+    """Entry, branch targets, and join points start basic blocks."""
+    preds = {pc: 0 for pc in func.code}
+    branch_targets = set()
+    for pc, instr in func.code.items():
+        succs = _successors(instr)
+        for succ in succs:
+            preds[succ] += 1
+        if isinstance(instr, rtl.Icond):
+            branch_targets.update(succs)
+    leaders = {func.entry} | branch_targets
+    leaders |= {pc for pc, n in preds.items() if n != 1}
+    return leaders
+
+
+class _ValueNumbering:
+    """Classic local value numbering state for one basic block."""
+
+    def __init__(self):
+        self._next = 0
+        self.reg_vn = {}      # reg -> value number
+        self.available = {}   # key -> (value number, holding reg)
+
+    def fresh(self):
+        self._next += 1
+        return self._next
+
+    def vn_of(self, reg):
+        """The value number a register currently holds."""
+        if reg not in self.reg_vn:
+            self.reg_vn[reg] = self.fresh()
+        return self.reg_vn[reg]
+
+    def define(self, reg, vn):
+        """Register ``reg`` now holds ``vn``; drop stale table entries
+        whose *holding register* was overwritten."""
+        self.reg_vn[reg] = vn
+        self.available = {
+            key: (v, holder)
+            for key, (v, holder) in self.available.items()
+            if holder != reg
+        }
+
+    def lookup(self, key):
+        hit = self.available.get(key)
+        if hit is None:
+            return None
+        return hit[1]
+
+    def publish(self, key, reg):
+        vn = self.fresh()
+        self.define(reg, vn)
+        self.available[key] = (vn, reg)
+        return vn
+
+    def kill_loads(self):
+        self.available = {
+            key: v
+            for key, v in self.available.items()
+            if key[0] != "load"
+        }
+
+
+def _key_of(instr, vn):
+    """The LVN key of a pure instruction (None when not keyable)."""
+    if isinstance(instr, rtl.Iconst):
+        return ("const", instr.n)
+    if isinstance(instr, rtl.Iaddrglobal):
+        return ("addrglobal", instr.name)
+    if isinstance(instr, rtl.Iaddrstack):
+        return ("addrstack", instr.ofs)
+    if isinstance(instr, rtl.Iop) and instr.op != "move":
+        return ("op", instr.op) + tuple(
+            vn.vn_of(r) for r in instr.args
+        )
+    if isinstance(instr, rtl.Iload):
+        return ("load", vn.vn_of(instr.addr))
+    return None
+
+
+def transf_function(func):
+    """Value-number one function, block by block."""
+    leaders = _block_leaders(func)
+    code = dict(func.code)
+    for leader in sorted(leaders):
+        if leader not in code:
+            continue
+        vn = _ValueNumbering()
+        pc = leader
+        while True:
+            instr = code[pc]
+            key = _key_of(instr, vn)
+            if key is not None:
+                holder = vn.lookup(key)
+                if holder is not None and holder != instr.dst:
+                    code[pc] = rtl.Iop(
+                        "move", (holder,), instr.dst, instr.next
+                    )
+                    vn.define(instr.dst, vn.vn_of(holder))
+                else:
+                    vn.publish(key, instr.dst)
+            elif isinstance(instr, rtl.Iop):  # a move
+                vn.define(instr.dst, vn.vn_of(instr.args[0]))
+            elif isinstance(instr, rtl.Istore):
+                vn.kill_loads()
+            elif isinstance(instr, rtl.Icall):
+                vn.kill_loads()
+                if instr.dst is not None:
+                    vn.define(instr.dst, vn.fresh())
+            elif isinstance(instr, (rtl.Iprint, rtl.Ispawn)):
+                # Observable events and spawns are switch points of the
+                # non-preemptive semantics: the environment may rewrite
+                # shared memory there, so cached loads die. (Keeping a
+                # load live across a print was a real miscompilation
+                # the footprint-preserving validator caught during this
+                # pass's development — the Rely continuation rewrites
+                # shared cells between segments and the stale value
+                # surfaces in the next event.)
+                vn.kill_loads()
+
+            succs = _successors(code[pc])
+            if len(succs) != 1 or succs[0] in leaders:
+                break
+            pc = succs[0]
+    return rtl.RTLFunction(
+        func.name, func.params, func.stacksize, func.entry, code
+    )
+
+
+def cse(module):
+    """Value-number every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

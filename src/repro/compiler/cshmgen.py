@@ -1,0 +1,211 @@
+"""Pass 1 — Cshmgen: MiniC (Clight) → Csharpminor.
+
+What the pass does (mirroring CompCert's Cshmgen + SimplLocals):
+
+* locals whose address is never taken are *promoted to temporaries* —
+  their reads/writes leave memory (and footprints) entirely;
+* address-taken locals remain stack-allocated (``stack_locals``);
+* global variable accesses become explicit loads/stores through
+  ``EAddrGlobal``;
+* the non-short-circuit boolean operators are lowered to arithmetic
+  (``a && b`` → ``(a != 0) * (b != 0)``), so no late IR needs them;
+* call results targeting memory locations go through a fresh temp.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import csharpminor as csm
+from repro.langs.ir.base import IRModule
+from repro.langs.minic import ast as mc
+
+
+def _collect_addr_taken(node, acc):
+    """Names of locals whose address is taken anywhere in a function."""
+    if isinstance(node, mc.AddrOf) and node.scope == "local":
+        acc.add(node.name)
+    for field in getattr(node, "_fields", ()):
+        value = getattr(node, field)
+        if isinstance(value, mc.Node):
+            _collect_addr_taken(value, acc)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, mc.Node):
+                    _collect_addr_taken(item, acc)
+
+
+class _FunctionTranslator:
+    def __init__(self, func):
+        self.func = func
+        addr_taken = set()
+        _collect_addr_taken(func.body, addr_taken)
+        self.stack_locals = [
+            name for name, _ty in func.locals_ if name in addr_taken
+        ]
+        self.promoted = {
+            name for name, _ty in func.locals_ if name not in addr_taken
+        }
+        self._fresh = 0
+
+    def fresh_temp(self):
+        self._fresh += 1
+        return "$t{}".format(self._fresh)
+
+    # ----- expressions ----------------------------------------------------
+
+    def expr(self, e):
+        if isinstance(e, mc.IntLit):
+            return csm.EConst(e.n)
+        if isinstance(e, mc.VarExpr):
+            if e.scope == "local":
+                if e.name in self.promoted:
+                    return csm.ETemp(e.name)
+                return csm.ELoad(csm.EAddrLocal(e.name))
+            return csm.ELoad(csm.EAddrGlobal(e.name))
+        if isinstance(e, mc.AddrOf):
+            if e.scope == "local":
+                if e.name in self.promoted:
+                    raise CompileError(
+                        "address-taken local {!r} was promoted".format(
+                            e.name
+                        )
+                    )
+                return csm.EAddrLocal(e.name)
+            return csm.EAddrGlobal(e.name)
+        if isinstance(e, mc.Deref):
+            return csm.ELoad(self.expr(e.arg))
+        if isinstance(e, mc.Unop):
+            return csm.EUnop(e.op, self.expr(e.arg))
+        if isinstance(e, mc.Binop):
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            if e.op == "&&":
+                return csm.EBinop(
+                    "*",
+                    csm.EBinop("!=", left, csm.EConst(0)),
+                    csm.EBinop("!=", right, csm.EConst(0)),
+                )
+            if e.op == "||":
+                return csm.EBinop(
+                    "!=",
+                    csm.EBinop(
+                        "+",
+                        csm.EBinop("!=", left, csm.EConst(0)),
+                        csm.EBinop("!=", right, csm.EConst(0)),
+                    ),
+                    csm.EConst(0),
+                )
+            return csm.EBinop(e.op, left, right)
+        raise CompileError("cannot translate expression {!r}".format(e))
+
+    # ----- statements -------------------------------------------------------
+
+    def assign(self, lhs, rhs_expr):
+        """Translate an assignment of an already-translated RHS."""
+        if isinstance(lhs, mc.LhsVar):
+            if lhs.scope == "local" and lhs.name in self.promoted:
+                return [csm.SSet(lhs.name, rhs_expr)]
+            if lhs.scope == "local":
+                return [csm.SStore(csm.EAddrLocal(lhs.name), rhs_expr)]
+            return [csm.SStore(csm.EAddrGlobal(lhs.name), rhs_expr)]
+        if isinstance(lhs, mc.LhsDeref):
+            return [csm.SStore(self.expr(lhs.arg), rhs_expr)]
+        raise CompileError("cannot translate lhs {!r}".format(lhs))
+
+    def stmt(self, s):
+        if isinstance(s, mc.SSkip):
+            return []
+        if isinstance(s, mc.SDecl):
+            if s.init is None:
+                return []
+            return self.assign(
+                mc.LhsVar(s.name, "local", s.ty), self.expr(s.init)
+            )
+        if isinstance(s, mc.SAssign):
+            return self.assign(s.lhs, self.expr(s.expr))
+        if isinstance(s, mc.SCallStmt):
+            args = [self.expr(a) for a in s.call.args]
+            if s.dst is None:
+                return [
+                    csm.SCall(None, s.call.fname, args, s.call.external)
+                ]
+            if (
+                isinstance(s.dst, mc.LhsVar)
+                and s.dst.scope == "local"
+                and s.dst.name in self.promoted
+            ):
+                return [
+                    csm.SCall(
+                        s.dst.name, s.call.fname, args, s.call.external
+                    )
+                ]
+            # Result goes to memory: route it through a fresh temp.
+            tmp = self.fresh_temp()
+            call = csm.SCall(tmp, s.call.fname, args, s.call.external)
+            return [call] + self.assign(s.dst, csm.ETemp(tmp))
+        if isinstance(s, mc.SPrint):
+            return [csm.SPrint(self.expr(s.expr))]
+        if isinstance(s, mc.SIf):
+            return [
+                csm.SIf(
+                    self.expr(s.cond),
+                    csm.SSeq(self.stmt_list(s.then)),
+                    csm.SSeq(self.stmt_list(s.els)),
+                )
+            ]
+        if isinstance(s, mc.SWhile):
+            return [
+                csm.SWhile(
+                    self.expr(s.cond), csm.SSeq(self.stmt_list(s.body))
+                )
+            ]
+        if isinstance(s, mc.SBlock):
+            return self.stmt_list(s)
+        if isinstance(s, mc.SSpawn):
+            return [csm.SSpawn(s.fname)]
+        if isinstance(s, mc.SReturn):
+            expr = self.expr(s.expr) if s.expr is not None else None
+            return [csm.SReturn(expr)]
+        raise CompileError("cannot translate statement {!r}".format(s))
+
+    def stmt_list(self, s):
+        if isinstance(s, mc.SBlock):
+            out = []
+            for sub in s.stmts:
+                out.extend(self.stmt(sub))
+            return out
+        return self.stmt(s)
+
+    def translate(self):
+        params = []
+        prologue = []
+        for name, _ty in self.func.params:
+            if name in self.promoted:
+                params.append(name)
+            else:
+                # Address-taken parameter: arrives in a temp, is copied
+                # into its stack slot at entry.
+                tmp = "$p_" + name
+                params.append(tmp)
+                prologue.append(
+                    csm.SStore(csm.EAddrLocal(name), csm.ETemp(tmp))
+                )
+        body = prologue + self.stmt_list(self.func.body)
+        return csm.CshmFunction(
+            self.func.name,
+            params,
+            self.stack_locals,
+            csm.SSeq(body),
+        )
+
+
+def cshmgen(module):
+    """Translate a typechecked MiniC module to Csharpminor."""
+    functions = {
+        name: _FunctionTranslator(func).translate()
+        for name, func in module.functions.items()
+    }
+    externs = {
+        name: len(sig[1]) for name, sig in module.externs.items()
+    }
+    return IRModule(
+        functions, module.symbols, externs, module.forbidden
+    )

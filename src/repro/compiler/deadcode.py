@@ -1,0 +1,45 @@
+"""Extension pass — Deadcode: liveness-based dead code elimination on
+RTL.
+
+Pure instructions (``Iconst``, ``Iop``, address computations, *loads*)
+whose destination is dead afterwards become ``Inop``. Removing a dead
+load shrinks the read footprint — legal under ``FPmatch``, and one of
+the optimizations the paper's criterion admits that stricter
+same-memory-trace simulations (CompCertTSO, Lochbihler) must restrict.
+
+Stores, calls, conditions and events are never removed.
+"""
+
+from repro.langs.ir import rtl
+from repro.compiler.allocation import liveness
+
+
+def transf_function(func):
+    """Eliminate dead pure instructions in one function."""
+    _live_in, live_out = liveness(func)
+    code = {}
+    for pc, instr in func.code.items():
+        if isinstance(
+            instr,
+            (rtl.Iconst, rtl.Iaddrglobal, rtl.Iaddrstack, rtl.Iload),
+        ):
+            if instr.dst not in live_out[pc]:
+                code[pc] = rtl.Inop(instr.next)
+                continue
+        if isinstance(instr, rtl.Iop):
+            if instr.dst not in live_out[pc]:
+                code[pc] = rtl.Inop(instr.next)
+                continue
+        code[pc] = instr
+    return rtl.RTLFunction(
+        func.name, func.params, func.stacksize, func.entry, code
+    )
+
+
+def deadcode(module):
+    """Eliminate dead code in every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,122 @@
+"""Pass 9 — Linearize: LTL → Linear.
+
+Orders the CFG nodes into a straight-line instruction sequence. Every
+CFG node gets a label named after its pc; control transfers become
+gotos/conditional branches, except when the successor is the next
+instruction in the chosen order — then the code falls through. The
+ordering is a depth-first traversal preferring the fall-through
+successor, which already removes most gotos; CleanupLabels then deletes
+the labels nothing jumps to.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import linear as ln
+from repro.langs.ir import ltl
+
+
+def _successors(instr):
+    if isinstance(instr, ltl.Lcond):
+        return (instr.iffalse, instr.iftrue)
+    if isinstance(instr, (ltl.Lreturn, ltl.Ltailcall)):
+        return ()
+    return (instr.next,)
+
+
+def _order(func):
+    """DFS order preferring fall-through successors."""
+    order = []
+    seen = set()
+    stack = [func.entry]
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        order.append(pc)
+        instr = func.code.get(pc)
+        if instr is None:
+            raise CompileError(
+                "dangling CFG edge to {} in {}".format(pc, func.name)
+            )
+        succs = _successors(instr)
+        # Push in reverse so the first (preferred fall-through)
+        # successor is visited immediately after this node.
+        for succ in reversed(succs):
+            stack.append(succ)
+    return order
+
+
+def _basic(instr):
+    """Translate a non-control LTL instruction to Linear."""
+    if isinstance(instr, ltl.Lconst):
+        return ln.LinConst(instr.n, instr.dst)
+    if isinstance(instr, ltl.Laddrglobal):
+        return ln.LinAddrGlobal(instr.name, instr.dst)
+    if isinstance(instr, ltl.Laddrstack):
+        return ln.LinAddrStack(instr.ofs, instr.dst)
+    if isinstance(instr, ltl.Lop):
+        return ln.LinOp(instr.op, instr.args, instr.dst)
+    if isinstance(instr, ltl.Lload):
+        return ln.LinLoad(instr.addr, instr.dst)
+    if isinstance(instr, ltl.Lstore):
+        return ln.LinStore(instr.addr, instr.src)
+    if isinstance(instr, ltl.Lcall):
+        return ln.LinCall(instr.fname, instr.arity, instr.external)
+    if isinstance(instr, ltl.Lprint):
+        return ln.LinPrint(instr.src)
+    if isinstance(instr, ltl.Lspawn):
+        return ln.LinSpawn(instr.fname)
+    return None
+
+
+def transf_function(func):
+    """Linearize one function."""
+    order = _order(func)
+    position = {pc: i for i, pc in enumerate(order)}
+    code = []
+    for i, pc in enumerate(order):
+        instr = func.code[pc]
+        code.append(ln.LinLabel(pc))
+        basic = _basic(instr)
+        if basic is not None:
+            code.append(basic)
+            nxt = instr.next
+            if position.get(nxt) != i + 1:
+                code.append(ln.LinGoto(nxt))
+            continue
+        if isinstance(instr, ltl.Lnop):
+            if position.get(instr.next) != i + 1:
+                code.append(ln.LinGoto(instr.next))
+            continue
+        if isinstance(instr, ltl.Lcond):
+            code.append(
+                ln.LinCond(instr.op, instr.args, instr.iftrue)
+            )
+            if position.get(instr.iffalse) != i + 1:
+                code.append(ln.LinGoto(instr.iffalse))
+            continue
+        if isinstance(instr, ltl.Lreturn):
+            code.append(ln.LinReturn())
+            continue
+        if isinstance(instr, ltl.Ltailcall):
+            code.append(ln.LinTailcall(instr.fname, instr.arity))
+            continue
+        raise CompileError(
+            "cannot linearize instruction {!r}".format(instr)
+        )
+    return ln.LinearFunction(
+        func.name,
+        func.nparams,
+        func.stacksize,
+        func.numslots,
+        code,
+    )
+
+
+def linearize(module):
+    """Linearize every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

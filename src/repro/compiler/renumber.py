@@ -1,0 +1,67 @@
+"""Pass 6 — Renumber: RTL → RTL CFG node renumbering.
+
+Reachable nodes are renumbered contiguously in depth-first order from
+the entry (CompCert's postorder renumbering, which later passes rely on
+for efficient fixpoints); unreachable nodes are dropped.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import rtl
+
+
+def _successors(instr):
+    if isinstance(instr, rtl.Icond):
+        return (instr.iftrue, instr.iffalse)
+    if isinstance(instr, (rtl.Ireturn, rtl.Itailcall)):
+        return ()
+    return (instr.next,)
+
+
+def _retarget(instr, mapping):
+    if isinstance(instr, rtl.Icond):
+        return instr.replace(
+            iftrue=mapping[instr.iftrue], iffalse=mapping[instr.iffalse]
+        )
+    if isinstance(instr, (rtl.Ireturn, rtl.Itailcall)):
+        return instr
+    return instr.replace(next=mapping[instr.next])
+
+
+def transf_function(func):
+    """Renumber one function's CFG."""
+    order = []
+    seen = set()
+    stack = [func.entry]
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        order.append(pc)
+        instr = func.code.get(pc)
+        if instr is None:
+            raise CompileError(
+                "dangling CFG edge to {} in {}".format(pc, func.name)
+            )
+        for succ in reversed(_successors(instr)):
+            stack.append(succ)
+    mapping = {old: new for new, old in enumerate(order)}
+    code = {
+        mapping[pc]: _retarget(func.code[pc], mapping) for pc in order
+    }
+    return rtl.RTLFunction(
+        func.name,
+        func.params,
+        func.stacksize,
+        mapping[func.entry],
+        code,
+    )
+
+
+def renumber(module):
+    """Renumber every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

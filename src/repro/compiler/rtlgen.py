@@ -1,0 +1,184 @@
+"""Pass 4 — RTLgen: CminorSel → RTL.
+
+Classic CFG construction: statements are translated backwards against a
+continuation node, expressions are flattened into three-address code
+over fresh virtual registers. Cminor temps map to virtual registers of
+the same index; intermediate results get fresh registers above them.
+
+Conditions compare two registers directly when the source condition is
+a comparison (``Icond(op, (r1, r2), ...)``); any other condition is
+normalized to ``!= 0``. Loops go through an ``Inop`` header node so the
+back edge has a stable target — which also gives the Tunneling pass its
+raw material.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import rtl
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _max_temp(node, best):
+    if isinstance(node, cm.ETemp):
+        best = max(best, node.name)
+    if isinstance(node, cm.SSet):
+        best = max(best, node.temp)
+    if isinstance(node, cm.SCall) and node.dst is not None:
+        best = max(best, node.dst)
+    for field in getattr(node, "_fields", ()):
+        value = getattr(node, field)
+        if isinstance(value, cm.Node):
+            best = _max_temp(value, best)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, cm.Node):
+                    best = _max_temp(item, best)
+    return best
+
+
+class _RTLBuilder:
+    def __init__(self, func):
+        self.func = func
+        self.code = {}
+        self._next_pc = 0
+        self._next_reg = max(_max_temp(func.body, func.nparams - 1), -1) + 1
+
+    def fresh_reg(self):
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def node(self, instr):
+        pc = self._next_pc
+        self._next_pc += 1
+        self.code[pc] = instr
+        return pc
+
+    def reserve(self):
+        pc = self._next_pc
+        self._next_pc += 1
+        return pc
+
+    # ----- expressions ----------------------------------------------------
+
+    def expr(self, e, dst, ncont):
+        """Code computing ``e`` into register ``dst``, then ``ncont``."""
+        if isinstance(e, cm.EConst):
+            return self.node(rtl.Iconst(e.n, dst, ncont))
+        if isinstance(e, cm.ETemp):
+            return self.node(rtl.Iop("move", (e.name,), dst, ncont))
+        if isinstance(e, cm.EAddrStack):
+            return self.node(rtl.Iaddrstack(e.ofs, dst, ncont))
+        if isinstance(e, cm.EAddrGlobal):
+            return self.node(rtl.Iaddrglobal(e.name, dst, ncont))
+        if isinstance(e, cm.ELoad):
+            addr_reg = self.fresh_reg()
+            load = self.node(rtl.Iload(addr_reg, dst, ncont))
+            return self.expr(e.addr, addr_reg, load)
+        if isinstance(e, cm.EUnop):
+            arg_reg = self.fresh_reg()
+            op = self.node(rtl.Iop(e.op, (arg_reg,), dst, ncont))
+            return self.expr(e.arg, arg_reg, op)
+        if isinstance(e, cm.EBinop):
+            left_reg = self.fresh_reg()
+            right_reg = self.fresh_reg()
+            op = self.node(
+                rtl.Iop(e.op, (left_reg, right_reg), dst, ncont)
+            )
+            right_entry = self.expr(e.right, right_reg, op)
+            return self.expr(e.left, left_reg, right_entry)
+        raise CompileError("cannot translate expression {!r}".format(e))
+
+    def condition(self, cond, iftrue, iffalse):
+        """Code evaluating a condition and branching."""
+        if isinstance(cond, cm.EBinop) and cond.op in _COMPARISONS:
+            left_reg = self.fresh_reg()
+            right_reg = self.fresh_reg()
+            branch = self.node(
+                rtl.Icond(
+                    cond.op, (left_reg, right_reg), iftrue, iffalse
+                )
+            )
+            right_entry = self.expr(cond.right, right_reg, branch)
+            return self.expr(cond.left, left_reg, right_entry)
+        value_reg = self.fresh_reg()
+        zero_reg = self.fresh_reg()
+        branch = self.node(
+            rtl.Icond("!=", (value_reg, zero_reg), iftrue, iffalse)
+        )
+        zero = self.node(rtl.Iconst(0, zero_reg, branch))
+        return self.expr(cond, value_reg, zero)
+
+    # ----- statements -------------------------------------------------------
+
+    def stmt(self, s, ncont):
+        if isinstance(s, cm.SSkip):
+            return ncont
+        if isinstance(s, cm.SSet):
+            return self.expr(s.expr, s.temp, ncont)
+        if isinstance(s, cm.SStore):
+            addr_reg = self.fresh_reg()
+            val_reg = self.fresh_reg()
+            store = self.node(rtl.Istore(addr_reg, val_reg, ncont))
+            val_entry = self.expr(s.expr, val_reg, store)
+            return self.expr(s.addr, addr_reg, val_entry)
+        if isinstance(s, cm.SCall):
+            arg_regs = [self.fresh_reg() for _ in s.args]
+            call = self.node(
+                rtl.Icall(
+                    s.fname, tuple(arg_regs), s.dst, ncont, s.external
+                )
+            )
+            entry = call
+            for arg, reg in reversed(list(zip(s.args, arg_regs))):
+                entry = self.expr(arg, reg, entry)
+            return entry
+        if isinstance(s, cm.SPrint):
+            reg = self.fresh_reg()
+            out = self.node(rtl.Iprint(reg, ncont))
+            return self.expr(s.expr, reg, out)
+        if isinstance(s, cm.SSeq):
+            entry = ncont
+            for sub in reversed(s.stmts):
+                entry = self.stmt(sub, entry)
+            return entry
+        if isinstance(s, cm.SIf):
+            then_entry = self.stmt(s.then, ncont)
+            else_entry = self.stmt(s.els, ncont)
+            return self.condition(s.cond, then_entry, else_entry)
+        if isinstance(s, cm.SWhile):
+            header = self.reserve()
+            body_entry = self.stmt(s.body, header)
+            cond_entry = self.condition(s.cond, body_entry, ncont)
+            self.code[header] = rtl.Inop(cond_entry)
+            return header
+        if isinstance(s, cm.SSpawn):
+            return self.node(rtl.Ispawn(s.fname, ncont))
+        if isinstance(s, cm.SReturn):
+            if s.expr is None:
+                return self.node(rtl.Ireturn(None))
+            reg = self.fresh_reg()
+            ret = self.node(rtl.Ireturn(reg))
+            return self.expr(s.expr, reg, ret)
+        raise CompileError("cannot translate statement {!r}".format(s))
+
+    def translate(self):
+        implicit_ret = self.node(rtl.Ireturn(None))
+        entry = self.stmt(self.func.body, implicit_ret)
+        return rtl.RTLFunction(
+            self.func.name,
+            tuple(range(self.func.nparams)),
+            self.func.stacksize,
+            entry,
+            self.code,
+        )
+
+
+def rtlgen(module):
+    """Translate a CminorSel module to RTL."""
+    functions = {
+        name: _RTLBuilder(func).translate()
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,135 @@
+"""Pass 3 — Selection: Cminor → CminorSel (instruction selection).
+
+Algebraic rewrites toward machine-friendly operators, mirroring
+CompCert's SelectOp smart constructors:
+
+* constant folding of arithmetic whose result is defined (division and
+  modulo by constants are folded only when the divisor is non-zero and
+  the INT_MIN/-1 overflow case cannot arise);
+* neutral-element simplifications ``x+0``, ``0+x``, ``x-0``, ``x*1``,
+  ``1*x``;
+* strength reduction of multiplications by powers of two into shifts.
+
+All rewrites preserve footprints exactly (only pure operator structure
+changes; loads are untouched) and preserve abort behaviour: no rewrite
+discards a subexpression.
+"""
+
+from repro.common.values import BINOPS, UNOPS, VInt
+from repro.common.errors import CompileError
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import cminorsel as sel
+
+
+def _power_of_two(n):
+    if n > 0 and (n & (n - 1)) == 0:
+        return n.bit_length() - 1
+    return None
+
+
+def _fold_binop(op, left, right):
+    """Constant-fold when both sides are literals and the result is
+    defined for *all* inputs (no division)."""
+    if not (isinstance(left, cm.EConst) and isinstance(right, cm.EConst)):
+        return None
+    if op in ("/", "%"):
+        # Folding would erase the runtime abort on division by zero
+        # only if the divisor were zero; folding a *defined* division
+        # is fine.
+        if right.n == 0:
+            return None
+    result = BINOPS[op](VInt(left.n), VInt(right.n))
+    if not isinstance(result, VInt):
+        return None
+    return cm.EConst(result.n)
+
+
+def select_expr(e):
+    """Recursively select an expression."""
+    if isinstance(e, (cm.EConst, cm.ETemp, cm.EAddrStack)):
+        return e
+    if isinstance(e, cm.EAddrGlobal):
+        return e
+    if isinstance(e, cm.ELoad):
+        return cm.ELoad(select_expr(e.addr))
+    if isinstance(e, cm.EUnop):
+        arg = select_expr(e.arg)
+        if isinstance(arg, cm.EConst):
+            result = UNOPS[e.op](VInt(arg.n))
+            if isinstance(result, VInt):
+                return cm.EConst(result.n)
+        return cm.EUnop(e.op, arg)
+    if isinstance(e, cm.EBinop):
+        left = select_expr(e.left)
+        right = select_expr(e.right)
+        folded = _fold_binop(e.op, left, right)
+        if folded is not None:
+            return folded
+        # Neutral elements.
+        if e.op == "+" and isinstance(right, cm.EConst) and right.n == 0:
+            return left
+        if e.op == "+" and isinstance(left, cm.EConst) and left.n == 0:
+            return right
+        if e.op == "-" and isinstance(right, cm.EConst) and right.n == 0:
+            return left
+        if e.op == "*" and isinstance(right, cm.EConst) and right.n == 1:
+            return left
+        if e.op == "*" and isinstance(left, cm.EConst) and left.n == 1:
+            return right
+        # Strength reduction: multiply by a power of two.
+        if e.op == "*" and isinstance(right, cm.EConst):
+            k = _power_of_two(right.n)
+            if k is not None:
+                return cm.EBinop("<<", left, cm.EConst(k))
+        if e.op == "*" and isinstance(left, cm.EConst):
+            k = _power_of_two(left.n)
+            if k is not None:
+                return cm.EBinop("<<", right, cm.EConst(k))
+        return cm.EBinop(e.op, left, right)
+    raise CompileError("cannot select expression {!r}".format(e))
+
+
+def select_stmt(s):
+    if isinstance(s, cm.SSkip):
+        return s
+    if isinstance(s, cm.SSet):
+        return cm.SSet(s.temp, select_expr(s.expr))
+    if isinstance(s, cm.SStore):
+        return cm.SStore(select_expr(s.addr), select_expr(s.expr))
+    if isinstance(s, cm.SCall):
+        return cm.SCall(
+            s.dst,
+            s.fname,
+            [select_expr(a) for a in s.args],
+            s.external,
+        )
+    if isinstance(s, cm.SPrint):
+        return cm.SPrint(select_expr(s.expr))
+    if isinstance(s, cm.SSeq):
+        return cm.SSeq([select_stmt(x) for x in s.stmts])
+    if isinstance(s, cm.SIf):
+        return cm.SIf(
+            select_expr(s.cond), select_stmt(s.then), select_stmt(s.els)
+        )
+    if isinstance(s, cm.SWhile):
+        return cm.SWhile(select_expr(s.cond), select_stmt(s.body))
+    if isinstance(s, cm.SSpawn):
+        return s
+    if isinstance(s, cm.SReturn):
+        expr = select_expr(s.expr) if s.expr is not None else None
+        return cm.SReturn(expr)
+    raise CompileError("cannot select statement {!r}".format(s))
+
+
+def selection(module):
+    """Translate a Cminor module to CminorSel."""
+    functions = {
+        name: sel.CmFunction(
+            func.name,
+            func.nparams,
+            func.stacksize,
+            select_stmt(func.body),
+        )
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,106 @@
+"""Pass 11 — Stacking: Linear → Mach frame layout.
+
+The abstract slot locations of Linear become concrete frame memory:
+
+* frame size = ``numslots + stacksize`` words;
+* slot ``i`` lives at frame offset ``i``;
+* the Cminor stack data begins at offset ``numslots`` — every
+  ``LinAddrStack(ofs)`` becomes ``MAddrStack(numslots + ofs)``;
+* moves involving slots become explicit ``MGetstack``/``MSetstack``
+  memory instructions — from here down, spill traffic is visible in
+  footprints (in the local region, which ``FPmatch`` ignores).
+
+Relies on the Allocation invariant that slots appear only in moves;
+anything else is a :class:`CompileError`.
+"""
+
+from repro.common.errors import CompileError
+from repro.langs.ir import linear as ln
+from repro.langs.ir import mach as mh
+from repro.langs.x86.regs import is_reg, is_slot
+
+
+def _transf_instr(instr, numslots):
+    if isinstance(instr, ln.LinLabel):
+        return [mh.MLabel(instr.lbl)]
+    if isinstance(instr, ln.LinConst):
+        if not is_reg(instr.dst):
+            raise CompileError("LinConst writes a slot")
+        return [mh.MConst(instr.n, instr.dst)]
+    if isinstance(instr, ln.LinAddrGlobal):
+        if not is_reg(instr.dst):
+            raise CompileError("LinAddrGlobal writes a slot")
+        return [mh.MAddrGlobal(instr.name, instr.dst)]
+    if isinstance(instr, ln.LinAddrStack):
+        if not is_reg(instr.dst):
+            raise CompileError("LinAddrStack writes a slot")
+        return [mh.MAddrStack(numslots + instr.ofs, instr.dst)]
+    if isinstance(instr, ln.LinOp):
+        if instr.op == "move":
+            src = instr.args[0]
+            dst = instr.dst
+            if is_reg(src) and is_reg(dst):
+                return [mh.MOp("move", (src,), dst)]
+            if is_slot(src) and is_reg(dst):
+                return [mh.MGetstack(src[1], dst)]
+            if is_reg(src) and is_slot(dst):
+                return [mh.MSetstack(src, dst[1])]
+            raise CompileError("slot-to-slot move reached Stacking")
+        bad = [
+            l for l in tuple(instr.args) + (instr.dst,) if not is_reg(l)
+        ]
+        if bad:
+            raise CompileError(
+                "slot operand {!r} in computing op".format(bad[0])
+            )
+        return [mh.MOp(instr.op, instr.args, instr.dst)]
+    if isinstance(instr, ln.LinLoad):
+        if not (is_reg(instr.addr) and is_reg(instr.dst)):
+            raise CompileError("LinLoad with slot operand")
+        return [mh.MLoad(instr.addr, instr.dst)]
+    if isinstance(instr, ln.LinStore):
+        if not (is_reg(instr.addr) and is_reg(instr.src)):
+            raise CompileError("LinStore with slot operand")
+        return [mh.MStore(instr.addr, instr.src)]
+    if isinstance(instr, ln.LinCall):
+        return [mh.MCall(instr.fname, instr.arity, instr.external)]
+    if isinstance(instr, ln.LinTailcall):
+        return [mh.MTailcall(instr.fname, instr.arity)]
+    if isinstance(instr, ln.LinGoto):
+        return [mh.MGoto(instr.lbl)]
+    if isinstance(instr, ln.LinCond):
+        bad = [l for l in instr.args if not is_reg(l)]
+        if bad:
+            raise CompileError("slot operand in condition")
+        return [mh.MCond(instr.op, instr.args, instr.lbl)]
+    if isinstance(instr, ln.LinReturn):
+        return [mh.MReturn()]
+    if isinstance(instr, ln.LinSpawn):
+        return [mh.MSpawn(instr.fname)]
+    if isinstance(instr, ln.LinPrint):
+        if not is_reg(instr.src):
+            raise CompileError("LinPrint with slot operand")
+        return [mh.MPrint(instr.src)]
+    raise CompileError("cannot stack instruction {!r}".format(instr))
+
+
+def transf_function(func):
+    """Lay out one function's frame."""
+    code = []
+    for instr in func.code:
+        code.extend(_transf_instr(instr, func.numslots))
+    return mh.MachFunction(
+        func.name,
+        func.nparams,
+        func.numslots + func.stacksize,
+        code,
+    )
+
+
+def stacking(module):
+    """Lay out every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,62 @@
+"""Pass 5 — Tailcall: RTL → RTL tail-call recognition.
+
+``Icall(f, args, dst, n)`` immediately followed by ``Ireturn(dst)``
+(or a call whose ignored result feeds ``Ireturn(None)``) becomes
+``Itailcall`` when the function owns no stack block (the CompCert side
+condition: the frame must be dead at the call, which a non-empty stack
+block would contradict) and the callee is internal.
+"""
+
+from repro.langs.ir import rtl
+
+
+def _is_tail_position(func, instr):
+    """The call's result flows (through moves only) into the return."""
+    value = instr.dst
+    pc = instr.next
+    for _ in range(len(func.code) + 1):
+        nxt = func.code.get(pc)
+        if isinstance(nxt, rtl.Ireturn):
+            return nxt.src == value
+        if (
+            isinstance(nxt, rtl.Iop)
+            and nxt.op == "move"
+            and value is not None
+            and nxt.args == (value,)
+        ):
+            value = nxt.dst
+            pc = nxt.next
+            continue
+        if isinstance(nxt, rtl.Inop):
+            pc = nxt.next
+            continue
+        return False
+    return False
+
+
+def transf_function(func):
+    """Rewrite eligible calls of one function."""
+    if func.stacksize != 0:
+        return func
+    code = dict(func.code)
+    changed = False
+    for pc, instr in func.code.items():
+        if not isinstance(instr, rtl.Icall) or instr.external:
+            continue
+        if _is_tail_position(func, instr):
+            code[pc] = rtl.Itailcall(instr.fname, instr.args)
+            changed = True
+    if not changed:
+        return func
+    return rtl.RTLFunction(
+        func.name, func.params, func.stacksize, func.entry, code
+    )
+
+
+def tailcall(module):
+    """Apply tail-call recognition to every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,68 @@
+"""Pass 8 — Tunneling: LTL → LTL branch tunneling.
+
+Edges pointing at chains of ``Lnop`` nodes are redirected to the end of
+the chain (CompCert's Tunneling collapses single-target branch chains
+the same way). The nop nodes themselves become unreachable and are
+dropped.
+"""
+
+from repro.langs.ir import ltl
+
+
+def _resolve(code, pc, cache):
+    """Follow Lnop chains from ``pc`` to a non-nop target."""
+    seen = []
+    cur = pc
+    while cur not in cache and isinstance(code.get(cur), ltl.Lnop):
+        if cur in seen:
+            # A nop cycle (an empty infinite loop): keep one node as
+            # the landing pad rather than diverging.
+            break
+        seen.append(cur)
+        cur = code[cur].next
+    target = cache.get(cur, cur)
+    for node in seen:
+        cache[node] = target
+    return target
+
+
+def _retarget(instr, resolve):
+    if isinstance(instr, ltl.Lcond):
+        return instr.replace(
+            iftrue=resolve(instr.iftrue), iffalse=resolve(instr.iffalse)
+        )
+    if isinstance(instr, (ltl.Lreturn, ltl.Ltailcall)):
+        return instr
+    return instr.replace(next=resolve(instr.next))
+
+
+def transf_function(func):
+    """Tunnel one function."""
+    cache = {}
+
+    def resolve(pc):
+        return _resolve(func.code, pc, cache)
+
+    entry = resolve(func.entry)
+    code = {}
+    for pc, instr in func.code.items():
+        if isinstance(instr, ltl.Lnop) and resolve(pc) != pc:
+            continue  # tunneled away
+        code[pc] = _retarget(instr, resolve)
+    return ltl.LTLFunction(
+        func.name,
+        func.nparams,
+        func.stacksize,
+        func.numslots,
+        entry,
+        code,
+    )
+
+
+def tunneling(module):
+    """Tunnel every function."""
+    functions = {
+        name: transf_function(func)
+        for name, func in module.functions.items()
+    }
+    return module.with_functions(functions)

@@ -1,0 +1,81 @@
+"""Results of module-local steps.
+
+The labelled transition of Fig. 4 is
+
+    ``F ⊢ (κ, σ) --ι/δ--> (κ', σ')  ∪  abort``
+
+A language's ``step`` function returns a *list* of outcomes — the
+nondeterminism of the local semantics (e.g. TSO buffer flushes) is the
+length of that list. Each outcome is either a :class:`Step` (message,
+footprint, successor core, successor memory) or :class:`StepAbort`
+(undefined behaviour: wild access, failed ``assert``, stuck state).
+"""
+
+from repro.common.footprint import EMP
+
+
+class Step:
+    """A successful local transition ``--ι/δ--> (κ', σ')``."""
+
+    __slots__ = ("msg", "fp", "core", "mem")
+
+    def __init__(self, msg, fp, core, mem):
+        object.__setattr__(self, "msg", msg)
+        object.__setattr__(self, "fp", fp)
+        object.__setattr__(self, "core", core)
+        object.__setattr__(self, "mem", mem)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Step is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Step)
+            and self.msg == other.msg
+            and self.fp == other.fp
+            and self.core == other.core
+            and self.mem == other.mem
+        )
+
+    def __hash__(self):
+        return hash((self.msg, self.fp, self.core, self.mem))
+
+    def __repr__(self):
+        return "Step(msg={!r}, fp={!r})".format(self.msg, self.fp)
+
+
+class StepAbort:
+    """The ``abort`` outcome: the module reached undefined behaviour.
+
+    ``reason`` is diagnostic only and excluded from equality, so that
+    aborts compare equal in explored state graphs regardless of the
+    message text.
+    """
+
+    __slots__ = ("fp", "reason")
+
+    def __init__(self, fp=EMP, reason=""):
+        object.__setattr__(self, "fp", fp)
+        object.__setattr__(self, "reason", reason)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("StepAbort is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, StepAbort) and self.fp == other.fp
+
+    def __hash__(self):
+        return hash(("StepAbort", self.fp))
+
+    def __repr__(self):
+        return "StepAbort({!r})".format(self.reason)
+
+
+def successful(outcomes):
+    """The :class:`Step` outcomes among a step result list."""
+    return [o for o in outcomes if isinstance(o, Step)]
+
+
+def has_abort(outcomes):
+    """True iff any outcome is an abort."""
+    return any(isinstance(o, StepAbort) for o in outcomes)

@@ -1,0 +1,206 @@
+"""Dynamic checker for well-defined languages (Def. 1).
+
+``wd(tl)`` gives footprints their extensional meaning: a step's effect
+stays inside its write set, its behaviour depends only on its read set
+(plus write-set availability and the allocation status of the freelist),
+and even its *nondeterminism* is insensitive to memory outside the read
+sets. In Coq these are proved once per language; here we check them on
+concrete steps, adversarially perturbing the memory outside the reported
+footprint and re-running the step.
+
+The checker is used two ways:
+
+* hypothesis property tests feed it randomly generated cores/memories;
+* the WD benchmark runs it over every state reached while executing the
+  test-program suite, per language.
+"""
+
+from repro.common.memory import (
+    eq_on,
+    forward,
+    leffect,
+    leq_post,
+    leq_pre,
+)
+from repro.common.values import VInt
+from repro.common.footprint import union_all
+from repro.lang.messages import is_silent
+from repro.lang.steps import Step
+
+#: How many freelist slots the checker treats as "the" freelist extent.
+FLIST_EXTENT = 512
+
+#: A global address assumed unused by any test program, used to check
+#: insensitivity to allocations elsewhere in the global region.
+_SPARE_GLOBAL = (1 << 20) - 7
+
+
+def _value_perturbations(mem, protected, limit):
+    """Memories differing from ``mem`` in contents outside ``protected``."""
+    variants = []
+    for addr in sorted(mem.domain()):
+        if addr in protected:
+            continue
+        old = mem.load(addr)
+        new = VInt(old.n + 1) if isinstance(old, VInt) else VInt(1)
+        variants.append(mem.store(addr, new))
+        if len(variants) >= limit:
+            break
+    return variants
+
+
+def _domain_perturbations(mem, protected, flist_addrs, limit):
+    """Memories whose domain differs outside ws/rs/freelist."""
+    variants = []
+    if _SPARE_GLOBAL not in mem.domain() and _SPARE_GLOBAL not in protected:
+        variants.append(mem.alloc(_SPARE_GLOBAL, VInt(0)))
+    removable = [
+        a
+        for a in sorted(mem.domain())
+        if a not in protected and a not in flist_addrs
+    ]
+    for addr in removable[:limit]:
+        data = {a: v for a, v in mem.items() if a != addr}
+        variants.append(type(mem)(data))
+    return [v for v in variants if v is not None][:limit]
+
+
+def leq_pre_perturbations(mem, fp, flist_addrs, limit=4):
+    """Variant memories satisfying ``LEqPre(mem, ·, fp, F)``.
+
+    Contents may change anywhere outside the read set; the domain may
+    change outside read set, write set and freelist.
+    """
+    protected_values = set(fp.rs)
+    protected_domain = set(fp.rs) | set(fp.ws)
+    variants = _value_perturbations(mem, protected_values, limit)
+    variants += _domain_perturbations(
+        mem, protected_domain, flist_addrs, limit
+    )
+    return [
+        v for v in variants if leq_pre(mem, v, fp, flist_addrs)
+    ]
+
+
+def _outcome_key(outcome):
+    """Message/footprint/core signature of a step, for matching."""
+    if isinstance(outcome, Step):
+        return ("step", outcome.msg, outcome.fp, outcome.core)
+    return ("abort",)
+
+
+def check_step_wd(lang, module, core, mem, flist, limit=4):
+    """Check Def. 1 for every outcome of one step; return violations.
+
+    Returns a list of human-readable violation strings (empty when the
+    step satisfies all four well-definedness conditions on the generated
+    perturbations).
+    """
+    violations = []
+    flist_addrs = flist.addresses(FLIST_EXTENT)
+    outcomes = lang.step(module, core, mem, flist)
+
+    for outcome in outcomes:
+        if not isinstance(outcome, Step):
+            continue
+        fp = outcome.fp
+        # Item (1): the domain only grows.
+        if not forward(mem, outcome.mem):
+            violations.append(
+                "forward violated: step shrank the memory domain"
+            )
+        # Item (2): effects confined to the write set; fresh cells from F.
+        if not leffect(mem, outcome.mem, fp, flist_addrs):
+            violations.append(
+                "LEffect violated: effect outside ws or allocation "
+                "outside F (fp={!r})".format(fp)
+            )
+        # Item (3): behaviour depends only on rs / ws availability / F.
+        for variant in leq_pre_perturbations(mem, fp, flist_addrs, limit):
+            matched = False
+            for out2 in lang.step(module, core, variant, flist):
+                if not isinstance(out2, Step):
+                    continue
+                if (
+                    out2.msg == outcome.msg
+                    and out2.fp == fp
+                    and out2.core == outcome.core
+                    and leq_post(outcome.mem, out2.mem, fp, flist_addrs)
+                ):
+                    matched = True
+                    break
+            if not matched:
+                violations.append(
+                    "LEqPre-insensitivity violated: perturbing memory "
+                    "outside rs changed the step (msg={!r})".format(
+                        outcome.msg
+                    )
+                )
+
+    # Item (4): nondeterminism insensitive outside the silent read sets.
+    tau_fps = [
+        o.fp
+        for o in outcomes
+        if isinstance(o, Step) and is_silent(o.msg)
+    ]
+    if tau_fps:
+        delta0 = union_all(tau_fps)
+        keys = {_outcome_key(o) for o in outcomes}
+        for variant in leq_pre_perturbations(
+            mem, delta0, flist_addrs, limit
+        ):
+            for out2 in lang.step(module, core, variant, flist):
+                if _outcome_key(out2) not in keys:
+                    violations.append(
+                        "nondeterminism sensitive to memory outside "
+                        "silent read sets: new outcome {!r}".format(out2)
+                    )
+    return violations
+
+
+def check_execution_wd(lang, module, core, mem, flist, max_steps=200,
+                       limit=2):
+    """Run a module, checking ``wd`` at every step along one path.
+
+    Follows the first successful outcome at each step (sufficient for
+    the deterministic languages; the nondeterministic outcomes are still
+    all checked at each state). Stops at termination, abort, or when a
+    non-silent message requires the global semantics. Returns the list
+    of all violations found.
+    """
+    violations = []
+    for _ in range(max_steps):
+        outcomes = lang.step(module, core, mem, flist)
+        if not outcomes:
+            break
+        violations.extend(
+            check_step_wd(lang, module, core, mem, flist, limit)
+        )
+        nxt = None
+        for outcome in outcomes:
+            if isinstance(outcome, Step) and is_silent(outcome.msg):
+                nxt = outcome
+                break
+        if nxt is None:
+            break
+        core, mem = nxt.core, nxt.mem
+    return violations
+
+
+def check_memory_invariance(lang, module, core, mem, flist):
+    """Footprint honesty: the untouched region is bit-identical.
+
+    A lighter companion to :func:`check_step_wd` used in property tests:
+    for every outcome, memory restricted to ``dom(σ) \\ ws`` must be
+    unchanged.
+    """
+    violations = []
+    for outcome in lang.step(module, core, mem, flist):
+        if not isinstance(outcome, Step):
+            continue
+        untouched = mem.domain() - outcome.fp.ws
+        if not eq_on(mem, outcome.mem, untouched):
+            violations.append(
+                "write outside declared ws: fp={!r}".format(outcome.fp)
+            )
+    return violations

@@ -1,0 +1,10 @@
+"""Concrete language instantiations of the abstract framework.
+
+* :mod:`repro.langs.cimp` — CImp, the simple imperative object language
+  with atomic blocks (Sec. 7.1), used for the lock specification.
+* :mod:`repro.langs.minic` — MiniC, the Clight-like client source
+  language, with lexer/parser/typechecker.
+* :mod:`repro.langs.ir` — the CompCert-style IR chain (Csharpminor,
+  Cminor, CminorSel, RTL, LTL, Linear, Mach).
+* :mod:`repro.langs.x86` — the mini-x86 target: SC and TSO semantics.
+"""

@@ -1,0 +1,22 @@
+"""CImp: the simple imperative object source language of Sec. 7.1.
+
+Used to write abstract specifications of synchronization objects such
+as the lock specification ``γ_lock`` of Fig. 10(a). Provides the AST
+(:mod:`repro.langs.cimp.ast`), a parser for the paper's concrete syntax
+(:mod:`repro.langs.cimp.parser`) and the footprint-instrumented
+semantics (:mod:`repro.langs.cimp.semantics`).
+"""
+
+from repro.langs.cimp.ast import CImpModule, Function
+from repro.langs.cimp.parser import parse_functions, parse_module
+from repro.langs.cimp.semantics import CIMP, CImpCore, CImpLang
+
+__all__ = [
+    "CImpModule",
+    "Function",
+    "parse_functions",
+    "parse_module",
+    "CIMP",
+    "CImpCore",
+    "CImpLang",
+]

@@ -1,0 +1,407 @@
+"""Abstract syntax of CImp, the object source language (Sec. 7.1).
+
+CImp is the "simple imperative language" the paper uses to write
+abstract specifications of synchronization objects (Fig. 10a). It has
+thread-local registers, loads/stores on shared memory (``[e]``), atomic
+blocks ``< c >`` that execute without interruption, and ``assert``.
+
+All AST nodes are immutable and hashable (they appear inside core
+states, which label graph nodes).
+"""
+
+
+class Expr:
+    """Base class of CImp expressions (pure except for loads)."""
+
+    __slots__ = ()
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n):
+        object.__setattr__(self, "n", n)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.n == other.n
+
+    def __hash__(self):
+        return hash(("Const", self.n))
+
+    def __repr__(self):
+        return "Const({})".format(self.n)
+
+
+class Var(Expr):
+    """A thread-local register, or a global symbol (resolved at runtime:
+    register bindings shadow symbols; an unbound symbol denotes its
+    address, so ``[L]`` loads from the address of global ``L``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return "Var({!r})".format(self.name)
+
+
+class Load(Expr):
+    """A memory read ``[e]``."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        object.__setattr__(self, "addr", addr)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Load) and self.addr == other.addr
+
+    def __hash__(self):
+        return hash(("Load", self.addr))
+
+    def __repr__(self):
+        return "Load({!r})".format(self.addr)
+
+
+class Bin(Expr):
+    """A binary operation ``e1 op e2``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Bin)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("Bin", self.op, self.left, self.right))
+
+    def __repr__(self):
+        return "Bin({!r}, {!r}, {!r})".format(self.op, self.left, self.right)
+
+
+class Un(Expr):
+    """A unary operation ``op e``."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op, arg):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "arg", arg)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Un)
+            and self.op == other.op
+            and self.arg == other.arg
+        )
+
+    def __hash__(self):
+        return hash(("Un", self.op, self.arg))
+
+    def __repr__(self):
+        return "Un({!r}, {!r})".format(self.op, self.arg)
+
+
+class Stmt:
+    """Base class of CImp statements."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+
+class Skip(Stmt):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, Skip)
+
+    def __hash__(self):
+        return hash("Skip")
+
+    def __repr__(self):
+        return "Skip()"
+
+
+class Assign(Stmt):
+    """``r := e`` — write a thread-local register."""
+
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var, expr):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "expr", expr)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Assign)
+            and self.var == other.var
+            and self.expr == other.expr
+        )
+
+    def __hash__(self):
+        return hash(("Assign", self.var, self.expr))
+
+    def __repr__(self):
+        return "Assign({!r}, {!r})".format(self.var, self.expr)
+
+
+class Store(Stmt):
+    """``[e1] := e2`` — write shared memory."""
+
+    __slots__ = ("addr", "expr")
+
+    def __init__(self, addr, expr):
+        object.__setattr__(self, "addr", addr)
+        object.__setattr__(self, "expr", expr)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Store)
+            and self.addr == other.addr
+            and self.expr == other.expr
+        )
+
+    def __hash__(self):
+        return hash(("Store", self.addr, self.expr))
+
+    def __repr__(self):
+        return "Store({!r}, {!r})".format(self.addr, self.expr)
+
+
+class Seq(Stmt):
+    """A statement sequence."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts):
+        object.__setattr__(self, "stmts", tuple(stmts))
+
+    def __eq__(self, other):
+        return isinstance(other, Seq) and self.stmts == other.stmts
+
+    def __hash__(self):
+        return hash(("Seq", self.stmts))
+
+    def __repr__(self):
+        return "Seq({!r})".format(list(self.stmts))
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els):
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "then", then)
+        object.__setattr__(self, "els", els)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, If)
+            and self.cond == other.cond
+            and self.then == other.then
+            and self.els == other.els
+        )
+
+    def __hash__(self):
+        return hash(("If", self.cond, self.then, self.els))
+
+    def __repr__(self):
+        return "If({!r}, {!r}, {!r})".format(self.cond, self.then, self.els)
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body):
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "body", body)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, While)
+            and self.cond == other.cond
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash(("While", self.cond, self.body))
+
+    def __repr__(self):
+        return "While({!r}, {!r})".format(self.cond, self.body)
+
+
+class Assert(Stmt):
+    """``assert(e)`` — aborts when false (Fig. 10a)."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond):
+        object.__setattr__(self, "cond", cond)
+
+    def __eq__(self, other):
+        return isinstance(other, Assert) and self.cond == other.cond
+
+    def __hash__(self):
+        return hash(("Assert", self.cond))
+
+    def __repr__(self):
+        return "Assert({!r})".format(self.cond)
+
+
+class Atomic(Stmt):
+    """``< c >`` — an atomic block."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body):
+        object.__setattr__(self, "body", body)
+
+    def __eq__(self, other):
+        return isinstance(other, Atomic) and self.body == other.body
+
+    def __hash__(self):
+        return hash(("Atomic", self.body))
+
+    def __repr__(self):
+        return "Atomic({!r})".format(self.body)
+
+
+class Return(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr=None):
+        object.__setattr__(self, "expr", expr)
+
+    def __eq__(self, other):
+        return isinstance(other, Return) and self.expr == other.expr
+
+    def __hash__(self):
+        return hash(("Return", self.expr))
+
+    def __repr__(self):
+        return "Return({!r})".format(self.expr)
+
+
+class Print(Stmt):
+    """``print(e)`` — emit an observable event."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        object.__setattr__(self, "expr", expr)
+
+    def __eq__(self, other):
+        return isinstance(other, Print) and self.expr == other.expr
+
+    def __hash__(self):
+        return hash(("Print", self.expr))
+
+    def __repr__(self):
+        return "Print({!r})".format(self.expr)
+
+
+class Spawn(Stmt):
+    """``spawn f;`` — start a new thread running function ``f``."""
+
+    __slots__ = ("fname",)
+
+    def __init__(self, fname):
+        object.__setattr__(self, "fname", fname)
+
+    def __eq__(self, other):
+        return isinstance(other, Spawn) and self.fname == other.fname
+
+    def __hash__(self):
+        return hash(("Spawn", self.fname))
+
+    def __repr__(self):
+        return "Spawn({!r})".format(self.fname)
+
+
+class Function:
+    """A CImp function: parameter names plus a body statement."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(params))
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Function is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Function)
+            and self.name == other.name
+            and self.params == other.params
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash(("Function", self.name, self.params, self.body))
+
+    def __repr__(self):
+        return "Function({!r}, params={!r})".format(self.name, self.params)
+
+
+class CImpModule:
+    """A CImp module ``π``: functions, symbol table, owned data region.
+
+    ``symbols`` maps global names to addresses. ``owned`` is the set of
+    shared addresses this object module exclusively owns — the paper's
+    permission partition (Sec. 7.1): clients have no permission on
+    these, and the CImp module itself must only access owned addresses
+    (it aborts otherwise).
+    """
+
+    __slots__ = ("functions", "symbols", "owned")
+
+    def __init__(self, functions, symbols=None, owned=()):
+        object.__setattr__(
+            self, "functions", {f.name: f for f in functions}
+        )
+        object.__setattr__(self, "symbols", dict(symbols or {}))
+        object.__setattr__(self, "owned", frozenset(owned))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CImpModule is immutable")
+
+    def __repr__(self):
+        return "CImpModule({})".format(sorted(self.functions))

@@ -1,0 +1,248 @@
+"""Lexer and recursive-descent parser for CImp.
+
+Concrete syntax (Fig. 10a):
+
+.. code-block:: none
+
+    lock(){ r := 0; while(r == 0){ <r := [L]; [L] := 0;> } }
+    unlock(){ < r := [L]; assert(r == 0); [L] := 1; > }
+
+Statements end in ``;`` except blocks; ``< ... >`` delimits atomic
+blocks; ``[e]`` is a memory access.
+"""
+
+import re
+
+from repro.common.errors import ParseError
+from repro.langs.cimp import ast
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<int>-?\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|==|!=|<=|>=|&&|\|\||[-+*/%!<>=(){}\[\];,])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "while", "if", "else", "assert", "return", "print", "skip",
+    "spawn",
+}
+
+
+def tokenize(text):
+    """Split CImp source into ``(kind, value, line)`` tokens."""
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(
+                "unexpected character {!r}".format(text[pos]), line
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        value = m.group()
+        line += value.count("\n")
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "id" and value in _KEYWORDS:
+            tokens.append(("kw", value, line))
+        elif kind == "int":
+            tokens.append(("int", int(value), line))
+        else:
+            tokens.append((kind, value, line))
+    tokens.append(("eof", None, line))
+    return tokens
+
+
+# Binary operator precedence levels, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind, value=None):
+        tok_kind, tok_value, line = self.peek()
+        if tok_kind != kind or (value is not None and tok_value != value):
+            raise ParseError(
+                "expected {!r}, found {!r}".format(
+                    value if value is not None else kind, tok_value
+                ),
+                line,
+            )
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        tok_kind, tok_value, _ = self.peek()
+        if tok_kind == kind and (value is None or tok_value == value):
+            return self.advance()
+        return None
+
+    # ----- expressions -------------------------------------------------
+
+    def expr(self, level=0):
+        if level == len(_PRECEDENCE):
+            return self.unary()
+        left = self.expr(level + 1)
+        while True:
+            tok_kind, tok_value, _ = self.peek()
+            if tok_kind == "op" and tok_value in _PRECEDENCE[level]:
+                self.advance()
+                right = self.expr(level + 1)
+                left = ast.Bin(tok_value, left, right)
+            else:
+                return left
+
+    def unary(self):
+        if self.accept("op", "-"):
+            return ast.Un("-", self.unary())
+        if self.accept("op", "!"):
+            return ast.Un("!", self.unary())
+        return self.primary()
+
+    def primary(self):
+        tok_kind, tok_value, line = self.peek()
+        if tok_kind == "int":
+            self.advance()
+            return ast.Const(tok_value)
+        if tok_kind == "id":
+            self.advance()
+            return ast.Var(tok_value)
+        if self.accept("op", "("):
+            e = self.expr()
+            self.expect("op", ")")
+            return e
+        if self.accept("op", "["):
+            e = self.expr()
+            self.expect("op", "]")
+            return ast.Load(e)
+        raise ParseError("expected expression", line)
+
+    # ----- statements --------------------------------------------------
+
+    def block(self):
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self.stmt())
+        return ast.Seq(stmts)
+
+    def stmt(self):
+        tok_kind, tok_value, line = self.peek()
+        if tok_kind == "kw":
+            return self._keyword_stmt(tok_value)
+        if tok_kind == "op" and tok_value == "<":
+            self.advance()
+            stmts = []
+            while not self.accept("op", ">"):
+                stmts.append(self.stmt())
+            return ast.Atomic(ast.Seq(stmts))
+        if tok_kind == "op" and tok_value == "[":
+            self.advance()
+            addr = self.expr()
+            self.expect("op", "]")
+            self.expect("op", ":=")
+            value = self.expr()
+            self.expect("op", ";")
+            return ast.Store(addr, value)
+        if tok_kind == "id":
+            name = self.advance()[1]
+            self.expect("op", ":=")
+            value = self.expr()
+            self.expect("op", ";")
+            return ast.Assign(name, value)
+        raise ParseError("expected statement", line)
+
+    def _keyword_stmt(self, kw):
+        self.advance()
+        if kw == "skip":
+            self.expect("op", ";")
+            return ast.Skip()
+        if kw == "while":
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            return ast.While(cond, self.block())
+        if kw == "if":
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            then = self.block()
+            els = ast.Skip()
+            if self.accept("kw", "else"):
+                els = self.block()
+            return ast.If(cond, then, els)
+        if kw == "assert":
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.Assert(cond)
+        if kw == "return":
+            expr = None
+            if not self.accept("op", ";"):
+                expr = self.expr()
+                self.expect("op", ";")
+            return ast.Return(expr)
+        if kw == "print":
+            self.expect("op", "(")
+            expr = self.expr()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.Print(expr)
+        if kw == "spawn":
+            fname = self.expect("id")[1]
+            self.expect("op", ";")
+            return ast.Spawn(fname)
+        raise ParseError("unexpected keyword {!r}".format(kw))
+
+    def fundef(self):
+        name = self.expect("id")[1]
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            params.append(self.expect("id")[1])
+            while self.accept("op", ","):
+                params.append(self.expect("id")[1])
+            self.expect("op", ")")
+        body = self.block()
+        return ast.Function(name, params, body)
+
+    def module(self):
+        functions = []
+        while self.peek()[0] != "eof":
+            functions.append(self.fundef())
+        return functions
+
+
+def parse_functions(text):
+    """Parse CImp source into a list of :class:`~...ast.Function`."""
+    return _Parser(tokenize(text)).module()
+
+
+def parse_module(text, symbols=None, owned=()):
+    """Parse CImp source into a :class:`~...ast.CImpModule`."""
+    return ast.CImpModule(parse_functions(text), symbols, owned)

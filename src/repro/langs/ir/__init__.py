@@ -1,0 +1,34 @@
+"""The compiler IR chain (Fig. 11):
+
+Clight (MiniC) → Csharpminor → Cminor → CminorSel → RTL → LTL →
+Linear → Mach → x86. Every IR has a footprint-instrumented interpreter
+implementing the abstract module-language interface, so the simulation
+checker can validate any adjacent pair of the pipeline.
+"""
+
+from repro.langs.ir.base import IRModule
+from repro.langs.ir.csharpminor import CSHARPMINOR, CshmLang
+from repro.langs.ir.cminor import CMINOR, CminorLang
+from repro.langs.ir.cminorsel import CMINORSEL, CminorSelLang
+from repro.langs.ir.rtl import RTL, RTLLang
+from repro.langs.ir.ltl import LTL, LTLLang
+from repro.langs.ir.linear import LINEAR, LinearLang
+from repro.langs.ir.mach import MACH, MachLang
+
+__all__ = [
+    "IRModule",
+    "CSHARPMINOR",
+    "CshmLang",
+    "CMINOR",
+    "CminorLang",
+    "CMINORSEL",
+    "CminorSelLang",
+    "RTL",
+    "RTLLang",
+    "LTL",
+    "LTLLang",
+    "LINEAR",
+    "LinearLang",
+    "MACH",
+    "MachLang",
+]

@@ -1,0 +1,66 @@
+"""CminorSel: output of the Selection (instruction selection) pass.
+
+CminorSel shares Cminor's syntax and semantics but admits the
+machine-oriented operators the selector introduces — shifts (``<<``,
+``>>``) standing in for x86's ``shl``/``sar`` strength-reduced
+multiplications and divisions. The language object is a distinct
+instance so simulation reports and determinism/wd checks identify the
+level correctly.
+"""
+
+from repro.langs.ir.cminor import (
+    CMINOR,
+    CmCore,
+    CmFunction,
+    CminorLang,
+    EAddrGlobal,
+    EAddrStack,
+    EBinop,
+    EConst,
+    ELoad,
+    ETemp,
+    EUnop,
+    SCall,
+    SIf,
+    SPrint,
+    SReturn,
+    SSeq,
+    SSet,
+    SSkip,
+    SStore,
+    SWhile,
+)
+
+__all__ = [
+    "CMINORSEL",
+    "CminorSelLang",
+    "CmFunction",
+    "CmCore",
+    "EConst",
+    "ETemp",
+    "EAddrGlobal",
+    "EAddrStack",
+    "ELoad",
+    "EUnop",
+    "EBinop",
+    "SSkip",
+    "SSet",
+    "SStore",
+    "SCall",
+    "SPrint",
+    "SSeq",
+    "SIf",
+    "SWhile",
+    "SReturn",
+]
+
+_ = CMINOR  # re-exported base instance, kept for import symmetry
+
+
+class CminorSelLang(CminorLang):
+    """Cminor semantics under the CminorSel name."""
+
+    name = "CminorSel"
+
+
+CMINORSEL = CminorSelLang()

@@ -1,0 +1,24 @@
+"""MiniC: the Clight-like client source language.
+
+Lexer, parser, typechecker and footprint-instrumented semantics for
+the C subset the paper's client programs use (Fig. 10c, examples 2.1
+and 2.2). This is the source language of the CASCompCert pipeline.
+"""
+
+from repro.langs.minic.ast import MiniCModule
+from repro.langs.minic.build import compile_unit, link_units
+from repro.langs.minic.parser import parse
+from repro.langs.minic.semantics import MINIC, MiniCCore, MiniCLang
+from repro.langs.minic.typecheck import TypedUnit, typecheck
+
+__all__ = [
+    "MiniCModule",
+    "compile_unit",
+    "link_units",
+    "parse",
+    "typecheck",
+    "TypedUnit",
+    "MINIC",
+    "MiniCCore",
+    "MiniCLang",
+]

@@ -1,0 +1,236 @@
+"""Abstract syntax of MiniC, the Clight-like client source language.
+
+MiniC is the paper's "Clight" role: the language multi-threaded clients
+are written in (Fig. 10c) and the input of the CASCompCert pipeline. It
+covers the subset the paper's examples need: ``int`` globals and locals,
+``int*`` parameters, functions, control flow, cross-module (external)
+calls such as ``lock()``/``unlock()``, address-of on variables,
+pointer dereference, and the observable ``print``.
+
+As in Clight, *all* local variables live in memory (stack slots
+allocated from the thread's freelist); promoting the non-addressed ones
+to temporaries is the compiler's job (the Cshmgen pass).
+
+Two deliberate restrictions, both documented in DESIGN.md:
+
+* calls appear only at statement level (``f(x);`` or ``y = f(x);``);
+* statements are the unit of execution (one footprinted step each).
+"""
+
+from repro.common.astbase import Node
+
+# ----- types ---------------------------------------------------------------
+
+
+class Type(Node):
+    """Base class of MiniC types."""
+
+
+class TInt(Type):
+    _fields = ()
+
+
+class TPtr(Type):
+    """Pointer to int (the only pointer type MiniC needs)."""
+
+    _fields = ()
+
+
+class TVoid(Type):
+    _fields = ()
+
+
+INT = TInt()
+PTR = TPtr()
+VOID = TVoid()
+
+
+# ----- expressions ---------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class of expressions. ``ty`` is filled by the typechecker."""
+
+
+class IntLit(Expr):
+    _fields = ("n", "ty")
+
+
+class VarExpr(Expr):
+    """A variable read (local or global, resolved by the typechecker:
+    ``scope`` is ``"local"`` or ``"global"``)."""
+
+    _fields = ("name", "scope", "ty")
+
+
+class AddrOf(Expr):
+    """``&x`` — the address of a variable."""
+
+    _fields = ("name", "scope", "ty")
+
+
+class Deref(Expr):
+    """``*e`` — load through a pointer."""
+
+    _fields = ("arg", "ty")
+
+
+class Unop(Expr):
+    _fields = ("op", "arg", "ty")
+
+
+class Binop(Expr):
+    _fields = ("op", "left", "right", "ty")
+
+
+class Call(Expr):
+    """A call ``f(args)``; only valid at statement level (typechecked).
+
+    ``external`` is filled by the typechecker: True when ``f`` is not
+    defined in this module.
+    """
+
+    _fields = ("fname", "args", "external", "ty")
+
+
+# ----- statements ----------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class of statements."""
+
+
+class SSkip(Stmt):
+    _fields = ()
+
+
+class SDecl(Stmt):
+    """A local declaration ``int x = e;`` (slot allocated at function
+    entry, the initializer is an ordinary assignment here)."""
+
+    _fields = ("name", "ty", "init")
+
+
+class SAssign(Stmt):
+    """``lhs = e;`` with ``lhs`` a variable or ``*p``."""
+
+    _fields = ("lhs", "expr")
+
+
+class LhsVar(Node):
+    _fields = ("name", "scope", "ty")
+
+
+class LhsDeref(Node):
+    """``*p = ...`` — store through a pointer expression."""
+
+    _fields = ("arg", "ty")
+
+
+class SCallStmt(Stmt):
+    """``f(args);`` or ``x = f(args);`` — ``dst`` is an optional lhs."""
+
+    _fields = ("dst", "call")
+
+
+class SPrint(Stmt):
+    _fields = ("expr",)
+
+
+class SIf(Stmt):
+    _fields = ("cond", "then", "els")
+
+
+class SWhile(Stmt):
+    _fields = ("cond", "body")
+
+
+class SBlock(Stmt):
+    _fields = ("stmts",)
+
+
+class SReturn(Stmt):
+    _fields = ("expr",)
+
+
+class SSpawn(Stmt):
+    """``spawn f;`` — start a new thread running ``f`` (a function of
+    no parameters). The paper's future-work thread-creation form."""
+
+    _fields = ("fname",)
+
+
+# ----- declarations ---------------------------------------------------------
+
+
+class GlobalVar(Node):
+    """``int g = n;`` — a global definition owned by this module."""
+
+    _fields = ("name", "init")
+
+
+class ExternVar(Node):
+    """``extern int g;`` — a global defined by another module."""
+
+    _fields = ("name",)
+
+
+class ExternFun(Node):
+    """``extern int f(int*);`` — a function defined elsewhere."""
+
+    _fields = ("name", "ret", "params")
+
+
+class FuncDef(Node):
+    """A function definition. ``locals_`` (name, type) pairs are
+    collected by the typechecker from the SDecl statements; all are
+    stack-allocated at entry, Clight-style."""
+
+    _fields = ("name", "ret", "params", "body", "locals_")
+
+
+class SourceModule(Node):
+    """A parsed (untyped) MiniC translation unit."""
+
+    _fields = ("decls",)
+
+
+class MiniCModule:
+    """A typechecked, linked MiniC module: the compiler's input.
+
+    ``functions`` maps names to :class:`FuncDef` (with ``locals_``
+    filled); ``symbols`` maps every referenced global to its linked
+    address; ``globals_`` lists the globals this module *defines*;
+    ``externs`` the extern function signatures; ``forbidden`` is the
+    object-owned region this client has no permission on (Sec. 7.1).
+    """
+
+    __slots__ = ("functions", "symbols", "globals_", "externs", "forbidden")
+
+    def __init__(self, functions, symbols, globals_, externs,
+                 forbidden=()):
+        object.__setattr__(
+            self, "functions", dict(functions)
+        )
+        object.__setattr__(self, "symbols", dict(symbols))
+        object.__setattr__(self, "globals_", dict(globals_))
+        object.__setattr__(self, "externs", dict(externs))
+        object.__setattr__(self, "forbidden", frozenset(forbidden))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MiniCModule is immutable")
+
+    def __repr__(self):
+        return "MiniCModule(functions={}, globals={})".format(
+            sorted(self.functions), sorted(self.globals_)
+        )
+
+    def with_forbidden(self, forbidden):
+        """A copy with the client-forbidden (object-owned) region set."""
+        return MiniCModule(
+            self.functions,
+            self.symbols,
+            self.globals_,
+            self.externs,
+            forbidden,
+        )

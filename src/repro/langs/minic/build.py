@@ -1,0 +1,88 @@
+"""Convenience builders: source text → typechecked, linked MiniC modules.
+
+:func:`compile_unit` runs lexer/parser/typechecker on one translation
+unit. :func:`link_units` performs the linker's job of the Load rule:
+assigns global addresses consistently across units (and any
+object-module symbols), checks that every ``extern int`` resolves to a
+definition, and produces one :class:`MiniCModule` plus
+:class:`GlobalEnv` per unit.
+"""
+
+from repro.common.errors import TypeCheckError
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv
+from repro.langs.minic.ast import MiniCModule
+from repro.langs.minic.parser import parse
+from repro.langs.minic.typecheck import typecheck
+
+#: First address handed out to linked globals.
+GLOBAL_BASE = 16
+
+
+def compile_unit(text):
+    """Parse and typecheck one MiniC translation unit."""
+    return typecheck(parse(text))
+
+
+def link_units(units, extra_symbols=None, base=GLOBAL_BASE):
+    """Assign addresses to all globals and build per-unit modules.
+
+    ``extra_symbols`` maps externally provided global names (e.g. the
+    lock object's data) to addresses chosen by the caller; ``extern``
+    declarations may resolve against them.
+
+    Returns ``(modules, genvs, symbols)``: one
+    (:class:`MiniCModule`, :class:`GlobalEnv`) pair per unit plus the
+    full symbol table.
+    """
+    extra_symbols = dict(extra_symbols or {})
+    symbols = dict(extra_symbols)
+    inits = {}
+    next_addr = base
+    for unit in units:
+        for name, init in sorted(unit.globals_.items()):
+            if name in inits:
+                raise TypeCheckError(
+                    "global {!r} defined in two units".format(name)
+                )
+            if name in extra_symbols:
+                raise TypeCheckError(
+                    "global {!r} collides with an object symbol".format(
+                        name
+                    )
+                )
+            while next_addr in set(extra_symbols.values()):
+                next_addr += 1
+            symbols[name] = next_addr
+            inits[name] = init
+            next_addr += 1
+
+    for unit in units:
+        for name in unit.extern_vars:
+            if name not in symbols:
+                raise TypeCheckError(
+                    "extern global {!r} has no definition".format(name)
+                )
+
+    modules = []
+    genvs = []
+    for unit in units:
+        unit_symbols = {
+            name: symbols[name] for name in unit.referenced_globals()
+        }
+        module = MiniCModule(
+            unit.functions,
+            unit_symbols,
+            unit.globals_,
+            unit.extern_funs,
+        )
+        ge = GlobalEnv(
+            {name: symbols[name] for name in unit.globals_},
+            {
+                symbols[name]: VInt(init)
+                for name, init in unit.globals_.items()
+            },
+        )
+        modules.append(module)
+        genvs.append(ge)
+    return modules, genvs, symbols

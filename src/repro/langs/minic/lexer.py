@@ -1,0 +1,76 @@
+"""Lexer for MiniC (C-like tokens)."""
+
+import re
+
+from repro.common.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<int>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\+\+|==|!=|<=|>=|&&|\|\||<<|>>|[-+*/%!<>=(){};,&\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+KEYWORDS = {
+    "int",
+    "void",
+    "extern",
+    "if",
+    "else",
+    "while",
+    "return",
+    "print",
+    "spawn",
+    "for",
+}
+
+
+class Token:
+    """A lexed token: kind (``int``/``id``/``kw``/``op``/``eof``),
+    value, and 1-based source line."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token({}, {!r}, line {})".format(
+            self.kind, self.value, self.line
+        )
+
+
+def tokenize(text):
+    """Lex MiniC source into a token list ending with an ``eof`` token."""
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(
+                "unexpected character {!r}".format(text[pos]), line
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        value = m.group()
+        newlines = value.count("\n")
+        if kind in ("ws", "comment"):
+            line += newlines
+            continue
+        if kind == "int":
+            tokens.append(Token("int", int(value), line))
+        elif kind == "id":
+            tok_kind = "kw" if value in KEYWORDS else "id"
+            tokens.append(Token(tok_kind, value, line))
+        else:
+            tokens.append(Token("op", value, line))
+        line += newlines
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,333 @@
+"""Recursive-descent parser for MiniC.
+
+Produces an untyped :class:`~repro.langs.minic.ast.SourceModule`;
+scopes and types are resolved by :mod:`repro.langs.minic.typecheck`.
+"""
+
+from repro.common.errors import ParseError
+from repro.langs.minic import ast
+from repro.langs.minic.lexer import tokenize
+
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, ahead=0):
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind, value=None):
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise ParseError(
+                "expected {!r}, found {!r}".format(
+                    value if value is not None else kind, tok.value
+                ),
+                tok.line,
+            )
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.advance()
+        return None
+
+    # ----- types --------------------------------------------------------
+
+    def type_(self):
+        tok = self.peek()
+        if self.accept("kw", "void"):
+            return ast.VOID
+        if self.accept("kw", "int"):
+            if self.accept("op", "*"):
+                return ast.PTR
+            return ast.INT
+        raise ParseError("expected a type", tok.line)
+
+    # ----- expressions ---------------------------------------------------
+
+    def expr(self, level=0):
+        if level == len(_PRECEDENCE):
+            return self.unary()
+        left = self.expr(level + 1)
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.value in _PRECEDENCE[level]:
+                self.advance()
+                right = self.expr(level + 1)
+                left = ast.Binop(tok.value, left, right, None)
+            else:
+                return left
+
+    def unary(self):
+        if self.accept("op", "-"):
+            return ast.Unop("-", self.unary(), None)
+        if self.accept("op", "!"):
+            return ast.Unop("!", self.unary(), None)
+        if self.accept("op", "*"):
+            return ast.Deref(self.unary(), None)
+        if self.accept("op", "&"):
+            name = self.expect("id").value
+            return ast.AddrOf(name, None, None)
+        return self.primary()
+
+    def primary(self):
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(tok.value, None)
+        if tok.kind == "id":
+            name = self.advance().value
+            if self.accept("op", "("):
+                args = self.call_args()
+                return ast.Call(name, args, None, None)
+            return ast.VarExpr(name, None, None)
+        if self.accept("op", "("):
+            e = self.expr()
+            self.expect("op", ")")
+            return e
+        raise ParseError("expected an expression", tok.line)
+
+    def call_args(self):
+        args = []
+        if self.accept("op", ")"):
+            return args
+        args.append(self.expr())
+        while self.accept("op", ","):
+            args.append(self.expr())
+        self.expect("op", ")")
+        return args
+
+    # ----- statements ------------------------------------------------------
+
+    def block(self):
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self.stmt())
+        return ast.SBlock(stmts)
+
+    def stmt(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.value == "{":
+            return self.block()
+        if tok.kind == "kw":
+            return self._keyword_stmt(tok)
+        if tok.kind == "op" and tok.value == "*":
+            self.advance()
+            target = self.unary()
+            self.expect("op", "=")
+            value = self.expr()
+            self.expect("op", ";")
+            return self._assign(ast.LhsDeref(target, None), value)
+        if tok.kind == "id":
+            name = self.advance().value
+            if self.accept("op", "++"):
+                self.expect("op", ";")
+                incremented = ast.Binop(
+                    "+",
+                    ast.VarExpr(name, None, None),
+                    ast.IntLit(1, None),
+                    None,
+                )
+                return ast.SAssign(
+                    ast.LhsVar(name, None, None), incremented
+                )
+            if self.accept("op", "("):
+                call = ast.Call(name, self.call_args(), None, None)
+                self.expect("op", ";")
+                return ast.SCallStmt(None, call)
+            self.expect("op", "=")
+            value = self.expr()
+            self.expect("op", ";")
+            return self._assign(ast.LhsVar(name, None, None), value)
+        raise ParseError("expected a statement", tok.line)
+
+    def _assign(self, lhs, value):
+        if isinstance(value, ast.Call):
+            return ast.SCallStmt(lhs, value)
+        return ast.SAssign(lhs, value)
+
+    def _keyword_stmt(self, tok):
+        if tok.value == "int":
+            # Local declaration: ``int x;`` or ``int x = e;`` (plain
+            # int locals only; pointer locals would allow stack-pointer
+            # escape, which the paper's footnote 6 rules out).
+            self.advance()
+            if self.peek().kind == "op" and self.peek().value == "*":
+                raise ParseError(
+                    "pointer-typed locals are not supported", tok.line
+                )
+            name = self.expect("id").value
+            init = None
+            if self.accept("op", "="):
+                init = self.expr()
+            self.expect("op", ";")
+            return ast.SDecl(name, ast.INT, init)
+        if tok.value == "if":
+            self.advance()
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            then = self.block()
+            els = ast.SSkip()
+            if self.accept("kw", "else"):
+                els = self.block()
+            return ast.SIf(cond, then, els)
+        if tok.value == "for":
+            # ``for (init; cond; step) { ... }`` — sugar for an
+            # init + while loop (CompCert's Clight does the same
+            # elaboration).
+            self.advance()
+            self.expect("op", "(")
+            init = None
+            if not self.accept("op", ";"):
+                init = self._simple_stmt_no_semi()
+                self.expect("op", ";")
+            cond = ast.IntLit(1, None)
+            if not self.accept("op", ";"):
+                cond = self.expr()
+                self.expect("op", ";")
+            step = None
+            if not self.accept("op", ")"):
+                step = self._simple_stmt_no_semi()
+                self.expect("op", ")")
+            body = self.block()
+            loop_body = list(body.stmts)
+            if step is not None:
+                loop_body.append(step)
+            loop = ast.SWhile(cond, ast.SBlock(loop_body))
+            if init is None:
+                return loop
+            return ast.SBlock([init, loop])
+        if tok.value == "while":
+            self.advance()
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            return ast.SWhile(cond, self.block())
+        if tok.value == "return":
+            self.advance()
+            expr = None
+            if not self.accept("op", ";"):
+                expr = self.expr()
+                self.expect("op", ";")
+            return ast.SReturn(expr)
+        if tok.value == "spawn":
+            self.advance()
+            fname = self.expect("id").value
+            self.expect("op", ";")
+            return ast.SSpawn(fname)
+        if tok.value == "print":
+            self.advance()
+            self.expect("op", "(")
+            expr = self.expr()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.SPrint(expr)
+        raise ParseError(
+            "unexpected keyword {!r}".format(tok.value), tok.line
+        )
+
+    def _simple_stmt_no_semi(self):
+        """An assignment / declaration / increment without its ``;`` —
+        the init and step positions of a ``for`` header."""
+        tok = self.peek()
+        if tok.kind == "kw" and tok.value == "int":
+            self.advance()
+            name = self.expect("id").value
+            init = None
+            if self.accept("op", "="):
+                init = self.expr()
+            return ast.SDecl(name, ast.INT, init)
+        if tok.kind == "id":
+            name = self.advance().value
+            if self.accept("op", "++"):
+                return ast.SAssign(
+                    ast.LhsVar(name, None, None),
+                    ast.Binop(
+                        "+",
+                        ast.VarExpr(name, None, None),
+                        ast.IntLit(1, None),
+                        None,
+                    ),
+                )
+            self.expect("op", "=")
+            return ast.SAssign(
+                ast.LhsVar(name, None, None), self.expr()
+            )
+        raise ParseError("expected a for-header statement", tok.line)
+
+    # ----- top-level declarations ------------------------------------------
+
+    def topdecl(self):
+        if self.accept("kw", "extern"):
+            ty = self.type_()
+            name = self.expect("id").value
+            if self.accept("op", ";"):
+                if ty != ast.INT:
+                    raise ParseError("extern globals must be int")
+                return ast.ExternVar(name)
+            self.expect("op", "(")
+            params = []
+            if not self.accept("op", ")"):
+                params.append(self.type_())
+                while self.accept("op", ","):
+                    params.append(self.type_())
+                self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.ExternFun(name, ty, params)
+
+        # Either a global variable or a function definition.
+        ty = self.type_()
+        name = self.expect("id").value
+        if self.peek().kind == "op" and self.peek().value in ("=", ";"):
+            if ty != ast.INT:
+                raise ParseError("globals must be plain int")
+            init = 0
+            if self.accept("op", "="):
+                neg = self.accept("op", "-") is not None
+                init = self.expect("int").value
+                if neg:
+                    init = -init
+            self.expect("op", ";")
+            return ast.GlobalVar(name, init)
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                pty = self.type_()
+                pname = self.expect("id").value
+                params.append((pname, pty))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self.block()
+        return ast.FuncDef(name, ty, params, body, None)
+
+    def module(self):
+        decls = []
+        while self.peek().kind != "eof":
+            decls.append(self.topdecl())
+        return ast.SourceModule(decls)
+
+
+def parse(text):
+    """Parse MiniC source into an untyped :class:`SourceModule`."""
+    return _Parser(tokenize(text)).module()

@@ -1,0 +1,342 @@
+"""Typechecker and scope resolution for MiniC.
+
+Turns a parsed :class:`SourceModule` into a :class:`TypedUnit`: every
+expression annotated with its type, every variable reference resolved
+to ``local`` or ``global`` scope, per-function local slots collected,
+and the module-level restrictions enforced:
+
+* calls only at statement level;
+* no pointer-typed globals or locals (pointers enter only as function
+  parameters, so the only addresses that flow are ``&variable``);
+* no cross-module escape of stack pointers: passing ``&local`` to an
+  *external* function is rejected (the paper's footnote 6 restriction —
+  Compositional CompCert's machinery for stack-pointer escape is
+  orthogonal to the concurrency contribution).
+"""
+
+from repro.common.errors import TypeCheckError
+from repro.langs.minic import ast
+
+
+class TypedUnit:
+    """A typechecked translation unit, before linking.
+
+    ``functions``: name → annotated :class:`FuncDef`;
+    ``globals_``: name → initial int value (definitions);
+    ``extern_vars``: globals defined elsewhere;
+    ``extern_funs``: name → (ret type, param types).
+    """
+
+    __slots__ = ("functions", "globals_", "extern_vars", "extern_funs")
+
+    def __init__(self, functions, globals_, extern_vars, extern_funs):
+        self.functions = dict(functions)
+        self.globals_ = dict(globals_)
+        self.extern_vars = frozenset(extern_vars)
+        self.extern_funs = dict(extern_funs)
+
+    def referenced_globals(self):
+        return set(self.globals_) | set(self.extern_vars)
+
+
+class _FunctionChecker:
+    def __init__(self, unit_ctx, func):
+        self.ctx = unit_ctx
+        self.func = func
+        self.locals_ = {}
+        #: Locals introduced by desugaring (no SDecl in the body).
+        self.extra_locals = []
+        for name, ty in func.params:
+            self._declare(name, ty)
+
+    def _declare(self, name, ty):
+        if name in self.locals_:
+            raise TypeCheckError(
+                "duplicate local {!r} in {}".format(name, self.func.name)
+            )
+        if name in self.ctx["globals"]:
+            raise TypeCheckError(
+                "local {!r} shadows a global in {}".format(
+                    name, self.func.name
+                )
+            )
+        self.locals_[name] = ty
+
+    # ----- expressions ----------------------------------------------------
+
+    def expr(self, e):
+        """Annotate an expression; rejects nested calls."""
+        if isinstance(e, ast.IntLit):
+            return ast.IntLit(e.n, ast.INT)
+        if isinstance(e, ast.VarExpr):
+            if e.name in self.locals_:
+                return ast.VarExpr(e.name, "local", self.locals_[e.name])
+            if e.name in self.ctx["globals"]:
+                return ast.VarExpr(e.name, "global", ast.INT)
+            raise TypeCheckError("undefined variable {!r}".format(e.name))
+        if isinstance(e, ast.AddrOf):
+            if e.name in self.locals_:
+                if self.locals_[e.name] != ast.INT:
+                    raise TypeCheckError(
+                        "&{} of non-int variable".format(e.name)
+                    )
+                return ast.AddrOf(e.name, "local", ast.PTR)
+            if e.name in self.ctx["globals"]:
+                return ast.AddrOf(e.name, "global", ast.PTR)
+            raise TypeCheckError("undefined variable {!r}".format(e.name))
+        if isinstance(e, ast.Deref):
+            arg = self.expr(e.arg)
+            if arg.ty != ast.PTR:
+                raise TypeCheckError("dereference of a non-pointer")
+            return ast.Deref(arg, ast.INT)
+        if isinstance(e, ast.Unop):
+            arg = self.expr(e.arg)
+            if arg.ty != ast.INT:
+                raise TypeCheckError(
+                    "unary {!r} needs an int operand".format(e.op)
+                )
+            return ast.Unop(e.op, arg, ast.INT)
+        if isinstance(e, ast.Binop):
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            if e.op in ("==", "!="):
+                if left.ty != right.ty or left.ty == ast.VOID:
+                    raise TypeCheckError(
+                        "{!r} compares incompatible types".format(e.op)
+                    )
+            elif left.ty != ast.INT or right.ty != ast.INT:
+                raise TypeCheckError(
+                    "binary {!r} needs int operands".format(e.op)
+                )
+            return ast.Binop(e.op, left, right, ast.INT)
+        if isinstance(e, ast.Call):
+            raise TypeCheckError(
+                "calls are only allowed at statement level"
+            )
+        raise TypeCheckError("unknown expression {!r}".format(e))
+
+    # ----- statements -------------------------------------------------------
+
+    def stmt(self, s):
+        if isinstance(s, ast.SSkip):
+            return s
+        if isinstance(s, ast.SDecl):
+            self._declare(s.name, s.ty)
+            init = self.expr(s.init) if s.init is not None else None
+            if init is not None and init.ty != ast.INT:
+                raise TypeCheckError(
+                    "initializer of {!r} is not int".format(s.name)
+                )
+            return ast.SDecl(s.name, s.ty, init)
+        if isinstance(s, ast.SAssign):
+            lhs = self.lhs(s.lhs)
+            expr = self.expr(s.expr)
+            if lhs.ty != expr.ty:
+                raise TypeCheckError("assignment type mismatch")
+            return ast.SAssign(lhs, expr)
+        if isinstance(s, ast.SCallStmt):
+            return self.call_stmt(s)
+        if isinstance(s, ast.SPrint):
+            expr = self.expr(s.expr)
+            if expr.ty != ast.INT:
+                raise TypeCheckError("print needs an int")
+            return ast.SPrint(expr)
+        if isinstance(s, ast.SIf):
+            cond = self.expr(s.cond)
+            if cond.ty != ast.INT:
+                raise TypeCheckError("if condition must be int")
+            return ast.SIf(cond, self.stmt(s.then), self.stmt(s.els))
+        if isinstance(s, ast.SWhile):
+            cond = self.expr(s.cond)
+            if cond.ty != ast.INT:
+                raise TypeCheckError("while condition must be int")
+            return ast.SWhile(cond, self.stmt(s.body))
+        if isinstance(s, ast.SBlock):
+            return ast.SBlock([self.stmt(x) for x in s.stmts])
+        if isinstance(s, ast.SSpawn):
+            internal = self.ctx["functions"].get(s.fname)
+            if internal is not None:
+                if internal.params or internal.ret != ast.VOID:
+                    raise TypeCheckError(
+                        "spawn of {!r}: spawned functions take no "
+                        "arguments and return void".format(s.fname)
+                    )
+            else:
+                extern = self.ctx["extern_funs"].get(s.fname)
+                if extern is None:
+                    raise TypeCheckError(
+                        "spawn of undeclared {!r}".format(s.fname)
+                    )
+                ret, params = extern
+                if params or ret != ast.VOID:
+                    raise TypeCheckError(
+                        "spawn of {!r}: spawned functions take no "
+                        "arguments and return void".format(s.fname)
+                    )
+            return s
+        if isinstance(s, ast.SReturn):
+            if s.expr is None:
+                if self.func.ret != ast.VOID:
+                    raise TypeCheckError(
+                        "{} must return a value".format(self.func.name)
+                    )
+                return s
+            if isinstance(s.expr, ast.Call):
+                # ``return f(args);`` — desugar through a fresh local so
+                # the call stays at statement level (and the Tailcall
+                # pass can later recognize the pattern).
+                if "$ret" not in self.locals_:
+                    self._declare("$ret", ast.INT)
+                    self.extra_locals.append(("$ret", ast.INT))
+                call_stmt = self.call_stmt(
+                    ast.SCallStmt(
+                        ast.LhsVar("$ret", None, None), s.expr
+                    )
+                )
+                ret = ast.SReturn(
+                    ast.VarExpr("$ret", "local", ast.INT)
+                )
+                if self.func.ret != ast.INT:
+                    raise TypeCheckError(
+                        "return-call type mismatch in {}".format(
+                            self.func.name
+                        )
+                    )
+                return ast.SBlock([call_stmt, ret])
+            expr = self.expr(s.expr)
+            if expr.ty != self.func.ret:
+                raise TypeCheckError(
+                    "return type mismatch in {}".format(self.func.name)
+                )
+            return ast.SReturn(expr)
+        raise TypeCheckError("unknown statement {!r}".format(s))
+
+    def lhs(self, lhs):
+        if isinstance(lhs, ast.LhsVar):
+            if lhs.name in self.locals_:
+                return ast.LhsVar(lhs.name, "local", self.locals_[lhs.name])
+            if lhs.name in self.ctx["globals"]:
+                return ast.LhsVar(lhs.name, "global", ast.INT)
+            raise TypeCheckError(
+                "undefined variable {!r}".format(lhs.name)
+            )
+        if isinstance(lhs, ast.LhsDeref):
+            arg = self.expr(lhs.arg)
+            if arg.ty != ast.PTR:
+                raise TypeCheckError("store through a non-pointer")
+            return ast.LhsDeref(arg, ast.INT)
+        raise TypeCheckError("unknown lhs {!r}".format(lhs))
+
+    def call_stmt(self, s):
+        call = s.call
+        sig = self._signature(call.fname)
+        ret, param_tys, external = sig
+        args = [self.expr(a) for a in call.args]
+        if len(args) != len(param_tys):
+            raise TypeCheckError(
+                "call of {!r} with {} args, expected {}".format(
+                    call.fname, len(args), len(param_tys)
+                )
+            )
+        for arg, pty in zip(args, param_tys):
+            if arg.ty != pty:
+                raise TypeCheckError(
+                    "argument type mismatch calling {!r}".format(
+                        call.fname
+                    )
+                )
+            if (
+                external
+                and isinstance(arg, ast.AddrOf)
+                and arg.scope == "local"
+            ):
+                raise TypeCheckError(
+                    "stack pointer escapes to external {!r} "
+                    "(footnote 6 restriction)".format(call.fname)
+                )
+        dst = None
+        if s.dst is not None:
+            dst = self.lhs(s.dst)
+            if ret == ast.VOID:
+                raise TypeCheckError(
+                    "void call {!r} used as a value".format(call.fname)
+                )
+            if dst.ty != ret:
+                raise TypeCheckError(
+                    "call result type mismatch for {!r}".format(
+                        call.fname
+                    )
+                )
+        typed_call = ast.Call(call.fname, args, external, ret)
+        return ast.SCallStmt(dst, typed_call)
+
+    def _signature(self, fname):
+        internal = self.ctx["functions"].get(fname)
+        if internal is not None:
+            return (
+                internal.ret,
+                [ty for _, ty in internal.params],
+                False,
+            )
+        extern = self.ctx["extern_funs"].get(fname)
+        if extern is not None:
+            ret, params = extern
+            return ret, list(params), True
+        raise TypeCheckError("call of undeclared {!r}".format(fname))
+
+
+def _collect_locals(stmt, acc):
+    if isinstance(stmt, ast.SDecl):
+        acc.append((stmt.name, stmt.ty))
+    elif isinstance(stmt, ast.SBlock):
+        for s in stmt.stmts:
+            _collect_locals(s, acc)
+    elif isinstance(stmt, ast.SIf):
+        _collect_locals(stmt.then, acc)
+        _collect_locals(stmt.els, acc)
+    elif isinstance(stmt, ast.SWhile):
+        _collect_locals(stmt.body, acc)
+
+
+def typecheck(source):
+    """Typecheck a parsed module; returns a :class:`TypedUnit`."""
+    functions = {}
+    globals_ = {}
+    extern_vars = set()
+    extern_funs = {}
+    for decl in source.decls:
+        if isinstance(decl, ast.GlobalVar):
+            if decl.name in globals_:
+                raise TypeCheckError(
+                    "duplicate global {!r}".format(decl.name)
+                )
+            globals_[decl.name] = decl.init
+        elif isinstance(decl, ast.ExternVar):
+            extern_vars.add(decl.name)
+        elif isinstance(decl, ast.ExternFun):
+            extern_funs[decl.name] = (decl.ret, tuple(decl.params))
+        elif isinstance(decl, ast.FuncDef):
+            if decl.name in functions:
+                raise TypeCheckError(
+                    "duplicate function {!r}".format(decl.name)
+                )
+            functions[decl.name] = decl
+        else:
+            raise TypeCheckError("unknown declaration {!r}".format(decl))
+
+    ctx = {
+        "globals": set(globals_) | extern_vars,
+        "functions": functions,
+        "extern_funs": extern_funs,
+    }
+    typed_functions = {}
+    for name, func in functions.items():
+        checker = _FunctionChecker(ctx, func)
+        body = checker.stmt(func.body)
+        locals_ = []
+        _collect_locals(body, locals_)
+        all_locals = list(func.params) + locals_ + checker.extra_locals
+        typed_functions[name] = ast.FuncDef(
+            name, func.ret, func.params, body, all_locals
+        )
+    return TypedUnit(typed_functions, globals_, extern_vars, extern_funs)

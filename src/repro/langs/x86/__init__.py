@@ -1,0 +1,35 @@
+"""The mini-x86 target: instruction set, SC and TSO machine semantics,
+and the register/calling conventions shared with the late IRs."""
+
+from repro.langs.x86.regs import (
+    ARG_REGS,
+    MACH_REGS,
+    MAX_ARGS,
+    POOL,
+    RET_REG,
+    SCRATCH,
+    is_reg,
+    is_slot,
+    slot,
+)
+from repro.langs.x86.ast import X86Function
+from repro.langs.x86.sc import X86SC, X86Core, X86SCLang
+from repro.langs.x86.tso import X86TSO, X86TSOLang
+
+__all__ = [
+    "ARG_REGS",
+    "MACH_REGS",
+    "MAX_ARGS",
+    "POOL",
+    "RET_REG",
+    "SCRATCH",
+    "is_reg",
+    "is_slot",
+    "slot",
+    "X86Function",
+    "X86Core",
+    "X86SCLang",
+    "X86SC",
+    "X86TSOLang",
+    "X86TSO",
+]

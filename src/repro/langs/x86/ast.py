@@ -1,0 +1,192 @@
+"""Mini-x86 abstract syntax (shared by the SC and TSO machines).
+
+Instruction set sized for the Asmgen output plus the hand-written
+x86-TSO lock implementation of Fig. 10(b): moves, arithmetic,
+compare/branch, call/ret with explicit frame (de)allocation pseudo-
+instructions (CompCert's ``Pallocframe``/``Pfreeframe``), the
+``lock cmpxchg`` atomic and ``mfence``.
+
+Addressing modes are tuples:
+
+* ``("global", name)`` — a linked global symbol;
+* ``("base", reg, ofs)`` — register + word offset (stack accesses use
+  ``("base", "esp", k)``).
+
+Conditions: ``e``, ``ne``, ``l``, ``le``, ``g``, ``ge``.
+"""
+
+from repro.common.astbase import Node
+from repro.common.errors import SemanticsError
+
+
+class XInstr(Node):
+    pass
+
+
+class Plabel(XInstr):
+    _fields = ("lbl",)
+
+
+class Pmov_rr(XInstr):
+    """``dst := src`` (register to register)."""
+
+    _fields = ("dst", "src")
+
+
+class Pmov_ri(XInstr):
+    """``dst := imm``."""
+
+    _fields = ("dst", "n")
+
+
+class Plea(XInstr):
+    """``dst := address(mode)`` — address computation, no memory access."""
+
+    _fields = ("dst", "mode")
+
+
+class Pmov_rm(XInstr):
+    """``dst := [mode]`` — a load."""
+
+    _fields = ("dst", "mode")
+
+
+class Pmov_mr(XInstr):
+    """``[mode] := src`` — a store."""
+
+    _fields = ("mode", "src")
+
+
+class Parith_rr(XInstr):
+    """``dst := dst op src``; op one of ``+ - * << >>``."""
+
+    _fields = ("op", "dst", "src")
+
+
+class Parith_ri(XInstr):
+    """``dst := dst op imm``."""
+
+    _fields = ("op", "dst", "n")
+
+
+class Pneg(XInstr):
+    _fields = ("dst",)
+
+
+class Pdivs(XInstr):
+    """Pseudo signed division ``dst := dst / src`` (CompCert-style
+    pseudo-expansion of the eax/edx idiom)."""
+
+    _fields = ("dst", "src")
+
+
+class Pmods(XInstr):
+    _fields = ("dst", "src")
+
+
+class Pcmp_rr(XInstr):
+    _fields = ("r1", "r2")
+
+
+class Pcmp_ri(XInstr):
+    _fields = ("r1", "n")
+
+
+class Pjcc(XInstr):
+    _fields = ("cond", "lbl")
+
+
+class Psetcc(XInstr):
+    """``dst := cond ? 1 : 0`` from the current flags."""
+
+    _fields = ("cond", "dst")
+
+
+class Pjmp(XInstr):
+    _fields = ("lbl",)
+
+
+class Pcall(XInstr):
+    _fields = ("fname", "arity", "external")
+
+
+class Pret(XInstr):
+    _fields = ()
+
+
+class Pallocframe(XInstr):
+    """Allocate a ``size``-word frame; ``[new esp + 0]`` saves the old
+    esp (the back link); esp := frame base."""
+
+    _fields = ("size",)
+
+
+class Pfreeframe(XInstr):
+    """esp := the saved back link at ``[esp + 0]``."""
+
+    _fields = ("size",)
+
+
+class Pprint(XInstr):
+    """Pseudo: the observable output event (Asmgen target of print)."""
+
+    _fields = ("src",)
+
+
+class Plock_cmpxchg(XInstr):
+    """``lock cmpxchg [mode], src``: atomically compare eax with the
+    memory operand; if equal store src and set ZF, else load the
+    operand into eax and clear ZF. Drains the store buffer first under
+    TSO."""
+
+    _fields = ("mode", "src")
+
+
+class Pspawn(XInstr):
+    """Pseudo: thread creation (models a runtime spawn call)."""
+
+    _fields = ("fname",)
+
+
+class Pmfence(XInstr):
+    """Full memory fence: under TSO, blocks until the buffer drains."""
+
+    _fields = ()
+
+
+class X86Function:
+    """An x86 function: instruction tuple plus label map."""
+
+    __slots__ = ("name", "nparams", "code", "labels")
+
+    def __init__(self, name, nparams, code):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "nparams", nparams)
+        object.__setattr__(self, "code", tuple(code))
+        labels = {}
+        for idx, instr in enumerate(self.code):
+            if isinstance(instr, Plabel):
+                if instr.lbl in labels:
+                    raise SemanticsError(
+                        "duplicate label {!r} in {}".format(
+                            instr.lbl, name
+                        )
+                    )
+                labels[instr.lbl] = idx
+        object.__setattr__(self, "labels", labels)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("X86Function is immutable")
+
+    def __repr__(self):
+        return "X86Function({}, {} instrs)".format(
+            self.name, len(self.code)
+        )
+
+    def target(self, lbl):
+        idx = self.labels.get(lbl)
+        if idx is None:
+            raise SemanticsError(
+                "undefined label {!r} in {}".format(lbl, self.name)
+            )
+        return idx

@@ -1,0 +1,53 @@
+"""Machine registers and the calling convention.
+
+Shared by LTL, Linear, Mach and the x86 backends. The convention is a
+simplified register-based one (our mini-x86 passes arguments in
+registers rather than on the stack; CompCert x86-32 uses the stack, but
+the stack-vs-register choice is orthogonal to the concurrency story):
+
+* up to three arguments, in ``ARG_REGS`` (edi, esi, edx);
+* result in ``RET_REG`` (eax);
+* no callee-saved registers: calls clobber everything, so the register
+  allocator must keep values live across calls in stack slots;
+* ``POOL`` is the set the allocator may assign to virtual registers;
+* ``SCRATCH`` registers are used only within a single instruction
+  (spill reloads) and never carry values between instructions.
+"""
+
+#: All allocatable/architectural general-purpose registers.
+MACH_REGS = ("eax", "ebx", "ecx", "edx", "esi", "edi")
+
+#: Argument-passing registers, in order.
+ARG_REGS = ("edi", "esi", "edx")
+
+#: Function results.
+RET_REG = "eax"
+
+#: Registers the allocator may assign long-term.
+POOL = ("ebx", "ecx")
+
+#: Per-instruction scratch registers for spill code.
+SCRATCH = ("eax", "edx", "edi")
+
+#: Maximum number of register-passed arguments.
+MAX_ARGS = len(ARG_REGS)
+
+
+def is_reg(loc):
+    """True iff ``loc`` is a machine register name."""
+    return isinstance(loc, str) and loc in MACH_REGS
+
+
+def is_slot(loc):
+    """True iff ``loc`` is a stack slot ``("s", index)``."""
+    return (
+        isinstance(loc, tuple)
+        and len(loc) == 2
+        and loc[0] == "s"
+        and isinstance(loc[1], int)
+    )
+
+
+def slot(index):
+    """The ``index``-th spill slot location."""
+    return ("s", index)

@@ -1,0 +1,64 @@
+"""The x86-TSO machine (Sewell et al.), as a module language.
+
+Total-store-order relaxation of :class:`X86SCLang`: each core carries a
+FIFO *store buffer* (part of the core state, so the abstract framework
+needs no change). The differences from SC, all confined to the memory
+hooks:
+
+* stores append to the buffer — no memory effect, empty footprint;
+* loads are satisfied from the newest buffered write to that address
+  if any (no memory footprint), else from memory;
+* at any moment the oldest buffered write may *flush* to memory (a
+  nondeterministic silent step whose footprint is the write);
+* ``lock``-prefixed instructions, ``mfence``, calls, returns and
+  observable events block until the buffer has drained.
+
+This machine exhibits the non-SC behaviours (e.g. store→load
+reordering) that make the spin lock of Fig. 10(b) racy-but-correct,
+and is the target of the paper's extended framework (Sec. 7.3).
+"""
+
+from repro.common.footprint import EMP, Footprint
+from repro.lang.steps import Step, StepAbort
+from repro.lang.messages import TAU
+from repro.langs.ir.base import check_access, load_checked
+from repro.langs.x86.sc import X86SCLang
+
+
+class X86TSOLang(X86SCLang):
+    """The x86-TSO machine language (nondeterministic: buffer flushes)."""
+
+    name = "x86-TSO"
+
+    def _mem_load(self, module, core, mem, addr):
+        # TSO load: newest buffered store to the same address wins.
+        check_access(module, addr)
+        for buf_addr, buf_val in reversed(core.buffer):
+            if buf_addr == addr:
+                return buf_val, EMP
+        rs = set()
+        value = load_checked(module, mem, addr, rs)
+        return value, Footprint(rs)
+
+    def _mem_store(self, module, core, mem, addr, value):
+        # TSO store: buffered; hits memory only when flushed.
+        check_access(module, addr)
+        core2 = core.update(buffer=core.buffer + ((addr, value),))
+        return core2, mem, EMP
+
+    def _extra_outcomes(self, module, core, mem, flist):
+        # The oldest buffered write may flush at any time.
+        if not core.buffer:
+            return []
+        addr, value = core.buffer[0]
+        mem2 = mem.store(addr, value)
+        if mem2 is None:
+            return [StepAbort(reason="flush to unallocated address")]
+        nxt = core.update(buffer=core.buffer[1:])
+        return [Step(TAU, Footprint((), {addr}), nxt, mem2)]
+
+    def _must_drain(self, core):
+        return bool(core.buffer)
+
+
+X86TSO = X86TSOLang()

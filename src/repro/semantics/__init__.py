@@ -1,0 +1,45 @@
+"""Global semantics: preemptive & non-preemptive execution, behaviours,
+refinement, and data-race detection (Secs. 3.2, 3.3, 5 of the paper).
+"""
+
+from repro.semantics.world import Frame, GlobalContext, World
+from repro.semantics.preemptive import PreemptiveSemantics
+from repro.semantics.nonpreemptive import NonPreemptiveSemantics
+from repro.semantics.explore import (
+    Behaviour,
+    ExplorationLimit,
+    StateGraph,
+    behaviours,
+    explore,
+    program_behaviours,
+)
+from repro.semantics.refinement import (
+    RefinementResult,
+    equivalent,
+    refines,
+    safe,
+)
+from repro.semantics.race import RaceWitness, drf, find_race, npdrf, predict
+
+__all__ = [
+    "Frame",
+    "World",
+    "GlobalContext",
+    "PreemptiveSemantics",
+    "NonPreemptiveSemantics",
+    "Behaviour",
+    "StateGraph",
+    "ExplorationLimit",
+    "explore",
+    "behaviours",
+    "program_behaviours",
+    "RefinementResult",
+    "refines",
+    "equivalent",
+    "safe",
+    "RaceWitness",
+    "predict",
+    "find_race",
+    "drf",
+    "npdrf",
+]

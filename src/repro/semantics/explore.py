@@ -1,0 +1,295 @@
+"""Bounded exploration of global state spaces, and event-trace behaviours.
+
+The paper's whole-program properties (refinement ``⊑``, equivalence
+``≈``, DRF) quantify over all executions. For the finite-state programs
+of our suite we *compute* the execution space:
+
+1. :func:`explore` builds the reachable world graph under a given global
+   semantics (preemptive or non-preemptive), with edges labelled by
+   events / silent / switch;
+2. :func:`behaviours` extracts the set of observable behaviours: event
+   traces ending in ``done`` (all threads terminated), ``abort``
+   (undefined behaviour reached), ``silent_div`` (an infinite silent
+   execution that keeps making thread steps exists), or ``cut`` (the
+   exploration or trace-length bound was hit — comparisons treat any
+   ``cut`` as inconclusive rather than silently passing).
+
+Pure scheduler livelock (a cycle of switch edges with no thread
+progress) exists in every multi-threaded world under both semantics; it
+is not reported as divergence, so that ``silent_div`` marks *program*
+divergence (e.g. a spin loop that can spin forever).
+"""
+
+from collections import deque
+
+from repro.lang.messages import EventMsg
+from repro.semantics.engine import SW, GAbort
+
+
+class ExplorationLimit(Exception):
+    """Raised when a state-space bound is exceeded and strict=True."""
+
+
+class Behaviour:
+    """One observable behaviour: an event trace plus how it ends."""
+
+    __slots__ = ("events", "end")
+
+    DONE = "done"
+    ABORT = "abort"
+    SILENT_DIV = "silent_div"
+    CUT = "cut"
+
+    def __init__(self, events, end):
+        object.__setattr__(self, "events", tuple(events))
+        object.__setattr__(self, "end", end)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Behaviour is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Behaviour)
+            and self.events == other.events
+            and self.end == other.end
+        )
+
+    def __hash__(self):
+        return hash((self.events, self.end))
+
+    def __repr__(self):
+        evs = ",".join(
+            "{}:{!r}".format(e.kind, e.value) for e in self.events
+        )
+        return "Behaviour([{}], {})".format(evs, self.end)
+
+
+class StateGraph:
+    """The explored world graph.
+
+    ``states``: world list (ids are indices); ``edges[sid]``: list of
+    ``(label, dst)`` with ``dst = -1`` for abort; ``done``: ids of
+    fully-terminated worlds; ``stuck``: ids of non-terminated worlds
+    with no successors (a semantics bug surfaced loudly);
+    ``truncated``: ids whose successors were cut off by the state bound.
+    """
+
+    def __init__(self):
+        self.states = []
+        self.ids = {}
+        self.edges = {}
+        self.initial = []
+        self.done = set()
+        self.stuck = set()
+        self.truncated = set()
+
+    def state_count(self):
+        return len(self.states)
+
+    def intern(self, world):
+        sid = self.ids.get(world)
+        if sid is None:
+            sid = len(self.states)
+            self.states.append(world)
+            self.ids[world] = sid
+        return sid
+
+
+ABORT_DST = -1
+
+
+def explore(ctx, semantics, max_states=50000, strict=False):
+    """Build the reachable :class:`StateGraph` under ``semantics``."""
+    graph = StateGraph()
+    queue = deque()
+    for world in semantics.initial_worlds(ctx):
+        sid = graph.intern(world)
+        graph.initial.append(sid)
+        queue.append(sid)
+    seen = set(graph.initial)
+
+    while queue:
+        sid = queue.popleft()
+        world = graph.states[sid]
+        if world.is_done():
+            graph.done.add(sid)
+            graph.edges[sid] = []
+            continue
+        outs = semantics.successors(ctx, world)
+        if not outs:
+            graph.stuck.add(sid)
+            graph.edges[sid] = []
+            continue
+        edges = []
+        for out in outs:
+            if isinstance(out, GAbort):
+                edges.append((Behaviour.ABORT, ABORT_DST))
+                continue
+            if len(graph.states) >= max_states and out.world not in graph.ids:
+                if strict:
+                    raise ExplorationLimit(
+                        "state bound {} exceeded".format(max_states)
+                    )
+                graph.truncated.add(sid)
+                continue
+            dst = graph.intern(out.world)
+            edges.append((out.label, dst))
+            if dst not in seen:
+                seen.add(dst)
+                queue.append(dst)
+        graph.edges[sid] = edges
+    return graph
+
+
+def _is_silent_label(label):
+    return label is None or label == SW
+
+
+def _progress_divergent_states(graph):
+    """States lying on a silent cycle that contains a thread step.
+
+    Uses Tarjan's SCC on the silent-edge subgraph; an SCC diverges when
+    it contains an internal non-switch silent edge (real thread
+    progress) on some cycle. Then every state that silently reaches a
+    divergent SCC can diverge.
+    """
+    n = graph.state_count()
+    silent = {
+        sid: [
+            d
+            for (lbl, d) in graph.edges.get(sid, [])
+            if d != ABORT_DST and _is_silent_label(lbl)
+        ]
+        for sid in range(n)
+    }
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    sccs = []
+
+    def strongconnect(v):
+        # Iterative Tarjan to survive deep graphs.
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = counter[0]
+                lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            for i in range(pi, len(silent[node])):
+                w = silent[node][i]
+                if w not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for v in range(n):
+        if v not in index:
+            strongconnect(v)
+
+    div_core = set()
+    for comp in sccs:
+        comp_set = set(comp)
+        internal_cycle = len(comp) > 1 or any(
+            d == comp[0] for d in silent[comp[0]]
+        )
+        if not internal_cycle:
+            continue
+        has_progress = any(
+            lbl is None and d in comp_set
+            for sid in comp
+            for (lbl, d) in graph.edges.get(sid, [])
+            if d != ABORT_DST and _is_silent_label(lbl)
+        )
+        if has_progress:
+            div_core |= comp_set
+
+    # Backward closure over silent edges.
+    rev = {sid: [] for sid in range(n)}
+    for sid in range(n):
+        for d in silent[sid]:
+            rev[d].append(sid)
+    div = set(div_core)
+    queue = deque(div_core)
+    while queue:
+        node = queue.popleft()
+        for pred in rev[node]:
+            if pred not in div:
+                div.add(pred)
+                queue.append(pred)
+    return div
+
+
+def behaviours(graph, max_events=10, max_nodes=200000):
+    """The behaviour set of an explored graph.
+
+    Enumerates event traces by BFS over ``(state, trace)`` pairs with
+    deduplication; finite because the graph is finite and traces are
+    capped at ``max_events`` (longer traces surface as ``cut``).
+    """
+    div_states = _progress_divergent_states(graph)
+    result = set()
+    visited = set()
+    queue = deque()
+    for sid in graph.initial:
+        queue.append((sid, ()))
+        visited.add((sid, ()))
+
+    while queue:
+        if len(visited) > max_nodes:
+            raise ExplorationLimit("behaviour enumeration bound exceeded")
+        sid, trace = queue.popleft()
+        if sid in graph.done:
+            result.add(Behaviour(trace, Behaviour.DONE))
+            continue
+        if sid in graph.stuck:
+            result.add(Behaviour(trace, Behaviour.ABORT))
+            continue
+        if sid in graph.truncated:
+            result.add(Behaviour(trace, Behaviour.CUT))
+        if sid in div_states:
+            result.add(Behaviour(trace, Behaviour.SILENT_DIV))
+        for label, dst in graph.edges.get(sid, []):
+            if dst == ABORT_DST:
+                result.add(Behaviour(trace, Behaviour.ABORT))
+                continue
+            if isinstance(label, EventMsg):
+                if len(trace) >= max_events:
+                    result.add(Behaviour(trace, Behaviour.CUT))
+                    continue
+                nxt = (dst, trace + (label,))
+            else:
+                nxt = (dst, trace)
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+    return frozenset(result)
+
+
+def program_behaviours(ctx, semantics, max_states=50000, max_events=10):
+    """Explore and extract behaviours in one call."""
+    graph = explore(ctx, semantics, max_states)
+    return behaviours(graph, max_events)

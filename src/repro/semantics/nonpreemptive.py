@@ -1,0 +1,64 @@
+"""The non-preemptive global semantics (Fig. 7, EntAtnp/ExtAtnp + TR rules).
+
+``S1 | … | Sn`` in the paper: the current thread runs without
+interruption; the scheduler chooses a (possibly identical) next thread
+only at *switch points*:
+
+* entry into an atomic block (EntAtnp);
+* exit from an atomic block (ExtAtnp);
+* an observable event (output is an interaction point — without it,
+  non-preemptive executions of DRF programs could not reproduce every
+  interleaving of observable events, breaking Lem. 9);
+* thread termination (without it the machine would be stuck with live
+  threads remaining).
+
+Switch targets include the current thread itself (``t' ∈ dom(T)``).
+"""
+
+from repro.semantics.engine import (
+    SW,
+    GStep,
+    SyncPoint,
+    switch_targets,
+    thread_successors,
+)
+
+
+class NonPreemptiveSemantics:
+    """Successor function for non-preemptive execution."""
+
+    name = "non-preemptive"
+
+    def successors(self, ctx, world):
+        """All global steps from ``world``; switches only at sync points."""
+        results = []
+        for outcome in thread_successors(ctx, world):
+            if not isinstance(outcome, SyncPoint):
+                results.append(outcome)
+                continue
+            # The sync step itself, staying on the same thread (kept
+            # when the thread is still live, or when it was the last
+            # live thread — the world is then fully terminated)...
+            stayed = outcome.world
+            if stayed.top_frame() is not None or stayed.is_done():
+                results.append(GStep(outcome.label, outcome.fp, stayed))
+            # ...and the same step bundled with a switch to each other
+            # live thread (the ``:sw=⇒`` steps of EntAtnp/ExtAtnp).
+            for target in switch_targets(stayed, include_self=False):
+                switched = stayed.with_current(target)
+                results.append(
+                    GStep(
+                        outcome.label if outcome.label else SW,
+                        outcome.fp,
+                        switched,
+                    )
+                )
+        return results
+
+    def initial_worlds(self, ctx):
+        return ctx.load()
+
+
+def successors(ctx, world):
+    """Module-level convenience wrapper."""
+    return NonPreemptiveSemantics().successors(ctx, world)

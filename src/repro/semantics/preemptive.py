@@ -1,0 +1,56 @@
+"""The preemptive (interleaving) global semantics (Fig. 7).
+
+The scheduler may switch to any live thread at any point where the
+current thread is outside an atomic block (the Switch rule); atomic
+blocks are the only scheduling constraint. ``S1 ∥ … ∥ Sn`` in the paper.
+"""
+
+from repro.semantics.engine import (
+    SW,
+    GStep,
+    SyncPoint,
+    switch_targets,
+    thread_successors,
+)
+
+
+class PreemptiveSemantics:
+    """Successor function for preemptive execution."""
+
+    name = "preemptive"
+
+    def successors(self, ctx, world):
+        """All global steps from ``world``: thread steps plus Switch.
+
+        A terminated current thread yields only switch edges; a fully
+        terminated world yields no successors (the ``done`` outcome).
+        """
+        results = []
+        for outcome in thread_successors(ctx, world):
+            if isinstance(outcome, SyncPoint):
+                # The preemptive semantics has no special switch points:
+                # the step itself is an ordinary global step, and the
+                # free Switch rule below covers rescheduling.
+                results.append(
+                    GStep(outcome.label, outcome.fp, outcome.world)
+                )
+            else:
+                results.append(outcome)
+
+        # Switch rule: any live thread may be scheduled when the current
+        # thread is not inside an atomic block. Self-switches are
+        # identities and omitted to keep state graphs small.
+        if world.bits[world.cur] == 0:
+            for target in switch_targets(world, include_self=False):
+                results.append(
+                    GStep(SW, None, world.with_current(target))
+                )
+        return results
+
+    def initial_worlds(self, ctx):
+        return ctx.load()
+
+
+def successors(ctx, world):
+    """Module-level convenience wrapper."""
+    return PreemptiveSemantics().successors(ctx, world)

@@ -1,0 +1,194 @@
+"""Data races, DRF and NPDRF (Fig. 9, Sec. 5).
+
+A program races when, from some reachable world, two different threads
+*predict* conflicting footprints — where a prediction is either the
+footprint of an enabled silent step (Predict-0, atomic bit 0) or any
+prefix-accumulated footprint of a run inside an atomic block the thread
+could enter (Predict-1, atomic bit 1). Conflicts require at least one
+side to be outside an atomic block (``(δ1,d1) ⌢ (δ2,d2)``).
+
+``DRF`` explores the preemptive world graph; ``NPDRF`` the
+non-preemptive one with per-thread atomic bits — their equivalence is
+the paper's steps ⑥/⑧, validated empirically by the FIG2-68 benchmark.
+"""
+
+from collections import deque
+
+from repro.common.footprint import EMP, conflict_atomic
+from repro.lang.messages import ENT_ATOM, is_silent
+from repro.lang.steps import Step
+from repro.semantics.explore import explore
+from repro.semantics.nonpreemptive import NonPreemptiveSemantics
+from repro.semantics.preemptive import PreemptiveSemantics
+from repro.semantics.world import GlobalContext
+
+
+class RaceWitness:
+    """Evidence of a data race: the world and the two predictions."""
+
+    __slots__ = ("world", "tid1", "fp1", "bit1", "tid2", "fp2", "bit2")
+
+    def __init__(self, world, tid1, fp1, bit1, tid2, fp2, bit2):
+        self.world = world
+        self.tid1 = tid1
+        self.fp1 = fp1
+        self.bit1 = bit1
+        self.tid2 = tid2
+        self.fp2 = fp2
+        self.bit2 = bit2
+
+    def __repr__(self):
+        return (
+            "RaceWitness(t{} {!r} (atomic={}) ⌢ t{} {!r} (atomic={}))"
+        ).format(
+            self.tid1, self.fp1, self.bit1,
+            self.tid2, self.fp2, self.bit2,
+        )
+
+
+def _frame_steps(ctx, world, tid):
+    frame = world.top_frame(tid)
+    if frame is None:
+        return None, []
+    decl = ctx.module(frame.mod_idx)
+    outs = decl.lang.step(decl.code, frame.core, world.mem, frame.flist)
+    return (decl, frame), [o for o in outs if isinstance(o, Step)]
+
+
+def predict(ctx, world, tid, max_atomic_steps=64, quantum=False):
+    """All instrumented footprints ``(δ, d)`` thread ``tid`` predicts.
+
+    With ``quantum=False`` (the preemptive Race rule, Fig. 9):
+    Predict-0 — footprints of the thread's enabled silent steps, bit 0
+    — and Predict-1 — accumulated footprints of an atomic block the
+    thread can enter, bit 1.
+
+    With ``quantum=True`` (the non-preemptive notion): prediction
+    ranges over the thread's whole *scheduling quantum* — every silent
+    step along its solo run up to the next switch point, bit 0, with
+    Predict-1 applied at each intermediate state. This is the
+    region-conflict view (the paper relates NPDRF to DRFx's
+    region-conflict-freedom): suspended threads have no intermediate
+    non-preemptive worlds, so their entire region must be predicted
+    at once — one-step prediction would miss races in programs with no
+    synchronization points at all.
+
+    When the world records the thread inside an atomic block (possible
+    non-preemptively), its continuation is predicted with bit 1.
+    """
+    info, _steps = _frame_steps(ctx, world, tid)
+    if info is None:
+        return set()
+    decl, frame = info
+    predictions = set()
+
+    if world.bits[tid] == 1:
+        return {
+            (fp, 1)
+            for fp in _atomic_run_footprints(
+                decl, frame, frame.core, world.mem, max_atomic_steps
+            )
+        }
+
+    horizon = max_atomic_steps if quantum else 1
+    seen = set()
+    frontier = deque([(frame.core, world.mem, 0)])
+    while frontier:
+        core, mem, depth = frontier.popleft()
+        outs = decl.lang.step(decl.code, core, mem, frame.flist)
+        for out in outs:
+            if not isinstance(out, Step):
+                continue
+            if is_silent(out.msg):
+                if not out.fp.is_empty():
+                    predictions.add((out.fp, 0))
+                if depth + 1 < horizon:
+                    key = (out.core, out.mem)
+                    if key not in seen:
+                        seen.add(key)
+                        frontier.append((out.core, out.mem, depth + 1))
+            elif out.msg is ENT_ATOM:
+                predictions |= {
+                    (fp, 1)
+                    for fp in _atomic_run_footprints(
+                        decl, frame, out.core, mem, max_atomic_steps
+                    )
+                }
+    return predictions
+
+
+def _atomic_run_footprints(decl, frame, core, mem, max_steps):
+    """Prefix-accumulated footprints of silent runs from inside a block."""
+    fps = set()
+    seen = set()
+    queue = deque([(core, mem, EMP, 0)])
+    while queue:
+        cur, m, acc, depth = queue.popleft()
+        if not acc.is_empty():
+            fps.add(acc)
+        if depth >= max_steps:
+            continue
+        for out in decl.lang.step(decl.code, cur, m, frame.flist):
+            if not isinstance(out, Step) or not is_silent(out.msg):
+                continue
+            nxt = (out.core, out.mem, acc.union(out.fp))
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            queue.append(nxt + (depth + 1,))
+    return fps
+
+
+def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64):
+    """Search reachable worlds for a race; returns a witness or ``None``.
+
+    Non-preemptive exploration uses quantum (region) prediction — see
+    :func:`predict`.
+    """
+    quantum = isinstance(semantics, NonPreemptiveSemantics)
+    graph = explore(ctx, semantics, max_states, strict=True)
+    for world in graph.states:
+        if world.is_done():
+            continue
+        # The Race rule applies to worlds where the running thread is
+        # not inside an atomic block (Fig. 9: ``W = (T, _, 0, σ)``).
+        if world.bits[world.cur] != 0:
+            continue
+        live = world.live_threads()
+        preds = {
+            tid: predict(
+                ctx, world, tid, max_atomic_steps, quantum=quantum
+            )
+            for tid in live
+        }
+        for i, t1 in enumerate(live):
+            for t2 in live[i + 1:]:
+                for fp1, b1 in preds[t1]:
+                    for fp2, b2 in preds[t2]:
+                        if conflict_atomic(fp1, b1, fp2, b2):
+                            return RaceWitness(
+                                world, t1, fp1, b1, t2, fp2, b2
+                            )
+    return None
+
+
+def drf(program, max_states=50000, max_atomic_steps=64):
+    """``DRF(P)``: no race in the preemptive semantics."""
+    ctx = GlobalContext(program)
+    return (
+        find_race(
+            ctx, PreemptiveSemantics(), max_states, max_atomic_steps
+        )
+        is None
+    )
+
+
+def npdrf(program, max_states=50000, max_atomic_steps=64):
+    """``NPDRF(P)``: no race in the non-preemptive semantics."""
+    ctx = GlobalContext(program)
+    return (
+        find_race(
+            ctx, NonPreemptiveSemantics(), max_states, max_atomic_steps
+        )
+        is None
+    )

@@ -1,0 +1,225 @@
+"""Global worlds: thread pools, activation stacks, atomic bits (Fig. 7).
+
+A world ``W = (T, t, 𝕕, σ)`` consists of the thread pool, the current
+thread id, the per-thread atomic bits, and the memory. As in the paper's
+Coq development (and Compositional CompCert), each thread is a *stack* of
+module activations ``(tl, F, κ)``: cross-module calls push a new
+activation with its own freelist; returns pop it.
+
+Worlds are immutable and hashable — the exploration algorithms use them
+as graph nodes. Module declarations are referenced by index into the
+:class:`GlobalContext`, which carries the (immutable, but unhashable)
+program structure out-of-band.
+"""
+
+from repro.common.errors import SemanticsError
+from repro.common.freelist import MAX_DEPTH, FreeList
+from repro.lang.interface import resolve_entry
+
+
+class Frame:
+    """One module activation ``(tl, F, κ)`` on a thread's stack.
+
+    ``mod_idx`` indexes the module in the :class:`GlobalContext`;
+    ``flist`` is the activation's freelist; ``core`` its core state.
+    """
+
+    __slots__ = ("mod_idx", "flist", "core")
+
+    def __init__(self, mod_idx, flist, core):
+        object.__setattr__(self, "mod_idx", mod_idx)
+        object.__setattr__(self, "flist", flist)
+        object.__setattr__(self, "core", core)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Frame is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Frame)
+            and self.mod_idx == other.mod_idx
+            and self.flist == other.flist
+            and self.core == other.core
+        )
+
+    def __hash__(self):
+        return hash((self.mod_idx, self.flist, self.core))
+
+    def __repr__(self):
+        return "Frame(mod={}, core={!r})".format(self.mod_idx, self.core)
+
+    def with_core(self, core):
+        return Frame(self.mod_idx, self.flist, core)
+
+
+class World:
+    """An immutable global configuration.
+
+    ``threads`` maps (0-based) thread position to a tuple of frames —
+    the activation stack, innermost activation *last*; an empty tuple is
+    a terminated thread. ``cur`` is the running thread's position;
+    ``bits`` the per-thread atomic bits (the preemptive semantics only
+    ever sets the current thread's bit, matching the single ``d`` of
+    Fig. 7; the non-preemptive semantics uses the full map ``𝕕``).
+    """
+
+    __slots__ = ("threads", "cur", "bits", "mem")
+
+    def __init__(self, threads, cur, bits, mem):
+        object.__setattr__(self, "threads", tuple(threads))
+        object.__setattr__(self, "cur", cur)
+        object.__setattr__(self, "bits", tuple(bits))
+        object.__setattr__(self, "mem", mem)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("World is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, World)
+            and self.threads == other.threads
+            and self.cur == other.cur
+            and self.bits == other.bits
+            and self.mem == other.mem
+        )
+
+    def __hash__(self):
+        return hash((self.threads, self.cur, self.bits, self.mem))
+
+    def __repr__(self):
+        return "World(cur={}, bits={}, live={})".format(
+            self.cur, self.bits, sorted(self.live_threads())
+        )
+
+    def live_threads(self):
+        """Positions of threads that have not terminated."""
+        return [i for i, frames in enumerate(self.threads) if frames]
+
+    def is_done(self):
+        """All threads terminated."""
+        return not any(self.threads)
+
+    def top_frame(self, tid=None):
+        """The innermost activation of thread ``tid`` (default: current)."""
+        tid = self.cur if tid is None else tid
+        frames = self.threads[tid]
+        if not frames:
+            return None
+        return frames[-1]
+
+    def replace_top(self, frame, mem=None, bit=None, cur=None):
+        """A world with the current thread's top frame replaced."""
+        return self._update(
+            self.cur,
+            self.threads[self.cur][:-1] + (frame,),
+            mem,
+            bit,
+            cur,
+        )
+
+    def push_frame(self, frame, mem=None):
+        """A world with a new activation pushed on the current thread."""
+        return self._update(
+            self.cur, self.threads[self.cur] + (frame,), mem, None, None
+        )
+
+    def pop_frame(self, mem=None):
+        """A world with the current thread's top activation popped."""
+        return self._update(
+            self.cur, self.threads[self.cur][:-1], mem, None, None
+        )
+
+    def with_current(self, cur):
+        """A world scheduled on thread ``cur``."""
+        return World(self.threads, cur, self.bits, self.mem)
+
+    def add_thread(self, frame):
+        """A world with a freshly spawned thread appended."""
+        return World(
+            self.threads + ((frame,),),
+            self.cur,
+            self.bits + (0,),
+            self.mem,
+        )
+
+    def _update(self, tid, frames, mem, bit, cur):
+        threads = list(self.threads)
+        threads[tid] = frames
+        bits = self.bits
+        if bit is not None:
+            bits = list(self.bits)
+            bits[tid] = bit
+            bits = tuple(bits)
+        return World(
+            threads,
+            self.cur if cur is None else cur,
+            bits,
+            self.mem if mem is None else mem,
+        )
+
+
+class GlobalContext:
+    """The immutable program structure shared by all worlds.
+
+    Holds the module declarations (so worlds can reference them by
+    index) and resolves entry names for thread creation and for
+    cross-module calls.
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.modules = program.modules
+
+    def module(self, idx):
+        return self.modules[idx]
+
+    def resolve(self, fname, args=()):
+        """Find ``(mod_idx, core)`` for a function, or ``None``."""
+        found = resolve_entry(self.modules, fname, args)
+        if found is None:
+            return None
+        decl, core = found
+        return self.modules.index(decl), core
+
+    def load(self):
+        """The Load rule: all initial worlds (one per initial thread).
+
+        Builds the linked initial memory, gives each thread a fresh
+        bottom activation with a disjoint freelist, and returns one
+        world per choice of initial thread (``t ∈ dom(T)``).
+        """
+        mem = self.program.initial_memory()
+        threads = []
+        for pos, entry in enumerate(self.program.entries):
+            resolved = self.resolve(entry)
+            if resolved is None:
+                raise SemanticsError(
+                    "entry {!r} not defined by any module".format(entry)
+                )
+            mod_idx, core = resolved
+            flist = FreeList.for_thread(pos)
+            threads.append((Frame(mod_idx, flist, core),))
+        bits = (0,) * len(threads)
+        return [
+            World(threads, cur, bits, mem) for cur in range(len(threads))
+        ]
+
+    def next_flist(self, world):
+        """A fresh freelist for a pushed activation of the current thread.
+
+        Depth-indexed so freelists of nested activations are disjoint
+        from each other and from every other thread's.
+        """
+        depth = len(world.threads[world.cur])
+        if depth >= MAX_DEPTH:
+            raise SemanticsError("call depth exceeded")
+        return FreeList.for_thread(world.cur, depth)
+
+    def spawn_flist(self, world):
+        """The freelist of a newly spawned thread.
+
+        New threads take the next thread position, so their address
+        space is disjoint from every existing activation's (threads
+        are never removed from the pool, only emptied).
+        """
+        return FreeList.for_thread(len(world.threads))

@@ -1,0 +1,131 @@
+"""Whole-program consequences of the local simulation (Lems. 6–9).
+
+The Coq development *derives* these; the executable analogue checks
+them on concrete programs by comparing enumerated behaviour sets:
+
+* :func:`check_compositionality` (Lem. 6 + 7, steps ⑤④③ of Fig. 2):
+  per-module local simulations compose into whole-program refinement —
+  the target program's behaviours (preemptive and non-preemptive) are
+  included in the source's, and under determinism the sets coincide.
+* :func:`check_npdrf_preservation` (Lem. 8, step ⑦): if the source is
+  NPDRF, so is the target.
+* :func:`check_semantics_equivalence` (Lem. 9, steps ①②): a DRF
+  program has the same behaviours preemptively and non-preemptively.
+"""
+
+from repro.semantics.explore import program_behaviours
+from repro.semantics.nonpreemptive import NonPreemptiveSemantics
+from repro.semantics.preemptive import PreemptiveSemantics
+from repro.semantics.race import find_race
+from repro.semantics.refinement import equivalent, refines
+from repro.semantics.world import GlobalContext
+
+
+class ComposeResult:
+    """Outcome of a whole-program check, with a short explanation."""
+
+    def __init__(self, ok, detail=""):
+        self.ok = ok
+        self.detail = detail
+
+    def __bool__(self):
+        return self.ok
+
+    def __repr__(self):
+        return "ComposeResult(ok={}, {})".format(self.ok, self.detail)
+
+
+def _behaviours(program, semantics, max_states, max_events):
+    ctx = GlobalContext(program)
+    return program_behaviours(ctx, semantics, max_states, max_events)
+
+
+def check_compositionality(src_program, tgt_program, max_states=200000,
+                           max_events=10):
+    """Lems. 6+7 and the flip: target ≈ source, both semantics."""
+    for semantics in (PreemptiveSemantics(), NonPreemptiveSemantics()):
+        src_b = _behaviours(
+            src_program, semantics, max_states, max_events
+        )
+        tgt_b = _behaviours(
+            tgt_program, semantics, max_states, max_events
+        )
+        down = refines(tgt_b, src_b)
+        if not down:
+            return ComposeResult(
+                False,
+                "{}: target ⋢ source ({} counterexamples)".format(
+                    semantics.name, len(down.counterexamples)
+                ),
+            )
+        both = equivalent(src_b, tgt_b)
+        if not both:
+            return ComposeResult(
+                False,
+                "{}: flip failed (source has behaviours the "
+                "deterministic target lacks)".format(semantics.name),
+            )
+    return ComposeResult(True, "target ≈ source in both semantics")
+
+
+def check_npdrf_preservation(src_program, tgt_program,
+                             max_states=200000):
+    """Lem. 8: NPDRF(source) ⇒ NPDRF(target)."""
+    semantics = NonPreemptiveSemantics()
+    src_race = find_race(
+        GlobalContext(src_program), semantics, max_states
+    )
+    if src_race is not None:
+        return ComposeResult(
+            True, "premise NPDRF(source) does not hold; vacuous"
+        )
+    tgt_race = find_race(
+        GlobalContext(tgt_program), semantics, max_states
+    )
+    if tgt_race is not None:
+        return ComposeResult(
+            False, "target races: {!r}".format(tgt_race)
+        )
+    return ComposeResult(True, "NPDRF preserved")
+
+
+def check_semantics_equivalence(program, max_states=200000,
+                                max_events=10):
+    """Lem. 9: DRF ⇒ preemptive ≈ non-preemptive behaviours."""
+    race = find_race(
+        GlobalContext(program), PreemptiveSemantics(), max_states
+    )
+    if race is not None:
+        return ComposeResult(
+            True, "premise DRF does not hold; vacuous"
+        )
+    pre = _behaviours(
+        program, PreemptiveSemantics(), max_states, max_events
+    )
+    non = _behaviours(
+        program, NonPreemptiveSemantics(), max_states, max_events
+    )
+    result = equivalent(pre, non)
+    if not result:
+        return ComposeResult(
+            False,
+            "behaviour sets differ: {} counterexamples".format(
+                len(result.counterexamples)
+            ),
+        )
+    return ComposeResult(True, "preemptive ≈ non-preemptive")
+
+
+def check_drf_npdrf_equivalence(program, max_states=200000):
+    """Steps ⑥⑧: DRF(P) ⇔ NPDRF(P)."""
+    drf_race = find_race(
+        GlobalContext(program), PreemptiveSemantics(), max_states
+    )
+    npdrf_race = find_race(
+        GlobalContext(program), NonPreemptiveSemantics(), max_states
+    )
+    agree = (drf_race is None) == (npdrf_race is None)
+    return ComposeResult(
+        agree,
+        "DRF={} NPDRF={}".format(drf_race is None, npdrf_race is None),
+    )

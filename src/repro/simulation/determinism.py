@@ -1,0 +1,70 @@
+"""``det(tl)``: determinism of a module language (the Flip premise).
+
+The paper flips the downward whole-program simulation into an upward
+one using determinism of the target modules (Fig. 2 step ④): between
+switch points, a deterministic module admits exactly one local run, so
+the one-to-one correspondence of switch steps lets the simulation
+reverse. The checker explores a module's local step relation from an
+entry and reports any state with more than one outcome.
+"""
+
+from repro.common.values import VInt
+from repro.lang.messages import CallMsg, RetMsg, is_silent
+from repro.lang.steps import Step
+
+
+class DeterminismReport:
+    def __init__(self):
+        self.states_checked = 0
+        self.violations = []
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def __repr__(self):
+        return "DeterminismReport(ok={}, states={})".format(
+            self.ok, self.states_checked
+        )
+
+
+def check_determinism(lang, module, entry, args, initial_mem, flist,
+                      max_steps=5000, ext_returns=(VInt(0), VInt(1)),
+                      report=None):
+    """Explore one entry's local runs; record nondeterministic states."""
+    report = report or DeterminismReport()
+    core = lang.init_core(module, entry, args)
+    if core is None:
+        return report
+    stack = [(core, initial_mem, 0)]
+    seen = set()
+    while stack:
+        core, mem, depth = stack.pop()
+        if depth > max_steps or (core, mem) in seen:
+            continue
+        seen.add((core, mem))
+        outs = lang.step(module, core, mem, flist)
+        report.states_checked += 1
+        if len(outs) > 1:
+            report.violations.append(
+                "{} outcomes from {!r}".format(len(outs), core)
+            )
+            continue
+        for out in outs:
+            if not isinstance(out, Step):
+                continue
+            msg = out.msg
+            if is_silent(msg) or not isinstance(
+                msg, (RetMsg, CallMsg)
+            ):
+                stack.append((out.core, out.mem, depth + 1))
+            elif isinstance(msg, CallMsg):
+                for retval in ext_returns:
+                    stack.append(
+                        (
+                            lang.after_external(out.core, retval),
+                            out.mem,
+                            depth + 1,
+                        )
+                    )
+    return report

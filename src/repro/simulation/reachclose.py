@@ -1,0 +1,105 @@
+"""ReachClose (Def. 4): the source-side obligation of compilation.
+
+A module is reach-closed when, executing from any valid initial state
+under any environment interference satisfying the rely ``R``, every
+step's footprint stays in scope (``Δ ⊆ F ∪ S``) and the shared memory
+stays closed — i.e. the module never walks out of its own freelist and
+the shared region, and never leaks local pointers into shared memory.
+
+The checker runs the module with rely perturbations injected at switch
+points and verifies ``HG`` at every step.
+"""
+
+from repro.common.values import VInt
+from repro.lang.messages import CallMsg, RetMsg, is_silent
+from repro.lang.steps import Step, StepAbort
+from repro.lang.wd import FLIST_EXTENT
+from repro.simulation import rg
+
+
+class ReachCloseReport:
+    def __init__(self):
+        self.failures = []
+        self.steps_checked = 0
+        self.rely_moves = 0
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def fail(self, message):
+        self.failures.append(message)
+
+    def __repr__(self):
+        return "ReachCloseReport(ok={}, steps={})".format(
+            self.ok, self.steps_checked
+        )
+
+
+def _perturb(mem, shared, limit):
+    variants = [mem]
+    count = 0
+    for addr in sorted(shared):
+        if count >= limit:
+            break
+        value = mem.load(addr)
+        if not isinstance(value, VInt):
+            continue
+        variants.append(mem.store(addr, VInt(value.n + 5)))
+        count += 1
+    return variants
+
+
+def check_reach_close(lang, module, entry, args, initial_mem, shared,
+                      flist, max_steps=5000, rely_limit=1,
+                      ext_returns=(VInt(0), VInt(7)), report=None):
+    """Check ``ReachClose`` for one entry of one module."""
+    report = report or ReachCloseReport()
+    flist_addrs = flist.addresses(FLIST_EXTENT)
+    core = lang.init_core(module, entry, args)
+    if core is None:
+        report.fail("entry {!r} not defined".format(entry))
+        return report
+
+    stack = [(core, initial_mem, 0)]
+    while stack:
+        core, mem, depth = stack.pop()
+        if depth > max_steps:
+            report.fail("step budget exceeded")
+            continue
+        outs = lang.step(module, core, mem, flist)
+        if not outs:
+            continue
+        if len(outs) != 1:
+            report.fail("nondeterministic module step")
+            continue
+        out = outs[0]
+        if isinstance(out, StepAbort):
+            # Aborting is a safety failure of the *program*, not a
+            # scope violation; ReachClose is about footprints.
+            continue
+        assert isinstance(out, Step)
+        report.steps_checked += 1
+        if not rg.hg(out.fp, out.mem, flist_addrs, shared):
+            report.fail(
+                "HG violated at step {} (fp={!r})".format(depth, out.fp)
+            )
+            continue
+        msg = out.msg
+        if is_silent(msg):
+            stack.append((out.core, out.mem, depth + 1))
+            continue
+        if isinstance(msg, RetMsg):
+            continue
+        if isinstance(msg, CallMsg):
+            for retval in ext_returns:
+                resumed = lang.after_external(out.core, retval)
+                for mem2 in _perturb(out.mem, shared, rely_limit):
+                    report.rely_moves += 1
+                    stack.append((resumed, mem2, depth + 1))
+            continue
+        # Events / atomic boundaries: switch points.
+        for mem2 in _perturb(out.mem, shared, rely_limit):
+            report.rely_moves += 1
+            stack.append((out.core, mem2, depth + 1))
+    return report

@@ -1,0 +1,97 @@
+"""A second synchronization object: an atomic fetch-and-increment
+counter.
+
+The paper notes (Sec. 2.4) that the extended framework is not specific
+to locks: "π_o could be the Treiber stack implementation, and then γ_o
+could be an atomic abstract stack" — any racy implementation with a
+race-free atomic abstraction. This module instantiates that claim with
+the simplest such object:
+
+* γ_counter — the CImp specification: ``fetch_inc`` atomically reads
+  and increments the cell, returning the old value;
+* π_counter — the x86-TSO implementation: the classic optimistic
+  ``cmpxchg`` retry loop, whose *plain* initial read races with other
+  threads' committed increments (the benign race), retried until the
+  compare-exchange commits.
+
+Used by the object-refinement and DRF-guarantee checkers exactly like
+the lock.
+"""
+
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl
+from repro.langs.cimp.parser import parse_module
+from repro.langs.cimp.semantics import CIMP
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import ast as x86
+from repro.langs.x86.ast import X86Function
+from repro.langs.x86.tso import X86TSO
+
+#: Default linked address of the counter cell.
+DEFAULT_COUNTER_ADDR = 9
+
+COUNTER_SPEC_SOURCE = """
+fetch_inc(){ <v := [K]; [K] := v + 1;> return v; }
+read_counter(){ <v := [K];> return v; }
+"""
+
+
+def counter_spec(counter_addr=DEFAULT_COUNTER_ADDR):
+    """Build ``(module, global_env)`` for γ_counter."""
+    module = parse_module(
+        COUNTER_SPEC_SOURCE,
+        symbols={"K": counter_addr},
+        owned={counter_addr},
+    )
+    ge = GlobalEnv({"K": counter_addr}, {counter_addr: VInt(0)})
+    return module, ge
+
+
+def counter_impl(counter_addr=DEFAULT_COUNTER_ADDR):
+    """Build ``(module, global_env)`` for π_counter.
+
+    ``fetch_inc``'s optimistic read (``mov (%ecx), %eax``) is not
+    lock-prefixed — it races with concurrent committed increments,
+    exactly the confined benign race pattern of the TTAS lock.
+    """
+    fetch_inc = X86Function(
+        "fetch_inc",
+        0,
+        [
+            x86.Plea("ecx", ("global", "K")),
+            x86.Plabel("retry"),
+            x86.Pmov_rm("eax", ("base", "ecx", 0)),   # optimistic read
+            x86.Pmov_rr("edx", "eax"),
+            x86.Parith_ri("+", "edx", 1),
+            x86.Plock_cmpxchg(("base", "ecx", 0), "edx"),
+            x86.Pjcc("ne", "retry"),
+            # On success eax still holds the observed old value.
+            x86.Pret(),
+        ],
+    )
+    read_counter = X86Function(
+        "read_counter",
+        0,
+        [
+            x86.Plea("ecx", ("global", "K")),
+            x86.Pmov_rm("eax", ("base", "ecx", 0)),
+            x86.Pret(),
+        ],
+    )
+    module = IRModule(
+        {"fetch_inc": fetch_inc, "read_counter": read_counter},
+        {"K": counter_addr},
+        owned={counter_addr},
+    )
+    ge = GlobalEnv({"K": counter_addr}, {counter_addr: VInt(0)})
+    return module, ge
+
+
+def counter_spec_decl(counter_addr=DEFAULT_COUNTER_ADDR):
+    module, ge = counter_spec(counter_addr)
+    return ModuleDecl(CIMP, ge, module)
+
+
+def counter_impl_decl(counter_addr=DEFAULT_COUNTER_ADDR, lang=X86TSO):
+    module, ge = counter_impl(counter_addr)
+    return ModuleDecl(lang, ge, module)

@@ -1,0 +1,46 @@
+"""γ_lock: the abstract lock specification (Fig. 10a), in CImp.
+
+.. code-block:: none
+
+    lock(){ r := 0; while(r == 0){ <r := [L]; [L] := 0;> } }
+    unlock(){ < r := [L]; assert(r == 0); [L] := 1; > }
+
+The lock cell ``L`` holds 1 when free and 0 when held; acquisition
+atomically swaps it to 0 (spinning while it already is 0), release
+asserts it is held and restores 1. The atomic blocks make every client
+program that uses the lock correctly data-race-free.
+"""
+
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl
+from repro.langs.cimp.parser import parse_module
+from repro.langs.cimp.semantics import CIMP
+
+#: Default linked address of the lock cell.
+DEFAULT_LOCK_ADDR = 8
+
+LOCK_SPEC_SOURCE = """
+lock(){ r := 0; while(r == 0){ <r := [L]; [L] := 0;> } }
+unlock(){ < r := [L]; assert(r == 0); [L] := 1; > }
+"""
+
+
+def lock_spec(lock_addr=DEFAULT_LOCK_ADDR):
+    """Build ``(module, global_env)`` for γ_lock at ``lock_addr``.
+
+    The module *owns* the lock cell (Sec. 7.1 permission partition):
+    clients must be linked with ``lock_addr`` in their forbidden set.
+    """
+    module = parse_module(
+        LOCK_SPEC_SOURCE,
+        symbols={"L": lock_addr},
+        owned={lock_addr},
+    )
+    ge = GlobalEnv({"L": lock_addr}, {lock_addr: VInt(1)})
+    return module, ge
+
+
+def lock_spec_decl(lock_addr=DEFAULT_LOCK_ADDR):
+    """The γ_lock module declaration ready for linking."""
+    module, ge = lock_spec(lock_addr)
+    return ModuleDecl(CIMP, ge, module)

@@ -1,0 +1,91 @@
+"""The object simulation ``π_o ≼ᵒ γ_o`` (Sec. 7.3), checked contextually.
+
+The paper's ``≼ᵒ`` (an extension of Liang-Feng simulation to TSO) gives
+a contextual-refinement guarantee: any client using ``π_o`` under
+relaxed semantics produces no more observable behaviours than using
+``γ_o`` under SC, as long as the γ_o-program is DRF. We check exactly
+that consequence over client contexts: behaviour inclusion of the
+π_o-linked TSO program in the γ_o-linked SC program, termination-
+insensitively (the paper's ``⊑′``).
+"""
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.cimp.semantics import CIMP
+from repro.langs.x86.sc import X86SC
+from repro.langs.x86.tso import X86TSO
+from repro.semantics.explore import program_behaviours
+from repro.semantics.preemptive import PreemptiveSemantics
+from repro.semantics.refinement import refines
+from repro.semantics.world import GlobalContext
+
+
+class ObjectSimResult:
+    """Outcome of the contextual ``≼ᵒ`` check for one client context."""
+
+    def __init__(self, ok, detail, tso_behaviours, sc_behaviours):
+        self.ok = ok
+        self.detail = detail
+        self.tso_behaviours = tso_behaviours
+        self.sc_behaviours = sc_behaviours
+
+    def __bool__(self):
+        return self.ok
+
+    def __repr__(self):
+        return "ObjectSimResult(ok={}, {})".format(self.ok, self.detail)
+
+
+def tso_program(client_stages, client_genvs, impl_module, impl_ge,
+                entries):
+    """``P_rmm``: every module on the TSO machine (clients + π_o)."""
+    decls = [
+        ModuleDecl(X86TSO, ge, stage.module)
+        for stage, ge in zip(client_stages, client_genvs)
+    ]
+    decls.append(ModuleDecl(X86TSO, impl_ge, impl_module))
+    return Program(decls, entries)
+
+
+def sc_program(client_stages, client_genvs, spec_module, spec_ge,
+               entries):
+    """``P_sc``: SC clients + the abstract object γ_o."""
+    decls = [
+        ModuleDecl(X86SC, ge, stage.module)
+        for stage, ge in zip(client_stages, client_genvs)
+    ]
+    decls.append(ModuleDecl(CIMP, spec_ge, spec_module))
+    return Program(decls, entries)
+
+
+def check_object_refinement(client_stages, client_genvs, impl_module,
+                            impl_ge, spec_module, spec_ge, entries,
+                            max_states=400000, max_events=10):
+    """``P_rmm ⊑′ P_sc`` for one client context.
+
+    ``client_stages`` are the x86 stages of already-compiled client
+    modules (syntactically identical under SC and TSO — the paper's
+    identity transformation with a semantics change).
+    """
+    prog_tso = tso_program(
+        client_stages, client_genvs, impl_module, impl_ge, entries
+    )
+    prog_sc = sc_program(
+        client_stages, client_genvs, spec_module, spec_ge, entries
+    )
+    semantics = PreemptiveSemantics()
+    tso_b = program_behaviours(
+        GlobalContext(prog_tso), semantics, max_states, max_events
+    )
+    sc_b = program_behaviours(
+        GlobalContext(prog_sc), semantics, max_states, max_events
+    )
+    result = refines(tso_b, sc_b, termination_sensitive=False)
+    detail = (
+        "⊑′ holds"
+        if result
+        else "⊑′ fails: {} counterexamples{}".format(
+            len(result.counterexamples),
+            " (inconclusive)" if result.inconclusive else "",
+        )
+    )
+    return ObjectSimResult(bool(result), detail, tso_b, sc_b)

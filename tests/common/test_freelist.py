@@ -1,0 +1,111 @@
+"""Tests for the freelist address-space partition — the paper's memory
+model decision (Sec. 2.3) — including the shared-counter ablation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SemanticsError
+from repro.common.freelist import (
+    LOCAL_BASE,
+    MAX_DEPTH,
+    SLOT_SPACE,
+    FreeList,
+    SharedCounterAllocator,
+    is_global,
+    is_local,
+)
+
+tids = st.integers(min_value=0, max_value=20)
+depths = st.integers(min_value=0, max_value=MAX_DEPTH - 1)
+
+
+class TestFreeList:
+    def test_addresses_above_local_base(self):
+        fl = FreeList.for_thread(0)
+        assert fl.addr_at(0) >= LOCAL_BASE
+
+    def test_deterministic_positional_allocation(self):
+        fl = FreeList.for_thread(1)
+        assert fl.addr_at(3) == fl.addr_at(3)
+        assert fl.addr_at(0) != fl.addr_at(1)
+
+    def test_contains(self):
+        fl = FreeList.for_thread(2)
+        assert fl.contains(fl.addr_at(0))
+        assert fl.contains(fl.addr_at(SLOT_SPACE - 1))
+        assert not fl.contains(fl.addr_at(0) - 1)
+
+    def test_exhaustion_raises(self):
+        fl = FreeList.for_thread(0)
+        with pytest.raises(SemanticsError):
+            fl.addr_at(SLOT_SPACE)
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(SemanticsError):
+            FreeList.for_thread(0, MAX_DEPTH)
+
+    def test_base_below_global_rejected(self):
+        with pytest.raises(SemanticsError):
+            FreeList(0)
+
+    def test_addresses_set(self):
+        fl = FreeList.for_thread(0)
+        addrs = fl.addresses(4)
+        assert len(addrs) == 4
+        assert all(fl.contains(a) for a in addrs)
+
+    @given(tids, depths, tids, depths)
+    def test_disjointness(self, t1, d1, t2, d2):
+        f1 = FreeList.for_thread(t1, d1)
+        f2 = FreeList.for_thread(t2, d2)
+        if (t1, d1) == (t2, d2):
+            assert f1 == f2
+        else:
+            assert f1.disjoint_from(f2)
+            assert not (
+                f1.addresses(8) & f2.addresses(8)
+            ), "freelists of distinct activations overlap"
+
+    @given(tids, depths, st.integers(min_value=0,
+                                     max_value=SLOT_SPACE - 1))
+    def test_all_addresses_local(self, tid, depth, n):
+        addr = FreeList.for_thread(tid, depth).addr_at(n)
+        assert is_local(addr)
+        assert not is_global(addr)
+
+
+class TestRegionPredicates:
+    def test_global_region(self):
+        assert is_global(0)
+        assert is_global(LOCAL_BASE - 1)
+        assert not is_global(LOCAL_BASE)
+
+    def test_negative_not_global(self):
+        assert not is_global(-1)
+
+
+class TestSharedCounterAblation:
+    """The CompCert-style allocator breaks commutation of
+    non-conflicting allocations — the paper's reason to abandon it."""
+
+    def test_order_dependence(self):
+        # Thread A and thread B each allocate once; the address each
+        # receives depends on who goes first.
+        alloc = SharedCounterAllocator()
+        a_first = (alloc.alloc(), alloc.alloc())  # A then B
+        alloc = SharedCounterAllocator()
+        b_then_a = (alloc.alloc(), alloc.alloc())  # B then A
+        # Reordering swaps the received addresses.
+        assert a_first == b_then_a
+        assert a_first[0] != a_first[1]
+
+    def test_freelists_commute(self):
+        # With disjoint freelists the address depends only on the
+        # thread's own allocation count, not on interleaving.
+        fa = FreeList.for_thread(0)
+        fb = FreeList.for_thread(1)
+        # "A then B" and "B then A" give each thread the same address.
+        assert fa.addr_at(0) == fa.addr_at(0)
+        assert fb.addr_at(0) == fb.addr_at(0)
+        assert fa.addr_at(0) != fb.addr_at(0)

@@ -1,0 +1,113 @@
+"""Tests for ImmutableMap and the AST node base class."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.astbase import Node
+from repro.common.immutables import EMPTY_MAP, ImmutableMap
+
+dicts = st.dictionaries(
+    st.text(min_size=1, max_size=3), st.integers(), max_size=5
+)
+
+
+class TestImmutableMap:
+    def test_get_and_contains(self):
+        m = ImmutableMap({"a": 1})
+        assert m["a"] == 1
+        assert "a" in m
+        assert m.get("b") is None
+        assert m.get("b", 7) == 7
+
+    def test_set_returns_new(self):
+        m = ImmutableMap({"a": 1})
+        m2 = m.set("a", 2)
+        assert m["a"] == 1 and m2["a"] == 2
+
+    def test_update(self):
+        m = ImmutableMap({"a": 1}).update({"b": 2})
+        assert m["a"] == 1 and m["b"] == 2
+
+    def test_remove(self):
+        m = ImmutableMap({"a": 1, "b": 2}).remove("a")
+        assert "a" not in m and "b" in m
+        assert ImmutableMap().remove("zz") == EMPTY_MAP
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            EMPTY_MAP._data = {}
+
+    def test_kwargs_constructor(self):
+        assert ImmutableMap(a=1)["a"] == 1
+
+    @given(dicts)
+    def test_equality_and_hash_by_content(self, d):
+        assert ImmutableMap(d) == ImmutableMap(dict(d))
+        assert hash(ImmutableMap(d)) == hash(ImmutableMap(dict(d)))
+
+    @given(dicts, st.text(min_size=1, max_size=3), st.integers())
+    def test_set_then_get(self, d, k, v):
+        assert ImmutableMap(d).set(k, v)[k] == v
+
+    def test_len_iter_items(self):
+        m = ImmutableMap({"a": 1, "b": 2})
+        assert len(m) == 2
+        assert sorted(m) == ["a", "b"]
+        assert dict(m.items()) == {"a": 1, "b": 2}
+        assert sorted(m.keys()) == ["a", "b"]
+        assert sorted(m.values()) == [1, 2]
+
+
+class _Point(Node):
+    _fields = ("x", "y")
+
+
+class _Pair(Node):
+    _fields = ("left", "right")
+
+
+class TestNode:
+    def test_positional_and_keyword_construction(self):
+        assert _Point(1, 2) == _Point(x=1, y=2)
+        assert _Point(1, y=2) == _Point(1, 2)
+
+    def test_missing_fields_default_none(self):
+        assert _Point(1).y is None
+
+    def test_too_many_args(self):
+        with pytest.raises(TypeError):
+            _Point(1, 2, 3)
+
+    def test_unknown_kwarg(self):
+        with pytest.raises(TypeError):
+            _Point(z=1)
+
+    def test_duplicate_field(self):
+        with pytest.raises(TypeError):
+            _Point(1, x=2)
+
+    def test_lists_become_tuples(self):
+        assert _Point([1, 2], 0).x == (1, 2)
+
+    def test_equality_structural(self):
+        assert _Pair(_Point(1, 2), 3) == _Pair(_Point(1, 2), 3)
+        assert _Pair(_Point(1, 2), 3) != _Pair(_Point(1, 9), 3)
+
+    def test_different_types_unequal(self):
+        assert _Point(1, 2) != _Pair(1, 2)
+
+    def test_hashable(self):
+        assert hash(_Point(1, 2)) == hash(_Point(1, 2))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            _Point(1, 2).x = 5
+
+    def test_replace(self):
+        assert _Point(1, 2).replace(y=9) == _Point(1, 9)
+        with pytest.raises(TypeError):
+            _Point(1, 2).replace(z=1)
+
+    def test_repr_mentions_fields(self):
+        assert "x=1" in repr(_Point(1, 2))

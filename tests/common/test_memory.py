@@ -1,0 +1,181 @@
+"""Unit and property tests for the memory model and the Fig. 6
+footprint/state predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.footprint import Footprint
+from repro.common.memory import (
+    Memory,
+    closed,
+    closed_region,
+    eq_on,
+    forward,
+    leffect,
+    leq_post,
+    leq_pre,
+    pointers_in,
+)
+from repro.common.values import VInt, VPtr
+
+mem_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=-5, max_value=5).map(VInt),
+    max_size=6,
+).map(Memory)
+
+
+class TestMemoryBasics:
+    def test_load_store(self):
+        m = Memory({1: VInt(10)})
+        assert m.load(1) == VInt(10)
+        m2 = m.store(1, VInt(20))
+        assert m2.load(1) == VInt(20)
+        assert m.load(1) == VInt(10), "store must not mutate"
+
+    def test_load_missing_is_none(self):
+        assert Memory().load(5) is None
+
+    def test_store_missing_is_none(self):
+        assert Memory().store(5, VInt(1)) is None
+
+    def test_alloc(self):
+        m = Memory().alloc(3, VInt(7))
+        assert m.load(3) == VInt(7)
+
+    def test_alloc_existing_is_none(self):
+        m = Memory({3: VInt(0)})
+        assert m.alloc(3, VInt(1)) is None
+
+    def test_alloc_range(self):
+        m = Memory().alloc_range([1, 2, 3], VInt(0))
+        assert m.domain() == {1, 2, 3}
+        assert m.alloc_range([3, 4], VInt(0)) is None
+
+    def test_domain_and_len(self):
+        m = Memory({1: VInt(0), 2: VInt(0)})
+        assert m.domain() == {1, 2}
+        assert len(m) == 2
+        assert 1 in m and 3 not in m
+
+    def test_union_compatible(self):
+        a = Memory({1: VInt(1)})
+        b = Memory({2: VInt(2)})
+        assert a.union(b).domain() == {1, 2}
+
+    def test_union_conflicting_is_none(self):
+        a = Memory({1: VInt(1)})
+        b = Memory({1: VInt(2)})
+        assert a.union(b) is None
+
+    def test_union_agreeing_overlap(self):
+        a = Memory({1: VInt(1)})
+        assert a.union(Memory({1: VInt(1)})) == a
+
+    def test_restrict(self):
+        m = Memory({1: VInt(1), 2: VInt(2)})
+        assert m.restrict({2, 9}).domain() == {2}
+
+    def test_hash_consistent(self):
+        assert hash(Memory({1: VInt(1)})) == hash(Memory({1: VInt(1)}))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Memory()._data = {}
+
+
+class TestEqOn:
+    def test_equal_on_region(self):
+        a = Memory({1: VInt(1), 2: VInt(2)})
+        b = Memory({1: VInt(1), 2: VInt(9)})
+        assert eq_on(a, b, {1})
+        assert not eq_on(a, b, {2})
+
+    def test_membership_must_agree(self):
+        a = Memory({1: VInt(1)})
+        b = Memory()
+        assert not eq_on(a, b, {1})
+        assert eq_on(a, b, {2})
+
+    @given(mem_strategy)
+    def test_reflexive(self, m):
+        assert eq_on(m, m, m.domain())
+
+
+class TestForward:
+    def test_growth_ok(self):
+        a = Memory({1: VInt(0)})
+        b = a.alloc(2, VInt(0))
+        assert forward(a, b)
+        assert not forward(b, a)
+
+    @given(mem_strategy)
+    def test_reflexive(self, m):
+        assert forward(m, m)
+
+
+class TestLEffect:
+    def test_store_within_ws(self):
+        a = Memory({1: VInt(0), 2: VInt(0)})
+        b = a.store(1, VInt(5))
+        assert leffect(a, b, Footprint((), {1}), frozenset())
+
+    def test_store_outside_ws_detected(self):
+        a = Memory({1: VInt(0), 2: VInt(0)})
+        b = a.store(2, VInt(5))
+        assert not leffect(a, b, Footprint((), {1}), frozenset())
+
+    def test_alloc_from_flist(self):
+        a = Memory({1: VInt(0)})
+        b = a.alloc(100, VInt(0))
+        assert leffect(a, b, Footprint((), {100}), frozenset({100}))
+        # Fresh address not from the freelist: rejected.
+        assert not leffect(a, b, Footprint((), {100}), frozenset())
+
+
+class TestLEqPrePost:
+    def test_leq_pre_requires_rs_agreement(self):
+        fl = frozenset({50})
+        a = Memory({1: VInt(1), 2: VInt(2)})
+        b = Memory({1: VInt(1), 2: VInt(9)})
+        assert leq_pre(a, b, Footprint({1}, ()), fl)
+        assert not leq_pre(a, b, Footprint({2}, ()), fl)
+
+    def test_leq_pre_requires_ws_availability(self):
+        fl = frozenset()
+        a = Memory({1: VInt(1)})
+        b = Memory()
+        assert not leq_pre(a, b, Footprint((), {1}), fl)
+
+    def test_leq_pre_requires_flist_agreement(self):
+        fl = frozenset({50})
+        a = Memory({50: VInt(0)})
+        b = Memory()
+        assert not leq_pre(a, b, Footprint((), ()), fl)
+
+    def test_leq_post(self):
+        fl = frozenset()
+        a = Memory({1: VInt(5), 2: VInt(0)})
+        b = Memory({1: VInt(5), 2: VInt(9)})
+        assert leq_post(a, b, Footprint((), {1}), fl)
+
+
+class TestClosed:
+    def test_int_memory_closed(self):
+        assert closed(Memory({1: VInt(1)}))
+
+    def test_internal_pointer_closed(self):
+        assert closed(Memory({1: VPtr(2), 2: VInt(0)}))
+
+    def test_wild_pointer_not_closed(self):
+        assert not closed(Memory({1: VPtr(99)}))
+
+    def test_closed_region_pointer_escape(self):
+        m = Memory({1: VPtr(2), 2: VInt(0)})
+        assert closed_region({1, 2}, m)
+        assert not closed_region({1}, m), "pointer leaves the region"
+
+    def test_pointers_in(self):
+        assert pointers_in(VPtr(7)) == {7}
+        assert pointers_in(VInt(7)) == set()

@@ -1,0 +1,204 @@
+"""Unit and property tests for the value domain (32-bit machine ints,
+pointers, VUndef propagation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import values as V
+from repro.common.values import VInt, VPtr, VUndef, wrap32
+
+ints = st.integers(min_value=-(2 ** 35), max_value=2 ** 35)
+small_ints = st.integers(min_value=V.INT_MIN, max_value=V.INT_MAX)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(0) == 0
+        assert wrap32(V.INT_MAX) == V.INT_MAX
+        assert wrap32(V.INT_MIN) == V.INT_MIN
+
+    def test_overflow_wraps(self):
+        assert wrap32(V.INT_MAX + 1) == V.INT_MIN
+        assert wrap32(V.INT_MIN - 1) == V.INT_MAX
+
+    def test_two_power_32_is_zero(self):
+        assert wrap32(2 ** 32) == 0
+
+    @given(ints)
+    def test_always_in_range(self, n):
+        assert V.INT_MIN <= wrap32(n) <= V.INT_MAX
+
+    @given(ints)
+    def test_idempotent(self, n):
+        assert wrap32(wrap32(n)) == wrap32(n)
+
+    @given(ints, ints)
+    def test_congruence(self, a, b):
+        assert wrap32(a + b) == wrap32(wrap32(a) + wrap32(b))
+
+
+class TestVInt:
+    def test_equality_and_hash(self):
+        assert VInt(5) == VInt(5)
+        assert hash(VInt(5)) == hash(VInt(5))
+        assert VInt(5) != VInt(6)
+
+    def test_constructor_wraps(self):
+        assert VInt(2 ** 32 + 3) == VInt(3)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            VInt(1).n = 2
+
+    def test_truthiness(self):
+        assert VInt(1).is_true() is True
+        assert VInt(0).is_true() is False
+        assert VInt(-1).is_true() is True
+
+
+class TestVPtr:
+    def test_equality(self):
+        assert VPtr(10) == VPtr(10)
+        assert VPtr(10) != VPtr(11)
+        assert VPtr(10) != VInt(10)
+
+    def test_truthiness(self):
+        assert VPtr(0).is_true() is True
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            VPtr(1).addr = 2
+
+
+class TestVUndef:
+    def test_singleton(self):
+        from repro.common.values import _VUndef
+
+        assert _VUndef() is VUndef
+
+    def test_truthiness_undefined(self):
+        assert VUndef.is_true() is None
+
+
+class TestArithmetic:
+    def test_add_ints(self):
+        assert V.add(VInt(2), VInt(3)) == VInt(5)
+
+    def test_add_ptr_int(self):
+        assert V.add(VPtr(10), VInt(2)) == VPtr(12)
+        assert V.add(VInt(2), VPtr(10)) == VPtr(12)
+
+    def test_add_ptr_ptr_undef(self):
+        assert V.add(VPtr(1), VPtr(2)) is VUndef
+
+    def test_sub_ptr_ptr_is_distance(self):
+        assert V.sub(VPtr(12), VPtr(10)) == VInt(2)
+
+    def test_sub_ptr_int(self):
+        assert V.sub(VPtr(12), VInt(2)) == VPtr(10)
+
+    def test_mul(self):
+        assert V.mul(VInt(6), VInt(7)) == VInt(42)
+        assert V.mul(VPtr(1), VInt(2)) is VUndef
+
+    def test_div_truncates_toward_zero(self):
+        assert V.divs(VInt(7), VInt(2)) == VInt(3)
+        assert V.divs(VInt(-7), VInt(2)) == VInt(-3)
+        assert V.divs(VInt(7), VInt(-2)) == VInt(-3)
+
+    def test_div_by_zero_undef(self):
+        assert V.divs(VInt(1), VInt(0)) is VUndef
+
+    def test_div_overflow_undef(self):
+        assert V.divs(VInt(V.INT_MIN), VInt(-1)) is VUndef
+
+    def test_mod_sign_follows_dividend(self):
+        assert V.mods(VInt(7), VInt(2)) == VInt(1)
+        assert V.mods(VInt(-7), VInt(2)) == VInt(-1)
+
+    def test_mod_by_zero_undef(self):
+        assert V.mods(VInt(1), VInt(0)) is VUndef
+
+    @given(small_ints, small_ints)
+    def test_div_mod_identity(self, a, b):
+        q = V.divs(VInt(a), VInt(b))
+        r = V.mods(VInt(a), VInt(b))
+        if q is VUndef:
+            assert r is VUndef
+        else:
+            assert wrap32(q.n * b + r.n) == a
+
+    def test_undef_propagates(self):
+        assert V.add(VUndef, VInt(1)) is VUndef
+        assert V.neg(VUndef) is VUndef
+        assert V.bool_not(VUndef) is VUndef
+
+
+class TestComparisons:
+    def test_eq_ints(self):
+        assert V.cmp_eq(VInt(1), VInt(1)) == VInt(1)
+        assert V.cmp_eq(VInt(1), VInt(2)) == VInt(0)
+
+    def test_eq_ptrs(self):
+        assert V.cmp_eq(VPtr(5), VPtr(5)) == VInt(1)
+        assert V.cmp_ne(VPtr(5), VPtr(6)) == VInt(1)
+
+    def test_eq_mixed_undef(self):
+        assert V.cmp_eq(VPtr(5), VInt(5)) is VUndef
+
+    def test_orderings(self):
+        assert V.cmp_lt(VInt(1), VInt(2)) == VInt(1)
+        assert V.cmp_le(VInt(2), VInt(2)) == VInt(1)
+        assert V.cmp_gt(VInt(1), VInt(2)) == VInt(0)
+        assert V.cmp_ge(VInt(1), VInt(2)) == VInt(0)
+
+    def test_ordering_on_ptrs_undef(self):
+        assert V.cmp_lt(VPtr(1), VPtr(2)) is VUndef
+
+    @given(small_ints, small_ints)
+    def test_trichotomy(self, a, b):
+        lt = V.cmp_lt(VInt(a), VInt(b)).n
+        eq = V.cmp_eq(VInt(a), VInt(b)).n
+        gt = V.cmp_gt(VInt(a), VInt(b)).n
+        assert lt + eq + gt == 1
+
+
+class TestBooleansAndShifts:
+    def test_bool_and(self):
+        assert V.bool_and(VInt(1), VInt(2)) == VInt(1)
+        assert V.bool_and(VInt(0), VInt(2)) == VInt(0)
+
+    def test_bool_or(self):
+        assert V.bool_or(VInt(0), VInt(0)) == VInt(0)
+        assert V.bool_or(VInt(0), VInt(3)) == VInt(1)
+
+    def test_bool_not(self):
+        assert V.bool_not(VInt(0)) == VInt(1)
+        assert V.bool_not(VInt(9)) == VInt(0)
+        assert V.bool_not(VPtr(1)) == VInt(0)
+
+    def test_shl(self):
+        assert V.shl(VInt(3), VInt(4)) == VInt(48)
+
+    def test_shl_out_of_range_undef(self):
+        assert V.shl(VInt(1), VInt(32)) is VUndef
+        assert V.shl(VInt(1), VInt(-1)) is VUndef
+
+    def test_shr_arithmetic(self):
+        assert V.shr(VInt(-8), VInt(1)) == VInt(-4)
+
+    @given(small_ints, st.integers(min_value=0, max_value=31))
+    def test_shl_matches_mul_by_power(self, a, k):
+        assert V.shl(VInt(a), VInt(k)) == V.mul(VInt(a), VInt(2 ** k))
+
+
+class TestOpTables:
+    def test_binops_cover_language_operators(self):
+        for op in ["+", "-", "*", "/", "%", "==", "!=", "<", "<=",
+                   ">", ">=", "&&", "||", "<<", ">>"]:
+            assert op in V.BINOPS
+
+    def test_unops(self):
+        assert V.UNOPS["-"](VInt(3)) == VInt(-3)
+        assert V.UNOPS["!"](VInt(0)) == VInt(1)

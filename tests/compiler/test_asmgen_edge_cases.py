@@ -1,0 +1,131 @@
+"""Edge cases of the Asmgen two-address lowering and the pretty-printer."""
+
+import pytest
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.messages import RetMsg
+from repro.lang.steps import Step, StepAbort
+from repro.langs.ir import mach as mh
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import X86SC
+from repro.langs.x86 import ast as x86
+from repro.compiler.asmgen import ASM_SCRATCH, _transf_op, transf_function
+from repro.compiler.pprint import pp_module
+
+FLIST = FreeList.for_thread(0)
+
+
+def run_x86(module, entry, mem, args=()):
+    core = X86SC.init_core(module, entry, args)
+    for _ in range(500):
+        outs = X86SC.step(module, core, mem, FLIST)
+        if not outs:
+            return None
+        (out,) = outs
+        if isinstance(out, StepAbort):
+            return "abort"
+        core, mem = out.core, out.mem
+        if isinstance(out.msg, RetMsg):
+            return out.msg.value
+    raise AssertionError("did not terminate")
+
+
+def exec_op(op, args, dst, values, expect):
+    """Lower one MOp and execute it with the given register values."""
+    seq = _transf_op(mh.MOp(op, args, dst))
+    code = []
+    for reg, value in values.items():
+        code.append(x86.Pmov_ri(reg, value))
+    code.extend(seq)
+    if dst != "eax":
+        code.append(x86.Pmov_rr("eax", dst))
+    code.append(x86.Pret())
+    func = x86.X86Function("f", 0, code)
+    module = IRModule({"f": func}, {})
+    result = run_x86(module, "f", Memory())
+    assert result == VInt(expect), (op, args, dst, result)
+
+
+class TestTwoAddressLowering:
+    def test_dst_equals_first_operand(self):
+        exec_op("-", ("ebx", "ecx"), "ebx",
+                {"ebx": 10, "ecx": 3}, 7)
+
+    def test_dst_equals_second_operand_commutative(self):
+        exec_op("+", ("ebx", "ecx"), "ecx",
+                {"ebx": 10, "ecx": 3}, 13)
+        exec_op("*", ("ebx", "ecx"), "ecx",
+                {"ebx": 4, "ecx": 3}, 12)
+
+    def test_dst_equals_second_operand_noncommutative(self):
+        # Requires the ebp assembler scratch.
+        seq = _transf_op(mh.MOp("-", ("ebx", "ecx"), "ecx"))
+        assert any(
+            getattr(i, "dst", None) == ASM_SCRATCH
+            or getattr(i, "src", None) == ASM_SCRATCH
+            for i in seq
+        )
+        exec_op("-", ("ebx", "ecx"), "ecx",
+                {"ebx": 10, "ecx": 3}, 7)
+
+    def test_dst_distinct(self):
+        exec_op("-", ("ebx", "ecx"), "edx",
+                {"ebx": 10, "ecx": 3}, 7)
+
+    def test_dst_equals_both_operands(self):
+        exec_op("+", ("ebx", "ebx"), "ebx", {"ebx": 21}, 42)
+        exec_op("-", ("ebx", "ebx"), "ebx", {"ebx": 21}, 0)
+
+    def test_shifts(self):
+        exec_op("<<", ("ebx", "ecx"), "ecx",
+                {"ebx": 3, "ecx": 2}, 12)
+        exec_op(">>", ("ebx", "ecx"), "ebx",
+                {"ebx": 12, "ecx": 2}, 3)
+
+    def test_division_collisions(self):
+        exec_op("/", ("ebx", "ecx"), "ecx",
+                {"ebx": 14, "ecx": 4}, 3)
+        exec_op("%", ("ebx", "ecx"), "ecx",
+                {"ebx": 14, "ecx": 4}, 2)
+
+    def test_comparison_into_operand(self):
+        exec_op("<", ("ebx", "ecx"), "ebx",
+                {"ebx": 1, "ecx": 2}, 1)
+        exec_op(">=", ("ebx", "ecx"), "ecx",
+                {"ebx": 1, "ecx": 2}, 0)
+
+    def test_not_into_same_reg(self):
+        exec_op("!", ("ebx",), "ebx", {"ebx": 0}, 1)
+        exec_op("!", ("ebx",), "ebx", {"ebx": 5}, 0)
+
+    def test_unary_neg_collision(self):
+        exec_op("-", ("ebx",), "ebx", {"ebx": 5}, -5)
+        exec_op("-", ("ebx",), "ecx", {"ebx": 5, "ecx": 0}, -5)
+
+
+class TestPrettyPrinter:
+    def test_every_stage_printable(self):
+        from repro.langs.minic import compile_unit, link_units
+        from repro.compiler import compile_minic
+
+        src = """
+        int g = 1;
+        void worker() { print(g); }
+        int addg(int a) { return a + g; }
+        void main() {
+          int r;
+          r = addg(2);
+          if (r > 1) { g = r; } else { g = 0; }
+          spawn worker;
+          print(r);
+        }
+        """
+        mods, genvs, _ = link_units([compile_unit(src)])
+        result = compile_minic(mods[0], optimize=True)
+        for stage in result.stages:
+            lines = pp_module(stage.module)
+            assert lines, stage.name
+            text = "\n".join(lines)
+            assert "main" in text

@@ -1,0 +1,383 @@
+"""Per-pass unit tests: structural properties of each transformation."""
+
+import pytest
+
+from repro.common.errors import TypeCheckError
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import csharpminor as csm
+from repro.langs.ir import linear as ln
+from repro.langs.ir import ltl
+from repro.langs.ir import mach as mh
+from repro.langs.ir import rtl
+from repro.langs.minic import compile_unit, link_units
+from repro.langs.x86 import ast as x86
+from repro.langs.x86.regs import is_reg, is_slot
+from repro.compiler import compile_minic
+from repro.compiler.selection import select_expr
+from repro.compiler.cleanuplabels import referenced_labels
+
+
+def chain(src):
+    mods, genvs, _ = link_units([compile_unit(src)])
+    return compile_minic(mods[0])
+
+
+SRC = """
+int g = 2;
+int addg(int a) { return a + g; }
+void main() {
+  int x = 3;
+  int y;
+  y = addg(x);
+  g = y * 8;
+  print(g);
+}
+"""
+
+
+class TestCshmgen:
+    def test_plain_locals_promoted_to_temps(self):
+        result = chain(SRC)
+        func = result.stage("Cshmgen").module.functions["main"]
+        assert func.stack_locals == ()
+        assert "x" in func.params or True  # x is a local temp, not param
+
+    def test_address_taken_local_stays_in_memory(self):
+        result = chain(
+            "void use(int* p) { *p = 1; } "
+            "void main() { int x = 0; use(&x); print(x); }"
+        )
+        func = result.stage("Cshmgen").module.functions["main"]
+        assert "x" in func.stack_locals
+
+    def test_address_taken_param_copied_in(self):
+        result = chain(
+            "int deref(int* q) { return *q; } "
+            "int f(int a) { int r; r = deref(&a); return r; } "
+            "void main() { int r; r = f(5); print(r); }"
+        )
+        func = result.stage("Cshmgen").module.functions["f"]
+        assert "a" in func.stack_locals
+        assert "$p_a" in func.params
+
+    def test_boolean_operators_lowered(self):
+        result = chain(
+            "void main() { int a = 1; int b = 0; print(a && b); "
+            "print(a || b); }"
+        )
+        module = result.stage("Cshmgen").module
+
+        def find_bool(node):
+            if isinstance(node, csm.EBinop) and node.op in ("&&", "||"):
+                return True
+            for f in getattr(node, "_fields", ()):
+                v = getattr(node, f)
+                vs = v if isinstance(v, tuple) else (v,)
+                for item in vs:
+                    if isinstance(item, csm.Node) and find_bool(item):
+                        return True
+            return False
+
+        assert not find_bool(module.functions["main"].body)
+
+
+class TestCminorgen:
+    def test_params_numbered_first(self):
+        result = chain(SRC)
+        func = result.stage("Cminorgen").module.functions["addg"]
+        assert func.nparams == 1
+
+    def test_stacksize_counts_stack_locals(self):
+        result = chain(
+            "void use(int* p) { *p = 1; } "
+            "void main() { int x = 0; use(&x); print(x); }"
+        )
+        func = result.stage("Cminorgen").module.functions["main"]
+        assert func.stacksize == 1
+
+
+class TestSelection:
+    def test_constant_folding(self):
+        e = cm.EBinop("+", cm.EConst(2), cm.EConst(3))
+        assert select_expr(e) == cm.EConst(5)
+
+    def test_division_by_zero_not_folded(self):
+        e = cm.EBinop("/", cm.EConst(1), cm.EConst(0))
+        assert select_expr(e) == e
+
+    def test_defined_division_folded(self):
+        e = cm.EBinop("/", cm.EConst(7), cm.EConst(2))
+        assert select_expr(e) == cm.EConst(3)
+
+    def test_neutral_elements(self):
+        t = cm.ETemp(0)
+        assert select_expr(cm.EBinop("+", t, cm.EConst(0))) == t
+        assert select_expr(cm.EBinop("+", cm.EConst(0), t)) == t
+        assert select_expr(cm.EBinop("-", t, cm.EConst(0))) == t
+        assert select_expr(cm.EBinop("*", t, cm.EConst(1))) == t
+
+    def test_strength_reduction(self):
+        t = cm.ETemp(0)
+        out = select_expr(cm.EBinop("*", t, cm.EConst(8)))
+        assert out == cm.EBinop("<<", t, cm.EConst(3))
+        out = select_expr(cm.EBinop("*", cm.EConst(4), t))
+        assert out == cm.EBinop("<<", t, cm.EConst(2))
+
+    def test_non_power_not_reduced(self):
+        t = cm.ETemp(0)
+        out = select_expr(cm.EBinop("*", t, cm.EConst(6)))
+        assert out.op == "*"
+
+    def test_loads_preserved(self):
+        e = cm.EBinop(
+            "*", cm.ELoad(cm.EAddrGlobal("g")), cm.EConst(1)
+        )
+        out = select_expr(e)
+        assert out == cm.ELoad(cm.EAddrGlobal("g")), (
+            "x*1 must simplify but keep the load"
+        )
+
+    def test_shift_appears_in_pipeline(self):
+        result = chain(SRC)  # contains y * 8
+        module = result.stage("Selection").module
+
+        def find_shift(node):
+            if isinstance(node, cm.EBinop) and node.op == "<<":
+                return True
+            for f in getattr(node, "_fields", ()):
+                v = getattr(node, f)
+                vs = v if isinstance(v, tuple) else (v,)
+                for item in vs:
+                    if isinstance(item, cm.Node) and find_shift(item):
+                        return True
+            return False
+
+        assert any(
+            find_shift(fn.body) for fn in module.functions.values()
+        )
+
+
+class TestRTLgen:
+    def test_cfg_well_formed(self):
+        result = chain(SRC)
+        for func in result.stage("RTLgen").module.functions.values():
+            assert func.entry in func.code
+            for instr in func.code.values():
+                for field in ("next", "iftrue", "iffalse"):
+                    succ = getattr(instr, field, None)
+                    if succ is not None:
+                        assert succ in func.code
+
+    def test_comparison_conditions_direct(self):
+        result = chain(
+            "void main() { int a = 1; if (a < 2) { print(1); } }"
+        )
+        func = result.stage("RTLgen").module.functions["main"]
+        conds = [
+            i for i in func.code.values() if isinstance(i, rtl.Icond)
+        ]
+        assert any(c.op == "<" for c in conds)
+
+
+class TestTailcall:
+    def test_tailcall_recognized(self):
+        result = chain(
+            "int id2(int n) { return n; } "
+            "int wrap(int n) { return id2(n); } "
+            "void main() { int r; r = wrap(3); print(r); }"
+        )
+        func = result.stage("Tailcall").module.functions["wrap"]
+        assert any(
+            isinstance(i, rtl.Itailcall) for i in func.code.values()
+        )
+
+    def test_non_tail_call_untouched(self):
+        result = chain(
+            "int id2(int n) { return n; } "
+            "int wrap(int n) { int r; r = id2(n); return r + 1; } "
+            "void main() { int r; r = wrap(3); print(r); }"
+        )
+        func = result.stage("Tailcall").module.functions["wrap"]
+        assert not any(
+            isinstance(i, rtl.Itailcall) for i in func.code.values()
+        )
+
+    def test_stackful_function_not_tailcalled(self):
+        result = chain(
+            "int deref(int* p) { return *p; } "
+            "int wrap(int n) { int x = n; return deref(&x); } "
+            "void main() { int r; r = wrap(3); print(r); }"
+        )
+        func = result.stage("Tailcall").module.functions["wrap"]
+        assert not any(
+            isinstance(i, rtl.Itailcall) for i in func.code.values()
+        )
+
+
+class TestRenumber:
+    def test_contiguous_numbering(self):
+        result = chain(SRC)
+        for func in result.stage("Renumber").module.functions.values():
+            assert sorted(func.code) == list(range(len(func.code)))
+            assert func.entry == 0
+
+    def test_unreachable_dropped(self):
+        before = chain(SRC).stage("Tailcall").module
+        after = chain(SRC).stage("Renumber").module
+        for name in before.functions:
+            assert len(after.functions[name].code) <= len(
+                before.functions[name].code
+            )
+
+
+class TestAllocation:
+    def test_computing_ops_use_registers_only(self):
+        result = chain(SRC)
+        for func in result.stage("Allocation").module.functions.values():
+            for instr in func.code.values():
+                if isinstance(instr, ltl.Lop) and instr.op != "move":
+                    assert all(is_reg(a) for a in instr.args)
+                    assert is_reg(instr.dst)
+                if isinstance(instr, (ltl.Lconst, ltl.Laddrglobal,
+                                      ltl.Laddrstack, ltl.Lload)):
+                    assert is_reg(instr.dst)
+                if isinstance(instr, ltl.Lstore):
+                    assert is_reg(instr.addr) and is_reg(instr.src)
+                if isinstance(instr, ltl.Lcond):
+                    assert all(is_reg(a) for a in instr.args)
+
+    def test_no_slot_to_slot_moves(self):
+        result = chain(SRC)
+        for func in result.stage("Allocation").module.functions.values():
+            for instr in func.code.values():
+                if isinstance(instr, ltl.Lop) and instr.op == "move":
+                    assert not (
+                        is_slot(instr.args[0]) and is_slot(instr.dst)
+                    )
+
+    def test_values_across_calls_spilled(self):
+        result = chain(
+            "int id2(int n) { return n; } "
+            "void main() { int keep = 7; int r; r = id2(1); "
+            "print(keep + r); }"
+        )
+        func = result.stage("Allocation").module.functions["main"]
+        assert func.numslots >= 1, (
+            "a value live across the call must live in a slot"
+        )
+
+    def test_too_many_params_rejected(self):
+        from repro.common.errors import CompileError
+
+        with pytest.raises(CompileError):
+            chain(
+                "int f(int a, int b, int c, int d) { return a; } "
+                "void main() { int r; r = f(1,2,3,4); print(r); }"
+            )
+
+
+class TestTunneling:
+    def test_nop_chains_collapsed(self):
+        result = chain(
+            "void main() { int i = 0; while (i < 2) { i = i + 1; } "
+            "print(i); }"
+        )
+        before = result.stage("Allocation").module.functions["main"]
+        after = result.stage("Tunneling").module.functions["main"]
+        nops_before = sum(
+            isinstance(i, ltl.Lnop) for i in before.code.values()
+        )
+        nops_after = sum(
+            isinstance(i, ltl.Lnop) for i in after.code.values()
+        )
+        assert nops_before >= 1
+        assert nops_after < nops_before
+
+
+class TestLinearize:
+    def test_every_branch_target_labelled(self):
+        result = chain(SRC)
+        for func in result.stage("Linearize").module.functions.values():
+            labels = {
+                i.lbl for i in func.code if isinstance(i, ln.LinLabel)
+            }
+            for instr in func.code:
+                if isinstance(instr, (ln.LinGoto, ln.LinCond)):
+                    assert instr.lbl in labels
+
+    def test_entry_is_first(self):
+        result = chain(SRC)
+        func = result.stage("Linearize").module.functions["main"]
+        assert isinstance(func.code[0], ln.LinLabel)
+
+
+class TestCleanupLabels:
+    def test_only_referenced_labels_survive(self):
+        result = chain(SRC)
+        func = result.stage("CleanupLabels").module.functions["main"]
+        used = referenced_labels(func.code)
+        for instr in func.code:
+            if isinstance(instr, ln.LinLabel):
+                assert instr.lbl in used
+
+    def test_labels_removed(self):
+        result = chain(SRC)
+        before = result.stage("Linearize").module.functions["main"]
+        after = result.stage("CleanupLabels").module.functions["main"]
+        assert len(after.code) <= len(before.code)
+
+
+class TestStacking:
+    def test_slots_become_stack_accesses(self):
+        result = chain(
+            "int id2(int n) { return n; } "
+            "void main() { int keep = 7; int r; r = id2(1); "
+            "print(keep + r); }"
+        )
+        func = result.stage("Stacking").module.functions["main"]
+        kinds = {type(i) for i in func.code}
+        assert mh.MGetstack in kinds and mh.MSetstack in kinds
+
+    def test_framesize_combines_slots_and_stackdata(self):
+        result = chain(
+            "void use(int* p) { *p = 1; } "
+            "void main() { int x = 0; use(&x); print(x); }"
+        )
+        linear_fn = result.stage("CleanupLabels").module.functions["main"]
+        mach_fn = result.stage("Stacking").module.functions["main"]
+        assert mach_fn.framesize == (
+            linear_fn.numslots + linear_fn.stacksize
+        )
+
+
+class TestAsmgen:
+    def test_frame_instructions_present(self):
+        result = chain(
+            "int id2(int n) { return n; } "
+            "void main() { int keep = 7; int r; r = id2(1); "
+            "print(keep + r); }"
+        )
+        func = result.target.module.functions["main"]
+        kinds = [type(i) for i in func.code]
+        assert kinds[0] is x86.Pallocframe
+        assert x86.Pfreeframe in kinds
+
+    def test_comparisons_via_cmp_setcc(self):
+        result = chain(
+            "void main() { int a = 1; int b; b = a < 2; print(b); }"
+        )
+        func = result.target.module.functions["main"]
+        kinds = {type(i) for i in func.code}
+        assert x86.Pcmp_rr in kinds or x86.Pcmp_ri in kinds
+        assert x86.Psetcc in kinds
+
+    def test_frameless_function_has_no_allocframe(self):
+        result = chain(
+            "int addc(int a) { return a + 1; } "
+            "void main() { int r; r = addc(1); print(r); }"
+        )
+        func = result.target.module.functions["addc"]
+        kinds = {type(i) for i in func.code}
+        if result.stage("Stacking").module.functions["addc"].framesize \
+                == 0:
+            assert x86.Pallocframe not in kinds

@@ -1,0 +1,118 @@
+"""Integration: behaviour preservation across all stages, on the suite."""
+
+import pytest
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.minic import compile_unit, link_units
+from repro.semantics import equivalent
+from repro.compiler import PASSES, compile_minic
+
+from tests.helpers import (
+    SUITE,
+    SUITE_EXPECTED,
+    behaviours_of,
+    done_traces,
+)
+
+
+def stage_program(stage, genv, entries=("main",)):
+    return Program(
+        [ModuleDecl(stage.lang, genv, stage.module)], list(entries)
+    )
+
+
+class TestPassTable:
+    def test_twelve_passes(self):
+        assert len(PASSES) == 12
+        assert [p[0] for p in PASSES] == [
+            "Cshmgen", "Cminorgen", "Selection", "RTLgen", "Tailcall",
+            "Renumber", "Allocation", "Tunneling", "Linearize",
+            "CleanupLabels", "Stacking", "Asmgen",
+        ]
+
+    def test_upto(self):
+        mods, genvs, _ = link_units([compile_unit(SUITE["arith"])])
+        result = compile_minic(mods[0], upto="RTLgen")
+        assert result.stages[-1].name == "RTLgen"
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+class TestSuitePreservation:
+    def test_expected_output(self, name):
+        mods, genvs, _ = link_units([compile_unit(SUITE[name])])
+        result = compile_minic(mods[0])
+        src_prog = stage_program(result.source, genvs[0])
+        traces = done_traces(behaviours_of(src_prog, max_states=500000))
+        assert traces == {SUITE_EXPECTED[name]}
+
+    def test_every_stage_equivalent(self, name):
+        mods, genvs, _ = link_units([compile_unit(SUITE[name])])
+        result = compile_minic(mods[0])
+        reference = behaviours_of(
+            stage_program(result.source, genvs[0]), max_states=500000
+        )
+        for stage in result.stages[1:]:
+            behs = behaviours_of(
+                stage_program(stage, genvs[0]), max_states=500000
+            )
+            assert bool(equivalent(reference, behs)), (
+                name,
+                stage.name,
+                sorted(map(repr, behs)),
+            )
+
+
+class TestCrossModule:
+    def test_example_2_1_compiled(self):
+        m1 = """
+        extern void g(int*);
+        int gb = 0;
+        int f() {
+          int a = 0;
+          g(&gb);
+          return a + gb;
+        }
+        void main() { int r; r = f(); print(r); }
+        """
+        m2 = """
+        extern int gb;
+        void g(int *x) { *x = 3; }
+        """
+        units = [compile_unit(m1), compile_unit(m2)]
+        mods, genvs, _ = link_units(units)
+        results = [compile_minic(m) for m in mods]
+
+        def program(stages):
+            return Program(
+                [
+                    ModuleDecl(s.lang, ge, s.module)
+                    for s, ge in zip(stages, genvs)
+                ],
+                ["main"],
+            )
+
+        src = behaviours_of(program([r.source for r in results]))
+        tgt = behaviours_of(
+            program([r.target for r in results]), max_states=500000
+        )
+        assert done_traces(src) == {(3,)}
+        assert bool(equivalent(src, tgt))
+
+    def test_mixed_stage_linking(self):
+        # Separate compilation: module 1 fully compiled, module 2 still
+        # source — they must still link and agree, because module
+        # interaction is at the interaction-semantics level.
+        m1 = "extern int getg(); void main() { int r; r = getg(); print(r); }"
+        m2 = "int g = 11; int getg() { return g; }"
+        units = [compile_unit(m1), compile_unit(m2)]
+        mods, genvs, _ = link_units(units)
+        r1 = compile_minic(mods[0])
+        r2 = compile_minic(mods[1])
+        prog = Program(
+            [
+                ModuleDecl(r1.target.lang, genvs[0], r1.target.module),
+                ModuleDecl(r2.source.lang, genvs[1], r2.source.module),
+            ],
+            ["main"],
+        )
+        assert done_traces(behaviours_of(prog)) == {(11,)}

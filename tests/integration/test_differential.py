@@ -1,0 +1,178 @@
+"""Differential testing with hypothesis-generated programs.
+
+* Random safe MiniC programs are compiled through the *optimizing*
+  pipeline and their behaviours compared source-vs-x86 (the GCorrect
+  conclusion, on arbitrary programs rather than the hand-picked suite).
+* Random two-thread CImp programs check the framework lemmas: DRF ⇔
+  NPDRF agreement always, and preemptive ≈ non-preemptive whenever the
+  program is DRF (Lem. 9).
+
+Generators produce only *safe* programs (locals initialized, divisions
+by non-zero constants, loops bounded) because the paper's correctness
+statements assume ``Safe(P)``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.minic import compile_unit, link_units
+from repro.semantics import drf, equivalent, npdrf
+from repro.compiler import compile_minic
+
+from tests.helpers import (
+    behaviours_of,
+    cimp_program,
+    np_behaviours_of,
+)
+
+# ----- MiniC generator --------------------------------------------------------
+
+_LOCALS = ("a", "b", "c")
+
+
+def _exprs(depth):
+    leaf = st.one_of(
+        st.integers(min_value=-5, max_value=5).map(str),
+        st.sampled_from(_LOCALS + ("g",)),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    binop = st.tuples(
+        sub, st.sampled_from(["+", "-", "*", "<", "<=", "==", "!="]),
+        sub,
+    ).map(lambda t: "({} {} {})".format(t[0], t[1], t[2]))
+    safe_div = st.tuples(
+        sub, st.sampled_from(["/", "%"]),
+        st.integers(min_value=1, max_value=4),
+    ).map(lambda t: "({} {} {})".format(t[0], t[1], t[2]))
+    unop = sub.map(lambda e: "(-{})".format(e))
+    return st.one_of(leaf, binop, safe_div, unop)
+
+
+def _stmts(depth):
+    expr = _exprs(2)
+    assign = st.tuples(
+        st.sampled_from(_LOCALS + ("g",)), expr
+    ).map(lambda t: "{} = {};".format(t[0], t[1]))
+    printing = expr.map(lambda e: "print({});".format(e))
+    helper_call = st.tuples(
+        st.sampled_from(_LOCALS), expr
+    ).map(lambda t: "{} = helper({});".format(t[0], t[1]))
+    base = st.one_of(assign, printing, helper_call)
+    if depth == 0:
+        return base
+    sub = st.lists(_stmts(depth - 1), min_size=1, max_size=3).map(
+        " ".join
+    )
+    conditional = st.tuples(expr, sub, sub).map(
+        lambda t: "if ({}) {{ {} }} else {{ {} }}".format(*t)
+    )
+    # Bounded loop: a dedicated counter no body statement touches.
+    loop = st.tuples(
+        st.integers(min_value=1, max_value=3), sub
+    ).map(
+        lambda t: (
+            "i = {}; while (i > 0) {{ i = i - 1; {} }}".format(*t)
+        )
+    )
+    return st.one_of(base, conditional, loop)
+
+
+@st.composite
+def minic_programs(draw):
+    body = " ".join(
+        draw(st.lists(_stmts(1), min_size=1, max_size=5))
+    )
+    return (
+        "int g = 1;\n"
+        "int helper(int a) { return a * 2 - 1; }\n"
+        "void main() {\n"
+        "  int a = 1; int b = 2; int c = 3; int i = 0;\n"
+        "  " + body + "\n"
+        "}\n"
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(minic_programs())
+def test_differential_compilation(source):
+    mods, genvs, _ = link_units([compile_unit(source)])
+    result = compile_minic(mods[0], optimize=True)
+
+    def behaviours(stage):
+        prog = Program(
+            [ModuleDecl(stage.lang, genvs[0], stage.module)], ["main"]
+        )
+        return behaviours_of(prog, max_states=300000, max_events=20)
+
+    src = behaviours(result.source)
+    tgt = behaviours(result.target)
+    assert bool(equivalent(src, tgt)), (
+        source,
+        sorted(map(repr, src)),
+        sorted(map(repr, tgt)),
+    )
+
+
+# ----- CImp two-thread generator ------------------------------------------------
+
+
+def _cimp_stmt():
+    plain = st.sampled_from([
+        "[C] := x + 1;",
+        "x := [C];",
+        "x := x + 1;",
+        "print(x);",
+        "skip;",
+    ])
+    atomic = st.sampled_from([
+        "<y := [C]; [C] := y + 1;>",
+        "<[C] := 5;>",
+        "<y := [C];>",
+    ])
+    return st.one_of(plain, atomic)
+
+
+@st.composite
+def cimp_threads(draw):
+    def thread():
+        stmts = draw(st.lists(_cimp_stmt(), min_size=1, max_size=4))
+        return "x := 0; " + " ".join(stmts)
+
+    return (
+        "t1(){{ {} }} t2(){{ {} }}".format(thread(), thread())
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cimp_threads())
+def test_differential_drf_npdrf_agreement(source):
+    prog = cimp_program(source, ["t1", "t2"])
+    assert drf(prog, max_states=300000) == npdrf(
+        prog, max_states=300000
+    ), source
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cimp_threads())
+def test_differential_lemma9(source):
+    prog = cimp_program(source, ["t1", "t2"])
+    if not drf(prog, max_states=300000):
+        return  # premise fails: vacuous
+    pre = behaviours_of(prog, max_states=300000, max_events=16)
+    non = np_behaviours_of(prog, max_states=300000, max_events=16)
+    assert bool(equivalent(pre, non)), source

@@ -1,0 +1,143 @@
+"""End-to-end integration: the suite compiled, validated, and checked
+for whole-program semantics preservation; plus fault-injection tests
+showing the validator rejects broken compilers."""
+
+import pytest
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.ir import rtl
+from repro.langs.minic import compile_unit, link_units
+from repro.semantics import equivalent
+from repro.simulation.validate import validate_compilation, validate_pair
+from repro.compiler import compile_minic
+from repro.compiler.pipeline import Stage
+from repro.langs.ir import RTL
+
+from tests.helpers import (
+    EXAMPLE_2_2,
+    SUITE,
+    behaviours_of,
+    done_traces,
+)
+from repro.framework import ClientSystem, check_gcorrect
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_suite_translation_validation(name):
+    mods, genvs, _ = link_units([compile_unit(SUITE[name])])
+    result = compile_minic(mods[0])
+    mem = genvs[0].memory()
+    validations = validate_compilation(result, mem, mem.domain())
+    bad = [
+        (v.pass_name, v.report.failures[:2])
+        for v in validations
+        if not v.ok
+    ]
+    assert not bad, bad
+
+
+class TestExample22:
+    """The lock-synchronized two-thread program of example (2.2)."""
+
+    def _system(self):
+        return ClientSystem(
+            [EXAMPLE_2_2], ["thread1", "thread2"], use_lock=True
+        )
+
+    def test_source_behaviours(self):
+        system = self._system()
+        behs = behaviours_of(
+            system.source_program(), max_states=800000
+        )
+        assert done_traces(behs) == {(2, 3), (3, 2)}
+
+    def test_gcorrect(self):
+        result = check_gcorrect(self._system(), max_states=2000000)
+        assert result.ok, (result.detail, result.premises)
+
+
+class _BreakingPass:
+    """Fault injections: corrupt the RTL of a compiled module."""
+
+    @staticmethod
+    def swap_const(module):
+        """Change a constant — wrong values flow to events."""
+        functions = {}
+        for name, func in module.functions.items():
+            code = dict(func.code)
+            for pc, instr in func.code.items():
+                if isinstance(instr, rtl.Iconst) and instr.n != 0:
+                    code[pc] = instr.replace(n=instr.n + 1)
+                    break
+            functions[name] = rtl.RTLFunction(
+                func.name, func.params, func.stacksize, func.entry,
+                code,
+            )
+        return module.with_functions(functions)
+
+    @staticmethod
+    def widen_footprint(module, extra_global):
+        """Insert a spurious shared-memory store."""
+        functions = {}
+        for name, func in module.functions.items():
+            code = dict(func.code)
+            fresh = max(code) + 1
+            reg_addr = 900
+            reg_val = 901
+            # entry: addrglobal; store; then old entry
+            code[fresh] = rtl.Iaddrglobal(
+                extra_global, reg_addr, fresh + 1
+            )
+            code[fresh + 1] = rtl.Iconst(77, reg_val, fresh + 2)
+            code[fresh + 2] = rtl.Istore(reg_addr, reg_val, func.entry)
+            functions[name] = rtl.RTLFunction(
+                func.name, func.params, func.stacksize, fresh, code
+            )
+        return module.with_functions(functions)
+
+
+class TestFaultInjection:
+    SRC = "int g = 5; void main() { g = g + 1; print(g); }"
+
+    def _stages(self):
+        mods, genvs, _ = link_units([compile_unit(self.SRC)])
+        result = compile_minic(mods[0])
+        mem = genvs[0].memory()
+        return result, mem
+
+    def test_wrong_constant_rejected(self):
+        result, mem = self._stages()
+        good = result.stage("Renumber")
+        broken = Stage(
+            "Renumber", RTL, _BreakingPass.swap_const(good.module)
+        )
+        report = validate_pair(
+            result.stage("Tailcall"), broken,
+            [("main", [])], mem, mem.domain(),
+        )
+        assert not report.ok
+
+    def test_spurious_store_rejected(self):
+        result, mem = self._stages()
+        good = result.stage("Renumber")
+        broken = Stage(
+            "Renumber",
+            RTL,
+            _BreakingPass.widen_footprint(good.module, "g"),
+        )
+        report = validate_pair(
+            result.stage("Tailcall"), broken,
+            [("main", [])], mem, mem.domain(),
+        )
+        assert not report.ok
+        assert any(
+            "FPmatch" in f or "LG" in f for f in report.failures
+        )
+
+    def test_sanity_unbroken_pass_accepted(self):
+        result, mem = self._stages()
+        report = validate_pair(
+            result.stage("Tailcall"), result.stage("Renumber"),
+            [("main", [])], mem, mem.domain(),
+        )
+        assert report.ok

@@ -1,0 +1,164 @@
+"""Tests for thread spawn — the paper's future-work extension, carried
+through CImp, MiniC, every compiler pass and the x86 machines."""
+
+import pytest
+
+from repro.common.errors import TypeCheckError
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.minic import compile_unit, link_units
+from repro.semantics import drf, equivalent, npdrf
+from repro.simulation.validate import validate_compilation
+from repro.compiler import compile_minic
+
+from tests.helpers import (
+    behaviours_of,
+    cimp_program,
+    done_traces,
+    np_behaviours_of,
+)
+
+
+class TestCImpSpawn:
+    def test_spawned_thread_runs(self):
+        prog = cimp_program(
+            "main(){ spawn worker; print(1); }"
+            "worker(){ print(2); }",
+            ["main"],
+        )
+        assert done_traces(behaviours_of(prog)) == {(1, 2), (2, 1)}
+
+    def test_spawn_gets_fresh_freelist(self):
+        # Both threads run functions with identical local behaviour;
+        # the state exploration terminates (distinct address spaces,
+        # no clash aborts).
+        prog = cimp_program(
+            "main(){ spawn worker; x := 1; print(x); }"
+            "worker(){ y := 2; print(y); }",
+            ["main"],
+        )
+        behs = behaviours_of(prog)
+        assert all(b.end != "abort" for b in behs)
+
+    def test_spawn_unresolved_aborts(self):
+        prog = cimp_program("main(){ spawn nothere; }", ["main"])
+        behs = behaviours_of(prog)
+        assert {b.end for b in behs} == {"abort"}
+
+    def test_nested_spawns(self):
+        prog = cimp_program(
+            "main(){ spawn mid; print(1); }"
+            "mid(){ spawn leaf; print(2); }"
+            "leaf(){ print(3); }",
+            ["main"],
+        )
+        traces = done_traces(behaviours_of(prog))
+        # 1 before 2 is not forced; 2 before 3 is not forced either —
+        # but all three prints always happen.
+        assert all(sorted(t) == [1, 2, 3] for t in traces)
+        assert len(traces) > 1
+
+    def test_races_with_spawned_thread_detected(self):
+        prog = cimp_program(
+            "main(){ spawn worker; [C] := 1; }"
+            "worker(){ [C] := 2; }",
+            ["main"],
+        )
+        assert not drf(prog)
+        assert not npdrf(prog)
+
+    def test_spawn_preserves_equivalence_for_drf(self):
+        prog = cimp_program(
+            "main(){ spawn worker; <x := [C]; [C] := x + 1;> print(1); }"
+            "worker(){ <y := [C]; [C] := y + 1;> print(2); }",
+            ["main"],
+        )
+        assert bool(
+            equivalent(behaviours_of(prog), np_behaviours_of(prog))
+        )
+
+
+SPAWN_SRC = """
+int flag = 0;
+void worker() {
+  print(2);
+  flag = 1;
+}
+void main() {
+  spawn worker;
+  print(1);
+}
+"""
+
+
+class TestMiniCSpawn:
+    def test_typecheck_rejects_unknown(self):
+        with pytest.raises(TypeCheckError):
+            compile_unit("void main() { spawn ghost; }")
+
+    def test_typecheck_rejects_arity(self):
+        with pytest.raises(TypeCheckError):
+            compile_unit(
+                "void w(int x) { print(x); } "
+                "void main() { spawn w; }"
+            )
+
+    def test_typecheck_rejects_nonvoid(self):
+        with pytest.raises(TypeCheckError):
+            compile_unit(
+                "int w() { return 1; } void main() { spawn w; }"
+            )
+
+    def test_extern_spawn_target_allowed(self):
+        unit = compile_unit(
+            "extern void w(); void main() { spawn w; }"
+        )
+        assert "main" in unit.functions
+
+    def test_source_semantics(self):
+        mods, genvs, _ = link_units([compile_unit(SPAWN_SRC)])
+        prog = Program([ModuleDecl(
+            __import__("repro.langs.minic.semantics",
+                       fromlist=["MINIC"]).MINIC,
+            genvs[0], mods[0])], ["main"])
+        assert done_traces(behaviours_of(prog)) == {(1, 2), (2, 1)}
+
+    def test_every_stage_preserves_spawn_behaviour(self):
+        mods, genvs, _ = link_units([compile_unit(SPAWN_SRC)])
+        result = compile_minic(mods[0], optimize=True)
+        ref = None
+        for stage in result.stages:
+            prog = Program(
+                [ModuleDecl(stage.lang, genvs[0], stage.module)],
+                ["main"],
+            )
+            behs = behaviours_of(prog, max_states=500000)
+            if ref is None:
+                ref = behs
+            assert bool(equivalent(ref, behs)), stage.name
+
+    def test_translation_validation_with_spawn(self):
+        mods, genvs, _ = link_units([compile_unit(SPAWN_SRC)])
+        result = compile_minic(mods[0])
+        mem = genvs[0].memory()
+        vals = validate_compilation(result, mem, mem.domain())
+        assert all(v.ok for v in vals), [
+            (v.pass_name, v.report.failures[:2])
+            for v in vals if not v.ok
+        ]
+
+    def test_cross_module_spawn(self):
+        m1 = "extern void w(); void main() { spawn w; print(1); }"
+        m2 = "void w() { print(2); }"
+        mods, genvs, _ = link_units(
+            [compile_unit(m1), compile_unit(m2)]
+        )
+        results = [compile_minic(m) for m in mods]
+        prog = Program(
+            [
+                ModuleDecl(r.target.lang, ge, r.target.module)
+                for r, ge in zip(results, genvs)
+            ],
+            ["main"],
+        )
+        assert done_traces(behaviours_of(prog, max_states=500000)) \
+            == {(1, 2), (2, 1)}

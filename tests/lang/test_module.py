@@ -1,0 +1,89 @@
+"""Tests for global environments, linking (GE(Π)) and programs."""
+
+import pytest
+
+from repro.common.errors import SemanticsError
+from repro.common.values import VInt, VPtr
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.cimp import CIMP, parse_module
+
+
+class TestGlobalEnv:
+    def test_address_of(self):
+        ge = GlobalEnv({"x": 4}, {4: VInt(0)})
+        assert ge.address_of("x") == 4
+        assert ge.address_of("y") is None
+
+    def test_memory(self):
+        ge = GlobalEnv({"x": 4}, {4: VInt(9)})
+        assert ge.memory().load(4) == VInt(9)
+
+    def test_rejects_local_addresses(self):
+        with pytest.raises(SemanticsError):
+            GlobalEnv({"x": 1 << 30})
+
+    def test_compatible_disjoint(self):
+        a = GlobalEnv({"x": 1}, {1: VInt(0)})
+        b = GlobalEnv({"y": 2}, {2: VInt(0)})
+        assert a.compatible(b)
+        u = a.union(b)
+        assert u.symbols == {"x": 1, "y": 2}
+
+    def test_compatible_agreeing_overlap(self):
+        a = GlobalEnv({"x": 1}, {1: VInt(0)})
+        b = GlobalEnv({"x": 1}, {1: VInt(0)})
+        assert a.compatible(b)
+
+    def test_incompatible_symbol_clash(self):
+        a = GlobalEnv({"x": 1})
+        b = GlobalEnv({"x": 2})
+        assert not a.compatible(b)
+        with pytest.raises(SemanticsError):
+            a.union(b)
+
+    def test_incompatible_address_collision(self):
+        # Two different names at the same address.
+        a = GlobalEnv({"x": 1})
+        b = GlobalEnv({"y": 1})
+        assert not a.compatible(b)
+
+    def test_incompatible_init_values(self):
+        a = GlobalEnv({"x": 1}, {1: VInt(0)})
+        b = GlobalEnv({"x": 1}, {1: VInt(5)})
+        assert not a.compatible(b)
+
+
+class TestProgram:
+    def _decl(self, symbols, init):
+        mod = parse_cimp_module("main(){ skip; }", symbols)
+        return ModuleDecl(CIMP, GlobalEnv(symbols, init), mod)
+
+    def test_requires_a_thread(self):
+        with pytest.raises(SemanticsError):
+            Program([], [])
+
+    def test_initial_memory_is_linked_ge(self):
+        mod = parse_module("main(){ skip; }", symbols={"x": 4})
+        decl = ModuleDecl(CIMP, GlobalEnv({"x": 4}, {4: VInt(3)}), mod)
+        prog = Program([decl], ["main"])
+        assert prog.initial_memory().load(4) == VInt(3)
+        assert prog.shared_addresses() == {4}
+
+    def test_wild_pointer_rejected_at_load(self):
+        mod = parse_module("main(){ skip; }", symbols={"x": 4})
+        decl = ModuleDecl(
+            CIMP, GlobalEnv({"x": 4}, {4: VPtr(999)}), mod
+        )
+        prog = Program([decl], ["main"])
+        with pytest.raises(SemanticsError):
+            prog.initial_memory()
+
+    def test_internal_pointer_accepted(self):
+        mod = parse_module("main(){ skip; }", symbols={"x": 4, "y": 5})
+        ge = GlobalEnv({"x": 4, "y": 5}, {4: VPtr(5), 5: VInt(0)})
+        prog = Program([ModuleDecl(CIMP, ge, mod)], ["main"])
+        assert prog.initial_memory().load(4) == VPtr(5)
+
+
+def parse_cimp_module(src, symbols):
+    return parse_module(src, symbols=symbols)

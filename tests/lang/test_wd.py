@@ -1,0 +1,185 @@
+"""Well-definedness (Def. 1) dynamic checks for the concrete languages.
+
+The paper proves ``wd`` for Clight, Cminor and x86 in Coq; we check the
+four conditions on executions of representative modules in each of our
+languages, via the perturbation-based checker.
+"""
+
+import pytest
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.wd import (
+    check_execution_wd,
+    check_memory_invariance,
+    check_step_wd,
+    leq_pre_perturbations,
+)
+from repro.common.footprint import EMP, Footprint
+from repro.langs.cimp import CIMP, parse_module
+from repro.langs.minic import MINIC, compile_unit, link_units
+from repro.compiler import compile_minic
+
+FLIST = FreeList.for_thread(0)
+
+
+def cimp_setup(src, symbols, init, entry="main"):
+    module = parse_module(src, symbols=symbols)
+    core = CIMP.init_core(module, entry)
+    return CIMP, module, core, Memory(init)
+
+
+def minic_chain(src, entry, args=()):
+    units = [compile_unit(src)]
+    mods, genvs, _ = link_units(units)
+    result = compile_minic(mods[0])
+    mem = genvs[0].memory()
+    return result, mem
+
+
+class TestPerturbationGenerator:
+    def test_variants_satisfy_leq_pre(self):
+        mem = Memory({1: VInt(1), 2: VInt(2), 3: VInt(3)})
+        fp = Footprint({1}, {2})
+        from repro.common.memory import leq_pre
+
+        for variant in leq_pre_perturbations(mem, fp, frozenset()):
+            assert leq_pre(mem, variant, fp, frozenset())
+
+    def test_no_variant_touches_read_set_contents(self):
+        mem = Memory({1: VInt(1), 2: VInt(2)})
+        fp = Footprint({1, 2}, {1, 2})
+        for variant in leq_pre_perturbations(mem, fp, frozenset()):
+            assert variant.load(1) == VInt(1)
+            assert variant.load(2) == VInt(2)
+
+
+class TestCImpWD:
+    def test_store_and_load_steps(self):
+        lang, module, core, mem = cimp_setup(
+            "main(){ x := [C]; [C] := x + 1; [D] := x; }",
+            {"C": 100, "D": 101},
+            {100: VInt(5), 101: VInt(0), 102: VInt(9)},
+        )
+        violations = check_execution_wd(lang, module, core, mem, FLIST)
+        assert violations == []
+
+    def test_atomic_block(self):
+        lang, module, core, mem = cimp_setup(
+            "main(){ <x := [C]; [C] := 0;> }",
+            {"C": 100},
+            {100: VInt(1), 101: VInt(2)},
+        )
+        violations = check_execution_wd(lang, module, core, mem, FLIST)
+        assert violations == []
+
+    def test_control_flow(self):
+        lang, module, core, mem = cimp_setup(
+            "main(){ i := 0; while(i < 3){ i := i + 1; } "
+            "if (i == 3) { [C] := i; } }",
+            {"C": 100},
+            {100: VInt(0), 101: VInt(7)},
+        )
+        violations = check_execution_wd(lang, module, core, mem, FLIST)
+        assert violations == []
+
+    def test_memory_invariance(self):
+        lang, module, core, mem = cimp_setup(
+            "main(){ [C] := 7; }", {"C": 100},
+            {100: VInt(0), 101: VInt(1)},
+        )
+        assert check_memory_invariance(
+            lang, module, core, mem, FLIST
+        ) == []
+
+
+class _LyingLang:
+    """A deliberately ill-defined language: it writes memory without
+    reporting the location in its write set."""
+
+    name = "liar"
+
+    def init_core(self, module, entry, args=()):
+        return "start"
+
+    def step(self, module, core, mem, flist):
+        from repro.lang.messages import TAU
+        from repro.lang.steps import Step
+
+        if core == "start":
+            mem2 = mem.store(100, VInt(9))
+            if mem2 is None:
+                return []
+            return [Step(TAU, EMP, "done2", mem2)]
+        return []
+
+
+class TestWDCatchesViolations:
+    def test_hidden_write_detected(self):
+        lang = _LyingLang()
+        mem = Memory({100: VInt(0)})
+        violations = check_step_wd(lang, None, "start", mem, FLIST)
+        assert any("LEffect" in v for v in violations)
+
+    def test_hidden_write_fails_invariance(self):
+        lang = _LyingLang()
+        mem = Memory({100: VInt(0)})
+        assert check_memory_invariance(lang, None, "start", mem, FLIST)
+
+
+class _SneakyReadLang:
+    """Reads memory without reporting it in the read set: behaviour
+    changes under LEqPre perturbation."""
+
+    name = "sneaky"
+
+    def init_core(self, module, entry, args=()):
+        return "start"
+
+    def step(self, module, core, mem, flist):
+        from repro.lang.messages import TAU
+        from repro.lang.steps import Step
+
+        if core == "start":
+            hidden = mem.load(100)
+            nxt = "saw-{}".format(
+                hidden.n if hidden is not None else "gone"
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+        return []
+
+
+class TestWDCatchesHiddenReads:
+    def test_hidden_read_detected(self):
+        lang = _SneakyReadLang()
+        mem = Memory({100: VInt(0)})
+        violations = check_step_wd(lang, None, "start", mem, FLIST)
+        assert violations, "unreported read must be flagged"
+
+
+@pytest.mark.parametrize("stage_name", [
+    "source", "Cshmgen", "Cminorgen", "RTLgen", "Allocation",
+    "Linearize", "Stacking", "Asmgen",
+])
+class TestPipelineLanguagesWD:
+    SRC = """
+    int g = 3;
+    int addg(int a) { return a + g; }
+    void main() {
+      int r;
+      r = addg(4);
+      g = r;
+      print(r);
+    }
+    """
+
+    def test_stage_wd(self, stage_name):
+        result, mem = minic_chain(self.SRC, "main")
+        stage = result.stage(stage_name) if stage_name != "source" \
+            else result.source
+        core = stage.lang.init_core(stage.module, "main")
+        violations = check_execution_wd(
+            stage.lang, stage.module, core, mem, FLIST, max_steps=100
+        )
+        assert violations == []

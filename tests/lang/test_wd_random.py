@@ -1,0 +1,52 @@
+"""Property-based well-definedness: random CImp programs satisfy
+Def. 1 along their executions."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.wd import check_execution_wd
+from repro.langs.cimp import CIMP, parse_module
+
+FLIST = FreeList.for_thread(0)
+CELLS = {"C": 100, "D": 101}
+
+
+def _stmt():
+    return st.sampled_from([
+        "x := [C];",
+        "x := [D];",
+        "[C] := x + 1;",
+        "[D] := x - 1;",
+        "x := x * 2;",
+        "print(x);",
+        "skip;",
+        "<y := [C]; [C] := y + 1;>",
+        "if (x < 3) { [C] := 0; } else { [D] := 0; }",
+        "i := 2; while (i > 0) { i := i - 1; x := [C]; }",
+        "assert(x == x);",
+    ])
+
+
+@st.composite
+def cimp_bodies(draw):
+    stmts = draw(st.lists(_stmt(), min_size=1, max_size=6))
+    return "main(){ x := 0; " + " ".join(stmts) + " }"
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cimp_bodies())
+def test_random_cimp_programs_are_wd(source):
+    module = parse_module(source, symbols=CELLS)
+    mem = Memory({100: VInt(0), 101: VInt(1), 102: VInt(9)})
+    core = CIMP.init_core(module, "main")
+    violations = check_execution_wd(
+        CIMP, module, core, mem, FLIST, max_steps=80, limit=2
+    )
+    assert violations == [], (source, violations[:3])

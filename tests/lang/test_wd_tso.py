@@ -1,0 +1,112 @@
+"""Well-definedness (Def. 1) of the x86-TSO machine.
+
+The TSO machine is nondeterministic (buffer flushes), so this exercises
+Def. 1 item (4): the *set* of outcomes must be insensitive to memory
+outside the silent read sets. Buffered stores report empty footprints
+(the memory effect belongs to the flush step), buffer-forwarded loads
+report empty read sets — the checker verifies these claims are honest.
+"""
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.steps import Step
+from repro.lang.wd import check_step_wd
+from repro.lang.messages import is_silent
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import X86TSO, X86Function
+from repro.langs.x86 import ast as x
+
+FLIST = FreeList.for_thread(0)
+A, B = 30, 31
+
+
+def _module(*instrs):
+    func = X86Function("f", 0, list(instrs) + [
+        x.Pmov_ri("eax", 0), x.Pret(),
+    ])
+    return IRModule({"f": func}, {"a": A, "b": B})
+
+
+def _drive(module, mem, picks):
+    """Run, choosing outcome index ``picks[i]`` at each step."""
+    core = X86TSO.init_core(module, "f")
+    for pick in picks:
+        outs = [
+            o
+            for o in X86TSO.step(module, core, mem, FLIST)
+            if isinstance(o, Step)
+        ]
+        out = outs[min(pick, len(outs) - 1)]
+        core, mem = out.core, out.mem
+    return core, mem
+
+
+class TestTSOWellDefined:
+    def test_buffered_store_state(self):
+        module = _module(
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_ri("ecx", 2),
+        )
+        mem = Memory({A: VInt(0), B: VInt(5)})
+        # After mov_ri + buffered store: nondeterministic state.
+        core, mem2 = _drive(module, mem, [0, 0])
+        assert core.buffer
+        violations = check_step_wd(X86TSO, module, core, mem2, FLIST)
+        assert violations == [], violations
+
+    def test_buffer_forwarded_load_state(self):
+        module = _module(
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_rm("ecx", ("global", "a")),
+        )
+        mem = Memory({A: VInt(0), B: VInt(5)})
+        core, mem2 = _drive(module, mem, [0, 0])
+        violations = check_step_wd(X86TSO, module, core, mem2, FLIST)
+        assert violations == [], violations
+
+    def test_memory_load_state(self):
+        module = _module(
+            x.Pmov_rm("ecx", ("global", "b")),
+        )
+        mem = Memory({A: VInt(0), B: VInt(5)})
+        core = X86TSO.init_core(module, "f")
+        violations = check_step_wd(X86TSO, module, core, mem, FLIST)
+        assert violations == [], violations
+
+    def test_fence_blocked_state(self):
+        module = _module(
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmfence(),
+        )
+        mem = Memory({A: VInt(0), B: VInt(5)})
+        core, mem2 = _drive(module, mem, [0, 0])
+        # Only the flush is enabled; the flush writes A.
+        violations = check_step_wd(X86TSO, module, core, mem2, FLIST)
+        assert violations == [], violations
+
+    def test_execution_prefix_all_wd(self):
+        module = _module(
+            x.Pmov_ri("ebx", 7),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_rm("ecx", ("global", "b")),
+            x.Pmov_mr(("global", "b"), "ecx"),
+        )
+        mem = Memory({A: VInt(0), B: VInt(5)})
+        core = X86TSO.init_core(module, "f")
+        for _ in range(12):
+            violations = check_step_wd(
+                X86TSO, module, core, mem, FLIST, limit=2
+            )
+            assert violations == [], violations
+            outs = [
+                o
+                for o in X86TSO.step(module, core, mem, FLIST)
+                if isinstance(o, Step) and is_silent(o.msg)
+            ]
+            if not outs:
+                break
+            core, mem = outs[0].core, outs[0].mem

@@ -1,0 +1,195 @@
+"""Tests for the CImp object language: parser and semantics."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt, VPtr
+from repro.lang.messages import ENT_ATOM, EXT_ATOM, RetMsg
+from repro.lang.steps import Step, StepAbort
+from repro.langs.cimp import CIMP, parse_functions, parse_module
+from repro.langs.cimp import ast
+
+from tests.helpers import behaviours_of, cimp_program, done_traces
+
+FLIST = FreeList.for_thread(0)
+
+
+class TestParser:
+    def test_fig10a_lock_spec_parses(self):
+        funcs = parse_functions(
+            "lock(){ r := 0; while(r == 0){ <r := [L]; [L] := 0;> } }"
+            "unlock(){ < r := [L]; assert(r == 0); [L] := 1; > }"
+        )
+        names = {f.name for f in funcs}
+        assert names == {"lock", "unlock"}
+
+    def test_precedence(self):
+        (f,) = parse_functions("f(){ x := 1 + 2 * 3; }")
+        assign = f.body.stmts[0]
+        assert isinstance(assign.expr, ast.Bin)
+        assert assign.expr.op == "+"
+        assert assign.expr.right.op == "*"
+
+    def test_parenthesized(self):
+        (f,) = parse_functions("f(){ x := (1 + 2) * 3; }")
+        assert f.body.stmts[0].expr.op == "*"
+
+    def test_unary(self):
+        (f,) = parse_functions("f(){ x := -1; y := !x; }")
+        assert isinstance(f.body.stmts[0].expr, ast.Const)
+        assert isinstance(f.body.stmts[1].expr, ast.Un)
+
+    def test_load_store_syntax(self):
+        (f,) = parse_functions("f(){ x := [L]; [L] := x + 1; }")
+        assert isinstance(f.body.stmts[0].expr, ast.Load)
+        assert isinstance(f.body.stmts[1], ast.Store)
+
+    def test_params(self):
+        (f,) = parse_functions("f(a, b){ return a + b; }")
+        assert f.params == ("a", "b")
+
+    def test_if_else(self):
+        (f,) = parse_functions(
+            "f(){ if (1 < 2) { x := 1; } else { x := 2; } }"
+        )
+        assert isinstance(f.body.stmts[0], ast.If)
+
+    def test_comments_skipped(self):
+        (f,) = parse_functions("// header\nf(){ skip; // end\n }")
+        assert f.name == "f"
+
+    def test_error_has_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_functions("f(){\n x := ; }")
+        assert "line 2" in str(err.value)
+
+    def test_unbalanced_atomic(self):
+        with pytest.raises(ParseError):
+            parse_functions("f(){ < skip; }")
+
+
+class TestSemantics:
+    def _run(self, src, mem, entry="main", args=()):
+        module = parse_module(src, symbols={"C": 100, "D": 101})
+        core = CIMP.init_core(module, entry, args)
+        trace = []
+        for _ in range(200):
+            outs = CIMP.step(module, core, mem, FLIST)
+            if not outs:
+                break
+            (out,) = outs
+            if isinstance(out, StepAbort):
+                return trace, "abort", mem
+            trace.append(out.msg)
+            core, mem = out.core, out.mem
+            if isinstance(out.msg, RetMsg):
+                return trace, out.msg.value, mem
+        return trace, None, mem
+
+    def test_arith_and_registers(self):
+        trace, ret, _ = self._run(
+            "main(){ x := 6 * 7; return x; }", Memory()
+        )
+        assert ret == VInt(42)
+
+    def test_implicit_return_zero(self):
+        _, ret, _ = self._run("main(){ skip; }", Memory())
+        assert ret == VInt(0)
+
+    def test_params_bound(self):
+        module = parse_module("f(a){ return a + 1; }")
+        core = CIMP.init_core(module, "f", (VInt(4),))
+        (out,) = CIMP.step(module, core, Memory(), FLIST)
+        assert out.msg == RetMsg(VInt(5))
+
+    def test_arity_mismatch_aborts(self):
+        module = parse_module("f(a){ return a; }")
+        core = CIMP.init_core(module, "f", ())
+        (out,) = CIMP.step(module, core, Memory(), FLIST)
+        assert isinstance(out, StepAbort)
+
+    def test_missing_entry_is_none(self):
+        module = parse_module("f(){ skip; }")
+        assert CIMP.init_core(module, "g") is None
+
+    def test_symbol_resolves_to_pointer(self):
+        mem = Memory({100: VInt(9)})
+        _, ret, _ = self._run("main(){ x := [C]; return x; }", mem)
+        assert ret == VInt(9)
+
+    def test_store_updates_memory(self):
+        mem = Memory({100: VInt(0)})
+        _, _, out_mem = self._run("main(){ [C] := 8; }", mem)
+        assert out_mem.load(100) == VInt(8)
+
+    def test_atomic_emits_boundaries(self):
+        mem = Memory({100: VInt(0)})
+        trace, _, _ = self._run("main(){ <[C] := 1;> }", mem)
+        assert ENT_ATOM in trace and EXT_ATOM in trace
+        assert trace.index(ENT_ATOM) < trace.index(EXT_ATOM)
+
+    def test_assert_true_passes(self):
+        _, ret, _ = self._run("main(){ assert(1 == 1); }", Memory())
+        assert ret == VInt(0)
+
+    def test_assert_false_aborts(self):
+        _, ret, _ = self._run("main(){ assert(1 == 2); }", Memory())
+        assert ret == "abort"
+
+    def test_unbound_identifier_aborts(self):
+        _, ret, _ = self._run("main(){ x := nosuch; }", Memory())
+        assert ret == "abort"
+
+    def test_footprints_report_loads_and_stores(self):
+        module = parse_module(
+            "main(){ [C] := [D] + 1; }", symbols={"C": 100, "D": 101}
+        )
+        core = CIMP.init_core(module, "main")
+        mem = Memory({100: VInt(0), 101: VInt(4)})
+        (out,) = CIMP.step(module, core, mem, FLIST)
+        assert out.fp.rs == {101}
+        assert out.fp.ws == {100}
+
+    def test_owned_restriction(self):
+        module = parse_module(
+            "main(){ [D] := 1; }",
+            symbols={"C": 100, "D": 101},
+            owned={100},
+        )
+        core = CIMP.init_core(module, "main")
+        mem = Memory({100: VInt(0), 101: VInt(0)})
+        (out,) = CIMP.step(module, core, mem, FLIST)
+        assert isinstance(out, StepAbort)
+
+    def test_deterministic(self):
+        module = parse_module(
+            "main(){ i := 0; while(i < 3){ i := i + 1; } }"
+        )
+        core = CIMP.init_core(module, "main")
+        mem = Memory()
+        while True:
+            outs = CIMP.step(module, core, mem, FLIST)
+            assert len(outs) <= 1
+            if not outs or not isinstance(outs[0], Step):
+                break
+            core, mem = outs[0].core, outs[0].mem
+            if isinstance(outs[0].msg, RetMsg):
+                break
+
+
+class TestWholePrograms:
+    def test_div_mod(self):
+        prog = cimp_program(
+            "main(){ print(7 / 2); print(7 % 2); print(-7 / 2); }",
+            ["main"],
+        )
+        assert done_traces(behaviours_of(prog)) == {(3, 1, -3)}
+
+    def test_division_by_zero_aborts(self):
+        prog = cimp_program(
+            "main(){ x := [C]; print(1 / x); }", ["main"]
+        )
+        behs = behaviours_of(prog)
+        assert {b.end for b in behs} == {"abort"}

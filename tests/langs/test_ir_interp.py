@@ -1,0 +1,351 @@
+"""Direct unit tests of the IR interpreters on hand-built programs.
+
+The pipeline integration tests exercise the interpreters on compiled
+code; these tests pin down individual instruction semantics with
+hand-assembled functions at each level.
+"""
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt, VPtr
+from repro.lang.messages import RetMsg, TAU
+from repro.lang.steps import Step, StepAbort
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import csharpminor as csm
+from repro.langs.ir import linear as ln
+from repro.langs.ir import ltl
+from repro.langs.ir import mach as mh
+from repro.langs.ir import rtl
+from repro.langs.ir import (
+    CMINOR,
+    CSHARPMINOR,
+    LINEAR,
+    LTL,
+    MACH,
+    RTL,
+)
+from repro.langs.ir.base import IRModule
+from repro.langs.x86.regs import ARG_REGS, RET_REG
+
+FLIST = FreeList.for_thread(0)
+G = 20  # a global cell
+
+
+def run(lang, module, entry, mem, args=(), max_steps=500):
+    core = lang.init_core(module, entry, args)
+    for _ in range(max_steps):
+        outs = lang.step(module, core, mem, FLIST)
+        if not outs:
+            return None, mem
+        (out,) = outs
+        if isinstance(out, StepAbort):
+            return "abort", mem
+        core, mem = out.core, out.mem
+        if isinstance(out.msg, RetMsg):
+            return out.msg.value, mem
+    raise AssertionError("did not terminate")
+
+
+class TestCsharpminor:
+    def _module(self, func):
+        return IRModule({func.name: func}, {"g": G})
+
+    def test_temps_have_no_footprint(self):
+        func = csm.CshmFunction(
+            "f", ("a",), (),
+            csm.SSeq([
+                csm.SSet("x", csm.EBinop("+", csm.ETemp("a"),
+                                         csm.EConst(1))),
+                csm.SReturn(csm.ETemp("x")),
+            ]),
+        )
+        module = self._module(func)
+        core = CSHARPMINOR.init_core(module, "f", (VInt(4),))
+        mem = Memory({G: VInt(0)})
+        (out,) = CSHARPMINOR.step(module, core, mem, FLIST)  # enter
+        (out,) = CSHARPMINOR.step(module, out.core, out.mem, FLIST)
+        assert out.fp.is_empty(), "temp assignment must not touch memory"
+
+    def test_stack_local_allocated(self):
+        func = csm.CshmFunction(
+            "f", (), ("x",),
+            csm.SSeq([
+                csm.SStore(csm.EAddrLocal("x"), csm.EConst(5)),
+                csm.SReturn(csm.ELoad(csm.EAddrLocal("x"))),
+            ]),
+        )
+        value, _ = run(
+            CSHARPMINOR, self._module(func), "f", Memory({G: VInt(0)})
+        )
+        assert value == VInt(5)
+
+    def test_global_store(self):
+        func = csm.CshmFunction(
+            "f", (), (),
+            csm.SStore(csm.EAddrGlobal("g"), csm.EConst(3)),
+        )
+        _, mem = run(
+            CSHARPMINOR, self._module(func), "f", Memory({G: VInt(0)})
+        )
+        assert mem.load(G) == VInt(3)
+
+    def test_undefined_temp_aborts(self):
+        func = csm.CshmFunction(
+            "f", (), (), csm.SReturn(csm.ETemp("nope"))
+        )
+        value, _ = run(
+            CSHARPMINOR, self._module(func), "f", Memory()
+        )
+        assert value == "abort"
+
+
+class TestCminor:
+    def test_stack_block_addressing(self):
+        func = cm.CmFunction(
+            "f", 0, 2,
+            cm.SSeq([
+                cm.SStore(cm.EAddrStack(1), cm.EConst(9)),
+                cm.SReturn(cm.ELoad(cm.EAddrStack(1))),
+            ]),
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(CMINOR, module, "f", Memory())
+        assert value == VInt(9)
+
+    def test_numbered_params(self):
+        func = cm.CmFunction(
+            "f", 2, 0,
+            cm.SReturn(cm.EBinop("-", cm.ETemp(0), cm.ETemp(1))),
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(
+            CMINOR, module, "f", Memory(), (VInt(10), VInt(4))
+        )
+        assert value == VInt(6)
+
+
+def rtl_module(code, params=(), stacksize=0, entry=0, symbols=None):
+    func = rtl.RTLFunction("f", params, stacksize, entry, code)
+    return IRModule({"f": func}, symbols or {"g": G})
+
+
+class TestRTL:
+    def test_const_op_return(self):
+        module = rtl_module({
+            0: rtl.Iconst(20, 1, 1),
+            1: rtl.Iconst(22, 2, 2),
+            2: rtl.Iop("+", (1, 2), 3, 3),
+            3: rtl.Ireturn(3),
+        })
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == VInt(42)
+
+    def test_load_store_global(self):
+        module = rtl_module({
+            0: rtl.Iaddrglobal("g", 1, 1),
+            1: rtl.Iconst(5, 2, 2),
+            2: rtl.Istore(1, 2, 3),
+            3: rtl.Iload(1, 4, 4),
+            4: rtl.Ireturn(4),
+        })
+        value, mem = run(RTL, module, "f", Memory({G: VInt(0)}))
+        assert value == VInt(5)
+        assert mem.load(G) == VInt(5)
+
+    def test_cond_branches(self):
+        module = rtl_module({
+            0: rtl.Iconst(1, 1, 1),
+            1: rtl.Iconst(2, 2, 2),
+            2: rtl.Icond("<", (1, 2), 3, 4),
+            3: rtl.Iconst(111, 3, 5),
+            4: rtl.Iconst(222, 3, 5),
+            5: rtl.Ireturn(3),
+        })
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == VInt(111)
+
+    def test_stack_allocation(self):
+        module = rtl_module({
+            0: rtl.Iaddrstack(0, 1, 1),
+            1: rtl.Iconst(7, 2, 2),
+            2: rtl.Istore(1, 2, 3),
+            3: rtl.Iload(1, 4, 4),
+            4: rtl.Ireturn(4),
+        }, stacksize=1)
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == VInt(7)
+
+    def test_internal_call(self):
+        callee = rtl.RTLFunction(
+            "sq", (0,), 0, 0,
+            {0: rtl.Iop("*", (0, 0), 1, 1), 1: rtl.Ireturn(1)},
+        )
+        caller = rtl.RTLFunction(
+            "f", (), 0, 0,
+            {
+                0: rtl.Iconst(6, 1, 1),
+                1: rtl.Icall("sq", (1,), 2, 2, False),
+                2: rtl.Ireturn(2),
+            },
+        )
+        module = IRModule({"f": caller, "sq": callee}, {})
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == VInt(36)
+
+    def test_tailcall_replaces_frame(self):
+        callee = rtl.RTLFunction(
+            "k", (0,), 0, 0, {0: rtl.Ireturn(0)}
+        )
+        caller = rtl.RTLFunction(
+            "f", (), 0, 0,
+            {
+                0: rtl.Iconst(5, 1, 1),
+                1: rtl.Itailcall("k", (1,)),
+            },
+        )
+        module = IRModule({"f": caller, "k": callee}, {})
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == VInt(5)
+
+    def test_undefined_register_aborts(self):
+        module = rtl_module({0: rtl.Ireturn(9)})
+        value, _ = run(RTL, module, "f", Memory())
+        assert value == "abort"
+
+
+class TestLTL:
+    def test_regs_and_slots(self):
+        func = ltl.LTLFunction(
+            "f", 0, 0, 1, 0,
+            {
+                0: ltl.Lconst(11, "ebx", 1),
+                1: ltl.Lop("move", ("ebx",), ("s", 0), 2),
+                2: ltl.Lconst(0, "ebx", 3),
+                3: ltl.Lop("move", (("s", 0),), RET_REG, 4),
+                4: ltl.Lreturn(),
+            },
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(LTL, module, "f", Memory())
+        assert value == VInt(11)
+
+    def test_args_arrive_in_arg_regs(self):
+        func = ltl.LTLFunction(
+            "f", 2, 0, 0, 0,
+            {
+                0: ltl.Lop("+", (ARG_REGS[0], ARG_REGS[1]), RET_REG, 1),
+                1: ltl.Lreturn(),
+            },
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(LTL, module, "f", Memory(), (VInt(4), VInt(5)))
+        assert value == VInt(9)
+
+    def test_slots_are_per_activation(self):
+        inner = ltl.LTLFunction(
+            "inner", 0, 0, 1, 0,
+            {
+                0: ltl.Lconst(99, "ebx", 1),
+                1: ltl.Lop("move", ("ebx",), ("s", 0), 2),
+                2: ltl.Lconst(0, RET_REG, 3),
+                3: ltl.Lreturn(),
+            },
+        )
+        outer = ltl.LTLFunction(
+            "f", 0, 0, 1, 0,
+            {
+                0: ltl.Lconst(1, "ebx", 1),
+                1: ltl.Lop("move", ("ebx",), ("s", 0), 2),
+                2: ltl.Lcall("inner", 0, 3, False),
+                3: ltl.Lop("move", (("s", 0),), RET_REG, 4),
+                4: ltl.Lreturn(),
+            },
+        )
+        module = IRModule({"f": outer, "inner": inner}, {})
+        value, _ = run(LTL, module, "f", Memory())
+        assert value == VInt(1), "inner's slot write leaked into outer"
+
+
+class TestLinear:
+    def test_labels_gotos_conds(self):
+        func = ln.LinearFunction(
+            "f", 1, 0, 0,
+            [
+                # Count the argument down to 1.
+                ln.LinLabel("loop"),
+                ln.LinConst(1, "ebx"),
+                ln.LinCond("<=", (ARG_REGS[0], "ebx"), "end"),
+                ln.LinOp("-", (ARG_REGS[0], "ebx"), ARG_REGS[0]),
+                ln.LinGoto("loop"),
+                ln.LinLabel("end"),
+                ln.LinOp("move", (ARG_REGS[0],), RET_REG),
+                ln.LinReturn(),
+            ],
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(LINEAR, module, "f", Memory(), (VInt(3),))
+        assert value == VInt(1)
+
+    def test_fallthrough(self):
+        func = ln.LinearFunction(
+            "f", 0, 0, 0,
+            [
+                ln.LinConst(5, RET_REG),
+                ln.LinLabel("skip"),
+                ln.LinReturn(),
+            ],
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(LINEAR, module, "f", Memory())
+        assert value == VInt(5)
+
+    def test_duplicate_label_rejected(self):
+        import pytest
+        from repro.common.errors import SemanticsError
+
+        with pytest.raises(SemanticsError):
+            ln.LinearFunction(
+                "f", 0, 0, 0,
+                [ln.LinLabel("a"), ln.LinLabel("a")],
+            )
+
+
+class TestMach:
+    def test_spills_hit_frame_memory(self):
+        func = mh.MachFunction(
+            "f", 0, 2,
+            [
+                mh.MConst(7, "ebx"),
+                mh.MSetstack("ebx", 0),
+                mh.MConst(0, "ebx"),
+                mh.MGetstack(0, RET_REG),
+                mh.MReturn(),
+            ],
+        )
+        module = IRModule({"f": func}, {})
+        core = MACH.init_core(module, "f")
+        mem = Memory()
+        # enter allocates the frame
+        (out,) = MACH.step(module, core, mem, FLIST)
+        assert len(out.fp.ws) == 2
+        # the setstack writes frame memory
+        core, mem = out.core, out.mem
+        (out,) = MACH.step(module, core, mem, FLIST)  # MConst
+        core, mem = out.core, out.mem
+        (out,) = MACH.step(module, core, mem, FLIST)  # MSetstack
+        assert out.fp.ws and all(FLIST.contains(a) for a in out.fp.ws)
+
+    def test_addrstack_offsets(self):
+        func = mh.MachFunction(
+            "f", 0, 3,
+            [
+                mh.MAddrStack(2, "ebx"),
+                mh.MConst(4, "ecx"),
+                mh.MStore("ebx", "ecx"),
+                mh.MGetstack(2, RET_REG),
+                mh.MReturn(),
+            ],
+        )
+        module = IRModule({"f": func}, {})
+        value, _ = run(MACH, module, "f", Memory())
+        assert value == VInt(4)

@@ -1,0 +1,247 @@
+"""Tests for the MiniC lexer, parser and typechecker."""
+
+import pytest
+
+from repro.common.errors import ParseError, TypeCheckError
+from repro.langs.minic import ast, compile_unit, link_units, parse
+from repro.langs.minic.lexer import tokenize
+from repro.langs.minic.typecheck import typecheck
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int intx")
+        assert toks[0].kind == "kw"
+        assert toks[1].kind == "id"
+
+    def test_multi_char_operators(self):
+        toks = tokenize("== != <= >= && || ++")
+        assert [t.value for t in toks[:-1]] == [
+            "==", "!=", "<=", ">=", "&&", "||", "++",
+        ]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_comments(self):
+        toks = tokenize("a // comment\n/* block\ncomment */ b")
+        values = [t.value for t in toks[:-1]]
+        assert values == ["a", "b"]
+
+    def test_bad_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_globals(self):
+        m = parse("int a; int b = 3; int c = -2;")
+        inits = {
+            d.name: d.init
+            for d in m.decls
+            if isinstance(d, ast.GlobalVar)
+        }
+        assert inits == {"a": 0, "b": 3, "c": -2}
+
+    def test_extern_decls(self):
+        m = parse("extern int g; extern void f(int, int*);")
+        assert isinstance(m.decls[0], ast.ExternVar)
+        fun = m.decls[1]
+        assert isinstance(fun, ast.ExternFun)
+        assert fun.params == (ast.INT, ast.PTR)
+
+    def test_function_with_params(self):
+        m = parse("int f(int a, int* p) { return a; }")
+        func = m.decls[0]
+        assert func.params == (("a", ast.INT), ("p", ast.PTR))
+
+    def test_increment_sugar(self):
+        m = parse("void f() { int x = 0; x ++; }")
+        stmt = m.decls[0].body.stmts[1]
+        assert isinstance(stmt, ast.SAssign)
+        assert stmt.expr.op == "+"
+
+    def test_deref_assign(self):
+        m = parse("void f(int* p) { *p = 3; }")
+        stmt = m.decls[0].body.stmts[0]
+        assert isinstance(stmt.lhs, ast.LhsDeref)
+
+    def test_addrof(self):
+        m = parse("int g = 0; void f() { print(*&g); }")
+        expr = m.decls[1].body.stmts[0].expr
+        assert isinstance(expr, ast.Deref)
+        assert isinstance(expr.arg, ast.AddrOf)
+
+    def test_pointer_local_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int *p; }")
+
+    def test_for_loop_desugars(self):
+        m = parse(
+            "void f() { for (int i = 0; i < 3; i ++) { print(i); } }"
+        )
+        block = m.decls[0].body.stmts[0]
+        assert isinstance(block, ast.SBlock)
+        decl, loop = block.stmts
+        assert isinstance(decl, ast.SDecl)
+        assert isinstance(loop, ast.SWhile)
+        # Step statement appended to the loop body.
+        assert isinstance(loop.body.stmts[-1], ast.SAssign)
+
+    def test_for_loop_empty_header_parts(self):
+        m = parse("void f() { int i = 0; for (;;) { i = i + 1; } }")
+        loop = m.decls[0].body.stmts[1]
+        assert isinstance(loop, ast.SWhile)
+        assert loop.cond.n == 1
+
+    def test_for_loop_executes(self):
+        from repro.lang.module import ModuleDecl, Program
+        from repro.langs.minic import compile_unit, link_units
+        from repro.langs.minic.semantics import MINIC
+        from tests.helpers import behaviours_of, done_traces
+
+        mods, genvs, _ = link_units([compile_unit(
+            "void main() { int acc = 0; "
+            "for (int i = 1; i <= 4; i ++) { acc = acc + i; } "
+            "print(acc); }"
+        )])
+        prog = Program(
+            [ModuleDecl(MINIC, genvs[0], mods[0])], ["main"]
+        )
+        assert done_traces(behaviours_of(prog)) == {(10,)}
+
+    def test_call_statement_forms(self):
+        m = parse(
+            "extern int g(); void f() { int x; g(); x = g(); }"
+        )
+        stmts = m.decls[1].body.stmts
+        assert isinstance(stmts[1], ast.SCallStmt)
+        assert stmts[1].dst is None
+        assert isinstance(stmts[2], ast.SCallStmt)
+        assert stmts[2].dst is not None
+
+
+class TestTypecheck:
+    def _unit(self, src):
+        return typecheck(parse(src))
+
+    def test_scopes_resolved(self):
+        unit = self._unit("int g = 0; void f() { int x = g; x = x; }")
+        body = unit.functions["f"].body
+        decl = body.stmts[0]
+        assert decl.init.scope == "global"
+        assign = body.stmts[1]
+        assert assign.lhs.scope == "local"
+
+    def test_locals_collected(self):
+        unit = self._unit(
+            "void f(int a) { int x; if (a) { int y; } }"
+        )
+        names = [n for n, _ in unit.functions["f"].locals_]
+        assert names == ["a", "x", "y"]
+
+    def test_undefined_variable(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("void f() { x = 1; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("void f() { int x; int x; }")
+
+    def test_local_shadowing_global_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("int g = 0; void f() { int g; }")
+
+    def test_pointer_arith_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("int g = 0; void f(int* p) { p = p + 1; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("void f() { int x = 0; print(*x); }")
+
+    def test_call_arity(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("int g(int a) { return a; } void f() { g(); }")
+
+    def test_call_arg_type(self):
+        with pytest.raises(TypeCheckError):
+            self._unit(
+                "int g(int* p) { return *p; } "
+                "void f() { int x = 0; g(x); }"
+            )
+
+    def test_nested_call_rejected(self):
+        with pytest.raises(TypeCheckError):
+            self._unit(
+                "int g() { return 1; } void f() { print(g() + 1); }"
+            )
+
+    def test_void_result_used(self):
+        with pytest.raises(TypeCheckError):
+            self._unit(
+                "extern void e(); void f() { int x; x = e(); }"
+            )
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("void f() { return 1; }")
+        with pytest.raises(TypeCheckError):
+            self._unit("int f() { return; }")
+
+    def test_stack_pointer_escape_rejected(self):
+        # Footnote 6: &local may not flow to an external function.
+        with pytest.raises(TypeCheckError):
+            self._unit(
+                "extern void e(int*); void f() { int x; e(&x); }"
+            )
+
+    def test_addr_of_local_to_internal_ok(self):
+        unit = self._unit(
+            "void g(int* p) { *p = 1; } "
+            "void f() { int x; g(&x); print(x); }"
+        )
+        assert "f" in unit.functions
+
+    def test_return_call_desugared(self):
+        unit = self._unit(
+            "int g(int a) { return a; } int f() { return g(3); }"
+        )
+        names = [n for n, _ in unit.functions["f"].locals_]
+        assert "$ret" in names
+
+    def test_undeclared_call(self):
+        with pytest.raises(TypeCheckError):
+            self._unit("void f() { nothere(); }")
+
+
+class TestLinking:
+    def test_extern_resolution(self):
+        u1 = compile_unit("extern int shared; void f() { shared = 1; }")
+        u2 = compile_unit("int shared = 0;")
+        mods, genvs, symbols = link_units([u1, u2])
+        assert mods[0].symbols["shared"] == symbols["shared"]
+        assert genvs[1].address_of("shared") == symbols["shared"]
+
+    def test_unresolved_extern(self):
+        u = compile_unit("extern int nope; void f() { nope = 1; }")
+        with pytest.raises(TypeCheckError):
+            link_units([u])
+
+    def test_duplicate_definition(self):
+        u1 = compile_unit("int g = 1;")
+        u2 = compile_unit("int g = 2;")
+        with pytest.raises(TypeCheckError):
+            link_units([u1, u2])
+
+    def test_extra_symbols_reserved(self):
+        u = compile_unit("int a = 0; int b = 0;")
+        _, _, symbols = link_units([u], extra_symbols={"L": 16})
+        assert symbols["L"] == 16
+        assert 16 not in {symbols["a"], symbols["b"]}
+
+    def test_object_symbol_collision(self):
+        u = compile_unit("int L = 0;")
+        with pytest.raises(TypeCheckError):
+            link_units([u], extra_symbols={"L": 16})

@@ -1,0 +1,75 @@
+"""Parser robustness fuzzing: arbitrary input must either parse or
+raise :class:`ParseError` / :class:`TypeCheckError` — never crash with
+an arbitrary exception."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ParseError, TypeCheckError
+from repro.langs.cimp.parser import parse_functions
+from repro.langs.minic.parser import parse
+from repro.langs.minic.typecheck import typecheck
+
+_text = st.text(
+    alphabet=st.sampled_from(
+        list("abcxyz01 (){}[];,=<>+-*/%!&|:\n\"'@#")
+    ),
+    max_size=60,
+)
+
+_tokens = st.lists(
+    st.sampled_from([
+        "int", "void", "extern", "if", "else", "while", "return",
+        "print", "spawn", "main", "x", "g", "f", "0", "1", "42",
+        "(", ")", "{", "}", ";", ",", "=", "==", "+", "-", "*",
+        "&", "&&", "||", "<", "++",
+    ]),
+    max_size=30,
+).map(" ".join)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_text)
+def test_minic_parser_total_on_garbage(text):
+    try:
+        parse(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(_tokens)
+def test_minic_parser_total_on_token_soup(text):
+    try:
+        module = parse(text)
+        typecheck(module)
+    except (ParseError, TypeCheckError):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(_text)
+def test_cimp_parser_total_on_garbage(text):
+    try:
+        parse_functions(text)
+    except ParseError:
+        pass
+
+
+_cimp_tokens = st.lists(
+    st.sampled_from([
+        "while", "if", "else", "assert", "return", "print", "skip",
+        "spawn", "main", "x", "L", "0", "1", "(", ")", "{", "}",
+        "[", "]", ";", ":=", "<", ">", "==", "+", "-",
+    ]),
+    max_size=30,
+).map(" ".join)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_cimp_tokens)
+def test_cimp_parser_total_on_token_soup(text):
+    try:
+        parse_functions(text)
+    except ParseError:
+        pass

@@ -1,0 +1,107 @@
+"""Peterson's mutual-exclusion algorithm on the x86 machines.
+
+The canonical demonstration that TSO is weaker than SC *in a way that
+breaks real algorithms*: Peterson's lock is correct under SC, but under
+TSO the entry-protocol store (``flag[i] := 1``) can still sit in the
+store buffer when the other thread reads ``flag[i]`` — both threads
+enter the critical section. An ``mfence`` between the store and the
+first read restores correctness.
+
+Together with the SB litmus this pins the TSO machine to the standard
+x86-TSO model: relaxed enough to break unfenced Peterson, strong
+enough that one fence repairs it.
+"""
+
+import pytest
+
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import X86SC, X86TSO, X86Function
+from repro.langs.x86 import ast as x
+
+from tests.helpers import behaviours_of, done_traces
+
+FLAG0, FLAG1, TURN, CNT = 40, 41, 42, 43
+SYMBOLS = {"flag0": FLAG0, "flag1": FLAG1, "turn": TURN, "cnt": CNT}
+
+
+def _peterson_thread(name, mine, other, my_id, other_id, fenced):
+    code = [
+        # flag[i] := 1
+        x.Pmov_ri("ebx", 1),
+        x.Pmov_mr(("global", mine), "ebx"),
+        # turn := j
+        x.Pmov_ri("ebx", other_id),
+        x.Pmov_mr(("global", "turn"), "ebx"),
+    ]
+    if fenced:
+        code.append(x.Pmfence())
+    code += [
+        x.Plabel("wait"),
+        # while (flag[j] && turn == j) spin
+        x.Pmov_rm("eax", ("global", other)),
+        x.Pcmp_ri("eax", 0),
+        x.Pjcc("e", "enter"),
+        x.Pmov_rm("eax", ("global", "turn")),
+        x.Pcmp_ri("eax", other_id),
+        x.Pjcc("e", "wait"),
+        x.Plabel("enter"),
+        # critical section: read counter, print, increment
+        x.Pmov_rm("eax", ("global", "cnt")),
+        x.Pprint("eax"),
+        x.Parith_ri("+", "eax", 1),
+        x.Pmov_mr(("global", "cnt"), "eax"),
+        # flag[i] := 0
+        x.Pmov_ri("ebx", 0),
+        x.Pmov_mr(("global", mine), "ebx"),
+        x.Pmov_ri("eax", 0),
+        x.Pret(),
+    ]
+    return X86Function(name, 0, code)
+
+
+def peterson_program(lang, fenced):
+    t0 = _peterson_thread("t0", "flag0", "flag1", 0, 1, fenced)
+    t1 = _peterson_thread("t1", "flag1", "flag0", 1, 0, fenced)
+    module = IRModule({"t0": t0, "t1": t1}, SYMBOLS)
+    ge = GlobalEnv(
+        SYMBOLS,
+        {FLAG0: VInt(0), FLAG1: VInt(0), TURN: VInt(0), CNT: VInt(0)},
+    )
+    return Program([ModuleDecl(lang, ge, module)], ["t0", "t1"])
+
+
+class TestPetersonSC:
+    def test_mutual_exclusion_without_fence(self):
+        # The prints are *counter values*: mutual exclusion means the
+        # counter is read as 0 then 1, never twice as 0.
+        prog = peterson_program(X86SC, fenced=False)
+        traces = done_traces(behaviours_of(prog, max_states=800000))
+        assert traces == {(0, 1)}, (
+            "Peterson is correct under SC even without fences"
+        )
+
+    def test_mutual_exclusion_with_fence(self):
+        prog = peterson_program(X86SC, fenced=True)
+        traces = done_traces(behaviours_of(prog, max_states=800000))
+        assert traces == {(0, 1)}
+
+
+class TestPetersonTSO:
+    def test_unfenced_peterson_broken(self):
+        prog = peterson_program(X86TSO, fenced=False)
+        traces = done_traces(
+            behaviours_of(prog, max_states=3000000)
+        )
+        assert (0, 0) in traces, (
+            "under TSO the buffered flag store lets both threads "
+            "enter the critical section"
+        )
+
+    def test_fence_restores_mutual_exclusion(self):
+        prog = peterson_program(X86TSO, fenced=True)
+        traces = done_traces(
+            behaviours_of(prog, max_states=3000000)
+        )
+        assert traces == {(0, 1)}, traces

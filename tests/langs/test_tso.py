@@ -1,0 +1,192 @@
+"""Tests for the x86-TSO machine: store buffering, flushes, fences,
+and the classic store-buffer (SB / Dekker) litmus test."""
+
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.lang.steps import Step
+from repro.lang.messages import is_silent
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import X86TSO, X86SC, X86Function
+from repro.langs.x86 import ast as x
+
+from tests.helpers import behaviours_of, done_traces
+
+FLIST = FreeList.for_thread(0)
+A, B = 30, 31
+
+
+def module_of(*funcs, symbols=None):
+    return IRModule(
+        {f.name: f for f in funcs}, symbols or {"a": A, "b": B}
+    )
+
+
+class TestBuffering:
+    def test_store_goes_to_buffer(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        (out,) = X86TSO.step(module, core, mem, FLIST)  # mov_ri
+        core, mem = out.core, out.mem
+        outs = X86TSO.step(module, core, mem, FLIST)  # the store
+        store = [o for o in outs if isinstance(o, Step)][0]
+        assert store.core.buffer == ((A, VInt(1)),)
+        assert store.mem.load(A) == VInt(0), "store must be buffered"
+        assert store.fp.is_empty()
+
+    def test_flush_is_nondeterministic_outcome(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_ri("ecx", 2),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        for _ in range(2):  # mov_ri; store
+            outs = X86TSO.step(module, core, mem, FLIST)
+            step = [o for o in outs if isinstance(o, Step)][0]
+            core, mem = step.core, step.mem
+        outs = X86TSO.step(module, core, mem, FLIST)
+        # Instruction outcome + flush outcome.
+        assert len(outs) == 2
+        flush = [
+            o for o in outs if isinstance(o, Step) and o.fp.ws
+        ]
+        assert flush and flush[0].mem.load(A) == VInt(1)
+
+    def test_own_store_forwarded_to_load(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_rm("eax", ("global", "a")),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        # Drive only instruction outcomes (never flush).
+        for _ in range(2):
+            outs = X86TSO.step(module, core, mem, FLIST)
+            step = [o for o in outs if isinstance(o, Step)][0]
+            core, mem = step.core, step.mem
+        outs = X86TSO.step(module, core, mem, FLIST)
+        load = [
+            o
+            for o in outs
+            if isinstance(o, Step) and not o.fp.ws
+        ][0]
+        assert load.core.regs["eax"] == VInt(1)
+        assert load.fp.is_empty(), "buffer forwarding reads no memory"
+
+    def test_newest_buffered_write_wins(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_ri("ebx", 2),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmov_rm("eax", ("global", "a")),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        for _ in range(4):
+            outs = X86TSO.step(module, core, mem, FLIST)
+            step = [
+                o for o in outs if isinstance(o, Step) and not o.fp.ws
+            ][0]
+            core, mem = step.core, step.mem
+        outs = X86TSO.step(module, core, mem, FLIST)
+        load = [
+            o for o in outs if isinstance(o, Step) and not o.fp.ws
+        ][0]
+        assert load.core.regs["eax"] == VInt(2)
+
+    def test_ret_blocks_until_drained(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 0),
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        for _ in range(3):
+            outs = X86TSO.step(module, core, mem, FLIST)
+            step = [
+                o for o in outs if isinstance(o, Step) and not o.fp.ws
+            ][0]
+            core, mem = step.core, step.mem
+        # At Pret with a non-empty buffer: only the flush is offered.
+        outs = X86TSO.step(module, core, mem, FLIST)
+        assert len(outs) == 1
+        assert outs[0].fp.ws == frozenset({A})
+
+    def test_mfence_blocks_until_drained(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("global", "a"), "ebx"),
+            x.Pmfence(),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        mem = Memory({A: VInt(0)})
+        core = X86TSO.init_core(module, "f")
+        for _ in range(2):
+            outs = X86TSO.step(module, core, mem, FLIST)
+            step = [
+                o for o in outs if isinstance(o, Step) and not o.fp.ws
+            ][0]
+            core, mem = step.core, step.mem
+        outs = X86TSO.step(module, core, mem, FLIST)
+        assert len(outs) == 1 and outs[0].fp.ws == frozenset({A})
+
+
+def _sb_thread(name, mine, other):
+    """SB litmus thread: mine := 1; r := other; print(r)."""
+    return X86Function(name, 0, [
+        x.Pmov_ri("ebx", 1),
+        x.Pmov_mr(("global", mine), "ebx"),
+        x.Pmov_rm("ecx", ("global", other)),
+        x.Pprint("ecx"),
+        x.Pmov_ri("eax", 0),
+        x.Pret(),
+    ])
+
+
+def _sb_program(lang):
+    t1 = _sb_thread("t1", "a", "b")
+    t2 = _sb_thread("t2", "b", "a")
+    module = IRModule({"t1": t1, "t2": t2}, {"a": A, "b": B})
+    ge = GlobalEnv({"a": A, "b": B}, {A: VInt(0), B: VInt(0)})
+    return Program([ModuleDecl(lang, ge, module)], ["t1", "t2"])
+
+
+class TestSBLitmus:
+    """The store-buffer litmus test: ``r1 = r2 = 0`` is observable
+    under TSO but impossible under SC — the canonical non-SC
+    behaviour of x86."""
+
+    def test_sc_forbids_zero_zero(self):
+        traces = done_traces(behaviours_of(_sb_program(X86SC)))
+        assert (0, 0) not in traces
+        assert traces <= {(0, 1), (1, 0), (1, 1)}
+
+    def test_tso_allows_zero_zero(self):
+        traces = done_traces(
+            behaviours_of(_sb_program(X86TSO), max_states=400000)
+        )
+        assert (0, 0) in traces, "TSO must exhibit the relaxed outcome"
+        # And everything SC can do, TSO can do as well.
+        assert {(0, 1), (1, 0), (1, 1)} <= traces

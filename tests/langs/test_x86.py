@@ -1,0 +1,298 @@
+"""Tests for the mini-x86 SC machine."""
+
+import pytest
+
+from repro.common.errors import SemanticsError
+from repro.common.freelist import FreeList
+from repro.common.memory import Memory
+from repro.common.values import VInt, VPtr
+from repro.lang.messages import CallMsg, EventMsg, RetMsg, TAU
+from repro.lang.steps import Step, StepAbort
+from repro.langs.ir.base import IRModule
+from repro.langs.x86 import X86SC, X86Function
+from repro.langs.x86 import ast as x
+
+FLIST = FreeList.for_thread(0)
+G = 20
+
+
+def module_of(*funcs, symbols=None, externs=None, **kw):
+    return IRModule(
+        {f.name: f for f in funcs}, symbols or {"g": G},
+        externs=externs, **kw
+    )
+
+
+def run(module, entry, mem, args=(), max_steps=1000):
+    core = X86SC.init_core(module, entry, args)
+    events = []
+    for _ in range(max_steps):
+        outs = X86SC.step(module, core, mem, FLIST)
+        if not outs:
+            return None, events, mem
+        (out,) = outs
+        if isinstance(out, StepAbort):
+            return "abort", events, mem
+        if isinstance(out.msg, EventMsg):
+            events.append(out.msg.value)
+        core, mem = out.core, out.mem
+        if isinstance(out.msg, RetMsg):
+            return out.msg.value, events, mem
+    raise AssertionError("did not terminate")
+
+
+class TestMovesAndArith:
+    def test_mov_and_add(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 40),
+            x.Pmov_ri("ebx", 2),
+            x.Parith_rr("+", "eax", "ebx"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(42)
+
+    def test_arith_immediate(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 7),
+            x.Parith_ri("*", "eax", 6),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(42)
+
+    def test_neg(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 5),
+            x.Pneg("eax"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(-5)
+
+    def test_division_pseudo(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 17),
+            x.Pmov_ri("ebx", 5),
+            x.Pdivs("eax", "ebx"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(3)
+
+    def test_division_by_zero_aborts(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 1),
+            x.Pmov_ri("ebx", 0),
+            x.Pdivs("eax", "ebx"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == "abort"
+
+    def test_undefined_register_aborts(self):
+        f = X86Function("f", 0, [
+            x.Pmov_rr("eax", "ebx"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == "abort"
+
+
+class TestMemoryAccess:
+    def test_global_load_store(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 9),
+            x.Pmov_mr(("global", "g"), "ebx"),
+            x.Pmov_rm("eax", ("global", "g")),
+            x.Pret(),
+        ])
+        value, _, mem = run(module_of(f), "f", Memory({G: VInt(0)}))
+        assert value == VInt(9)
+        assert mem.load(G) == VInt(9)
+
+    def test_lea_and_based_addressing(self):
+        f = X86Function("f", 0, [
+            x.Plea("ecx", ("global", "g")),
+            x.Pmov_ri("ebx", 4),
+            x.Pmov_mr(("base", "ecx", 0), "ebx"),
+            x.Pmov_rm("eax", ("base", "ecx", 0)),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory({G: VInt(0)}))
+        assert value == VInt(4)
+
+    def test_load_footprint(self):
+        f = X86Function("f", 0, [
+            x.Pmov_rm("eax", ("global", "g")),
+            x.Pret(),
+        ])
+        module = module_of(f)
+        core = X86SC.init_core(module, "f")
+        (out,) = X86SC.step(module, core, Memory({G: VInt(1)}), FLIST)
+        assert out.fp.rs == {G} and not out.fp.ws
+
+    def test_forbidden_region(self):
+        f = X86Function("f", 0, [
+            x.Pmov_rm("eax", ("global", "g")),
+            x.Pret(),
+        ])
+        module = module_of(f, forbidden={G})
+        value, _, _ = run(module, "f", Memory({G: VInt(1)}))
+        assert value == "abort"
+
+
+class TestFlagsAndBranches:
+    def test_cmp_je(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 3),
+            x.Pcmp_ri("eax", 3),
+            x.Pjcc("e", "yes"),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+            x.Plabel("yes"),
+            x.Pmov_ri("eax", 1),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(1)
+
+    def test_signed_conditions(self):
+        for cond, expect in [("l", 1), ("le", 1), ("g", 0), ("ge", 0)]:
+            f = X86Function("f", 0, [
+                x.Pmov_ri("eax", -1),
+                x.Pmov_ri("ebx", 2),
+                x.Pcmp_rr("eax", "ebx"),
+                x.Psetcc(cond, "eax"),
+                x.Pret(),
+            ])
+            value, _, _ = run(module_of(f), "f", Memory())
+            assert value == VInt(expect), cond
+
+    def test_jcc_on_undefined_flags_aborts(self):
+        f = X86Function("f", 0, [
+            x.Pjcc("e", "x"),
+            x.Plabel("x"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == "abort"
+
+    def test_pointer_compare_eq_only(self):
+        f = X86Function("f", 0, [
+            x.Plea("eax", ("global", "g")),
+            x.Plea("ebx", ("global", "g")),
+            x.Pcmp_rr("eax", "ebx"),
+            x.Psetcc("e", "eax"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory({G: VInt(0)}))
+        assert value == VInt(1)
+
+        f2 = X86Function("f", 0, [
+            x.Plea("eax", ("global", "g")),
+            x.Plea("ebx", ("global", "g")),
+            x.Pcmp_rr("eax", "ebx"),
+            x.Pjcc("l", "x"),
+            x.Plabel("x"),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f2), "f", Memory({G: VInt(0)}))
+        assert value == "abort"
+
+
+class TestFramesAndCalls:
+    def test_alloc_free_frame(self):
+        f = X86Function("f", 0, [
+            x.Pallocframe(3),
+            x.Pmov_ri("ebx", 5),
+            x.Pmov_mr(("base", "esp", 1), "ebx"),
+            x.Pmov_rm("eax", ("base", "esp", 1)),
+            x.Pfreeframe(3),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == VInt(5)
+
+    def test_nested_frames_restore_esp(self):
+        inner = X86Function("inner", 0, [
+            x.Pallocframe(2),
+            x.Pmov_ri("ebx", 9),
+            x.Pmov_mr(("base", "esp", 1), "ebx"),
+            x.Pfreeframe(2),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+        ])
+        outer = X86Function("f", 0, [
+            x.Pallocframe(2),
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("base", "esp", 1), "ebx"),
+            x.Pcall("inner", 0, False),
+            x.Pmov_rm("eax", ("base", "esp", 1)),
+            x.Pfreeframe(2),
+            x.Pret(),
+        ])
+        value, _, _ = run(module_of(outer, inner), "f", Memory())
+        assert value == VInt(1)
+
+    def test_zero_size_frame_rejected(self):
+        f = X86Function("f", 0, [x.Pallocframe(0), x.Pret()])
+        module = module_of(f)
+        core = X86SC.init_core(module, "f")
+        with pytest.raises(SemanticsError):
+            X86SC.step(module, core, Memory(), FLIST)
+
+    def test_external_call_protocol(self):
+        f = X86Function("f", 1, [
+            x.Pcall("ext", 1, True),
+            x.Pret(),
+        ])
+        module = module_of(f, externs={"ext": 1})
+        core = X86SC.init_core(module, "f", (VInt(3),))
+        (out,) = X86SC.step(module, core, Memory(), FLIST)
+        assert out.msg == CallMsg("ext", (VInt(3),))
+        resumed = X86SC.after_external(out.core, VInt(77))
+        mem = Memory()
+        (out,) = X86SC.step(module, resumed, mem, FLIST)  # set-ret
+        (out,) = X86SC.step(module, out.core, mem, FLIST)  # Pret
+        assert out.msg == RetMsg(VInt(77))
+
+    def test_call_unknown_internal_aborts(self):
+        f = X86Function("f", 0, [x.Pcall("nope", 0, False)])
+        value, _, _ = run(module_of(f), "f", Memory())
+        assert value == "abort"
+
+    def test_print_event(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("ebx", 13),
+            x.Pprint("ebx"),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+        ])
+        _, events, _ = run(module_of(f), "f", Memory())
+        assert events == [13]
+
+
+class TestCmpxchgSC:
+    def test_success_path(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 1),
+            x.Pmov_ri("edx", 0),
+            x.Plock_cmpxchg(("global", "g"), "edx"),
+            x.Psetcc("e", "eax"),
+            x.Pret(),
+        ])
+        value, _, mem = run(module_of(f), "f", Memory({G: VInt(1)}))
+        assert value == VInt(1)
+        assert mem.load(G) == VInt(0)
+
+    def test_failure_path_loads_current(self):
+        f = X86Function("f", 0, [
+            x.Pmov_ri("eax", 1),
+            x.Pmov_ri("edx", 0),
+            x.Plock_cmpxchg(("global", "g"), "edx"),
+            x.Pret(),
+        ])
+        value, _, mem = run(module_of(f), "f", Memory({G: VInt(5)}))
+        assert value == VInt(5), "eax must receive the observed value"
+        assert mem.load(G) == VInt(5)

@@ -1,0 +1,119 @@
+"""Tests for state-space exploration and behaviour extraction."""
+
+import pytest
+
+from repro.semantics import (
+    Behaviour,
+    ExplorationLimit,
+    GlobalContext,
+    PreemptiveSemantics,
+    behaviours,
+    explore,
+)
+
+from tests.helpers import behaviours_of, cimp_program, events_of
+
+
+class TestGraph:
+    def test_done_state_recorded(self):
+        prog = cimp_program("main(){ skip; }", ["main"])
+        graph = explore(GlobalContext(prog), PreemptiveSemantics())
+        assert graph.done
+
+    def test_states_deduplicated(self):
+        # A loop that revisits the same configuration must not blow up.
+        prog = cimp_program(
+            "main(){ while(1 == 1){ [C] := 0; } }", ["main"]
+        )
+        graph = explore(GlobalContext(prog), PreemptiveSemantics())
+        assert graph.state_count() < 20
+
+    def test_strict_limit_raises(self):
+        prog = cimp_program(
+            "main(){ i := 0; while(i < 50){ i := i + 1; } }", ["main"]
+        )
+        with pytest.raises(ExplorationLimit):
+            explore(
+                GlobalContext(prog),
+                PreemptiveSemantics(),
+                max_states=5,
+                strict=True,
+            )
+
+    def test_nonstrict_limit_marks_truncation(self):
+        prog = cimp_program(
+            "main(){ i := 0; while(i < 50){ i := i + 1; } }", ["main"]
+        )
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(), max_states=5
+        )
+        assert graph.truncated
+
+
+class TestBehaviours:
+    def test_terminating(self):
+        prog = cimp_program("main(){ print(1); }", ["main"])
+        assert events_of(behaviours_of(prog)) == {
+            ((("print", 1),), "done")
+        }
+
+    def test_abort(self):
+        prog = cimp_program("main(){ assert(0); }", ["main"])
+        assert events_of(behaviours_of(prog)) == {((), "abort")}
+
+    def test_silent_divergence(self):
+        prog = cimp_program(
+            "main(){ while(1 == 1){ [C] := 0; } }", ["main"]
+        )
+        assert events_of(behaviours_of(prog)) == {((), "silent_div")}
+
+    def test_event_after_divergent_choice(self):
+        # The loop may or may not be entered depending on the racy
+        # value; both a diverging and a terminating behaviour exist.
+        prog = cimp_program(
+            "t1(){ x := [C]; while(x == 0){ x := [C]; } print(1); }"
+            "t2(){ [C] := 1; }",
+            ["t1", "t2"],
+        )
+        behs = events_of(behaviours_of(prog))
+        assert ((("print", 1),), "done") in behs
+        assert ((), "silent_div") in behs
+
+    def test_cut_on_unbounded_event_traces(self):
+        prog = cimp_program(
+            "main(){ while(1 == 1){ print(1); } }", ["main"]
+        )
+        behs = behaviours_of(prog, max_events=4)
+        assert any(b.end == Behaviour.CUT for b in behs)
+
+    def test_truncated_graph_reports_cut(self):
+        prog = cimp_program(
+            "main(){ i := 0; while(i < 50){ i := i + 1; } print(i); }",
+            ["main"],
+        )
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(), max_states=5
+        )
+        behs = behaviours(graph)
+        assert any(b.end == Behaviour.CUT for b in behs)
+
+    def test_pure_scheduler_livelock_not_divergence(self):
+        # Two already-terminating threads: sw-only cycles must not be
+        # reported as program divergence.
+        prog = cimp_program(
+            "t1(){ print(1); } t2(){ print(2); }", ["t1", "t2"]
+        )
+        behs = behaviours_of(prog)
+        assert all(b.end != Behaviour.SILENT_DIV for b in behs)
+
+
+class TestBehaviourObject:
+    def test_equality_and_hash(self):
+        a = Behaviour((), Behaviour.DONE)
+        b = Behaviour((), Behaviour.DONE)
+        assert a == b and hash(a) == hash(b)
+        assert a != Behaviour((), Behaviour.ABORT)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Behaviour((), Behaviour.DONE).end = "abort"

@@ -1,0 +1,87 @@
+"""Edge cases of behaviour enumeration limits and IR language labels."""
+
+import pytest
+
+from repro.semantics import (
+    ExplorationLimit,
+    GlobalContext,
+    PreemptiveSemantics,
+    behaviours,
+    explore,
+)
+
+from tests.helpers import cimp_program
+
+
+class TestBehaviourLimits:
+    def test_max_nodes_exceeded_raises(self):
+        # Many interleavable events make the (state, trace) product
+        # large; a tiny node budget must fail loudly.
+        prog = cimp_program(
+            "t1(){ print(1); print(2); print(3); }"
+            "t2(){ print(4); print(5); print(6); }",
+            ["t1", "t2"],
+        )
+        graph = explore(GlobalContext(prog), PreemptiveSemantics())
+        with pytest.raises(ExplorationLimit):
+            behaviours(graph, max_nodes=10)
+
+    def test_generous_budget_enumerates_all(self):
+        prog = cimp_program(
+            "t1(){ print(1); print(2); } t2(){ print(3); }",
+            ["t1", "t2"],
+        )
+        graph = explore(GlobalContext(prog), PreemptiveSemantics())
+        behs = behaviours(graph)
+        assert len({b.events for b in behs if b.end == "done"}) == 3
+
+
+class TestLanguageLabels:
+    def test_ir_language_names_distinct(self):
+        from repro.langs.ir import (
+            CMINOR,
+            CMINORSEL,
+            CSHARPMINOR,
+            LINEAR,
+            LTL,
+            MACH,
+            RTL,
+        )
+        from repro.langs.minic.semantics import MINIC
+        from repro.langs.x86 import X86SC, X86TSO
+        from repro.langs.cimp import CIMP
+
+        names = [
+            lang.name
+            for lang in (
+                MINIC, CSHARPMINOR, CMINOR, CMINORSEL, RTL, LTL,
+                LINEAR, MACH, X86SC, X86TSO, CIMP,
+            )
+        ]
+        assert len(set(names)) == len(names)
+        assert "CminorSel" in names
+
+    def test_cminorsel_shares_cminor_semantics(self):
+        from repro.langs.ir import CMINOR, CMINORSEL
+        from repro.langs.ir import cminor as cm
+        from repro.langs.ir.base import IRModule
+        from repro.common.memory import Memory
+        from repro.common.freelist import FreeList
+        from repro.common.values import VInt
+        from repro.lang.messages import RetMsg
+
+        func = cm.CmFunction(
+            "f", 0, 0,
+            cm.SReturn(cm.EBinop("<<", cm.EConst(3), cm.EConst(2))),
+        )
+        module = IRModule({"f": func}, {})
+        flist = FreeList.for_thread(0)
+        for lang in (CMINOR, CMINORSEL):
+            core = lang.init_core(module, "f")
+            mem = Memory()
+            while True:
+                (out,) = lang.step(module, core, mem, flist)
+                core, mem = out.core, out.mem
+                if isinstance(out.msg, RetMsg):
+                    assert out.msg.value == VInt(12)
+                    break

@@ -1,0 +1,107 @@
+"""Tests for the non-preemptive global semantics (Sec. 3.3)."""
+
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    equivalent,
+    refines,
+)
+
+from tests.helpers import (
+    behaviours_of,
+    cimp_program,
+    done_traces,
+    np_behaviours_of,
+)
+
+
+class TestSwitchPoints:
+    def test_no_switch_between_plain_statements(self):
+        # Non-preemptively, t1's two stores are never interleaved with
+        # t2's read-print, so t2 can only see 0 (before) or 2 (after),
+        # never the intermediate 1.
+        prog = cimp_program(
+            "t1(){ [C] := 1; [C] := 2; }"
+            "t2(){ x := [C]; print(x); }",
+            ["t1", "t2"],
+        )
+        np_traces = done_traces(np_behaviours_of(prog))
+        assert np_traces == {(0,), (2,)}
+        # Preemptively the intermediate value is observable.
+        p_traces = done_traces(behaviours_of(prog))
+        assert (1,) in p_traces
+
+    def test_switch_at_atomic_boundaries(self):
+        # Each loop iteration passes through EntAtom/ExtAtom switch
+        # points, so a spinning thread cannot starve the other.
+        prog = cimp_program(
+            "t1(){ r := 0; while(r == 0){ <r := [C];> } print(9); }"
+            "t2(){ [C] := 1; }",
+            ["t1", "t2"],
+        )
+        traces = done_traces(np_behaviours_of(prog))
+        assert (9,) in traces
+
+    def test_switch_at_events(self):
+        # Print interleavings must be recoverable non-preemptively.
+        prog = cimp_program(
+            "t1(){ print(1); print(2); } t2(){ print(3); }",
+            ["t1", "t2"],
+        )
+        np_traces = done_traces(np_behaviours_of(prog))
+        assert np_traces == {
+            (1, 2, 3), (1, 3, 2), (3, 1, 2),
+        }
+
+    def test_termination_switch(self):
+        prog = cimp_program(
+            "t1(){ skip; } t2(){ print(5); }", ["t1", "t2"]
+        )
+        assert done_traces(np_behaviours_of(prog)) == {(5,)}
+
+
+class TestEquivalenceForDRF:
+    def test_drf_program_same_behaviours(self):
+        prog = cimp_program(
+            "t1(){ <x := [C]; [C] := x + 1;> print(1); }"
+            "t2(){ <x := [C]; [C] := x + 1;> print(2); }",
+            ["t1", "t2"],
+        )
+        assert bool(
+            equivalent(behaviours_of(prog), np_behaviours_of(prog))
+        )
+
+    def test_racy_program_np_refines_preemptive_only(self):
+        # For racy programs the non-preemptive semantics is a strict
+        # subset of the preemptive one.
+        prog = cimp_program(
+            "t1(){ [C] := 1; [C] := 2; }"
+            "t2(){ x := [C]; print(x); }",
+            ["t1", "t2"],
+        )
+        p = behaviours_of(prog)
+        np = np_behaviours_of(prog)
+        assert bool(refines(np, p))
+        assert not bool(refines(p, np)), (
+            "the racy intermediate observation exists only preemptively"
+        )
+
+
+class TestAtomicBitsMap:
+    def test_thread_suspended_inside_atomic(self):
+        # Non-preemptive EntAtnp switches right after entering the
+        # block; the other thread then runs while 𝕕(t1)=1.
+        prog = cimp_program(
+            "t1(){ <[C] := 1;> } t2(){ print(7); }", ["t1", "t2"]
+        )
+        ctx = GlobalContext(prog)
+        from repro.semantics.explore import explore
+
+        graph = explore(ctx, NonPreemptiveSemantics())
+        suspended = [
+            w
+            for w in graph.states
+            if w.bits[0] == 1 and w.cur == 1
+        ]
+        assert suspended, "no world with t1 parked inside its block"

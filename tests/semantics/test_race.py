@@ -1,0 +1,140 @@
+"""Tests for race prediction, DRF and NPDRF (Fig. 9, Sec. 5)."""
+
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    drf,
+    find_race,
+    npdrf,
+    predict,
+)
+
+from tests.helpers import cimp_program
+
+
+class TestPredict:
+    def _world(self, prog):
+        return GlobalContext(prog), GlobalContext(prog).load()[0]
+
+    def test_predict_silent_footprints(self):
+        prog = cimp_program("t1(){ [C] := 1; } t2(){ skip; }",
+                            ["t1", "t2"])
+        ctx = GlobalContext(prog)
+        world = ctx.load()[0]
+        preds = predict(ctx, world, 0)
+        assert any(100 in fp.ws and bit == 0 for fp, bit in preds)
+
+    def test_predict_empty_for_terminated(self):
+        prog = cimp_program("t1(){ skip; } t2(){ [C] := 1; }",
+                            ["t1", "t2"])
+        ctx = GlobalContext(prog)
+        world = ctx.load()[0]
+        # predict on a live thread works; a dead one yields nothing.
+        assert predict(ctx, world, 1)
+
+    def test_predict_inside_atomic_bit_set(self):
+        prog = cimp_program(
+            "t1(){ <x := [C]; [C] := x + 1;> } t2(){ skip; }",
+            ["t1", "t2"],
+        )
+        ctx = GlobalContext(prog)
+        world = ctx.load()[0]
+        preds = predict(ctx, world, 0)
+        assert preds, "atomic-block prediction missing"
+        assert all(bit == 1 for _fp, bit in preds)
+
+
+class TestDRF:
+    def test_write_write_race(self):
+        prog = cimp_program(
+            "t1(){ [C] := 1; } t2(){ [C] := 2; }", ["t1", "t2"]
+        )
+        assert not drf(prog)
+
+    def test_read_write_race(self):
+        prog = cimp_program(
+            "t1(){ x := [C]; } t2(){ [C] := 2; }", ["t1", "t2"]
+        )
+        assert not drf(prog)
+
+    def test_read_read_not_a_race(self):
+        prog = cimp_program(
+            "t1(){ x := [C]; } t2(){ y := [C]; }", ["t1", "t2"]
+        )
+        assert drf(prog)
+
+    def test_disjoint_addresses_not_a_race(self):
+        from repro.common.values import VInt
+
+        prog = cimp_program(
+            "t1(){ [C] := 1; } t2(){ [D] := 2; }",
+            ["t1", "t2"],
+            symbols={"C": 100, "D": 101},
+            init={100: VInt(0), 101: VInt(0)},
+        )
+        assert drf(prog)
+
+    def test_atomic_blocks_not_racy(self):
+        prog = cimp_program(
+            "t1(){ <x := [C]; [C] := x + 1;> }"
+            "t2(){ <y := [C]; [C] := y + 1;> }",
+            ["t1", "t2"],
+        )
+        assert drf(prog)
+
+    def test_atomic_vs_plain_is_a_race(self):
+        prog = cimp_program(
+            "t1(){ <x := [C]; [C] := x + 1;> } t2(){ [C] := 5; }",
+            ["t1", "t2"],
+        )
+        assert not drf(prog)
+
+    def test_race_reachable_only_later(self):
+        # The conflict only materializes after t1 passes the guard.
+        prog = cimp_program(
+            "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+            "t2(){ [C] := 2; }",
+            ["t1", "t2"],
+        )
+        assert not drf(prog)
+
+    def test_single_thread_never_races(self):
+        prog = cimp_program("t1(){ [C] := 1; x := [C]; }", ["t1"])
+        assert drf(prog)
+
+    def test_witness_contents(self):
+        prog = cimp_program(
+            "t1(){ [C] := 1; } t2(){ [C] := 2; }", ["t1", "t2"]
+        )
+        witness = find_race(
+            GlobalContext(prog), PreemptiveSemantics()
+        )
+        assert witness is not None
+        assert witness.tid1 != witness.tid2
+        assert 100 in witness.fp1.ws and 100 in witness.fp2.ws
+
+
+class TestNPDRFAgreement:
+    """Steps ⑥⑧ of Fig. 2 — DRF ⇔ NPDRF, on representative programs."""
+
+    PROGRAMS = [
+        ("racy write-write",
+         "t1(){ [C] := 1; } t2(){ [C] := 2; }", False),
+        ("racy read-write",
+         "t1(){ x := [C]; } t2(){ [C] := 2; }", False),
+        ("atomic counter",
+         "t1(){ <x := [C]; [C] := x + 1;> }"
+         "t2(){ <x := [C]; [C] := x + 1;> }", True),
+        ("read only",
+         "t1(){ x := [C]; } t2(){ y := [C]; }", True),
+        ("guarded race",
+         "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+         "t2(){ [C] := 2; }", False),
+    ]
+
+    def test_agreement(self):
+        for name, src, expected in self.PROGRAMS:
+            prog = cimp_program(src, ["t1", "t2"])
+            d = drf(prog)
+            n = npdrf(prog)
+            assert d == n == expected, (name, d, n, expected)

@@ -1,0 +1,75 @@
+"""Tests for refinement ⊑, ⊑′ and equivalence ≈ on behaviour sets."""
+
+from repro.lang.messages import EventMsg
+from repro.semantics.explore import Behaviour
+from repro.semantics.refinement import equivalent, refines, safe
+
+
+def beh(values, end=Behaviour.DONE):
+    return Behaviour(tuple(EventMsg("print", v) for v in values), end)
+
+
+class TestRefines:
+    def test_subset_refines(self):
+        small = {beh([1])}
+        big = {beh([1]), beh([2])}
+        assert bool(refines(small, big))
+        assert not bool(refines(big, small))
+
+    def test_counterexamples_reported(self):
+        r = refines({beh([1]), beh([3])}, {beh([1])})
+        assert not r.holds
+        assert r.counterexamples == (beh([3]),)
+
+    def test_end_markers_matter(self):
+        assert not bool(
+            refines({beh([1], "abort")}, {beh([1], "done")})
+        )
+
+    def test_divergence_in_strict_mode(self):
+        lhs = {beh([], Behaviour.SILENT_DIV)}
+        rhs = {beh([], Behaviour.DONE)}
+        assert not bool(refines(lhs, rhs, termination_sensitive=True))
+
+    def test_divergence_ignored_in_weak_mode(self):
+        # ⊑′ does not preserve termination (Thm 15).
+        lhs = {beh([1]), beh([], Behaviour.SILENT_DIV)}
+        rhs = {beh([1])}
+        assert bool(refines(lhs, rhs, termination_sensitive=False))
+
+    def test_cut_makes_inconclusive(self):
+        lhs = {beh([1]), beh([1], Behaviour.CUT)}
+        rhs = {beh([1])}
+        r = refines(lhs, rhs)
+        assert r.holds and r.inconclusive
+        assert not bool(r)
+
+    def test_empty_lhs_trivially_refines(self):
+        assert bool(refines(set(), {beh([1])}))
+
+
+class TestEquivalent:
+    def test_equal_sets(self):
+        s = {beh([1]), beh([2])}
+        assert bool(equivalent(s, set(s)))
+
+    def test_asymmetric_fails(self):
+        assert not bool(equivalent({beh([1])}, {beh([1]), beh([2])}))
+
+    def test_counterexamples_from_both_sides(self):
+        r = equivalent({beh([1])}, {beh([2])})
+        assert len(r.counterexamples) == 2
+
+
+class TestSafe:
+    def test_safe_without_aborts(self):
+        assert bool(safe({beh([1]), beh([], Behaviour.SILENT_DIV)}))
+
+    def test_abort_unsafe(self):
+        r = safe({beh([1]), beh([2], Behaviour.ABORT)})
+        assert not r.holds
+        assert r.counterexamples == (beh([2], Behaviour.ABORT),)
+
+    def test_cut_inconclusive(self):
+        r = safe({beh([1], Behaviour.CUT)})
+        assert r.holds and r.inconclusive

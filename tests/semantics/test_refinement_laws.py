@@ -1,0 +1,75 @@
+"""Property tests: algebraic laws of refinement and equivalence."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.messages import EventMsg
+from repro.semantics.explore import Behaviour
+from repro.semantics.refinement import equivalent, refines
+
+_behaviour = st.builds(
+    Behaviour,
+    st.lists(
+        st.integers(min_value=0, max_value=3).map(
+            lambda v: EventMsg("print", v)
+        ),
+        max_size=3,
+    ).map(tuple),
+    st.sampled_from([
+        Behaviour.DONE, Behaviour.ABORT, Behaviour.SILENT_DIV,
+    ]),
+)
+
+_behaviour_sets = st.frozensets(_behaviour, max_size=6)
+
+
+class TestRefinementLaws:
+    @given(_behaviour_sets)
+    def test_reflexive(self, s):
+        assert bool(refines(s, s))
+
+    @given(_behaviour_sets, _behaviour_sets, _behaviour_sets)
+    def test_transitive(self, a, b, c):
+        if bool(refines(a, b)) and bool(refines(b, c)):
+            assert bool(refines(a, c))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_antisymmetric_up_to_equivalence(self, a, b):
+        if bool(refines(a, b)) and bool(refines(b, a)):
+            assert bool(equivalent(a, b))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_union_upper_bound(self, a, b):
+        assert bool(refines(a, a | b))
+        assert bool(refines(b, a | b))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_weak_is_weaker(self, a, b):
+        if bool(refines(a, b, termination_sensitive=True)):
+            assert bool(refines(a, b, termination_sensitive=False))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_counterexamples_witness_failure(self, a, b):
+        result = refines(a, b)
+        assert result.holds == (not result.counterexamples)
+        for cex in result.counterexamples:
+            assert cex in a and cex not in b
+
+
+class TestEquivalenceLaws:
+    @given(_behaviour_sets)
+    def test_reflexive(self, s):
+        assert bool(equivalent(s, s))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_symmetric(self, a, b):
+        assert bool(equivalent(a, b)) == bool(equivalent(b, a))
+
+    @given(_behaviour_sets, _behaviour_sets, _behaviour_sets)
+    def test_transitive(self, a, b, c):
+        if bool(equivalent(a, b)) and bool(equivalent(b, c)):
+            assert bool(equivalent(a, c))
+
+    @given(_behaviour_sets, _behaviour_sets)
+    def test_equivalence_is_set_equality_without_cuts(self, a, b):
+        assert bool(equivalent(a, b)) == (a == b)

@@ -1,0 +1,86 @@
+"""Tests for roach-motel mode — the paper's future-work reordering
+("support roach-motel reorderings by distinguishing EntAtom and
+ExtAtom in the local simulation and recording the footprints that are
+moved across EntAtom").
+
+Supported direction: accesses moved forward *into* an atomic block
+(across EntAtom — the acquire side). Motion *out* of a block (across
+ExtAtom — which would expose protected accesses) remains rejected even
+in roach-motel mode.
+"""
+
+import pytest
+
+from repro.common.freelist import FreeList
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv
+from repro.langs.cimp import CIMP, parse_module
+from repro.simulation.local import LocalSimulationChecker
+from repro.simulation.rg import Mu
+
+FLIST = FreeList.for_thread(0)
+SYMBOLS = {"X": 10, "Y": 11}
+
+
+def run_checker(src_text, tgt_text, roach_motel):
+    src = parse_module(src_text, symbols=SYMBOLS)
+    tgt = parse_module(tgt_text, symbols=SYMBOLS)
+    mem = GlobalEnv(SYMBOLS, {10: VInt(0), 11: VInt(0)}).memory()
+    checker = LocalSimulationChecker(
+        CIMP, src, CIMP, tgt, Mu.identity(mem.domain()),
+        roach_motel=roach_motel,
+    )
+    return checker.check_entry("body", (), mem, mem, FLIST, FLIST)
+
+
+INTO_BLOCK = (
+    "body(){ [X] := 1; <[Y] := 2;> print(0); }",
+    "body(){ <[X] := 1; [Y] := 2;> print(0); }",
+)
+
+OUT_OF_BLOCK = (
+    "body(){ <[X] := 1; [Y] := 2;> print(0); }",
+    "body(){ <[Y] := 2;> [X] := 1; print(0); }",
+)
+
+
+class TestRoachMotel:
+    def test_into_block_rejected_by_default(self):
+        report = run_checker(*INTO_BLOCK, roach_motel=False)
+        assert not report.ok
+        assert any("LG" in f for f in report.failures)
+
+    def test_into_block_accepted_in_roach_mode(self):
+        report = run_checker(*INTO_BLOCK, roach_motel=True)
+        assert report.ok, report.failures
+
+    def test_out_of_block_rejected_even_in_roach_mode(self):
+        report = run_checker(*OUT_OF_BLOCK, roach_motel=True)
+        assert not report.ok, (
+            "release-side motion exposes protected accesses"
+        )
+
+    def test_identity_unaffected(self):
+        src = "body(){ [X] := 1; <[Y] := 2;> print(0); }"
+        report = run_checker(src, src, roach_motel=True)
+        assert report.ok, report.failures
+
+    def test_wrong_value_still_caught_in_roach_mode(self):
+        report = run_checker(
+            "body(){ [X] := 1; <[Y] := 2;> print(0); }",
+            "body(){ <[X] := 9; [Y] := 2;> print(0); }",
+            roach_motel=True,
+        )
+        assert not report.ok, (
+            "deferred LG at the block exit must still compare contents"
+        )
+
+    def test_extra_access_still_caught_in_roach_mode(self):
+        report = run_checker(
+            "body(){ <[Y] := 2;> print(0); }",
+            "body(){ <[X] := 1; [Y] := 2;> print(0); }",
+            roach_motel=True,
+        )
+        assert not report.ok, (
+            "an access the source never performs is not a reordering"
+        )

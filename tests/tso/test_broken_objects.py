@@ -1,0 +1,106 @@
+"""Negative tests: broken object implementations are rejected.
+
+The object-refinement check (the observable content of ``≼ᵒ``) must
+not only accept π_lock — it must *reject* implementations whose races
+are not benign:
+
+* a lock whose acquisition is a plain load+store (no ``lock cmpxchg``):
+  two threads can both observe the lock free and both take it;
+* an unlock that releases the wrong way (setting a non-zero garbage
+  value that lets the spin loop exit twice).
+"""
+
+import pytest
+
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.ir.base import IRModule
+from repro.langs.minic import compile_unit, link_units
+from repro.langs.x86 import X86TSO, X86Function
+from repro.langs.x86 import ast as x
+from repro.compiler import compile_minic
+from repro.tso import (
+    DEFAULT_LOCK_ADDR,
+    check_object_refinement,
+    lock_spec,
+)
+
+from tests.helpers import LOCK_CLIENT, behaviours_of, done_traces
+
+
+def broken_lock_impl(lock_addr=DEFAULT_LOCK_ADDR):
+    """A test-and-set lock *without* the atomic instruction: the read
+    of the lock word and the store that claims it are separate steps —
+    two threads can interleave between them and both acquire."""
+    lock_fn = X86Function(
+        "lock",
+        0,
+        [
+            x.Plea("ecx", ("global", "L")),
+            x.Plabel("spin"),
+            x.Pmov_rm("eax", ("base", "ecx", 0)),
+            x.Pcmp_ri("eax", 0),
+            x.Pjcc("e", "spin"),
+            # Claim it non-atomically.
+            x.Pmov_ri("ebx", 0),
+            x.Pmov_mr(("base", "ecx", 0), "ebx"),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+        ],
+    )
+    unlock_fn = X86Function(
+        "unlock",
+        0,
+        [
+            x.Plea("eax", ("global", "L")),
+            x.Pmov_ri("ebx", 1),
+            x.Pmov_mr(("base", "eax", 0), "ebx"),
+            x.Pmov_ri("eax", 0),
+            x.Pret(),
+        ],
+    )
+    module = IRModule(
+        {"lock": lock_fn, "unlock": unlock_fn},
+        {"L": lock_addr},
+        owned={lock_addr},
+    )
+    ge = GlobalEnv({"L": lock_addr}, {lock_addr: VInt(1)})
+    return module, ge
+
+
+def _client():
+    units = [compile_unit(LOCK_CLIENT)]
+    mods, genvs, _ = link_units(
+        units, extra_symbols={"L": DEFAULT_LOCK_ADDR}
+    )
+    client = mods[0].with_forbidden({DEFAULT_LOCK_ADDR})
+    return compile_minic(client), genvs[0]
+
+
+class TestBrokenLockRejected:
+    def test_mutual_exclusion_fails(self):
+        result, genv = _client()
+        impl_mod, impl_ge = broken_lock_impl()
+        prog = Program(
+            [
+                ModuleDecl(X86TSO, genv, result.target.module),
+                ModuleDecl(X86TSO, impl_ge, impl_mod),
+            ],
+            ["inc", "inc"],
+        )
+        traces = done_traces(behaviours_of(prog, max_states=2000000))
+        assert (0, 0) in traces, (
+            "the non-atomic TAS lock must lose an update"
+        )
+
+    def test_object_refinement_rejects(self):
+        result, genv = _client()
+        impl_mod, impl_ge = broken_lock_impl()
+        spec_mod, spec_ge = lock_spec()
+        verdict = check_object_refinement(
+            [result.target], [genv], impl_mod, impl_ge,
+            spec_mod, spec_ge, ["inc", "inc"], max_states=2000000,
+        )
+        assert not verdict.ok, (
+            "≼ᵒ must reject a lock whose races are not benign"
+        )

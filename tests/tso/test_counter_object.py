@@ -1,0 +1,122 @@
+"""Tests for the fetch-and-increment counter object — the extended
+framework applied to a non-lock object (Sec. 2.4's generalization)."""
+
+import pytest
+
+from repro.lang.module import ModuleDecl, Program
+from repro.langs.cimp.semantics import CIMP
+from repro.langs.minic import compile_unit, link_units
+from repro.langs.x86.sc import X86SC
+from repro.langs.x86.tso import X86TSO
+from repro.semantics import drf
+from repro.compiler import compile_minic
+from repro.tso import (
+    DEFAULT_COUNTER_ADDR,
+    check_object_refinement,
+    check_strengthened_drf_guarantee,
+    counter_impl,
+    counter_spec,
+)
+
+from tests.helpers import behaviours_of, done_traces
+
+CLIENT = """
+extern int fetch_inc();
+void bump() {
+  int old;
+  old = fetch_inc();
+  print(old);
+}
+"""
+
+
+def build(nthreads=2):
+    units = [compile_unit(CLIENT)]
+    mods, genvs, _ = link_units(
+        units, extra_symbols={"K": DEFAULT_COUNTER_ADDR}
+    )
+    client = mods[0].with_forbidden({DEFAULT_COUNTER_ADDR})
+    result = compile_minic(client)
+    return result, genvs[0], ["bump"] * nthreads
+
+
+class TestSpec:
+    def test_fetch_inc_returns_distinct_values(self):
+        result, genv, entries = build(2)
+        spec_mod, spec_ge = counter_spec()
+        prog = Program(
+            [
+                ModuleDecl(result.source.lang, genv,
+                           result.source.module),
+                ModuleDecl(CIMP, spec_ge, spec_mod),
+            ],
+            entries,
+        )
+        traces = done_traces(behaviours_of(prog, max_states=400000))
+        # Atomicity: the two threads never observe the same value.
+        assert traces == {(0, 1), (1, 0)}
+
+    def test_spec_program_is_drf(self):
+        result, genv, entries = build(2)
+        spec_mod, spec_ge = counter_spec()
+        prog = Program(
+            [
+                ModuleDecl(result.source.lang, genv,
+                           result.source.module),
+                ModuleDecl(CIMP, spec_ge, spec_mod),
+            ],
+            entries,
+        )
+        assert drf(prog, max_states=400000)
+
+
+class TestImpl:
+    def _impl_program(self, lang=X86TSO, nthreads=2):
+        result, genv, entries = build(nthreads)
+        impl_mod, impl_ge = counter_impl()
+        return Program(
+            [
+                ModuleDecl(lang, genv, result.target.module),
+                ModuleDecl(lang, impl_ge, impl_mod),
+            ],
+            entries,
+        )
+
+    def test_atomicity_under_sc(self):
+        prog = self._impl_program(X86SC)
+        traces = done_traces(behaviours_of(prog, max_states=800000))
+        assert traces == {(0, 1), (1, 0)}
+
+    def test_atomicity_under_tso(self):
+        prog = self._impl_program(X86TSO)
+        traces = done_traces(behaviours_of(prog, max_states=1500000))
+        assert traces == {(0, 1), (1, 0)}
+
+    def test_impl_has_benign_races(self):
+        prog = self._impl_program(X86TSO)
+        assert not drf(prog, max_states=1500000), (
+            "the optimistic read races with committed increments"
+        )
+
+
+class TestRefinement:
+    def test_object_refinement(self):
+        result, genv, entries = build(2)
+        spec_mod, spec_ge = counter_spec()
+        impl_mod, impl_ge = counter_impl()
+        verdict = check_object_refinement(
+            [result.target], [genv], impl_mod, impl_ge,
+            spec_mod, spec_ge, entries, max_states=1500000,
+        )
+        assert verdict.ok, verdict.detail
+
+    def test_strengthened_guarantee(self):
+        result, genv, entries = build(2)
+        spec_mod, spec_ge = counter_spec()
+        impl_mod, impl_ge = counter_impl()
+        verdict = check_strengthened_drf_guarantee(
+            [result.target], [genv], impl_mod, impl_ge,
+            spec_mod, spec_ge, entries, max_states=1500000,
+        )
+        assert verdict.ok, verdict.detail
+        assert verdict.premises["tso_has_races"]

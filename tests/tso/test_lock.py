@@ -1,0 +1,141 @@
+"""Tests for the lock object: γ_lock semantics, π_lock under SC/TSO,
+mutual exclusion, and the benign races of the TTAS implementation."""
+
+from repro.common.values import VInt
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.cimp.semantics import CIMP
+from repro.langs.minic import compile_unit, link_units
+from repro.langs.minic.semantics import MINIC
+from repro.langs.x86.sc import X86SC
+from repro.langs.x86.tso import X86TSO
+from repro.semantics import drf
+from repro.compiler import compile_minic
+from repro.tso import (
+    DEFAULT_LOCK_ADDR,
+    lock_impl,
+    lock_spec,
+)
+
+from tests.helpers import LOCK_CLIENT, behaviours_of, done_traces
+
+LOCK = DEFAULT_LOCK_ADDR
+
+
+def lock_system(nthreads=2, client_src=LOCK_CLIENT, entry="inc"):
+    units = [compile_unit(client_src)]
+    mods, genvs, _ = link_units(units, extra_symbols={"L": LOCK})
+    client = mods[0].with_forbidden({LOCK})
+    result = compile_minic(client)
+    return result, genvs[0], [entry] * nthreads
+
+
+def spec_program(result, genv, entries, stage=None):
+    stage = stage or result.source
+    spec_mod, spec_ge = lock_spec()
+    return Program(
+        [
+            ModuleDecl(stage.lang, genv, stage.module),
+            ModuleDecl(CIMP, spec_ge, spec_mod),
+        ],
+        entries,
+    )
+
+
+def impl_program(result, genv, entries, lang=X86TSO):
+    impl_mod, impl_ge = lock_impl()
+    return Program(
+        [
+            ModuleDecl(lang, genv, result.target.module),
+            ModuleDecl(lang, impl_ge, impl_mod),
+        ],
+        entries,
+    )
+
+
+class TestLockSpec:
+    def test_mutual_exclusion_source(self):
+        result, genv, entries = lock_system(2)
+        prog = spec_program(result, genv, entries)
+        traces = done_traces(behaviours_of(prog, max_states=400000))
+        # Every terminating execution sees both increments, in some
+        # order, with no lost update.
+        assert traces == {(0, 1), (1, 0)}
+
+    def test_client_program_is_drf(self):
+        result, genv, entries = lock_system(2)
+        prog = spec_program(result, genv, entries)
+        assert drf(prog, max_states=400000)
+
+    def test_client_cannot_touch_lock_cell(self):
+        hostile = """
+        extern void lock();
+        extern void unlock();
+        extern int L;
+        void inc() { L = 1; }
+        """
+        # "extern int L" resolves against the object's symbol; the
+        # permission partition makes the access abort.
+        units = [compile_unit(hostile)]
+        mods, genvs, _ = link_units(units, extra_symbols={"L": LOCK})
+        client = mods[0].with_forbidden({LOCK})
+        spec_mod, spec_ge = lock_spec()
+        prog = Program(
+            [
+                ModuleDecl(MINIC, genvs[0], client),
+                ModuleDecl(CIMP, spec_ge, spec_mod),
+            ],
+            ["inc"],
+        )
+        behs = behaviours_of(prog)
+        assert {b.end for b in behs} == {"abort"}
+
+    def test_double_unlock_aborts(self):
+        bad = """
+        extern void lock();
+        extern void unlock();
+        void inc() { lock(); unlock(); unlock(); }
+        """
+        result, genv, entries = lock_system(1, bad, "inc")
+        prog = spec_program(result, genv, entries)
+        behs = behaviours_of(prog)
+        assert any(b.end == "abort" for b in behs), (
+            "the spec's assert must fire on double release"
+        )
+
+
+class TestLockImplSC:
+    def test_mutual_exclusion_x86_sc(self):
+        result, genv, entries = lock_system(2)
+        impl_mod, impl_ge = lock_impl()
+        prog = Program(
+            [
+                ModuleDecl(X86SC, genv, result.target.module),
+                ModuleDecl(X86SC, impl_ge, impl_mod),
+            ],
+            entries,
+        )
+        traces = done_traces(behaviours_of(prog, max_states=800000))
+        assert traces == {(0, 1), (1, 0)}
+
+
+class TestLockImplTSO:
+    def test_mutual_exclusion_x86_tso(self):
+        result, genv, entries = lock_system(2)
+        prog = impl_program(result, genv, entries)
+        traces = done_traces(behaviours_of(prog, max_states=1500000))
+        assert traces == {(0, 1), (1, 0)}
+
+    def test_impl_program_has_benign_races(self):
+        result, genv, entries = lock_system(2)
+        prog = impl_program(result, genv, entries)
+        assert not drf(prog, max_states=1500000), (
+            "the TTAS spin read races with the release store — the "
+            "benign race the paper confines"
+        )
+
+    def test_spec_program_races_confined_to_impl(self):
+        # With the abstract object the same client is DRF: the races
+        # live entirely inside π_lock.
+        result, genv, entries = lock_system(2)
+        assert drf(spec_program(result, genv, entries),
+                   max_states=400000)
