@@ -1,0 +1,17 @@
+// The quickstart program as a standalone MiniC file, for the CLI:
+//
+//   python -m repro compile  examples/quickstart.c
+//   python -m repro run      examples/quickstart.c --metrics
+//   python -m repro validate examples/quickstart.c --trace out.jsonl
+int g = 5;
+int add(int a, int b) { return a + b; }
+void main() {
+  int x = 2;
+  int y;
+  y = add(x, g);
+  print(y);
+  g = y * 2;
+  print(g);
+  int i = 0;
+  while (i < 3) { print(i); i = i + 1; }
+}

@@ -7,13 +7,20 @@ Commands:
 * ``run FILE --threads entry1,entry2 [--stage STAGE] [--lock]`` —
   enumerate the behaviours of the program under the preemptive
   semantics (optionally linked against the lock object);
-* ``validate FILE [-O]`` — translation-validate every pass;
+* ``validate FILE [-O] [--max-failures N]`` — translation-validate
+  every pass;
 * ``drf FILE --threads entry1,entry2 [--lock]`` — race-check.
+
+All commands accept ``--metrics`` (print a metrics summary table) and
+``--trace FILE`` (write a JSON-lines span trace); the
+``REPRO_METRICS`` / ``REPRO_TRACE`` environment variables switch the
+same machinery on without flags.
 """
 
 import argparse
 import sys
 
+from repro import obs
 from repro.lang.module import ModuleDecl, Program
 from repro.langs.cimp.semantics import CIMP
 from repro.langs.minic import compile_unit, link_units
@@ -90,12 +97,17 @@ def cmd_validate(args):
     module, genv = _build(args.file, args.lock)
     result = compile_minic(module, optimize=args.optimize)
     mem = genv.memory()
+    cap = max(args.max_failures, 0)
     ok = True
     for v in validate_compilation(result, mem, mem.domain()):
         status = "ok" if v.ok else "FAILED"
         print("{:14s} {}".format(v.pass_name, status))
-        for failure in v.report.failures[:3]:
+        shown = v.report.failures[:cap]
+        for failure in shown:
             print("    ", failure)
+        extra = len(v.report.failures) - len(shown)
+        if extra > 0:
+            print("     (+{} more)".format(extra))
         ok = ok and v.ok
     return 0 if ok else 1
 
@@ -128,6 +140,16 @@ def make_parser():
             "--lock", action="store_true",
             help="link against the lock object (lock()/unlock())",
         )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect metrics and print a summary table "
+            "(also REPRO_METRICS=1)",
+        )
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="write a JSON-lines span trace to FILE "
+            "(also REPRO_TRACE=FILE)",
+        )
 
     p = sub.add_parser("compile", help="run the pipeline")
     common(p)
@@ -149,6 +171,10 @@ def make_parser():
 
     p = sub.add_parser("validate", help="translation-validate all passes")
     common(p)
+    p.add_argument(
+        "--max-failures", type=int, default=3, metavar="N",
+        help="print at most N failures per pass (default 3)",
+    )
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("drf", help="data-race-freedom check")
@@ -162,10 +188,27 @@ def make_parser():
 def main(argv=None):
     args = make_parser().parse_args(argv)
     try:
-        return args.func(args)
+        # Flags layer on top of the REPRO_METRICS / REPRO_TRACE env vars.
+        obs.configure_from_env()
+        obs.configure(
+            metrics=getattr(args, "metrics", False),
+            trace=getattr(args, "trace", None),
+        )
+    except OSError as exc:
+        print("repro: cannot open trace file: {}".format(exc),
+              file=sys.stderr)
+        return 2
+    try:
+        result = args.func(args)
+        if obs.metrics_enabled():
+            print()
+            print(obs.render_summary())
+        return result
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    finally:
+        obs.shutdown()
 
 
 if __name__ == "__main__":

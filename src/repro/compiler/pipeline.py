@@ -8,6 +8,8 @@ pair. ``IdTrans`` is the identity transformation the paper applies to
 the CImp object module.
 """
 
+from repro import obs
+from repro.obs.nodecount import count_nodes
 from repro.langs.ir import (
     CMINOR,
     CMINORSEL,
@@ -119,11 +121,26 @@ def compile_minic(module, upto=None, optimize=False):
             passes.extend(EXTRA_PASSES)
     stages = [Stage("source", MINIC, module)]
     current = module
-    for name, transf, lang in passes:
-        current = transf(current)
-        stages.append(Stage(name, lang, current))
-        if upto is not None and name == upto:
-            break
+    track = obs.enabled
+    with obs.span("compile", optimize=optimize, passes=len(passes)):
+        for name, transf, lang in passes:
+            if track:
+                with obs.span("compile.pass", pass_name=name) as sp:
+                    nodes_in = count_nodes(current)
+                    current = transf(current)
+                    nodes_out = count_nodes(current)
+                    sp.set(
+                        lang=lang.name,
+                        nodes_in=nodes_in,
+                        nodes_out=nodes_out,
+                    )
+                obs.inc("compile.passes")
+                obs.observe("compile.nodes_out", nodes_out)
+            else:
+                current = transf(current)
+            stages.append(Stage(name, lang, current))
+            if upto is not None and name == upto:
+                break
     return CompilationResult(stages)
 
 

@@ -10,8 +10,7 @@ preserving validation* (the paper's additional FPmatch/HG/LG/Rely
 obligations).
 """
 
-import time
-
+from repro import obs
 from repro.simulation.validate import sample_args, validate_compilation
 
 
@@ -53,51 +52,60 @@ def per_pass_table(system):
     shared = system.shared()
     rows = {}
     order = []
-    for result in system.results:
-        entries = [
-            (name, sample_args(func))
-            for name, func in sorted(
-                result.source.module.functions.items()
-            )
-        ]
-        start = time.perf_counter()
-        validations = validate_compilation(
-            result, mem, shared, entries=entries,
-            include_end_to_end=False,
-        )
-        elapsed = time.perf_counter() - start
-        per_pass_time = elapsed / max(len(validations), 1)
-        for val in validations:
-            st = val.report.stats
-            if not val.report.ok:
-                raise AssertionError(
-                    "validation failed in {}: {}".format(
-                        val.pass_name, val.report.failures[:3]
-                    )
+    with obs.span("report.per_pass_table"):
+        for result in system.results:
+            entries = [
+                (name, sample_args(func))
+                for name, func in sorted(
+                    result.source.module.functions.items()
                 )
-            if val.pass_name not in rows:
-                order.append(val.pass_name)
-                rows[val.pass_name] = PassRow(
-                    val.pass_name, 0, 0, 0, 0, 0, 0, 0.0
-                )
-            row = rows[val.pass_name]
-            # Baseline: what a sequential validator discharges —
-            # message matching only.
-            row.baseline_obligations += st.messages_matched
-            # Ours: the footprint-preserving extras on top.
-            row.fp_obligations += (
-                st.fpmatch_checks + st.scope_checks + st.lg_checks
+            ]
+            validations = validate_compilation(
+                result, mem, shared, entries=entries,
+                include_end_to_end=False,
             )
-            row.rely_moves += st.rely_moves
-            row.messages += st.messages_matched
-            row.src_steps += st.src_steps
-            row.tgt_steps += st.tgt_steps
-            row.seconds += per_pass_time
+            _merge_rows(rows, order, validations)
     return [rows[name] for name in order]
 
 
+def _merge_rows(rows, order, validations):
+    for val in validations:
+        st = val.report.stats
+        if not val.report.ok:
+            raise AssertionError(
+                "validation failed in {}: {}".format(
+                    val.pass_name, val.report.failures[:3]
+                )
+            )
+        if val.pass_name not in rows:
+            order.append(val.pass_name)
+            rows[val.pass_name] = PassRow(
+                val.pass_name, 0, 0, 0, 0, 0, 0, 0.0
+            )
+        row = rows[val.pass_name]
+        # Baseline: what a sequential validator discharges —
+        # message matching only.
+        row.baseline_obligations += st.messages_matched
+        # Ours: the footprint-preserving extras on top.
+        row.fp_obligations += (
+            st.fpmatch_checks + st.scope_checks + st.lg_checks
+        )
+        row.rely_moves += st.rely_moves
+        row.messages += st.messages_matched
+        row.src_steps += st.src_steps
+        row.tgt_steps += st.tgt_steps
+        # Real per-pass elapsed time, measured around each
+        # validate_pair call — not an even split of the total.
+        row.seconds += val.seconds
+
+
 def format_table(rows, headers=None):
-    """Plain-text table rendering for examples and bench output."""
+    """Plain-text table rendering for examples and bench output.
+
+    Rows may be :class:`PassRow`-style objects (anything with an
+    ``as_tuple`` method) or plain tuples/lists — the latter is what the
+    observability layer's metrics summary uses.
+    """
     headers = headers or (
         "Pass",
         "Baseline obl.",
@@ -111,7 +119,9 @@ def format_table(rows, headers=None):
     str_rows = [
         [
             "{:.4f}".format(v) if isinstance(v, float) else str(v)
-            for v in row.as_tuple()
+            for v in (
+                row.as_tuple() if hasattr(row, "as_tuple") else tuple(row)
+            )
         ]
         for row in rows
     ]

@@ -1,0 +1,168 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+The registry is deliberately simple — named instruments living in
+plain dicts, created on first touch. Speed matters only *relative to
+the disabled path*: callers in the hot loops (`semantics.explore`,
+`simulation.local`) guard every call behind the module-level
+``repro.obs.enabled`` flag, so none of this code runs when
+observability is off.
+
+Histograms keep raw observations (bounded by a reservoir cap) so the
+summary can report exact min/max/mean and nearest-rank p50/p95 for the
+volumes this system produces (per-pass durations, segment sizes —
+thousands of points, not millions).
+"""
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` keeps high-water marks."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def set_max(self, value):
+        if value > self.value:
+            self.value = value
+
+
+#: Beyond this many observations a histogram keeps every k-th sample
+#: (deterministic decimation — no RNG, so traces stay reproducible).
+RESERVOIR_CAP = 65536
+
+
+class Histogram:
+    """A distribution summarised as count/min/max/mean/p50/p95."""
+
+    __slots__ = ("values", "count", "total", "vmin", "vmax", "_stride",
+                 "_skip")
+
+    def __init__(self):
+        self.values = []
+        self.count = 0
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self.values.append(value)
+        self._skip = self._stride - 1
+        if len(self.values) >= RESERVOIR_CAP:
+            # Halve the reservoir, double the stride.
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def percentile(self, q):
+        """Nearest-rank percentile over the retained samples."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        rank = max(
+            0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        )
+        return ordered[rank]
+
+    def summary(self):
+        mean = self.total / self.count if self.count else None
+        return {
+            "count": self.count,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, created on first use."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    # ----- instrument lookup ---------------------------------------------
+
+    def counter(self, name):
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name):
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name):
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # ----- recording shorthand -------------------------------------------
+
+    def inc(self, name, n=1):
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def gauge_max(self, name, value):
+        self.gauge(name).set_max(value)
+
+    def observe(self, name, value):
+        self.histogram(name).observe(value)
+
+    # ----- output ---------------------------------------------------------
+
+    def snapshot(self):
+        """A plain-dict view: JSON-serialisable, sorted by name."""
+        return {
+            "counters": {
+                name: c.value
+                for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self):
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

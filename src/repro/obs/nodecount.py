@@ -1,0 +1,66 @@
+"""Generic AST/IR size measurement for pipeline instrumentation.
+
+Every language in the reproduction represents programs as trees of
+:class:`repro.common.astbase.Node` (with ``_fields``) held inside
+per-IR function containers (``RTLFunction``, ``LinearFunction``, …)
+and an :class:`~repro.langs.ir.base.IRModule`-like module object.
+``count_nodes`` walks any of them and counts the reachable
+Node/container objects — a uniform "program size" usable before and
+after every pass, from MiniC down to x86.
+"""
+
+from repro.common.astbase import Node
+
+_LEAVES = (str, bytes, int, float, bool, type(None))
+
+
+def _slot_names(obj):
+    names = []
+    for klass in type(obj).__mro__:
+        names.extend(getattr(klass, "__slots__", ()))
+    return names
+
+
+def count_nodes(root):
+    """Number of repro AST/IR objects reachable from ``root``.
+
+    Counts :class:`Node` instances and any other object defined in a
+    ``repro.`` module (function containers, modules); traverses tuples,
+    lists, sets, dicts and object fields. Shared subtrees are counted
+    once (identity-deduplicated).
+    """
+    seen = set()
+    count = 0
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, _LEAVES):
+            continue
+        oid = id(obj)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if isinstance(obj, (tuple, list, set, frozenset)):
+            stack.extend(obj)
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.values())
+            continue
+        if isinstance(obj, Node):
+            count += 1
+            stack.extend(
+                getattr(obj, field) for field in obj._fields
+            )
+            continue
+        if type(obj).__module__.startswith("repro."):
+            count += 1
+            slots = _slot_names(obj)
+            if slots:
+                stack.extend(
+                    getattr(obj, name, None)
+                    for name in slots
+                    if name != "_hash"
+                )
+            else:
+                stack.extend(vars(obj).values())
+    return count

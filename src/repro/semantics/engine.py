@@ -14,6 +14,7 @@ A global step outcome is a :class:`GStep` (label + successor world) or
 * ``"sw"`` — a context switch (visible in ``=⇒*`` but not in traces).
 """
 
+from repro import obs
 from repro.common.errors import SemanticsError
 from repro.lang.messages import (
     ENT_ATOM,
@@ -102,6 +103,14 @@ def thread_successors(ctx, world):
             results.append(GAbort(outcome.reason))
             continue
         results.extend(_process_step(ctx, world, frame, decl, outcome))
+    if obs.enabled:
+        # One flag test on the disabled path; detailed edge-kind
+        # accounting happens post-hoc in the explorer.
+        obs.inc("engine.expansions")
+        obs.inc("engine.outcomes", len(results))
+        for r in results:
+            if isinstance(r, GAbort):
+                obs.inc("engine.aborts")
     return results
 
 

@@ -22,6 +22,7 @@ divergence (e.g. a spin loop that can spin forever).
 
 from collections import deque
 
+from repro import obs
 from repro.lang.messages import EventMsg
 from repro.semantics.engine import SW, GAbort
 
@@ -100,45 +101,114 @@ ABORT_DST = -1
 
 def explore(ctx, semantics, max_states=50000, strict=False):
     """Build the reachable :class:`StateGraph` under ``semantics``."""
-    graph = StateGraph()
-    queue = deque()
-    for world in semantics.initial_worlds(ctx):
-        sid = graph.intern(world)
-        graph.initial.append(sid)
-        queue.append(sid)
-    seen = set(graph.initial)
+    # Hoisted observability flag: the loop below is the system's
+    # hottest path, so the disabled cost is one truthiness test per
+    # dequeued state.
+    track = obs.enabled
+    with obs.span(
+        "explore",
+        semantics=type(semantics).__name__,
+        max_states=max_states,
+    ) as sp:
+        graph = StateGraph()
+        queue = deque()
+        for world in semantics.initial_worlds(ctx):
+            sid = graph.intern(world)
+            graph.initial.append(sid)
+            queue.append(sid)
+        seen = set(graph.initial)
+        frontier_hwm = len(queue)
 
-    while queue:
-        sid = queue.popleft()
-        world = graph.states[sid]
-        if world.is_done():
-            graph.done.add(sid)
-            graph.edges[sid] = []
-            continue
-        outs = semantics.successors(ctx, world)
-        if not outs:
-            graph.stuck.add(sid)
-            graph.edges[sid] = []
-            continue
-        edges = []
-        for out in outs:
-            if isinstance(out, GAbort):
-                edges.append((Behaviour.ABORT, ABORT_DST))
+        while queue:
+            if track and len(queue) > frontier_hwm:
+                frontier_hwm = len(queue)
+            sid = queue.popleft()
+            world = graph.states[sid]
+            if world.is_done():
+                graph.done.add(sid)
+                graph.edges[sid] = []
                 continue
-            if len(graph.states) >= max_states and out.world not in graph.ids:
-                if strict:
-                    raise ExplorationLimit(
-                        "state bound {} exceeded".format(max_states)
-                    )
-                graph.truncated.add(sid)
+            outs = semantics.successors(ctx, world)
+            if not outs:
+                graph.stuck.add(sid)
+                graph.edges[sid] = []
                 continue
-            dst = graph.intern(out.world)
-            edges.append((out.label, dst))
-            if dst not in seen:
-                seen.add(dst)
-                queue.append(dst)
-        graph.edges[sid] = edges
+            edges = []
+            for out in outs:
+                if isinstance(out, GAbort):
+                    edges.append((Behaviour.ABORT, ABORT_DST))
+                    continue
+                if len(graph.states) >= max_states and out.world not in graph.ids:
+                    if strict:
+                        raise ExplorationLimit(
+                            "state bound {} exceeded".format(max_states)
+                        )
+                    graph.truncated.add(sid)
+                    continue
+                dst = graph.intern(out.world)
+                edges.append((out.label, dst))
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+            graph.edges[sid] = edges
+
+        if graph.truncated:
+            # strict=True raises before getting here, so this is the
+            # silent-truncation case: make it diagnosable.
+            obs.inc("explore.truncated_states", len(graph.truncated))
+            obs.warn(
+                "exploration truncated at {} states ({} frontier "
+                "state(s) cut); behaviours may include 'cut'".format(
+                    max_states, len(graph.truncated)
+                ),
+                max_states=max_states,
+                truncated=len(graph.truncated),
+            )
+        if track:
+            _record_explore_metrics(graph, frontier_hwm, sp)
     return graph
+
+
+def _record_explore_metrics(graph, frontier_hwm, sp):
+    """Post-hoc accounting over the finished graph (enabled path only).
+
+    Edge-kind counts and dedup hits are derived from the graph instead
+    of being counted inside the loop, keeping the hot path untouched.
+    """
+    n_states = graph.state_count()
+    n_event = n_silent = n_switch = n_abort = 0
+    n_edges = 0
+    for edges in graph.edges.values():
+        for label, dst in edges:
+            if dst == ABORT_DST:
+                n_abort += 1
+                continue
+            n_edges += 1
+            if label == SW:
+                n_switch += 1
+            elif isinstance(label, EventMsg):
+                n_event += 1
+            else:
+                n_silent += 1
+    # Every non-abort edge targets an interned world; all but the
+    # newly-discovered ones hit the dedup table.
+    dedup_hits = n_edges - (n_states - len(graph.initial))
+    obs.inc("explore.states_visited", n_states)
+    obs.inc("explore.edges.event", n_event)
+    obs.inc("explore.edges.silent", n_silent)
+    obs.inc("explore.edges.switch", n_switch)
+    obs.inc("explore.edges.abort", n_abort)
+    obs.inc("explore.dedup_hits", max(dedup_hits, 0))
+    obs.inc("explore.done_states", len(graph.done))
+    obs.inc("explore.stuck_states", len(graph.stuck))
+    obs.gauge_max("explore.frontier_hwm", frontier_hwm)
+    obs.observe("explore.states_per_run", n_states)
+    sp.set(
+        states=n_states,
+        edges=n_edges,
+        frontier_hwm=frontier_hwm,
+        truncated=len(graph.truncated),
+    )
 
 
 def _is_silent_label(label):
@@ -250,6 +320,15 @@ def behaviours(graph, max_events=10, max_nodes=200000):
     deduplication; finite because the graph is finite and traces are
     capped at ``max_events`` (longer traces surface as ``cut``).
     """
+    with obs.span("behaviours", max_events=max_events) as sp:
+        result = _behaviours(graph, max_events, max_nodes)
+        if obs.enabled:
+            obs.inc("behaviours.traces", len(result))
+            sp.set(traces=len(result))
+    return result
+
+
+def _behaviours(graph, max_events, max_nodes):
     div_states = _progress_divergent_states(graph)
     result = set()
     visited = set()

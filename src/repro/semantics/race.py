@@ -14,6 +14,7 @@ the paper's steps ⑥/⑧, validated empirically by the FIG2-68 benchmark.
 
 from collections import deque
 
+from repro import obs
 from repro.common.footprint import EMP, conflict_atomic
 from repro.lang.messages import ENT_ATOM, is_silent
 from repro.lang.steps import Step
@@ -146,30 +147,62 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64):
     :func:`predict`.
     """
     quantum = isinstance(semantics, NonPreemptiveSemantics)
-    graph = explore(ctx, semantics, max_states, strict=True)
-    for world in graph.states:
-        if world.is_done():
-            continue
-        # The Race rule applies to worlds where the running thread is
-        # not inside an atomic block (Fig. 9: ``W = (T, _, 0, σ)``).
-        if world.bits[world.cur] != 0:
-            continue
-        live = world.live_threads()
-        preds = {
-            tid: predict(
-                ctx, world, tid, max_atomic_steps, quantum=quantum
+    with obs.span(
+        "race.find", semantics=type(semantics).__name__
+    ) as sp:
+        graph = explore(ctx, semantics, max_states, strict=True)
+        track = obs.enabled
+        worlds_checked = 0
+        predictions = 0
+        pairs_checked = 0
+        witness = None
+        for world in graph.states:
+            if world.is_done():
+                continue
+            # The Race rule applies to worlds where the running thread
+            # is not inside an atomic block (Fig. 9: ``W = (T, _, 0, σ)``).
+            if world.bits[world.cur] != 0:
+                continue
+            worlds_checked += 1
+            live = world.live_threads()
+            preds = {
+                tid: predict(
+                    ctx, world, tid, max_atomic_steps, quantum=quantum
+                )
+                for tid in live
+            }
+            if track:
+                predictions += sum(len(p) for p in preds.values())
+            for i, t1 in enumerate(live):
+                for t2 in live[i + 1:]:
+                    pairs_checked += len(preds[t1]) * len(preds[t2])
+                    for fp1, b1 in preds[t1]:
+                        for fp2, b2 in preds[t2]:
+                            if conflict_atomic(fp1, b1, fp2, b2):
+                                witness = RaceWitness(
+                                    world, t1, fp1, b1, t2, fp2, b2
+                                )
+                                break
+                        if witness is not None:
+                            break
+                    if witness is not None:
+                        break
+                if witness is not None:
+                    break
+            if witness is not None:
+                break
+        if track:
+            obs.inc("race.worlds_checked", worlds_checked)
+            obs.inc("race.predictions", predictions)
+            obs.inc("race.pairs_checked", pairs_checked)
+            if witness is not None:
+                obs.inc("race.witnesses")
+            sp.set(
+                worlds=worlds_checked,
+                pairs=pairs_checked,
+                racy=witness is not None,
             )
-            for tid in live
-        }
-        for i, t1 in enumerate(live):
-            for t2 in live[i + 1:]:
-                for fp1, b1 in preds[t1]:
-                    for fp2, b2 in preds[t2]:
-                        if conflict_atomic(fp1, b1, fp2, b2):
-                            return RaceWitness(
-                                world, t1, fp1, b1, t2, fp2, b2
-                            )
-    return None
+    return witness
 
 
 def drf(program, max_states=50000, max_atomic_steps=64):

@@ -31,6 +31,7 @@ footprints to match exactly — the stricter CompCertTSO-style criterion
 that rejects legal reorderings.
 """
 
+from repro import obs
 from repro.common.footprint import EMP
 from repro.common.values import VInt
 from repro.lang.messages import (
@@ -239,6 +240,31 @@ class LocalSimulationChecker:
                     tgt_flist, report=None):
         """Validate one entry point from one pair of initial memories."""
         report = report or SimulationReport()
+        if not obs.enabled:
+            return self._check_entry(
+                entry, args, src_mem, tgt_mem, src_flist, tgt_flist,
+                report,
+            )
+        seg0 = report.stats.segments
+        fail0 = len(report.failures)
+        with obs.span(
+            "simulate.entry",
+            entry=entry,
+            src=self.src_lang.name,
+            tgt=self.tgt_lang.name,
+        ) as sp:
+            self._check_entry(
+                entry, args, src_mem, tgt_mem, src_flist, tgt_flist,
+                report,
+            )
+            sp.set(
+                segments=report.stats.segments - seg0,
+                failures=len(report.failures) - fail0,
+            )
+        return report
+
+    def _check_entry(self, entry, args, src_mem, tgt_mem, src_flist,
+                     tgt_flist, report):
         mu = self.mu
         if not mu.well_formed():
             report.fail("µ is not well-formed")

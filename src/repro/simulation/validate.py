@@ -12,6 +12,9 @@ whole-pipeline validation — checked here by also validating
 source-against-final-target directly.
 """
 
+import time
+
+from repro import obs
 from repro.common.freelist import FreeList
 from repro.common.values import VInt, VPtr
 from repro.langs.minic import ast as mc
@@ -46,11 +49,17 @@ def resolve_args(args, shared):
 
 
 class PassValidation:
-    """Validation outcome for one pass of one module."""
+    """Validation outcome for one pass of one module.
 
-    def __init__(self, pass_name, report):
+    ``seconds`` is the real elapsed wall-clock of validating this pass
+    (measured around its :func:`validate_pair` call), the raw material
+    of the Fig. 13 table's time column.
+    """
+
+    def __init__(self, pass_name, report, seconds=0.0):
         self.pass_name = pass_name
         self.report = report
+        self.seconds = seconds
 
     @property
     def ok(self):
@@ -107,16 +116,55 @@ def validate_compilation(result, initial_mem, shared, entries=None,
             for name, func in sorted(source_module.functions.items())
         ]
     validations = []
-    for pass_name, src_stage, tgt_stage in result.adjacent_pairs():
+    with obs.span("validate", passes=len(result.stages) - 1):
+        for pass_name, src_stage, tgt_stage in result.adjacent_pairs():
+            validations.append(
+                _validate_one(
+                    pass_name, src_stage, tgt_stage, entries,
+                    initial_mem, shared, lockstep, rely_limit,
+                )
+            )
+        if include_end_to_end:
+            validations.append(
+                _validate_one(
+                    "end-to-end", result.source, result.target,
+                    entries, initial_mem, shared, lockstep, rely_limit,
+                )
+            )
+    return validations
+
+
+def _validate_one(pass_name, src_stage, tgt_stage, entries, initial_mem,
+                  shared, lockstep, rely_limit):
+    """Validate one pass inside a span, with real elapsed timing."""
+    with obs.span("validate.pass", pass_name=pass_name) as sp:
+        start = time.perf_counter()
         report = validate_pair(
             src_stage, tgt_stage, entries, initial_mem, shared,
             lockstep=lockstep, rely_limit=rely_limit,
         )
-        validations.append(PassValidation(pass_name, report))
-    if include_end_to_end:
-        report = validate_pair(
-            result.source, result.target, entries, initial_mem, shared,
-            lockstep=lockstep, rely_limit=rely_limit,
+        elapsed = time.perf_counter() - start
+        sp.set(ok=report.ok, segments=report.stats.segments)
+    if obs.enabled:
+        _record_validation(pass_name, report)
+    return PassValidation(pass_name, report, elapsed)
+
+
+def _record_validation(pass_name, report):
+    """Fold one pass's obligation counts into the metrics registry."""
+    st = report.stats
+    obs.inc("validate.passes")
+    obs.inc("validate.obligations.fpmatch", st.fpmatch_checks)
+    obs.inc("validate.obligations.scope", st.scope_checks)
+    obs.inc("validate.obligations.lg", st.lg_checks)
+    obs.inc("validate.obligations.rely_moves", st.rely_moves)
+    obs.inc("validate.obligations.messages", st.messages_matched)
+    obs.inc("validate.co_exec_steps", st.src_steps + st.tgt_steps)
+    obs.inc("validate.segments", st.segments)
+    if not report.ok:
+        obs.inc("validate.failed_passes")
+        obs.event(
+            "validate.failure",
+            pass_name=pass_name,
+            failures=len(report.failures),
         )
-        validations.append(PassValidation("end-to-end", report))
-    return validations

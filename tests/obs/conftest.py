@@ -1,0 +1,12 @@
+"""Observability tests share process-global state: reset around each."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()

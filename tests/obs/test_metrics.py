@@ -1,0 +1,100 @@
+"""Metrics registry: counters, gauges, histogram aggregation."""
+
+from repro.obs.metrics import (
+    RESERVOIR_CAP,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter("a").value == 5
+
+    def test_counters_independent(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("b", 2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1, "b": 2}
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 10)
+        reg.set_gauge("g", 3)
+        assert reg.gauge("g").value == 3
+
+    def test_set_max_keeps_high_water(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("hwm", 10)
+        reg.gauge_max("hwm", 3)
+        reg.gauge_max("hwm", 12)
+        assert reg.gauge("hwm").value == 12
+
+
+class TestHistograms:
+    def test_summary_exact_small(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4, 100]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["min"] == 1
+        assert s["max"] == 100
+        assert s["mean"] == 22.0
+        assert s["p50"] == 3
+
+    def test_p95_upper_tail(self):
+        h = Histogram()
+        for v in range(101):  # 0..100
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == 50
+        assert s["p95"] == 95
+
+    def test_empty_summary(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["min"] is None and s["p95"] is None
+
+    def test_reservoir_caps_retained_samples(self):
+        h = Histogram()
+        n = RESERVOIR_CAP * 2 + 7
+        for v in range(n):
+            h.observe(v)
+        assert h.count == n
+        assert len(h.values) < RESERVOIR_CAP
+        # Exact stats survive decimation.
+        s = h.summary()
+        assert s["min"] == 0 and s["max"] == n - 1
+        # Percentiles stay approximately right under decimation.
+        assert abs(s["p50"] - n / 2) < n * 0.02
+
+    def test_registry_observe(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        assert reg.snapshot()["histograms"]["h"]["mean"] == 2.0
+
+
+class TestSnapshotReset:
+    def test_snapshot_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
