@@ -1,0 +1,94 @@
+"""Benchmark smoke run for the hot-path state machinery.
+
+Times the two workloads the persistent-memory + hash-consing work
+targets and writes ``BENCH_pr2.json`` next to the repo root (or to the
+path given as argv[1]):
+
+* SCALE — 3-thread lock-counter exploration under preemptive
+  scheduling (the dominant tier-2 cost): wall time, state count,
+  states/second.
+* FIG13 — the per-pass validation-effort table for the 2-thread
+  lock-counter system: wall time per build of the 12-pass table.
+
+Also records the intern-table and memory-sharing counters for the
+SCALE run so CI artifacts show the machinery is actually engaged.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_pr2.py [out.json]
+"""
+
+import json
+import sys
+import time
+
+from repro.common import intern
+from repro.common.memory import STATS as MEM_STATS
+from repro.framework import lock_counter_system, per_pass_table
+from repro.semantics import GlobalContext, PreemptiveSemantics, explore
+
+SCALE_THREADS = 3
+SCALE_ROUNDS = 3
+FIG13_ROUNDS = 3
+
+
+def _bench_scale():
+    system = lock_counter_system(SCALE_THREADS)
+    prog = system.source_program()
+    times = []
+    states = None
+    for _ in range(SCALE_ROUNDS):
+        start = time.perf_counter()
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=3000000, strict=True,
+        )
+        times.append(time.perf_counter() - start)
+        states = graph.state_count()
+    best = min(times)
+    hits, misses = intern.totals()
+    return {
+        "workload": "lock-counter, {} threads, preemptive".format(
+            SCALE_THREADS),
+        "states": states,
+        "seconds_best": round(best, 4),
+        "seconds_all": [round(t, 4) for t in times],
+        "states_per_second": round(states / best, 1),
+        "intern_hits": hits,
+        "intern_misses": misses,
+        "memory_nodes_reused": MEM_STATS.nodes_reused,
+        "memory_compactions": MEM_STATS.compactions,
+    }
+
+
+def _bench_fig13():
+    system = lock_counter_system(2)
+    times = []
+    rows = None
+    for _ in range(FIG13_ROUNDS):
+        start = time.perf_counter()
+        rows = per_pass_table(system)
+        times.append(time.perf_counter() - start)
+    return {
+        "workload": "per-pass validation table, 2-thread lock-counter",
+        "passes": len(rows),
+        "seconds_best": round(min(times), 4),
+        "seconds_all": [round(t, 4) for t in times],
+    }
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr2.json"
+    report = {
+        "python": sys.version.split()[0],
+        "scale": _bench_scale(),
+        "fig13": _bench_fig13(),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,22 +11,53 @@ Footprints are immutable and hashable, so they can label transitions in
 the explored state graphs. When a footprint is "used as a set" (as the
 paper does in the conflict definition), it denotes ``rs ∪ ws`` — that is
 :meth:`Footprint.locs`.
+
+Footprints are *hash-consed*: the handful of distinct ``(rs, ws)`` pairs
+a program's steps produce are built millions of times during
+exploration, so construction interns through a bounded table and equal
+footprints are (almost always) the same object — set operations in the
+race detector and edge labelling hit pointer equality. Structural
+``__eq__`` remains the fallback, so a table clear never changes
+semantics.
 """
+
+from repro.common.intern import InternTable
+
+_INTERNED = InternTable("footprint", max_size=1 << 18)
 
 
 class Footprint:
     """An immutable footprint ``(rs, ws)`` of read and written addresses."""
 
-    __slots__ = ("rs", "ws")
+    __slots__ = ("rs", "ws", "_hash")
 
-    def __init__(self, rs=(), ws=()):
-        object.__setattr__(self, "rs", frozenset(rs))
-        object.__setattr__(self, "ws", frozenset(ws))
+    def __new__(cls, rs=(), ws=()):
+        if type(rs) is not frozenset:
+            rs = frozenset(rs)
+        if type(ws) is not frozenset:
+            ws = frozenset(ws)
+        key = (rs, ws)
+        table = _INTERNED
+        cached = table.table.get(key)
+        if cached is not None:
+            table.hits += 1
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "rs", rs)
+        object.__setattr__(self, "ws", ws)
+        object.__setattr__(self, "_hash", hash(key))
+        if len(table.table) >= table.max_size:
+            table.table.clear()
+        table.table[key] = self
+        table.misses += 1
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Footprint is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, Footprint)
             and self.rs == other.rs
@@ -34,7 +65,7 @@ class Footprint:
         )
 
     def __hash__(self):
-        return hash((self.rs, self.ws))
+        return self._hash
 
     def __repr__(self):
         return "Footprint(rs={}, ws={})".format(

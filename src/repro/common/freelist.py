@@ -54,7 +54,7 @@ class FreeList:
     and *which* addresses were already allocated from ``F``.
     """
 
-    __slots__ = ("base",)
+    __slots__ = ("base", "_hash")
 
     def __init__(self, base):
         if base < LOCAL_BASE:
@@ -62,15 +62,18 @@ class FreeList:
                 "freelist base {} overlaps global space".format(base)
             )
         object.__setattr__(self, "base", base)
+        object.__setattr__(self, "_hash", hash(("FreeList", base)))
 
     def __setattr__(self, name, value):
         raise AttributeError("FreeList is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, FreeList) and self.base == other.base
 
     def __hash__(self):
-        return hash(("FreeList", self.base))
+        return self._hash
 
     def __repr__(self):
         return "FreeList(base={})".format(self.base)

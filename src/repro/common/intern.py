@@ -1,0 +1,92 @@
+"""Hash-consing intern tables for the hot-path state machinery.
+
+State-space exploration allocates millions of small immutable objects
+(worlds, frames, memories, footprints), and the same abstract state is
+rebuilt over and over along different interleavings. Interning maps each
+freshly built object to a canonical representative, so
+
+* dict/set lookups in the explorer (``graph.ids``, dedup sets) hit the
+  pointer-equality fast path CPython's ``dict`` takes before calling
+  ``__eq__``;
+* ``__eq__`` implementations short-circuit on ``self is other``;
+* cached lazy hashes (``_hash`` slots) are shared instead of recomputed
+  per duplicate.
+
+Interning is *best effort*: tables are bounded (cleared wholesale when
+they exceed ``max_size``), and structural ``__eq__``/``__hash__`` remain
+the source of truth, so a cleared table never affects semantics — only
+the constant factor.
+
+Hit/miss counts are plain attribute increments (no observability-layer
+lookups on the hot path); :func:`stats` and :func:`totals` expose them,
+and the explorer publishes per-run deltas through ``repro.obs`` as the
+``intern.hits`` / ``intern.misses`` counters.
+"""
+
+#: Every table ever created, for :func:`stats` / :func:`clear_all`.
+TABLES = []
+
+
+class InternTable:
+    """A bounded canonicalization table: ``intern(x)`` returns the first
+    object structurally equal to ``x`` that was interned, or ``x``."""
+
+    __slots__ = ("name", "table", "hits", "misses", "max_size")
+
+    def __init__(self, name, max_size=1 << 20):
+        self.name = name
+        self.table = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_size = max_size
+        TABLES.append(self)
+
+    def intern(self, obj):
+        table = self.table
+        got = table.get(obj)
+        if got is not None:
+            self.hits += 1
+            return got
+        if len(table) >= self.max_size:
+            # Wholesale clear: O(1) amortized, and future duplicates are
+            # simply re-canonicalized against fresh representatives.
+            table.clear()
+        table[obj] = obj
+        self.misses += 1
+        return obj
+
+    def __len__(self):
+        return len(self.table)
+
+    def __repr__(self):
+        return "InternTable({}, size={}, hits={}, misses={})".format(
+            self.name, len(self.table), self.hits, self.misses
+        )
+
+    def clear(self):
+        """Drop all entries (counters are kept — they are cumulative)."""
+        self.table.clear()
+
+
+def stats():
+    """Per-table ``{name: {hits, misses, size}}`` (cumulative counters)."""
+    return {
+        t.name: {"hits": t.hits, "misses": t.misses, "size": len(t)}
+        for t in TABLES
+    }
+
+
+def totals():
+    """``(hits, misses)`` summed over every table."""
+    hits = 0
+    misses = 0
+    for t in TABLES:
+        hits += t.hits
+        misses += t.misses
+    return hits, misses
+
+
+def clear_all():
+    """Empty every table (for tests and long-running processes)."""
+    for t in TABLES:
+        t.clear()

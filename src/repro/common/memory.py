@@ -6,6 +6,19 @@ graphs can share states and hash them. ``load``/``store`` on unallocated
 addresses return ``None`` rather than raising — whether that is a program
 abort is the calling interpreter's decision.
 
+Representation (hot-path machinery): a memory is a shared *base* dict
+plus a small private *overlay* of updates. ``store``/``alloc`` copy only
+the overlay (bounded by :data:`OVERLAY_MAX` entries before compaction),
+so a silent step is O(overlay) instead of O(|σ|), and sibling states in
+the explored graph share their base structurally. The hash is *Zobrist
+style*: an XOR of per-``(addr, value)`` codes maintained incrementally
+on every update — O(1) per step, order- and history-independent, where
+the previous representation rehashed ``frozenset(items)`` from scratch.
+Value-identical stores return ``self`` unchanged. None of this is
+observable: ``__eq__``/``__hash__``/``items`` behave exactly as for the
+plain-dict representation (the property tests in
+``tests/common/test_memory_sharing.py`` check this against a model).
+
 The module also implements the footprint/state predicates of Fig. 6
 (``forward``, ``LEqPre``, ``LEqPost``, ``LEffect``) and the ``closed``
 predicates of Fig. 7 used by the rely/guarantee conditions.
@@ -13,51 +26,136 @@ predicates of Fig. 7 used by the rely/guarantee conditions.
 
 from repro.common.values import VPtr
 
+#: Overlay entries beyond which ``store``/``alloc`` compact into a
+#: fresh base dict. Small enough that overlay copies stay cheap, large
+#: enough that runs of silent steps share one base.
+OVERLAY_MAX = 8
+
+#: 61-bit mask: keeps XOR-combined hashes inside CPython's Py_hash_t
+#: so ``__hash__`` never pays a big-int reduction.
+_HASH_MASK = (1 << 61) - 1
+
+#: Hash of the empty memory (arbitrary non-zero seed).
+_EMPTY_HASH = 0x0A5D2F346BAEF672 & _HASH_MASK
+
+_MISSING = object()
+
+#: Shared empty overlay. Overlays are never mutated after construction,
+#: so compacted memories can all alias this one dict.
+_NO_OVER = {}
+
+
+class _MemStats:
+    """Plain-int counters (no obs lookups on the hot path); the explorer
+    publishes per-run deltas as ``memory.nodes_reused`` etc."""
+
+    __slots__ = ("nodes_reused", "compactions")
+
+    def __init__(self):
+        self.nodes_reused = 0
+        self.compactions = 0
+
+
+STATS = _MemStats()
+
+
+def _mix(h):
+    """SplitMix64-style finalizer: spreads ``hash((addr, value))`` so
+    XOR-combining per-entry codes doesn't cancel structure."""
+    h &= 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 31
+    return h & _HASH_MASK
+
+
+def entry_code(addr, value):
+    """The Zobrist code of one ``(addr, value)`` binding."""
+    return _mix(hash((addr, value)))
+
 
 class Memory:
     """An immutable finite partial map from addresses to values."""
 
-    __slots__ = ("_data", "_hash")
+    __slots__ = ("_base", "_over", "_size", "_hash", "_merged")
 
     def __init__(self, data=None):
-        object.__setattr__(self, "_data", dict(data) if data else {})
-        object.__setattr__(self, "_hash", None)
+        base = dict(data) if data else {}
+        h = _EMPTY_HASH
+        for item in base.items():
+            h ^= _mix(hash(item))
+        object.__setattr__(self, "_base", base)
+        object.__setattr__(self, "_over", _NO_OVER)
+        object.__setattr__(self, "_size", len(base))
+        object.__setattr__(self, "_hash", h)
+
+    @classmethod
+    def _make(cls, base, over, size, h):
+        """Internal constructor from pre-validated parts (no rehash)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "_base", base)
+        object.__setattr__(self, "_over", over)
+        object.__setattr__(self, "_size", size)
+        object.__setattr__(self, "_hash", h)
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Memory is immutable")
 
+    def _m(self):
+        """The merged ``{addr: value}`` view (cached once built)."""
+        over = self._over
+        if not over:
+            return self._base
+        try:
+            return self._merged
+        except AttributeError:
+            merged = dict(self._base)
+            merged.update(over)
+            object.__setattr__(self, "_merged", merged)
+            return merged
+
     def __eq__(self, other):
-        return isinstance(other, Memory) and self._data == other._data
+        if self is other:
+            return True
+        if not isinstance(other, Memory):
+            return False
+        if self._size != other._size or self._hash != other._hash:
+            return False
+        return self._m() == other._m()
 
     def __hash__(self):
-        if self._hash is None:
-            object.__setattr__(
-                self, "_hash", hash(frozenset(self._data.items()))
-            )
         return self._hash
 
     def __repr__(self):
         items = ", ".join(
-            "{}: {!r}".format(a, v) for a, v in sorted(self._data.items())
+            "{}: {!r}".format(a, v) for a, v in sorted(self._m().items())
         )
         return "Memory({{{}}})".format(items)
 
     def __contains__(self, addr):
-        return addr in self._data
+        return addr in self._over or addr in self._base
 
     def __len__(self):
-        return len(self._data)
+        return self._size
 
     def domain(self):
         """``dom(σ)`` as a frozenset of addresses."""
-        return frozenset(self._data)
+        return frozenset(self._m())
 
     def items(self):
-        return self._data.items()
+        return self._m().items()
 
     def load(self, addr):
         """The value at ``addr``, or ``None`` if unallocated."""
-        return self._data.get(addr)
+        over = self._over
+        if over:
+            value = over.get(addr, _MISSING)
+            if value is not _MISSING:
+                return value
+        return self._base.get(addr)
 
     def store(self, addr, value):
         """A memory with ``addr`` updated, or ``None`` if unallocated.
@@ -65,11 +163,31 @@ class Memory:
         Stores never allocate: writing outside ``dom(σ)`` is undefined
         behaviour to be handled by the caller (usually an abort).
         """
-        if addr not in self._data:
-            return None
-        data = dict(self._data)
-        data[addr] = value
-        return Memory(data)
+        over = self._over
+        old = over.get(addr, _MISSING)
+        if old is _MISSING:
+            old = self._base.get(addr, _MISSING)
+            if old is _MISSING:
+                return None
+        if old == value:
+            # Value-identical store: the abstract state is unchanged.
+            STATS.nodes_reused += 1
+            return self
+        h = (
+            self._hash
+            ^ _mix(hash((addr, old)))
+            ^ _mix(hash((addr, value)))
+        )
+        if len(over) < OVERLAY_MAX:
+            new_over = dict(over)
+            new_over[addr] = value
+            STATS.nodes_reused += 1
+            return Memory._make(self._base, new_over, self._size, h)
+        merged = dict(self._base)
+        merged.update(over)
+        merged[addr] = value
+        STATS.compactions += 1
+        return Memory._make(merged, _NO_OVER, self._size, h)
 
     def alloc(self, addr, value):
         """A memory extended with a fresh address.
@@ -78,20 +196,30 @@ class Memory:
         indices make this unreachable in correct interpreters, and the
         well-definedness checker relies on it being an observable error.
         """
-        if addr in self._data:
+        over = self._over
+        if addr in over or addr in self._base:
             return None
-        data = dict(self._data)
-        data[addr] = value
-        return Memory(data)
+        h = self._hash ^ _mix(hash((addr, value)))
+        if len(over) < OVERLAY_MAX:
+            new_over = dict(over)
+            new_over[addr] = value
+            STATS.nodes_reused += 1
+            return Memory._make(self._base, new_over, self._size + 1, h)
+        merged = dict(self._m())
+        merged[addr] = value
+        STATS.compactions += 1
+        return Memory._make(merged, _NO_OVER, self._size + 1, h)
 
     def alloc_range(self, addrs, value):
         """Allocate several fresh addresses at once (``None`` on clash)."""
-        data = dict(self._data)
+        data = dict(self._m())
+        h = self._hash
         for addr in addrs:
             if addr in data:
                 return None
             data[addr] = value
-        return Memory(data)
+            h ^= _mix(hash((addr, value)))
+        return Memory._make(data, _NO_OVER, len(data), h)
 
     def union(self, other):
         """Union of two memories; ``None`` if they disagree on an address.
@@ -99,17 +227,22 @@ class Memory:
         This is ``GE(Π)`` (Fig. 7): global environments of linked modules
         are compatible iff they agree on the overlap.
         """
-        data = dict(self._data)
+        data = dict(self._m())
+        h = self._hash
         for addr, val in other.items():
-            if addr in data and data[addr] != val:
-                return None
+            got = data.get(addr, _MISSING)
+            if got is not _MISSING:
+                if got != val:
+                    return None
+                continue
             data[addr] = val
-        return Memory(data)
+            h ^= _mix(hash((addr, val)))
+        return Memory._make(data, _NO_OVER, len(data), h)
 
     def restrict(self, region):
         """The sub-memory on ``dom(σ) ∩ region``."""
         return Memory(
-            {a: v for a, v in self._data.items() if a in region}
+            {a: v for a, v in self._m().items() if a in region}
         )
 
 

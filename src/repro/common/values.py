@@ -173,8 +173,12 @@ def mods(a, b):
     return VInt(a.n - q.n * b.n)
 
 
+_CMP_TRUE = VInt(1)
+_CMP_FALSE = VInt(0)
+
+
 def _cmp_bool(flag):
-    return VInt(1 if flag else 0)
+    return _CMP_TRUE if flag else _CMP_FALSE
 
 
 def cmp_eq(a, b):

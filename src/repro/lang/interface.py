@@ -43,6 +43,21 @@ class ModuleLanguage(ABC):
         non-final cores must report ``StepAbort`` explicitly.
         """
 
+    def entry_names(self, module):
+        """The entry names ``init_core`` accepts for ``module``, or ``None``.
+
+        Used by :class:`repro.semantics.world.GlobalContext` to
+        precompute its resolve table. The default covers every in-tree
+        language (they all keep a ``functions`` name map on the module);
+        a language whose entries cannot be enumerated should return
+        ``None``, which makes resolution fall back to probing each
+        module with ``init_core``.
+        """
+        functions = getattr(module, "functions", None)
+        if functions is None:
+            return None
+        return functions.keys()
+
     def after_external(self, core, retval):
         """Resume a core that emitted ``CallMsg`` with the callee's result.
 

@@ -31,11 +31,24 @@ class GlobalEnv:
     def __init__(self, symbols=None, init=None):
         symbols = dict(symbols or {})
         init = dict(init or {})
+        by_addr = {}
         for name, addr in symbols.items():
             if not is_global(addr):
                 raise SemanticsError(
                     "global {!r} at non-global address {}".format(name, addr)
                 )
+            # Two symbols of the *same* module must not share an
+            # address either — ``compatible()`` only catches the
+            # cross-module case, so a self-colliding module would
+            # otherwise link silently.
+            clash = by_addr.get(addr)
+            if clash is not None:
+                raise SemanticsError(
+                    "globals {!r} and {!r} share address {}".format(
+                        clash, name, addr
+                    )
+                )
+            by_addr[addr] = name
         self.symbols = symbols
         self.init = init
 

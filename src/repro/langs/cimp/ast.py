@@ -6,11 +6,32 @@ thread-local registers, loads/stores on shared memory (``[e]``), atomic
 blocks ``< c >`` that execute without interruption, and ``assert``.
 
 All AST nodes are immutable and hashable (they appear inside core
-states, which label graph nodes).
+states, which label graph nodes). Hashes are cached per node: core
+states carry continuation tuples of statements, and the explorer hashes
+those tuples once per new core — without caching, every core hash would
+re-walk the remaining program recursively.
 """
 
 
-class Expr:
+class _Node:
+    """Shared machinery: immutability and a lazily cached hash over the
+    subclass's ``_key()`` tuple."""
+
+    __slots__ = ("_hash",)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AST nodes are immutable")
+
+    def __hash__(self):
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(self._key())
+            object.__setattr__(self, "_hash", h)
+            return h
+
+
+class Expr(_Node):
     """Base class of CImp expressions (pure except for loads)."""
 
     __slots__ = ()
@@ -24,14 +45,13 @@ class Const(Expr):
     def __init__(self, n):
         object.__setattr__(self, "n", n)
 
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
-
     def __eq__(self, other):
         return isinstance(other, Const) and self.n == other.n
 
-    def __hash__(self):
-        return hash(("Const", self.n))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Const", self.n)
 
     def __repr__(self):
         return "Const({})".format(self.n)
@@ -47,14 +67,13 @@ class Var(Expr):
     def __init__(self, name):
         object.__setattr__(self, "name", name)
 
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
-
     def __eq__(self, other):
         return isinstance(other, Var) and self.name == other.name
 
-    def __hash__(self):
-        return hash(("Var", self.name))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Var", self.name)
 
     def __repr__(self):
         return "Var({!r})".format(self.name)
@@ -68,14 +87,13 @@ class Load(Expr):
     def __init__(self, addr):
         object.__setattr__(self, "addr", addr)
 
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
-
     def __eq__(self, other):
         return isinstance(other, Load) and self.addr == other.addr
 
-    def __hash__(self):
-        return hash(("Load", self.addr))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Load", self.addr)
 
     def __repr__(self):
         return "Load({!r})".format(self.addr)
@@ -91,9 +109,6 @@ class Bin(Expr):
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
 
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
-
     def __eq__(self, other):
         return (
             isinstance(other, Bin)
@@ -102,8 +117,10 @@ class Bin(Expr):
             and self.right == other.right
         )
 
-    def __hash__(self):
-        return hash(("Bin", self.op, self.left, self.right))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Bin", self.op, self.left, self.right)
 
     def __repr__(self):
         return "Bin({!r}, {!r}, {!r})".format(self.op, self.left, self.right)
@@ -118,9 +135,6 @@ class Un(Expr):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "arg", arg)
 
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
-
     def __eq__(self, other):
         return (
             isinstance(other, Un)
@@ -128,20 +142,19 @@ class Un(Expr):
             and self.arg == other.arg
         )
 
-    def __hash__(self):
-        return hash(("Un", self.op, self.arg))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Un", self.op, self.arg)
 
     def __repr__(self):
         return "Un({!r}, {!r})".format(self.op, self.arg)
 
 
-class Stmt:
+class Stmt(_Node):
     """Base class of CImp statements."""
 
     __slots__ = ()
-
-    def __setattr__(self, name, value):
-        raise AttributeError("AST nodes are immutable")
 
 
 class Skip(Stmt):
@@ -150,8 +163,10 @@ class Skip(Stmt):
     def __eq__(self, other):
         return isinstance(other, Skip)
 
-    def __hash__(self):
-        return hash("Skip")
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Skip",)
 
     def __repr__(self):
         return "Skip()"
@@ -173,8 +188,10 @@ class Assign(Stmt):
             and self.expr == other.expr
         )
 
-    def __hash__(self):
-        return hash(("Assign", self.var, self.expr))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Assign", self.var, self.expr)
 
     def __repr__(self):
         return "Assign({!r}, {!r})".format(self.var, self.expr)
@@ -196,8 +213,10 @@ class Store(Stmt):
             and self.expr == other.expr
         )
 
-    def __hash__(self):
-        return hash(("Store", self.addr, self.expr))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Store", self.addr, self.expr)
 
     def __repr__(self):
         return "Store({!r}, {!r})".format(self.addr, self.expr)
@@ -214,8 +233,10 @@ class Seq(Stmt):
     def __eq__(self, other):
         return isinstance(other, Seq) and self.stmts == other.stmts
 
-    def __hash__(self):
-        return hash(("Seq", self.stmts))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Seq", self.stmts)
 
     def __repr__(self):
         return "Seq({!r})".format(list(self.stmts))
@@ -237,8 +258,10 @@ class If(Stmt):
             and self.els == other.els
         )
 
-    def __hash__(self):
-        return hash(("If", self.cond, self.then, self.els))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("If", self.cond, self.then, self.els)
 
     def __repr__(self):
         return "If({!r}, {!r}, {!r})".format(self.cond, self.then, self.els)
@@ -258,8 +281,10 @@ class While(Stmt):
             and self.body == other.body
         )
 
-    def __hash__(self):
-        return hash(("While", self.cond, self.body))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("While", self.cond, self.body)
 
     def __repr__(self):
         return "While({!r}, {!r})".format(self.cond, self.body)
@@ -276,8 +301,10 @@ class Assert(Stmt):
     def __eq__(self, other):
         return isinstance(other, Assert) and self.cond == other.cond
 
-    def __hash__(self):
-        return hash(("Assert", self.cond))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Assert", self.cond)
 
     def __repr__(self):
         return "Assert({!r})".format(self.cond)
@@ -294,8 +321,10 @@ class Atomic(Stmt):
     def __eq__(self, other):
         return isinstance(other, Atomic) and self.body == other.body
 
-    def __hash__(self):
-        return hash(("Atomic", self.body))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Atomic", self.body)
 
     def __repr__(self):
         return "Atomic({!r})".format(self.body)
@@ -310,8 +339,10 @@ class Return(Stmt):
     def __eq__(self, other):
         return isinstance(other, Return) and self.expr == other.expr
 
-    def __hash__(self):
-        return hash(("Return", self.expr))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Return", self.expr)
 
     def __repr__(self):
         return "Return({!r})".format(self.expr)
@@ -328,8 +359,10 @@ class Print(Stmt):
     def __eq__(self, other):
         return isinstance(other, Print) and self.expr == other.expr
 
-    def __hash__(self):
-        return hash(("Print", self.expr))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Print", self.expr)
 
     def __repr__(self):
         return "Print({!r})".format(self.expr)
@@ -346,8 +379,10 @@ class Spawn(Stmt):
     def __eq__(self, other):
         return isinstance(other, Spawn) and self.fname == other.fname
 
-    def __hash__(self):
-        return hash(("Spawn", self.fname))
+    __hash__ = _Node.__hash__
+
+    def _key(self):
+        return ("Spawn", self.fname)
 
     def __repr__(self):
         return "Spawn({!r})".format(self.fname)

@@ -36,7 +36,7 @@ EXIT_ATOM_MARK = "exit-atom"
 class CImpCore:
     """A CImp core: registers, continuation, termination flag."""
 
-    __slots__ = ("regs", "kont", "done")
+    __slots__ = ("regs", "kont", "done", "_hash")
 
     def __init__(self, regs=EMPTY_MAP, kont=(), done=False):
         object.__setattr__(self, "regs", regs)
@@ -47,6 +47,8 @@ class CImpCore:
         raise AttributeError("CImpCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, CImpCore)
             and self.regs == other.regs
@@ -55,7 +57,14 @@ class CImpCore:
         )
 
     def __hash__(self):
-        return hash((self.regs, self.kont, self.done))
+        # Cached: the continuation can be deep, and every World/Frame
+        # hash would otherwise re-walk it.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.regs, self.kont, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "CImpCore(kont_len={}, done={})".format(

@@ -92,7 +92,7 @@ class CmFunction(Node):
 
 
 class CmFrame:
-    __slots__ = ("fname", "temps", "sp", "kont", "ret_dst")
+    __slots__ = ("fname", "temps", "sp", "kont", "ret_dst", "_hash")
 
     def __init__(self, fname, temps, sp, kont, ret_dst=None):
         object.__setattr__(self, "fname", fname)
@@ -105,6 +105,8 @@ class CmFrame:
         raise AttributeError("CmFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, CmFrame)
             and self.fname == other.fname
@@ -115,9 +117,12 @@ class CmFrame:
         )
 
     def __hash__(self):
-        return hash(
-            (self.fname, self.temps, self.sp, self.kont, self.ret_dst)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.temps, self.sp, self.kont, self.ret_dst))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "CmFrame({}, kont_len={})".format(
@@ -132,7 +137,7 @@ class CmFrame:
 
 
 class CmCore:
-    __slots__ = ("frames", "nidx", "pending", "done")
+    __slots__ = ("frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, frames=(), nidx=0, pending=None, done=False):
         object.__setattr__(self, "frames", tuple(frames))
@@ -144,6 +149,8 @@ class CmCore:
         raise AttributeError("CmCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, CmCore)
             and self.frames == other.frames
@@ -153,7 +160,12 @@ class CmCore:
         )
 
     def __hash__(self):
-        return hash((self.frames, self.nidx, self.pending, self.done))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "CmCore(depth={}, pending={!r})".format(

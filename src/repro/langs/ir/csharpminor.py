@@ -135,7 +135,7 @@ class CshmFunction(Node):
 
 
 class CshmFrame:
-    __slots__ = ("fname", "temps", "env", "kont", "ret_dst")
+    __slots__ = ("fname", "temps", "env", "kont", "ret_dst", "_hash")
 
     def __init__(self, fname, temps, env, kont, ret_dst=None):
         object.__setattr__(self, "fname", fname)
@@ -148,6 +148,8 @@ class CshmFrame:
         raise AttributeError("CshmFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, CshmFrame)
             and self.fname == other.fname
@@ -158,9 +160,12 @@ class CshmFrame:
         )
 
     def __hash__(self):
-        return hash(
-            (self.fname, self.temps, self.env, self.kont, self.ret_dst)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.temps, self.env, self.kont, self.ret_dst))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "CshmFrame({}, kont_len={})".format(
@@ -179,7 +184,7 @@ class CshmFrame:
 
 
 class CshmCore:
-    __slots__ = ("frames", "nidx", "pending", "done")
+    __slots__ = ("frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, frames=(), nidx=0, pending=None, done=False):
         object.__setattr__(self, "frames", tuple(frames))
@@ -191,6 +196,8 @@ class CshmCore:
         raise AttributeError("CshmCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, CshmCore)
             and self.frames == other.frames
@@ -200,7 +207,12 @@ class CshmCore:
         )
 
     def __hash__(self):
-        return hash((self.frames, self.nidx, self.pending, self.done))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "CshmCore(depth={}, pending={!r})".format(

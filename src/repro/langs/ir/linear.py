@@ -134,7 +134,7 @@ class LinearFunction:
 
 
 class LinFrame:
-    __slots__ = ("fname", "pc", "slots", "sp")
+    __slots__ = ("fname", "pc", "slots", "sp", "_hash")
 
     def __init__(self, fname, pc, slots, sp):
         object.__setattr__(self, "fname", fname)
@@ -146,6 +146,8 @@ class LinFrame:
         raise AttributeError("LinFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, LinFrame)
             and self.fname == other.fname
@@ -155,7 +157,12 @@ class LinFrame:
         )
 
     def __hash__(self):
-        return hash((self.fname, self.pc, self.slots, self.sp))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.pc, self.slots, self.sp))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "LinFrame({}@{})".format(self.fname, self.pc)
@@ -170,7 +177,7 @@ class LinFrame:
 
 
 class LinCore:
-    __slots__ = ("regs", "frames", "nidx", "pending", "done")
+    __slots__ = ("regs", "frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, regs=EMPTY_MAP, frames=(), nidx=0, pending=None,
                  done=False):
@@ -184,6 +191,8 @@ class LinCore:
         raise AttributeError("LinCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, LinCore)
             and self.regs == other.regs
@@ -194,9 +203,12 @@ class LinCore:
         )
 
     def __hash__(self):
-        return hash(
-            (self.regs, self.frames, self.nidx, self.pending, self.done)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.regs, self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "LinCore(depth={}, pending={!r})".format(

@@ -133,7 +133,7 @@ class LTLFunction:
 
 
 class LTLFrame:
-    __slots__ = ("fname", "pc", "slots", "sp")
+    __slots__ = ("fname", "pc", "slots", "sp", "_hash")
 
     def __init__(self, fname, pc, slots, sp):
         object.__setattr__(self, "fname", fname)
@@ -145,6 +145,8 @@ class LTLFrame:
         raise AttributeError("LTLFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, LTLFrame)
             and self.fname == other.fname
@@ -154,7 +156,12 @@ class LTLFrame:
         )
 
     def __hash__(self):
-        return hash((self.fname, self.pc, self.slots, self.sp))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.pc, self.slots, self.sp))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "LTLFrame({}@{})".format(self.fname, self.pc)
@@ -169,7 +176,7 @@ class LTLFrame:
 
 
 class LTLCore:
-    __slots__ = ("regs", "frames", "nidx", "pending", "done")
+    __slots__ = ("regs", "frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, regs=EMPTY_MAP, frames=(), nidx=0, pending=None,
                  done=False):
@@ -183,6 +190,8 @@ class LTLCore:
         raise AttributeError("LTLCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, LTLCore)
             and self.regs == other.regs
@@ -193,9 +202,12 @@ class LTLCore:
         )
 
     def __hash__(self):
-        return hash(
-            (self.regs, self.frames, self.nidx, self.pending, self.done)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.regs, self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "LTLCore(depth={}, pending={!r})".format(

@@ -151,7 +151,7 @@ class MachFunction:
 
 
 class MachFrame:
-    __slots__ = ("fname", "pc", "sp")
+    __slots__ = ("fname", "pc", "sp", "_hash")
 
     def __init__(self, fname, pc, sp):
         object.__setattr__(self, "fname", fname)
@@ -162,6 +162,8 @@ class MachFrame:
         raise AttributeError("MachFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, MachFrame)
             and self.fname == other.fname
@@ -170,7 +172,12 @@ class MachFrame:
         )
 
     def __hash__(self):
-        return hash((self.fname, self.pc, self.sp))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.pc, self.sp))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "MachFrame({}@{})".format(self.fname, self.pc)
@@ -180,7 +187,7 @@ class MachFrame:
 
 
 class MachCore:
-    __slots__ = ("regs", "frames", "nidx", "pending", "done")
+    __slots__ = ("regs", "frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, regs=EMPTY_MAP, frames=(), nidx=0, pending=None,
                  done=False):
@@ -194,6 +201,8 @@ class MachCore:
         raise AttributeError("MachCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, MachCore)
             and self.regs == other.regs
@@ -204,9 +213,12 @@ class MachCore:
         )
 
     def __hash__(self):
-        return hash(
-            (self.regs, self.frames, self.nidx, self.pending, self.done)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.regs, self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "MachCore(depth={}, pending={!r})".format(

@@ -123,7 +123,7 @@ class RTLFunction:
 
 
 class RTLFrame:
-    __slots__ = ("fname", "pc", "regs", "sp", "ret_dst")
+    __slots__ = ("fname", "pc", "regs", "sp", "ret_dst", "_hash")
 
     def __init__(self, fname, pc, regs, sp, ret_dst=None):
         object.__setattr__(self, "fname", fname)
@@ -136,6 +136,8 @@ class RTLFrame:
         raise AttributeError("RTLFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, RTLFrame)
             and self.fname == other.fname
@@ -146,9 +148,12 @@ class RTLFrame:
         )
 
     def __hash__(self):
-        return hash(
-            (self.fname, self.pc, self.regs, self.sp, self.ret_dst)
-        )
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.pc, self.regs, self.sp, self.ret_dst))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "RTLFrame({}@{})".format(self.fname, self.pc)
@@ -164,7 +169,7 @@ class RTLFrame:
 
 
 class RTLCore:
-    __slots__ = ("frames", "nidx", "pending", "done")
+    __slots__ = ("frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, frames=(), nidx=0, pending=None, done=False):
         object.__setattr__(self, "frames", tuple(frames))
@@ -176,6 +181,8 @@ class RTLCore:
         raise AttributeError("RTLCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, RTLCore)
             and self.frames == other.frames
@@ -185,7 +192,12 @@ class RTLCore:
         )
 
     def __hash__(self):
-        return hash((self.frames, self.nidx, self.pending, self.done))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "RTLCore(depth={}, pending={!r})".format(

@@ -38,7 +38,7 @@ class MFrame:
     """One internal activation: function, local slot map, continuation,
     and the caller's destination lvalue for this activation's result."""
 
-    __slots__ = ("fname", "env", "kont", "ret_dst")
+    __slots__ = ("fname", "env", "kont", "ret_dst", "_hash")
 
     def __init__(self, fname, env, kont, ret_dst=None):
         object.__setattr__(self, "fname", fname)
@@ -50,6 +50,8 @@ class MFrame:
         raise AttributeError("MFrame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, MFrame)
             and self.fname == other.fname
@@ -59,7 +61,12 @@ class MFrame:
         )
 
     def __hash__(self):
-        return hash((self.fname, self.env, self.kont, self.ret_dst))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.fname, self.env, self.kont, self.ret_dst))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "MFrame({}, kont_len={})".format(
@@ -73,7 +80,7 @@ class MFrame:
 class MiniCCore:
     """A MiniC core: activation stack, next slot index, pending action."""
 
-    __slots__ = ("frames", "nidx", "pending", "done")
+    __slots__ = ("frames", "nidx", "pending", "done", "_hash")
 
     def __init__(self, frames=(), nidx=0, pending=None, done=False):
         object.__setattr__(self, "frames", tuple(frames))
@@ -85,6 +92,8 @@ class MiniCCore:
         raise AttributeError("MiniCCore is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, MiniCCore)
             and self.frames == other.frames
@@ -94,7 +103,12 @@ class MiniCCore:
         )
 
     def __hash__(self):
-        return hash((self.frames, self.nidx, self.pending, self.done))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.frames, self.nidx, self.pending, self.done))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "MiniCCore(depth={}, nidx={}, pending={!r})".format(

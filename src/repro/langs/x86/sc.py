@@ -42,7 +42,7 @@ class X86Core:
     empty)."""
 
     __slots__ = ("regs", "flags", "cur", "rstack", "buffer", "nidx",
-                 "pending", "done")
+                 "pending", "done", "_hash")
 
     def __init__(self, regs=None, flags=FLAGS_UNDEF, cur=None, rstack=(),
                  buffer=(), nidx=0, pending=None, done=False):
@@ -73,10 +73,17 @@ class X86Core:
         )
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, X86Core) and self._key() == other._key()
 
     def __hash__(self):
-        return hash(self._key())
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(self._key())
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "X86Core(cur={!r}, buffer={}, pending={!r})".format(

@@ -33,17 +33,19 @@ SW = "sw"
 
 
 class GStep:
-    """A successful global step: label, footprint, successor world."""
+    """A successful global step: label, footprint, successor world.
+
+    Ephemeral (consumed by the explorer, never stored in graphs or
+    hashed), so unlike worlds it skips immutability enforcement — it is
+    constructed once per candidate edge on the hottest path.
+    """
 
     __slots__ = ("label", "fp", "world")
 
     def __init__(self, label, fp, world):
-        object.__setattr__(self, "label", label)
-        object.__setattr__(self, "fp", fp)
-        object.__setattr__(self, "world", world)
-
-    def __setattr__(self, name, value):
-        raise AttributeError("GStep is immutable")
+        self.label = label
+        self.fp = fp
+        self.world = world
 
     def __repr__(self):
         return "GStep(label={!r})".format(self.label)
@@ -75,13 +77,10 @@ class SyncPoint:
     __slots__ = ("kind", "label", "fp", "world")
 
     def __init__(self, kind, label, fp, world):
-        object.__setattr__(self, "kind", kind)
-        object.__setattr__(self, "label", label)
-        object.__setattr__(self, "fp", fp)
-        object.__setattr__(self, "world", world)
-
-    def __setattr__(self, name, value):
-        raise AttributeError("SyncPoint is immutable")
+        self.kind = kind
+        self.label = label
+        self.fp = fp
+        self.world = world
 
 
 def thread_successors(ctx, world):
@@ -102,7 +101,7 @@ def thread_successors(ctx, world):
         if isinstance(outcome, StepAbort):
             results.append(GAbort(outcome.reason))
             continue
-        results.extend(_process_step(ctx, world, frame, decl, outcome))
+        results.append(_process_step(ctx, world, frame, decl, outcome))
     if obs.enabled:
         # One flag test on the disabled path; detailed edge-kind
         # accounting happens post-hoc in the explorer.
@@ -120,7 +119,7 @@ def _process_step(ctx, world, frame, decl, step):
 
     if is_silent(msg):
         nxt = world.replace_top(frame.with_core(step.core), mem=step.mem)
-        return [GStep(None, step.fp, nxt)]
+        return GStep(None, step.fp, nxt)
 
     if msg is ENT_ATOM:
         if bit != 0:
@@ -130,7 +129,7 @@ def _process_step(ctx, world, frame, decl, step):
         nxt = world.replace_top(
             frame.with_core(step.core), mem=step.mem, bit=1
         )
-        return [SyncPoint("ent", None, step.fp, nxt)]
+        return SyncPoint("ent", None, step.fp, nxt)
 
     if msg is EXT_ATOM:
         if bit != 1:
@@ -140,11 +139,11 @@ def _process_step(ctx, world, frame, decl, step):
         nxt = world.replace_top(
             frame.with_core(step.core), mem=step.mem, bit=0
         )
-        return [SyncPoint("ext", None, step.fp, nxt)]
+        return SyncPoint("ext", None, step.fp, nxt)
 
     if isinstance(msg, EventMsg):
         nxt = world.replace_top(frame.with_core(step.core), mem=step.mem)
-        return [SyncPoint("event", msg, step.fp, nxt)]
+        return SyncPoint("event", msg, step.fp, nxt)
 
     if isinstance(msg, RetMsg):
         popped = world.replace_top(
@@ -158,9 +157,9 @@ def _process_step(ctx, world, frame, decl, step):
                 caller.core, msg.value
             )
             nxt = popped.replace_top(caller.with_core(resumed))
-            return [GStep(None, step.fp, nxt)]
+            return GStep(None, step.fp, nxt)
         # Bottom activation: the thread terminates.
-        return [SyncPoint("term", None, step.fp, popped)]
+        return SyncPoint("term", None, step.fp, popped)
 
     if isinstance(msg, CallMsg):
         advanced = world.replace_top(
@@ -168,10 +167,10 @@ def _process_step(ctx, world, frame, decl, step):
         )
         resolved = ctx.resolve(msg.fname, msg.args)
         if resolved is None:
-            return [GAbort("unresolved external {!r}".format(msg.fname))]
+            return GAbort("unresolved external {!r}".format(msg.fname))
         mod_idx, core = resolved
-        callee = Frame(mod_idx, ctx.next_flist(world), core)
-        return [GStep(None, step.fp, advanced.push_frame(callee))]
+        callee = Frame.make(mod_idx, ctx.next_flist(world), core)
+        return GStep(None, step.fp, advanced.push_frame(callee))
 
     if isinstance(msg, SpawnMsg):
         advanced = world.replace_top(
@@ -179,15 +178,13 @@ def _process_step(ctx, world, frame, decl, step):
         )
         resolved = ctx.resolve(msg.fname, ())
         if resolved is None:
-            return [
-                GAbort("spawn of unresolved {!r}".format(msg.fname))
-            ]
+            return GAbort("spawn of unresolved {!r}".format(msg.fname))
         mod_idx, core = resolved
         # The new thread gets a fresh, disjoint freelist — the paper's
         # requirement for the spawn step.
-        child = Frame(mod_idx, ctx.spawn_flist(world), core)
-        return [SyncPoint("spawn", None, step.fp,
-                          advanced.add_thread(child))]
+        child = Frame.make(mod_idx, ctx.spawn_flist(world), core)
+        return SyncPoint("spawn", None, step.fp,
+                         advanced.add_thread(child))
 
     raise SemanticsError("unknown message {!r}".format(msg))
 

@@ -23,6 +23,8 @@ divergence (e.g. a spin loop that can spin forever).
 from collections import deque
 
 from repro import obs
+from repro.common import intern
+from repro.common.memory import STATS as MEM_STATS
 from repro.lang.messages import EventMsg
 from repro.semantics.engine import SW, GAbort
 
@@ -110,47 +112,57 @@ def explore(ctx, semantics, max_states=50000, strict=False):
         semantics=type(semantics).__name__,
         max_states=max_states,
     ) as sp:
+        if track:
+            hits0, misses0 = intern.totals()
+            reused0 = MEM_STATS.nodes_reused
         graph = StateGraph()
         queue = deque()
         for world in semantics.initial_worlds(ctx):
             sid = graph.intern(world)
             graph.initial.append(sid)
             queue.append(sid)
-        seen = set(graph.initial)
         frontier_hwm = len(queue)
 
+        # Locals hoisted out of the loop: every line below runs once per
+        # dequeued state or per candidate edge.
+        states = graph.states
+        ids = graph.ids
+        all_edges = graph.edges
+        successors = semantics.successors
         while queue:
             if track and len(queue) > frontier_hwm:
                 frontier_hwm = len(queue)
             sid = queue.popleft()
-            world = graph.states[sid]
+            world = states[sid]
             if world.is_done():
                 graph.done.add(sid)
-                graph.edges[sid] = []
+                all_edges[sid] = []
                 continue
-            outs = semantics.successors(ctx, world)
+            outs = successors(ctx, world)
             if not outs:
                 graph.stuck.add(sid)
-                graph.edges[sid] = []
+                all_edges[sid] = []
                 continue
             edges = []
             for out in outs:
                 if isinstance(out, GAbort):
                     edges.append((Behaviour.ABORT, ABORT_DST))
                     continue
-                if len(graph.states) >= max_states and out.world not in graph.ids:
-                    if strict:
-                        raise ExplorationLimit(
-                            "state bound {} exceeded".format(max_states)
-                        )
-                    graph.truncated.add(sid)
-                    continue
-                dst = graph.intern(out.world)
-                edges.append((out.label, dst))
-                if dst not in seen:
-                    seen.add(dst)
+                dst = ids.get(out.world)
+                if dst is None:
+                    if len(states) >= max_states:
+                        if strict:
+                            raise ExplorationLimit(
+                                "state bound {} exceeded".format(max_states)
+                            )
+                        graph.truncated.add(sid)
+                        continue
+                    dst = len(states)
+                    states.append(out.world)
+                    ids[out.world] = dst
                     queue.append(dst)
-            graph.edges[sid] = edges
+                edges.append((out.label, dst))
+            all_edges[sid] = edges
 
         if graph.truncated:
             # strict=True raises before getting here, so this is the
@@ -165,6 +177,14 @@ def explore(ctx, semantics, max_states=50000, strict=False):
                 truncated=len(graph.truncated),
             )
         if track:
+            # Per-run deltas of the hot-path machinery's plain counters
+            # (the counters themselves never touch the obs layer).
+            hits1, misses1 = intern.totals()
+            obs.inc("intern.hits", hits1 - hits0)
+            obs.inc("intern.misses", misses1 - misses0)
+            obs.inc(
+                "memory.nodes_reused", MEM_STATS.nodes_reused - reused0
+            )
             _record_explore_metrics(graph, frontier_hwm, sp)
     return graph
 
@@ -313,22 +333,29 @@ def _progress_divergent_states(graph):
     return div
 
 
-def behaviours(graph, max_events=10, max_nodes=200000):
+def behaviours(graph, max_events=10, max_nodes=200000, strict=False):
     """The behaviour set of an explored graph.
 
     Enumerates event traces by BFS over ``(state, trace)`` pairs with
     deduplication; finite because the graph is finite and traces are
     capped at ``max_events`` (longer traces surface as ``cut``).
+
+    When the ``max_nodes`` enumeration bound is hit, the default
+    (``strict=False``) degrades gracefully — every still-pending trace
+    is reported as ``Behaviour.CUT``, which comparisons already treat
+    as inconclusive — matching :func:`explore`'s truncation policy
+    instead of crashing report pipelines mid-run. ``strict=True``
+    raises :class:`ExplorationLimit`.
     """
     with obs.span("behaviours", max_events=max_events) as sp:
-        result = _behaviours(graph, max_events, max_nodes)
+        result = _behaviours(graph, max_events, max_nodes, strict)
         if obs.enabled:
             obs.inc("behaviours.traces", len(result))
             sp.set(traces=len(result))
     return result
 
 
-def _behaviours(graph, max_events, max_nodes):
+def _behaviours(graph, max_events, max_nodes, strict):
     div_states = _progress_divergent_states(graph)
     result = set()
     visited = set()
@@ -339,7 +366,24 @@ def _behaviours(graph, max_events, max_nodes):
 
     while queue:
         if len(visited) > max_nodes:
-            raise ExplorationLimit("behaviour enumeration bound exceeded")
+            if strict:
+                raise ExplorationLimit(
+                    "behaviour enumeration bound exceeded"
+                )
+            # Graceful degradation: pending traces are inconclusive.
+            obs.warn(
+                "behaviour enumeration truncated at {} nodes; {} "
+                "pending trace(s) reported as 'cut'".format(
+                    max_nodes, len(queue)
+                ),
+                max_nodes=max_nodes,
+                pending=len(queue),
+            )
+            if obs.enabled:
+                obs.inc("behaviours.truncated_nodes", len(queue))
+            for sid, trace in queue:
+                result.add(Behaviour(trace, Behaviour.CUT))
+            break
         sid, trace = queue.popleft()
         if sid in graph.done:
             result.add(Behaviour(trace, Behaviour.DONE))

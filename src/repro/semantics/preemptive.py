@@ -9,7 +9,6 @@ from repro.semantics.engine import (
     SW,
     GStep,
     SyncPoint,
-    switch_targets,
     thread_successors,
 )
 
@@ -40,11 +39,13 @@ class PreemptiveSemantics:
         # Switch rule: any live thread may be scheduled when the current
         # thread is not inside an atomic block. Self-switches are
         # identities and omitted to keep state graphs small.
-        if world.bits[world.cur] == 0:
-            for target in switch_targets(world, include_self=False):
-                results.append(
-                    GStep(SW, None, world.with_current(target))
-                )
+        cur = world.cur
+        if world.bits[cur] == 0:
+            for target, frames in enumerate(world.threads):
+                if frames and target != cur:
+                    results.append(
+                        GStep(SW, None, world.with_current(target))
+                    )
         return results
 
     def initial_worlds(self, ctx):

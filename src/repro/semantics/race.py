@@ -175,7 +175,11 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64):
                 predictions += sum(len(p) for p in preds.values())
             for i, t1 in enumerate(live):
                 for t2 in live[i + 1:]:
-                    pairs_checked += len(preds[t1]) * len(preds[t2])
+                    if track:
+                        # Accounting only — guarded like `predictions`
+                        # so the disabled path stays free (PR 1's <1%
+                        # overhead contract).
+                        pairs_checked += len(preds[t1]) * len(preds[t2])
                     for fp1, b1 in preds[t1]:
                         for fp2, b2 in preds[t2]:
                             if conflict_atomic(fp1, b1, fp2, b2):

@@ -10,11 +10,69 @@ Worlds are immutable and hashable — the exploration algorithms use them
 as graph nodes. Module declarations are referenced by index into the
 :class:`GlobalContext`, which carries the (immutable, but unhashable)
 program structure out-of-band.
+
+Hot-path machinery: frames and worlds cache their hash lazily (cores
+and memories are hashed once per object, not once per lookup) and are
+*hash-consed* through bounded intern tables — the canonical constructors
+(:meth:`Frame.make`, every ``World``-producing method) return pointer-
+equal objects for equal states, so ``graph.ids`` lookups and dedup-set
+membership in the explorer short-circuit on identity. Direct
+``Frame(...)``/``World(...)`` construction stays valid (tests use it):
+interning is an optimization, structural ``__eq__`` is the truth.
 """
 
+from repro import obs
 from repro.common.errors import SemanticsError
 from repro.common.freelist import MAX_DEPTH, FreeList
+from repro.common.intern import InternTable
 from repro.lang.interface import resolve_entry
+
+_FRAMES = InternTable("frame")
+_WORLDS = InternTable("world")
+
+
+def _intern_frame(mod_idx, flist, core):
+    """The canonical frame for these components.
+
+    Keyed on the component tuple (not a throwaway ``Frame``), so a hit
+    costs one dict probe and no allocation.
+    """
+    key = (mod_idx, flist, core)
+    table = _FRAMES.table
+    frame = table.get(key)
+    if frame is not None:
+        _FRAMES.hits += 1
+        return frame
+    _FRAMES.misses += 1
+    if len(table) >= _FRAMES.max_size:
+        table.clear()
+    frame = Frame(mod_idx, flist, core)
+    table[key] = frame
+    return frame
+
+
+def _intern_world(threads, cur, bits, mem):
+    """The canonical world for these components (see ``_intern_frame``)."""
+    key = (threads, cur, bits, mem)
+    table = _WORLDS.table
+    world = table.get(key)
+    if world is not None:
+        _WORLDS.hits += 1
+        return world
+    _WORLDS.misses += 1
+    if len(table) >= _WORLDS.max_size:
+        table.clear()
+    world = World(threads, cur, bits, mem)
+    table[key] = world
+    return world
+
+#: Marks a function name defined by more than one module: linking is
+#: still fine, but resolving that name is an error (as in
+#: :func:`repro.lang.interface.resolve_entry`).
+_AMBIGUOUS = object()
+
+#: Negative-cache marker for the probing fallback of ``resolve``.
+_UNRESOLVED = object()
 
 
 class Frame:
@@ -24,17 +82,24 @@ class Frame:
     ``flist`` is the activation's freelist; ``core`` its core state.
     """
 
-    __slots__ = ("mod_idx", "flist", "core")
+    __slots__ = ("mod_idx", "flist", "core", "_hash")
 
     def __init__(self, mod_idx, flist, core):
         object.__setattr__(self, "mod_idx", mod_idx)
         object.__setattr__(self, "flist", flist)
         object.__setattr__(self, "core", core)
 
+    @classmethod
+    def make(cls, mod_idx, flist, core):
+        """The canonical (interned) frame for these components."""
+        return _intern_frame(mod_idx, flist, core)
+
     def __setattr__(self, name, value):
         raise AttributeError("Frame is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, Frame)
             and self.mod_idx == other.mod_idx
@@ -43,13 +108,20 @@ class Frame:
         )
 
     def __hash__(self):
-        return hash((self.mod_idx, self.flist, self.core))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.mod_idx, self.flist, self.core))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "Frame(mod={}, core={!r})".format(self.mod_idx, self.core)
 
     def with_core(self, core):
-        return Frame(self.mod_idx, self.flist, core)
+        if core is self.core:
+            return self
+        return _intern_frame(self.mod_idx, self.flist, core)
 
 
 class World:
@@ -63,7 +135,7 @@ class World:
     Fig. 7; the non-preemptive semantics uses the full map ``𝕕``).
     """
 
-    __slots__ = ("threads", "cur", "bits", "mem")
+    __slots__ = ("threads", "cur", "bits", "mem", "_hash")
 
     def __init__(self, threads, cur, bits, mem):
         object.__setattr__(self, "threads", tuple(threads))
@@ -71,10 +143,17 @@ class World:
         object.__setattr__(self, "bits", tuple(bits))
         object.__setattr__(self, "mem", mem)
 
+    @classmethod
+    def make(cls, threads, cur, bits, mem):
+        """The canonical (interned) world for these components."""
+        return _intern_world(tuple(threads), cur, tuple(bits), mem)
+
     def __setattr__(self, name, value):
         raise AttributeError("World is immutable")
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, World)
             and self.threads == other.threads
@@ -84,7 +163,12 @@ class World:
         )
 
     def __hash__(self):
-        return hash((self.threads, self.cur, self.bits, self.mem))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.threads, self.cur, self.bits, self.mem))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self):
         return "World(cur={}, bits={}, live={})".format(
@@ -108,10 +192,20 @@ class World:
         return frames[-1]
 
     def replace_top(self, frame, mem=None, bit=None, cur=None):
-        """A world with the current thread's top frame replaced."""
+        """A world with the current thread's top frame replaced.
+
+        Replacing the top of a *terminated* thread is a semantics bug
+        (it would silently resurrect the thread), surfaced loudly like
+        stuck states are.
+        """
+        frames = self.threads[self.cur]
+        if not frames:
+            raise SemanticsError(
+                "replace_top on terminated thread {}".format(self.cur)
+            )
         return self._update(
             self.cur,
-            self.threads[self.cur][:-1] + (frame,),
+            frames[:-1] + (frame,),
             mem,
             bit,
             cur,
@@ -131,11 +225,13 @@ class World:
 
     def with_current(self, cur):
         """A world scheduled on thread ``cur``."""
-        return World(self.threads, cur, self.bits, self.mem)
+        if cur == self.cur:
+            return self
+        return _intern_world(self.threads, cur, self.bits, self.mem)
 
     def add_thread(self, frame):
         """A world with a freshly spawned thread appended."""
-        return World(
+        return _intern_world(
             self.threads + ((frame,),),
             self.cur,
             self.bits + (0,),
@@ -150,8 +246,8 @@ class World:
             bits = list(self.bits)
             bits[tid] = bit
             bits = tuple(bits)
-        return World(
-            threads,
+        return _intern_world(
+            tuple(threads),
             self.cur if cur is None else cur,
             bits,
             self.mem if mem is None else mem,
@@ -164,22 +260,95 @@ class GlobalContext:
     Holds the module declarations (so worlds can reference them by
     index) and resolves entry names for thread creation and for
     cross-module calls.
+
+    ``__init__`` precomputes a ``{fname: (mod_idx, decl)}`` resolve
+    table from the modules' entry listings, so the engine's cross-module
+    call/spawn path is one dict lookup plus one ``init_core`` instead of
+    probing every module and re-scanning ``modules`` for the index. When
+    a language cannot enumerate its entries
+    (:meth:`~repro.lang.interface.ModuleLanguage.entry_names` returns
+    ``None``), resolution falls back to probing, memoized per name.
     """
 
     def __init__(self, program):
         self.program = program
         self.modules = program.modules
+        self._resolve_table = self._build_resolve_table()
+        self._resolve_cache = {}
+        # (fname, args) -> (mod_idx, core) | _UNRESOLVED. Cores are
+        # immutable, so the canonical initial core can be shared by
+        # every call site; sharing also makes the interned callee
+        # frames pointer-equal.
+        self._core_cache = {}
+
+    def _build_resolve_table(self):
+        table = {}
+        for idx, decl in enumerate(self.modules):
+            entry_names = getattr(decl.lang, "entry_names", None)
+            names = entry_names(decl.code) if entry_names else None
+            if names is None:
+                return None
+            for fname in names:
+                table[fname] = (
+                    _AMBIGUOUS if fname in table else (idx, decl)
+                )
+        return table
 
     def module(self, idx):
         return self.modules[idx]
 
     def resolve(self, fname, args=()):
         """Find ``(mod_idx, core)`` for a function, or ``None``."""
+        cached = self._core_cache.get((fname, args))
+        if cached is not None:
+            if obs.enabled:
+                obs.inc("resolve.cache_hits")
+            return None if cached is _UNRESOLVED else cached
+        resolved = self._resolve_uncached(fname, args)
+        try:
+            self._core_cache[(fname, args)] = (
+                _UNRESOLVED if resolved is None else resolved
+            )
+        except TypeError:
+            # Unhashable args: skip memoization, resolution still works.
+            pass
+        return resolved
+
+    def _resolve_uncached(self, fname, args):
+        table = self._resolve_table
+        if table is not None:
+            entry = table.get(fname)
+            if entry is None:
+                return None
+            if entry is _AMBIGUOUS:
+                raise ValueError(
+                    "entry {!r} defined in multiple modules".format(fname)
+                )
+            mod_idx, decl = entry
+            core = decl.lang.init_core(decl.code, fname, args)
+            if core is None:
+                return None
+            return mod_idx, core
+        # Probing fallback for languages without entry listings.
+        hit = self._resolve_cache.get(fname)
+        if hit is not None:
+            if obs.enabled:
+                obs.inc("resolve.cache_hits")
+            if hit is _UNRESOLVED:
+                return None
+            mod_idx, decl = hit
+            core = decl.lang.init_core(decl.code, fname, args)
+            if core is None:
+                return None
+            return mod_idx, core
         found = resolve_entry(self.modules, fname, args)
         if found is None:
+            self._resolve_cache[fname] = _UNRESOLVED
             return None
         decl, core = found
-        return self.modules.index(decl), core
+        mod_idx = self.modules.index(decl)
+        self._resolve_cache[fname] = (mod_idx, decl)
+        return mod_idx, core
 
     def load(self):
         """The Load rule: all initial worlds (one per initial thread).
@@ -198,10 +367,11 @@ class GlobalContext:
                 )
             mod_idx, core = resolved
             flist = FreeList.for_thread(pos)
-            threads.append((Frame(mod_idx, flist, core),))
+            threads.append((Frame.make(mod_idx, flist, core),))
         bits = (0,) * len(threads)
         return [
-            World(threads, cur, bits, mem) for cur in range(len(threads))
+            World.make(threads, cur, bits, mem)
+            for cur in range(len(threads))
         ]
 
     def next_flist(self, world):

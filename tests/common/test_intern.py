@@ -1,0 +1,53 @@
+"""Intern-table mechanics: canonicalization, bounds, counters."""
+
+from repro.common import intern
+from repro.common.footprint import Footprint
+from repro.common.intern import InternTable
+
+
+class TestInternTable:
+    def test_returns_canonical_representative(self):
+        t = InternTable("t1")
+        a = (1, 2)
+        b = (1, 2)
+        assert t.intern(a) is a
+        assert t.intern(b) is a
+
+    def test_counts_hits_and_misses(self):
+        t = InternTable("t2")
+        t.intern((1,))
+        t.intern((1,))
+        t.intern((2,))
+        assert t.misses == 2
+        assert t.hits == 1
+
+    def test_overflow_clears_and_stays_correct(self):
+        t = InternTable("t3", max_size=4)
+        for i in range(10):
+            assert t.intern((i,)) == (i,)
+        assert len(t) <= 4
+        # Post-clear interning re-canonicalizes against new entries.
+        x = (99,)
+        assert t.intern(x) is x
+        assert t.intern((99,)) is x
+
+    def test_registered_in_module_stats(self):
+        t = InternTable("t4-stats")
+        t.intern((1,))
+        assert intern.stats()["t4-stats"]["misses"] == 1
+        hits, misses = intern.totals()
+        assert misses >= 1
+
+
+class TestFootprintInterning:
+    def test_equal_footprints_are_identical(self):
+        a = Footprint(rs={1, 2}, ws={3})
+        b = Footprint(rs={2, 1}, ws={3})
+        assert a is b
+
+    def test_interning_preserves_structure(self):
+        fp = Footprint(rs=[5], ws=[6, 7])
+        assert fp.rs == frozenset({5})
+        assert fp.ws == frozenset({6, 7})
+        assert fp == Footprint(rs={5}, ws={6, 7})
+        assert hash(fp) == hash(Footprint(rs={5}, ws={6, 7}))

@@ -1,0 +1,160 @@
+"""Persistent-memory representation: overlay sharing, Zobrist hashing.
+
+The overlay/base split and the incremental XOR hash are pure
+representation choices — nothing about them may be observable through
+``load``/``domain``/``items``/``__eq__``/``__hash__``. These tests pin
+that down against a plain-dict model, including across compaction
+(more than :data:`OVERLAY_MAX` consecutive updates).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.memory import OVERLAY_MAX, STATS, Memory, entry_code
+from repro.common.values import VInt
+
+
+def _model_apply(model, op):
+    """Apply one op to the plain-dict model; mirrors Memory semantics."""
+    kind, addr, val = op
+    if kind == "store":
+        if addr in model:
+            model[addr] = val
+    elif kind == "alloc":
+        if addr not in model:
+            model[addr] = val
+    return model
+
+
+def _memory_apply(mem, op):
+    kind, addr, val = op
+    if kind == "store":
+        out = mem.store(addr, val)
+        return mem if out is None else out
+    out = mem.alloc(addr, val)
+    return mem if out is None else out
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "alloc"]),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=-3, max_value=3).map(VInt),
+    ),
+    max_size=40,
+)
+
+
+class TestModelEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_ops)
+    def test_loads_and_domain_match_dict_model(self, ops):
+        mem = Memory({0: VInt(0), 1: VInt(1)})
+        model = {0: VInt(0), 1: VInt(1)}
+        for op in ops:
+            mem = _memory_apply(mem, op)
+            model = _model_apply(model, op)
+        assert mem.domain() == frozenset(model)
+        assert len(mem) == len(model)
+        for addr in range(8):
+            assert mem.load(addr) == model.get(addr)
+        assert dict(mem.items()) == model
+
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_ops)
+    def test_eq_and_hash_match_fresh_memory(self, ops):
+        # History-independence: a memory reached through any op
+        # sequence equals (and hashes equal to) one built in one shot
+        # from the final contents.
+        mem = Memory({0: VInt(0), 1: VInt(1)})
+        for op in ops:
+            mem = _memory_apply(mem, op)
+        fresh = Memory(dict(mem.items()))
+        assert mem == fresh
+        assert fresh == mem
+        assert hash(mem) == hash(fresh)
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=_ops, ops2=_ops)
+    def test_inequality_tracks_contents(self, ops, ops2):
+        m1 = Memory({0: VInt(0), 1: VInt(1)})
+        m2 = Memory({0: VInt(0), 1: VInt(1)})
+        for op in ops:
+            m1 = _memory_apply(m1, op)
+        for op in ops2:
+            m2 = _memory_apply(m2, op)
+        assert (m1 == m2) == (dict(m1.items()) == dict(m2.items()))
+
+
+class TestStructuralSharing:
+    def test_store_shares_base(self):
+        base = Memory({a: VInt(0) for a in range(100)})
+        updated = base.store(3, VInt(7))
+        # One overlay entry, same base dict object underneath.
+        assert updated._base is base._base
+        assert updated.load(3) == VInt(7)
+        assert base.load(3) == VInt(0)
+
+    def test_value_identical_store_returns_self(self):
+        mem = Memory({0: VInt(5)})
+        assert mem.store(0, VInt(5)) is mem
+
+    def test_nodes_reused_counter_advances(self):
+        mem = Memory({0: VInt(0)})
+        before = STATS.nodes_reused
+        mem.store(0, VInt(1))
+        assert STATS.nodes_reused == before + 1
+
+    def test_compaction_after_overlay_max(self):
+        mem = Memory({a: VInt(0) for a in range(OVERLAY_MAX + 4)})
+        cur = mem
+        before = STATS.compactions
+        for a in range(OVERLAY_MAX + 2):
+            cur = cur.store(a, VInt(a + 1))
+        assert STATS.compactions > before
+        for a in range(OVERLAY_MAX + 2):
+            assert cur.load(a) == VInt(a + 1)
+        # Compaction is invisible: still equal to the one-shot memory.
+        fresh = Memory(dict(cur.items()))
+        assert cur == fresh and hash(cur) == hash(fresh)
+
+    def test_store_outside_domain_is_none(self):
+        assert Memory({0: VInt(0)}).store(99, VInt(1)) is None
+
+    def test_alloc_existing_is_none(self):
+        assert Memory({0: VInt(0)}).alloc(0, VInt(1)) is None
+
+
+class TestZobristHash:
+    def test_order_independent(self):
+        m1 = Memory({0: VInt(0), 1: VInt(0)})
+        m2 = Memory({1: VInt(0), 0: VInt(0)})
+        assert hash(m1) == hash(m2)
+
+    def test_store_then_revert_restores_hash(self):
+        mem = Memory({0: VInt(0), 1: VInt(1)})
+        h0 = hash(mem)
+        roundtrip = mem.store(0, VInt(9)).store(0, VInt(0))
+        assert hash(roundtrip) == h0
+        assert roundtrip == mem
+
+    def test_entry_codes_differ_per_binding(self):
+        codes = {
+            entry_code(a, VInt(v)) for a in range(16) for v in range(16)
+        }
+        assert len(codes) == 256
+
+    def test_union_and_alloc_range_hash_consistent(self):
+        m1 = Memory({0: VInt(0)})
+        m2 = Memory({1: VInt(1)})
+        u = m1.union(m2)
+        assert u == Memory({0: VInt(0), 1: VInt(1)})
+        assert hash(u) == hash(Memory({0: VInt(0), 1: VInt(1)}))
+        r = Memory().alloc_range([5, 6], VInt(0))
+        assert hash(r) == hash(Memory({5: VInt(0), 6: VInt(0)}))
+
+    def test_restrict_matches_fresh(self):
+        mem = Memory({0: VInt(0), 1: VInt(1), 2: VInt(2)})
+        sub = mem.restrict({0, 2})
+        assert sub == Memory({0: VInt(0), 2: VInt(2)})
+        assert hash(sub) == hash(Memory({0: VInt(0), 2: VInt(2)}))

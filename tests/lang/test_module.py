@@ -52,6 +52,17 @@ class TestGlobalEnv:
         b = GlobalEnv({"x": 1}, {1: VInt(5)})
         assert not a.compatible(b)
 
+    def test_rejects_same_module_address_collision(self):
+        # Two symbols of ONE module sharing an address must be caught
+        # at construction — compatible() only sees the cross-module
+        # case, so such a module would otherwise link silently.
+        with pytest.raises(SemanticsError):
+            GlobalEnv({"x": 1, "y": 1}, {1: VInt(0)})
+
+    def test_distinct_addresses_accepted(self):
+        ge = GlobalEnv({"x": 1, "y": 2}, {1: VInt(0), 2: VInt(0)})
+        assert ge.address_of("y") == 2
+
 
 class TestProgram:
     def _decl(self, symbols, init):

@@ -90,6 +90,41 @@ class TestRaceMetrics:
         assert obs.counter_value("race.pairs_checked") > 0
         assert obs.counter_value("race.witnesses") == 1
 
+    def test_verdict_independent_of_tracking(self):
+        # pair accounting is guarded by the obs flag (the <1% disabled
+        # overhead contract); the verdict must not depend on it.
+        prog = _source_program(RACY, entries=("t1", "t2"))
+        disabled = drf(prog)
+        obs.configure(metrics=True)
+        enabled = drf(prog)
+        assert disabled == enabled is False
+
+
+class TestHotPathMetrics:
+    def test_intern_and_memory_counters_published(self):
+        # explore() publishes per-run deltas of the intern-table and
+        # memory-sharing plain counters.
+        obs.configure(metrics=True)
+        prog = _source_program(SEQ)
+        explore(
+            GlobalContext(prog), PreemptiveSemantics(), max_states=1000
+        )
+        snap = obs.snapshot()["counters"]
+        assert "intern.hits" in snap
+        assert "intern.misses" in snap
+        # Tables are process-wide: a warm run can be all hits, a cold
+        # one mostly misses — but exploring touches them either way.
+        assert snap["intern.hits"] + snap["intern.misses"] > 0
+        assert "memory.nodes_reused" in snap
+
+    def test_resolve_cache_hits_counted(self):
+        obs.configure(metrics=True)
+        prog = _source_program(SEQ)
+        ctx = GlobalContext(prog)
+        ctx.resolve("main")
+        ctx.resolve("main")
+        assert obs.counter_value("resolve.cache_hits") >= 1
+
 
 class TestValidationMetrics:
     def test_obligation_counters_per_kind(self):

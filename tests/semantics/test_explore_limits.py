@@ -14,9 +14,9 @@ from tests.helpers import cimp_program
 
 
 class TestBehaviourLimits:
-    def test_max_nodes_exceeded_raises(self):
+    def test_max_nodes_exceeded_raises_when_strict(self):
         # Many interleavable events make the (state, trace) product
-        # large; a tiny node budget must fail loudly.
+        # large; a tiny node budget must fail loudly under strict=True.
         prog = cimp_program(
             "t1(){ print(1); print(2); print(3); }"
             "t2(){ print(4); print(5); print(6); }",
@@ -24,7 +24,26 @@ class TestBehaviourLimits:
         )
         graph = explore(GlobalContext(prog), PreemptiveSemantics())
         with pytest.raises(ExplorationLimit):
-            behaviours(graph, max_nodes=10)
+            behaviours(graph, max_nodes=10, strict=True)
+
+    def test_max_nodes_exceeded_cuts_by_default(self):
+        # The non-strict default reports truncated enumerations as
+        # partial: every pending trace comes back as a 'cut' behaviour
+        # instead of the whole call raising.
+        prog = cimp_program(
+            "t1(){ print(1); print(2); print(3); }"
+            "t2(){ print(4); print(5); print(6); }",
+            ["t1", "t2"],
+        )
+        graph = explore(GlobalContext(prog), PreemptiveSemantics())
+        behs = behaviours(graph, max_nodes=10)
+        assert any(b.end == "cut" for b in behs)
+        # Full enumeration of the same graph is a superset of the
+        # non-cut behaviours found under the budget.
+        full = {(b.events, b.end) for b in behaviours(graph)}
+        assert all(
+            (b.events, b.end) in full for b in behs if b.end != "cut"
+        )
 
     def test_generous_budget_enumerates_all(self):
         prog = cimp_program(
