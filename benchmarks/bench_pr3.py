@@ -1,0 +1,182 @@
+"""Benchmark smoke run for footprint-directed partial-order reduction.
+
+Re-runs the PR 2 continuity workloads and adds the POR comparison this
+PR is about; writes ``BENCH_pr3.json`` next to the repo root (or to the
+path given as argv[1]):
+
+* SCALE — 3-thread lock-counter full exploration (unchanged from PR 2,
+  tracks the unreduced baseline across PRs).
+* FIG13 — the per-pass validation-effort table for the 2-thread
+  lock-counter system.
+* POR — lock-counter exploration at 2–4 threads with reduction off and
+  on: state counts, wall time, the reduction ratio, and the reducer's
+  own counters (ample worlds, steps avoided, proviso re-expansions).
+  Behaviour sets are fingerprinted both ways and must agree — the
+  benchmark doubles as a soundness smoke check.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_pr3.py [out.json]
+"""
+
+import hashlib
+import json
+import sys
+import time
+
+from repro import obs
+from repro.framework import lock_counter_system, per_pass_table
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    behaviours,
+    drf,
+    explore,
+    npdrf,
+)
+
+SCALE_THREADS = 3
+SCALE_ROUNDS = 3
+FIG13_ROUNDS = 3
+POR_THREADS = (2, 3, 4)
+POR_ROUNDS = 3
+POR_MAX_STATES = 3000000
+
+
+def _bench_scale():
+    system = lock_counter_system(SCALE_THREADS)
+    prog = system.source_program()
+    times = []
+    states = None
+    for _ in range(SCALE_ROUNDS):
+        start = time.perf_counter()
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=POR_MAX_STATES, strict=True,
+        )
+        times.append(time.perf_counter() - start)
+        states = graph.state_count()
+    best = min(times)
+    return {
+        "workload": "lock-counter, {} threads, preemptive".format(
+            SCALE_THREADS),
+        "states": states,
+        "seconds_best": round(best, 4),
+        "seconds_all": [round(t, 4) for t in times],
+        "states_per_second": round(states / best, 1),
+    }
+
+
+def _bench_fig13():
+    system = lock_counter_system(2)
+    times = []
+    rows = None
+    for _ in range(FIG13_ROUNDS):
+        start = time.perf_counter()
+        rows = per_pass_table(system)
+        times.append(time.perf_counter() - start)
+    return {
+        "workload": "per-pass validation table, 2-thread lock-counter",
+        "passes": len(rows),
+        "seconds_best": round(min(times), 4),
+        "seconds_all": [round(t, 4) for t in times],
+    }
+
+
+def _fingerprint(behs):
+    digest = hashlib.sha256()
+    for line in sorted(repr(b) for b in behs):
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+def _explore_timed(prog, reduce):
+    times = []
+    graph = None
+    for _ in range(POR_ROUNDS):
+        start = time.perf_counter()
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=POR_MAX_STATES, strict=True, reduce=reduce,
+        )
+        times.append(time.perf_counter() - start)
+    return graph, min(times)
+
+
+def _bench_por(nthreads):
+    prog = lock_counter_system(nthreads).source_program()
+    full, t_full = _explore_timed(prog, reduce=False)
+
+    # One metered reduced run to capture the reducer counters, then the
+    # timed rounds (metrics off, like the full baseline).
+    obs.reset()
+    obs.configure(metrics=True)
+    explore(
+        GlobalContext(prog), PreemptiveSemantics(),
+        max_states=POR_MAX_STATES, strict=True, reduce=True,
+    )
+    counters = {
+        name: obs.counter_value(name)
+        for name in (
+            "por.ample_worlds",
+            "por.full_expansions",
+            "por.proviso_expansions",
+            "por.sleep_hits",
+            "por.steps_avoided",
+        )
+    }
+    obs.reset()
+    red, t_red = _explore_timed(prog, reduce=True)
+
+    # The 4-thread full graph needs far more (state, trace) nodes than
+    # the library default before every trace resolves; a truncated
+    # enumeration would report spurious ``cut`` disagreements.
+    fp_full = _fingerprint(
+        behaviours(full, max_events=12, max_nodes=8000000)
+    )
+    fp_red = _fingerprint(
+        behaviours(red, max_events=12, max_nodes=8000000)
+    )
+    entry = {
+        "workload": "lock-counter, {} threads, preemptive".format(
+            nthreads),
+        "states_full": full.state_count(),
+        "states_reduced": red.state_count(),
+        "state_ratio": round(red.state_count() / full.state_count(), 4),
+        "seconds_full": round(t_full, 4),
+        "seconds_reduced": round(t_red, 4),
+        "speedup": round(t_full / t_red, 2),
+        "behaviours_fingerprint_full": fp_full,
+        "behaviours_fingerprint_reduced": fp_red,
+        "behaviours_agree": fp_full == fp_red,
+        "drf_agree": drf(prog, POR_MAX_STATES, reduce=True)
+        == drf(prog, POR_MAX_STATES, reduce=False),
+        "npdrf_agree": npdrf(prog, POR_MAX_STATES, reduce=True)
+        == npdrf(prog, POR_MAX_STATES, reduce=False),
+    }
+    entry.update(counters)
+    if not entry["behaviours_agree"]:
+        raise SystemExit(
+            "POR soundness smoke check failed at {} threads".format(
+                nthreads)
+        )
+    return entry
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr3.json"
+    report = {
+        "python": sys.version.split()[0],
+        "scale": _bench_scale(),
+        "fig13": _bench_fig13(),
+        "por": [_bench_por(n) for n in POR_THREADS],
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

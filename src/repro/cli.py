@@ -15,6 +15,10 @@ All commands accept ``--metrics`` (print a metrics summary table) and
 ``--trace FILE`` (write a JSON-lines span trace); the
 ``REPRO_METRICS`` / ``REPRO_TRACE`` environment variables switch the
 same machinery on without flags.
+
+``run`` and ``drf`` accept ``--por/--no-por`` to control the
+footprint-directed partial-order reduction (default: the ``REPRO_POR``
+environment setting, on unless set to ``0``).
 """
 
 import argparse
@@ -87,6 +91,7 @@ def cmd_run(args):
         GlobalContext(prog),
         PreemptiveSemantics(),
         max_states=args.max_states,
+        reduce=args.por,
     )
     for b in sorted(behs, key=repr):
         print(b)
@@ -117,7 +122,7 @@ def cmd_drf(args):
     result = compile_minic(module, optimize=args.optimize)
     entries = args.threads.split(",")
     prog = _program(result.source, genv, entries, args.lock)
-    verdict = drf(prog, max_states=args.max_states)
+    verdict = drf(prog, max_states=args.max_states, reduce=args.por)
     print("DRF:", verdict)
     return 0 if verdict else 1
 
@@ -159,8 +164,17 @@ def make_parser():
     )
     p.set_defaults(func=cmd_compile)
 
+    def por_flag(p):
+        p.add_argument(
+            "--por", action=argparse.BooleanOptionalAction,
+            default=None,
+            help="partial-order reduction (default: REPRO_POR env "
+            "setting, on unless set to 0)",
+        )
+
     p = sub.add_parser("run", help="enumerate behaviours")
     common(p)
+    por_flag(p)
     p.add_argument(
         "--threads", default="main",
         help="comma-separated thread entry functions",
@@ -179,6 +193,7 @@ def make_parser():
 
     p = sub.add_parser("drf", help="data-race-freedom check")
     common(p)
+    por_flag(p)
     p.add_argument("--threads", default="main")
     p.add_argument("--max-states", type=int, default=400000)
     p.set_defaults(func=cmd_drf)

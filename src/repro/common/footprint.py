@@ -29,7 +29,7 @@ _INTERNED = InternTable("footprint", max_size=1 << 18)
 class Footprint:
     """An immutable footprint ``(rs, ws)`` of read and written addresses."""
 
-    __slots__ = ("rs", "ws", "_hash")
+    __slots__ = ("rs", "ws", "_hash", "_locs")
 
     def __new__(cls, rs=(), ws=()):
         if type(rs) is not frozenset:
@@ -73,8 +73,18 @@ class Footprint:
         )
 
     def locs(self):
-        """All locations touched: ``rs ∪ ws`` (the paper's ``δ`` as a set)."""
-        return self.rs | self.ws
+        """All locations touched: ``rs ∪ ws`` (the paper's ``δ`` as a set).
+
+        Cached: footprints are interned and immutable, and the conflict
+        check on the race detector's hot path calls this repeatedly for
+        the same handful of footprints.
+        """
+        try:
+            return self._locs
+        except AttributeError:
+            locs = self.rs | self.ws
+            object.__setattr__(self, "_locs", locs)
+            return locs
 
     def union(self, other):
         """``δ ∪ δ'`` — componentwise union (Fig. 6)."""
@@ -120,9 +130,23 @@ def conflict(d1, d2):
     """``δ1 ⌢ δ2``: one footprint writes what the other touches (Sec. 5).
 
     ``(δ1.ws ∩ δ2 ≠ ∅) ∨ (δ2.ws ∩ δ1 ≠ ∅)`` where ``δ`` as a set means
-    ``rs ∪ ws``.
+    ``rs ∪ ws``. The empty/read-only fast paths skip the set algebra
+    entirely — most step footprints on the exploration hot path are
+    ``emp`` or pure reads, and interning makes the identity tests hit.
     """
-    return bool(d1.ws & d2.locs()) or bool(d2.ws & d1.locs())
+    ws1 = d1.ws
+    ws2 = d2.ws
+    if not ws1 and not ws2:
+        # Two pure reads (or emp) never conflict.
+        return False
+    if ws1 and not ws1.isdisjoint(d2.locs()):
+        return True
+    return bool(ws2) and not ws2.isdisjoint(d1.locs())
+
+
+def disjoint(d1, d2):
+    """``¬(δ1 ⌢ δ2)`` — the independence test POR builds on."""
+    return not conflict(d1, d2)
 
 
 def conflict_atomic(d1, atomic1, d2, atomic2):

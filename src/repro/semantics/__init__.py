@@ -20,8 +20,11 @@ from repro.semantics.refinement import (
     safe,
 )
 from repro.semantics.race import RaceWitness, drf, find_race, npdrf, predict
+from repro.semantics.por import AmpleReducer, default_reduce
 
 __all__ = [
+    "AmpleReducer",
+    "default_reduce",
     "Frame",
     "World",
     "GlobalContext",

@@ -83,19 +83,26 @@ class SyncPoint:
         self.world = world
 
 
-def thread_successors(ctx, world):
+def thread_successors(ctx, world, outcomes=None):
     """Execute one step of the current thread; no scheduling decisions.
 
     Returns a list of :class:`GStep` / :class:`GAbort` /
     :class:`SyncPoint`. SyncPoints are steps at which the non-preemptive
     semantics switches; the preemptive semantics converts them to plain
     GSteps (it has its own free Switch rule instead).
+
+    ``outcomes`` lets a caller that already ran the local step function
+    for this world (the POR ample decision) pass the raw outcome list
+    in, so full expansions after a refused reduction don't step twice.
     """
     frame = world.top_frame()
     if frame is None:
         return []
     decl = ctx.module(frame.mod_idx)
-    outcomes = decl.lang.step(decl.code, frame.core, world.mem, frame.flist)
+    if outcomes is None:
+        outcomes = decl.lang.step(
+            decl.code, frame.core, world.mem, frame.flist
+        )
     results = []
     for outcome in outcomes:
         if isinstance(outcome, StepAbort):

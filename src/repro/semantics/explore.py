@@ -14,6 +14,16 @@ of our suite we *compute* the execution space:
    exploration or trace-length bound was hit — comparisons treat any
    ``cut`` as inconclusive rather than silently passing).
 
+With ``reduce=True``, preemptive exploration applies the
+footprint-directed partial-order reduction of
+:mod:`repro.semantics.por`: worlds whose current thread's next steps
+are private silent steps expand only that thread, with the DFS cycle
+proviso forcing full expansions on cycles so divergence detection and
+behaviour extraction stay exact. ``explore`` keeps ``reduce=False`` as
+its default so existing graph consumers always see the full graph; the
+whole-program property entry points (:func:`program_behaviours`,
+``drf``/``npdrf``) default to the ``REPRO_POR`` environment setting.
+
 Pure scheduler livelock (a cycle of switch edges with no thread
 progress) exists in every multi-threaded world under both semantics; it
 is not reported as divergence, so that ``silent_div`` marks *program*
@@ -27,6 +37,7 @@ from repro.common import intern
 from repro.common.memory import STATS as MEM_STATS
 from repro.lang.messages import EventMsg
 from repro.semantics.engine import SW, GAbort
+from repro.semantics.por import AmpleReducer, default_reduce
 
 
 class ExplorationLimit(Exception):
@@ -74,7 +85,9 @@ class StateGraph:
     ``(label, dst)`` with ``dst = -1`` for abort; ``done``: ids of
     fully-terminated worlds; ``stuck``: ids of non-terminated worlds
     with no successors (a semantics bug surfaced loudly);
-    ``truncated``: ids whose successors were cut off by the state bound.
+    ``truncated``: ids whose successors were cut off by the state bound;
+    ``halted``: an observer stopped the exploration early (the graph is
+    a prefix, not the full reachable set).
     """
 
     def __init__(self):
@@ -85,84 +98,70 @@ class StateGraph:
         self.done = set()
         self.stuck = set()
         self.truncated = set()
+        self.halted = False
 
     def state_count(self):
         return len(self.states)
 
+    def add(self, world):
+        """Intern a world known to be absent; the single append path.
+
+        Both exploration loops go through this method (bound to a local
+        in the hot loops), so the id table and state list can never
+        drift apart between expansion sites.
+        """
+        sid = len(self.states)
+        self.states.append(world)
+        self.ids[world] = sid
+        return sid
+
     def intern(self, world):
         sid = self.ids.get(world)
         if sid is None:
-            sid = len(self.states)
-            self.states.append(world)
-            self.ids[world] = sid
+            sid = self.add(world)
         return sid
 
 
 ABORT_DST = -1
 
 
-def explore(ctx, semantics, max_states=50000, strict=False):
-    """Build the reachable :class:`StateGraph` under ``semantics``."""
-    # Hoisted observability flag: the loop below is the system's
+def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
+            observer=None):
+    """Build the reachable :class:`StateGraph` under ``semantics``.
+
+    ``reduce=True`` enables partial-order reduction when the semantics
+    supports it (currently the preemptive one); otherwise the full
+    graph is built. ``observer``, if given, is called as
+    ``observer(world, outcomes)`` for every expanded non-terminated
+    world — ``outcomes`` is the current thread's raw local outcome list
+    when the expansion already computed it (the reduced path), else
+    ``None``. A truthy return halts the exploration (``graph.halted``)
+    — the hook the on-the-fly race detector uses to stop at the first
+    witness without retaining the rest of the state space.
+    """
+    use_por = bool(reduce) and getattr(semantics, "supports_por", False)
+    # Hoisted observability flag: the loops below are the system's
     # hottest path, so the disabled cost is one truthiness test per
-    # dequeued state.
+    # expanded state.
     track = obs.enabled
     with obs.span(
         "explore",
         semantics=type(semantics).__name__,
         max_states=max_states,
+        por=use_por,
     ) as sp:
         if track:
             hits0, misses0 = intern.totals()
             reused0 = MEM_STATS.nodes_reused
-        graph = StateGraph()
-        queue = deque()
-        for world in semantics.initial_worlds(ctx):
-            sid = graph.intern(world)
-            graph.initial.append(sid)
-            queue.append(sid)
-        frontier_hwm = len(queue)
-
-        # Locals hoisted out of the loop: every line below runs once per
-        # dequeued state or per candidate edge.
-        states = graph.states
-        ids = graph.ids
-        all_edges = graph.edges
-        successors = semantics.successors
-        while queue:
-            if track and len(queue) > frontier_hwm:
-                frontier_hwm = len(queue)
-            sid = queue.popleft()
-            world = states[sid]
-            if world.is_done():
-                graph.done.add(sid)
-                all_edges[sid] = []
-                continue
-            outs = successors(ctx, world)
-            if not outs:
-                graph.stuck.add(sid)
-                all_edges[sid] = []
-                continue
-            edges = []
-            for out in outs:
-                if isinstance(out, GAbort):
-                    edges.append((Behaviour.ABORT, ABORT_DST))
-                    continue
-                dst = ids.get(out.world)
-                if dst is None:
-                    if len(states) >= max_states:
-                        if strict:
-                            raise ExplorationLimit(
-                                "state bound {} exceeded".format(max_states)
-                            )
-                        graph.truncated.add(sid)
-                        continue
-                    dst = len(states)
-                    states.append(out.world)
-                    ids[out.world] = dst
-                    queue.append(dst)
-                edges.append((out.label, dst))
-            all_edges[sid] = edges
+        if use_por:
+            graph, hwm, reducer = _explore_reduced(
+                ctx, semantics, max_states, strict, observer
+            )
+        else:
+            reducer = None
+            graph, hwm = _explore_full(
+                ctx, semantics, max_states, strict, observer
+            )
 
         if graph.truncated:
             # strict=True raises before getting here, so this is the
@@ -185,8 +184,224 @@ def explore(ctx, semantics, max_states=50000, strict=False):
             obs.inc(
                 "memory.nodes_reused", MEM_STATS.nodes_reused - reused0
             )
-            _record_explore_metrics(graph, frontier_hwm, sp)
+            _record_explore_metrics(graph, hwm, sp)
+            if reducer is not None:
+                obs.inc("por.ample_worlds", reducer.ample_worlds)
+                obs.inc("por.full_expansions", reducer.full_expansions)
+                obs.inc(
+                    "por.proviso_expansions", reducer.proviso_expansions
+                )
+                obs.inc("por.sleep_hits", reducer.sleep_hits)
+                obs.inc("por.steps_avoided", reducer.steps_avoided)
+                sp.set(
+                    ample_worlds=reducer.ample_worlds,
+                    full_expansions=reducer.full_expansions,
+                    steps_avoided=reducer.steps_avoided,
+                )
     return graph
+
+
+def _explore_full(ctx, semantics, max_states, strict, observer):
+    """The classical BFS over every interleaving (no reduction)."""
+    graph = StateGraph()
+    queue = deque()
+    for world in semantics.initial_worlds(ctx):
+        sid = graph.intern(world)
+        graph.initial.append(sid)
+        queue.append(sid)
+    frontier_hwm = len(queue)
+
+    # Locals hoisted out of the loop: every line below runs once per
+    # dequeued state or per candidate edge.
+    states = graph.states
+    ids = graph.ids
+    add = graph.add
+    all_edges = graph.edges
+    successors = semantics.successors
+    track = obs.enabled
+    while queue:
+        if track and len(queue) > frontier_hwm:
+            frontier_hwm = len(queue)
+        sid = queue.popleft()
+        world = states[sid]
+        if world.is_done():
+            graph.done.add(sid)
+            all_edges[sid] = []
+            continue
+        if observer is not None and observer(world, None):
+            graph.halted = True
+            break
+        outs = successors(ctx, world)
+        if not outs:
+            graph.stuck.add(sid)
+            all_edges[sid] = []
+            continue
+        edges = []
+        for out in outs:
+            if isinstance(out, GAbort):
+                edges.append((Behaviour.ABORT, ABORT_DST))
+                continue
+            dst = ids.get(out.world)
+            if dst is None:
+                if len(states) >= max_states:
+                    if strict:
+                        raise ExplorationLimit(
+                            "state bound {} exceeded".format(max_states)
+                        )
+                    graph.truncated.add(sid)
+                    continue
+                dst = add(out.world)
+                queue.append(dst)
+            edges.append((out.label, dst))
+        all_edges[sid] = edges
+    return graph, frontier_hwm
+
+
+_NO_SLEEP = frozenset()
+
+
+def _explore_reduced(ctx, semantics, max_states, strict, observer):
+    """DFS with footprint-directed ample sets and the cycle proviso.
+
+    DFS (not BFS) because the standard proviso implementation needs the
+    current search stack: a reduced expansion whose successor closes a
+    cycle back into the stack is redone fully, which breaks the
+    "ignoring problem" (a thread spinning through private states would
+    otherwise never yield to the others) and keeps ``silent_div``
+    detection and behaviour extraction exact on the reduced graph.
+    """
+    graph = StateGraph()
+    reducer = AmpleReducer()
+    for world in semantics.initial_worlds(ctx):
+        graph.initial.append(graph.intern(world))
+
+    states = graph.states
+    ids = graph.ids
+    add = graph.add
+    all_edges = graph.edges
+    successors = semantics.successors
+    decide = reducer.decide
+
+    on_stack = set()
+    # Stack entries: [sid, successor-iterator | None, sleep set the
+    # expansion inherits from its DFS parent].
+    stack = []
+    stack_hwm = 0
+    halted = False
+
+    for root in graph.initial:
+        if halted:
+            break
+        if root in all_edges:
+            continue
+        stack.append([root, None, _NO_SLEEP])
+        while stack:
+            entry = stack[-1]
+            sid = entry[0]
+            it = entry[1]
+            if it is not None:
+                dst = next(it, None)
+                if dst is None:
+                    on_stack.discard(sid)
+                    stack.pop()
+                elif dst not in all_edges:
+                    stack.append([dst, None, entry[2]])
+                    if len(stack) > stack_hwm:
+                        stack_hwm = len(stack)
+                continue
+            if sid in all_edges:
+                # Reached again through a sibling before being visited.
+                stack.pop()
+                continue
+            world = states[sid]
+            if world.is_done():
+                graph.done.add(sid)
+                all_edges[sid] = []
+                stack.pop()
+                continue
+            on_stack.add(sid)
+            outs, results, ample = decide(ctx, world)
+            if observer is not None and observer(world, outs):
+                graph.halted = True
+                halted = True
+                break
+            edges = []
+            children = []
+            child_sleep = _NO_SLEEP
+            if ample:
+                for res in results:
+                    dst = ids.get(res.world)
+                    if dst is None:
+                        if len(states) >= max_states:
+                            if strict:
+                                raise ExplorationLimit(
+                                    "state bound {} exceeded".format(
+                                        max_states
+                                    )
+                                )
+                            graph.truncated.add(sid)
+                            continue
+                        dst = add(res.world)
+                    elif dst in on_stack:
+                        # Cycle proviso (C3): this reduction would close
+                        # a cycle of reduced states — expand fully.
+                        ample = False
+                        reducer.proviso_expansions += 1
+                        break
+                    edges.append((None, dst))
+                    children.append(dst)
+                if ample:
+                    live = world.live_threads()
+                    pruned = len(live) - 1
+                    if pruned > 0:
+                        reducer.ample_worlds += 1
+                        reducer.steps_avoided += pruned
+                        cur = world.cur
+                        child_sleep = frozenset(
+                            t for t in live if t != cur
+                        )
+                        # Threads whose switch was already pruned at the
+                        # DFS parent stay asleep through this expansion.
+                        reducer.sleep_hits += len(
+                            child_sleep & entry[2]
+                        )
+                    else:
+                        reducer.full_expansions += 1
+            if not ample:
+                reducer.full_expansions += 1
+                edges = []
+                children = []
+                outs_full = successors(
+                    ctx, world, outs, thread_results=results
+                )
+                if not outs_full:
+                    graph.stuck.add(sid)
+                    all_edges[sid] = []
+                    on_stack.discard(sid)
+                    stack.pop()
+                    continue
+                for out in outs_full:
+                    if isinstance(out, GAbort):
+                        edges.append((Behaviour.ABORT, ABORT_DST))
+                        continue
+                    dst = ids.get(out.world)
+                    if dst is None:
+                        if len(states) >= max_states:
+                            if strict:
+                                raise ExplorationLimit(
+                                    "state bound {} exceeded".format(
+                                        max_states
+                                    )
+                                )
+                            graph.truncated.add(sid)
+                            continue
+                        dst = add(out.world)
+                    edges.append((out.label, dst))
+                    children.append(dst)
+            all_edges[sid] = edges
+            entry[1] = iter(children)
+            entry[2] = child_sleep
+    return graph, stack_hwm, reducer
 
 
 def _record_explore_metrics(graph, frontier_hwm, sp):
@@ -412,7 +627,16 @@ def _behaviours(graph, max_events, max_nodes, strict):
     return frozenset(result)
 
 
-def program_behaviours(ctx, semantics, max_states=50000, max_events=10):
-    """Explore and extract behaviours in one call."""
-    graph = explore(ctx, semantics, max_states)
+def program_behaviours(ctx, semantics, max_states=50000, max_events=10,
+                       reduce=None):
+    """Explore and extract behaviours in one call.
+
+    ``reduce=None`` defers to the ``REPRO_POR`` environment default
+    (on unless disabled) — sound because the cross-validation suite
+    pins POR-on and POR-off to identical behaviour sets; pass
+    ``reduce=False`` to force the full graph.
+    """
+    if reduce is None:
+        reduce = default_reduce()
+    graph = explore(ctx, semantics, max_states, reduce=reduce)
     return behaviours(graph, max_events)

@@ -18,14 +18,26 @@ class PreemptiveSemantics:
 
     name = "preemptive"
 
-    def successors(self, ctx, world):
+    #: The ample-set reducer in :mod:`repro.semantics.por` is sound for
+    #: this semantics (free Switch rule, per-step preemption).
+    supports_por = True
+
+    def successors(self, ctx, world, outcomes=None, thread_results=None):
         """All global steps from ``world``: thread steps plus Switch.
 
         A terminated current thread yields only switch edges; a fully
         terminated world yields no successors (the ``done`` outcome).
+        ``outcomes`` optionally carries the precomputed raw outcome
+        list of the current thread (see
+        :func:`repro.semantics.engine.thread_successors`);
+        ``thread_results`` the already-processed global outcomes (the
+        POR ample decision computes them, so a refused reduction adds
+        only the Switch edges).
         """
+        if thread_results is None:
+            thread_results = thread_successors(ctx, world, outcomes)
         results = []
-        for outcome in thread_successors(ctx, world):
+        for outcome in thread_results:
             if isinstance(outcome, SyncPoint):
                 # The preemptive semantics has no special switch points:
                 # the step itself is an ordinary global step, and the

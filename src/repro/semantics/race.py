@@ -10,6 +10,18 @@ side to be outside an atomic block (``(δ1,d1) ⌢ (δ2,d2)``).
 ``DRF`` explores the preemptive world graph; ``NPDRF`` the
 non-preemptive one with per-thread atomic bits — their equivalence is
 the paper's steps ⑥/⑧, validated empirically by the FIG2-68 benchmark.
+
+Race detection runs **on the fly** by default: :func:`find_race` hooks
+into :func:`~repro.semantics.explore.explore` as an observer, checking
+each world's predictions as it is expanded and halting the exploration
+at the first witness — so a racy program never materialises its full
+state space, and under partial-order reduction the ample decision's
+one-step outcomes are shared with the predictor. The stored-graph path
+(``on_the_fly=False``) is kept for cross-validation. Predictions are
+memoized per ``(frame, memory, atomic-bit)``: distinct worlds that
+differ only in other threads' components reuse each other's
+predictions, which the hash-consed state machinery makes a single dict
+probe.
 """
 
 from collections import deque
@@ -20,6 +32,7 @@ from repro.lang.messages import ENT_ATOM, is_silent
 from repro.lang.steps import Step
 from repro.semantics.explore import explore
 from repro.semantics.nonpreemptive import NonPreemptiveSemantics
+from repro.semantics.por import default_reduce
 from repro.semantics.preemptive import PreemptiveSemantics
 from repro.semantics.world import GlobalContext
 
@@ -47,16 +60,8 @@ class RaceWitness:
         )
 
 
-def _frame_steps(ctx, world, tid):
-    frame = world.top_frame(tid)
-    if frame is None:
-        return None, []
-    decl = ctx.module(frame.mod_idx)
-    outs = decl.lang.step(decl.code, frame.core, world.mem, frame.flist)
-    return (decl, frame), [o for o in outs if isinstance(o, Step)]
-
-
-def predict(ctx, world, tid, max_atomic_steps=64, quantum=False):
+def predict(ctx, world, tid, max_atomic_steps=64, quantum=False,
+            outcomes=None):
     """All instrumented footprints ``(δ, d)`` thread ``tid`` predicts.
 
     With ``quantum=False`` (the preemptive Race rule, Fig. 9):
@@ -76,11 +81,16 @@ def predict(ctx, world, tid, max_atomic_steps=64, quantum=False):
 
     When the world records the thread inside an atomic block (possible
     non-preemptively), its continuation is predicted with bit 1.
+
+    ``outcomes`` optionally passes in the thread's already-computed raw
+    one-step outcomes (shared with the POR ample decision), saving the
+    first local step call.
     """
-    info, _steps = _frame_steps(ctx, world, tid)
-    if info is None:
+    frame = world.top_frame(tid)
+    if frame is None:
         return set()
-    decl, frame = info
+    decl = ctx.module(frame.mod_idx)
+    first_outs = outcomes
     predictions = set()
 
     if world.bits[tid] == 1:
@@ -92,11 +102,20 @@ def predict(ctx, world, tid, max_atomic_steps=64, quantum=False):
         }
 
     horizon = max_atomic_steps if quantum else 1
-    seen = set()
+    # Seed the dedup set with the entry state: a silent cycle straight
+    # back to the entry core must not re-enqueue it (it used to, wasting
+    # a full round of quantum-mode prediction).
+    seen = {(frame.core, world.mem)}
     frontier = deque([(frame.core, world.mem, 0)])
+    step = decl.lang.step
     while frontier:
         core, mem, depth = frontier.popleft()
-        outs = decl.lang.step(decl.code, core, mem, frame.flist)
+        if first_outs is not None:
+            # The first dequeued element is exactly the entry state the
+            # shared outcomes were computed at.
+            outs, first_outs = first_outs, None
+        else:
+            outs = step(decl.code, core, mem, frame.flist)
         for out in outs:
             if not isinstance(out, Step):
                 continue
@@ -140,92 +159,166 @@ def _atomic_run_footprints(decl, frame, core, mem, max_steps):
     return fps
 
 
-def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64):
+class _RaceChecker:
+    """Per-run observer applying the Race rule to each expanded world.
+
+    Carries the prediction memo table and the plain accounting counters
+    that :func:`find_race` flushes into ``obs`` afterwards. Returns
+    True (halt the exploration) as soon as a witness is found.
+    """
+
+    __slots__ = (
+        "ctx",
+        "quantum",
+        "max_atomic_steps",
+        "track",
+        "witness",
+        "worlds_checked",
+        "predictions",
+        "pairs_checked",
+        "_memo",
+        "_memo_hits",
+    )
+
+    def __init__(self, ctx, quantum, max_atomic_steps):
+        self.ctx = ctx
+        self.quantum = quantum
+        self.max_atomic_steps = max_atomic_steps
+        self.track = obs.enabled
+        self.witness = None
+        self.worlds_checked = 0
+        self.predictions = 0
+        self.pairs_checked = 0
+        self._memo = {}
+        self._memo_hits = 0
+
+    def _predict(self, world, tid, outcomes):
+        # Predictions depend only on the thread's top frame, the memory
+        # and its atomic bit (quantum/max_atomic_steps are fixed per
+        # run) — never on the other threads — so they memoize across
+        # worlds that interleave the *other* threads differently.
+        key = (world.top_frame(tid), world.mem, world.bits[tid])
+        preds = self._memo.get(key)
+        if preds is None:
+            preds = predict(
+                self.ctx, world, tid, self.max_atomic_steps,
+                quantum=self.quantum, outcomes=outcomes,
+            )
+            self._memo[key] = preds
+        else:
+            self._memo_hits += 1
+        return preds
+
+    def __call__(self, world, outcomes=None):
+        if world.is_done():
+            return False
+        # The Race rule applies to worlds where the running thread is
+        # not inside an atomic block (Fig. 9: ``W = (T, _, 0, σ)``).
+        if world.bits[world.cur] != 0:
+            return False
+        self.worlds_checked += 1
+        cur = world.cur
+        live = world.live_threads()
+        preds = {
+            tid: self._predict(
+                world, tid, outcomes if tid == cur else None
+            )
+            for tid in live
+        }
+        track = self.track
+        if track:
+            self.predictions += sum(len(p) for p in preds.values())
+        for i, t1 in enumerate(live):
+            p1 = preds[t1]
+            if not p1:
+                continue
+            for t2 in live[i + 1:]:
+                p2 = preds[t2]
+                if track:
+                    # Accounting only — guarded like `predictions` so
+                    # the disabled path stays free (PR 1's <1% overhead
+                    # contract).
+                    self.pairs_checked += len(p1) * len(p2)
+                for fp1, b1 in p1:
+                    for fp2, b2 in p2:
+                        if conflict_atomic(fp1, b1, fp2, b2):
+                            self.witness = RaceWitness(
+                                world, t1, fp1, b1, t2, fp2, b2
+                            )
+                            return True
+        return False
+
+
+def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
+              reduce=None, on_the_fly=True):
     """Search reachable worlds for a race; returns a witness or ``None``.
 
     Non-preemptive exploration uses quantum (region) prediction — see
-    :func:`predict`.
+    :func:`predict`. The default mode checks each world while it is
+    being explored and halts at the first witness, so peak memory no
+    longer retains the full state list when a race shows up early;
+    ``on_the_fly=False`` explores first and scans the stored graph (the
+    pre-POR code path, kept for cross-validation). ``reduce=None``
+    defers to the ``REPRO_POR`` default; reduction only engages for
+    semantics that support it (preemptive).
     """
     quantum = isinstance(semantics, NonPreemptiveSemantics)
+    if reduce is None:
+        reduce = default_reduce()
+    track = obs.enabled
     with obs.span(
-        "race.find", semantics=type(semantics).__name__
+        "race.find",
+        semantics=type(semantics).__name__,
+        on_the_fly=on_the_fly,
     ) as sp:
-        graph = explore(ctx, semantics, max_states, strict=True)
-        track = obs.enabled
-        worlds_checked = 0
-        predictions = 0
-        pairs_checked = 0
-        witness = None
-        for world in graph.states:
-            if world.is_done():
-                continue
-            # The Race rule applies to worlds where the running thread
-            # is not inside an atomic block (Fig. 9: ``W = (T, _, 0, σ)``).
-            if world.bits[world.cur] != 0:
-                continue
-            worlds_checked += 1
-            live = world.live_threads()
-            preds = {
-                tid: predict(
-                    ctx, world, tid, max_atomic_steps, quantum=quantum
-                )
-                for tid in live
-            }
-            if track:
-                predictions += sum(len(p) for p in preds.values())
-            for i, t1 in enumerate(live):
-                for t2 in live[i + 1:]:
-                    if track:
-                        # Accounting only — guarded like `predictions`
-                        # so the disabled path stays free (PR 1's <1%
-                        # overhead contract).
-                        pairs_checked += len(preds[t1]) * len(preds[t2])
-                    for fp1, b1 in preds[t1]:
-                        for fp2, b2 in preds[t2]:
-                            if conflict_atomic(fp1, b1, fp2, b2):
-                                witness = RaceWitness(
-                                    world, t1, fp1, b1, t2, fp2, b2
-                                )
-                                break
-                        if witness is not None:
-                            break
-                    if witness is not None:
-                        break
-                if witness is not None:
+        checker = _RaceChecker(ctx, quantum, max_atomic_steps)
+        if on_the_fly:
+            explore(
+                ctx, semantics, max_states, strict=True,
+                reduce=reduce, observer=checker,
+            )
+        else:
+            graph = explore(
+                ctx, semantics, max_states, strict=True, reduce=reduce
+            )
+            for world in graph.states:
+                if checker(world):
                     break
-            if witness is not None:
-                break
+        witness = checker.witness
         if track:
-            obs.inc("race.worlds_checked", worlds_checked)
-            obs.inc("race.predictions", predictions)
-            obs.inc("race.pairs_checked", pairs_checked)
+            obs.inc("race.worlds_checked", checker.worlds_checked)
+            obs.inc("race.predictions", checker.predictions)
+            obs.inc("race.pairs_checked", checker.pairs_checked)
+            obs.inc("race.prediction_memo_hits", checker._memo_hits)
             if witness is not None:
                 obs.inc("race.witnesses")
             sp.set(
-                worlds=worlds_checked,
-                pairs=pairs_checked,
+                worlds=checker.worlds_checked,
+                pairs=checker.pairs_checked,
                 racy=witness is not None,
             )
     return witness
 
 
-def drf(program, max_states=50000, max_atomic_steps=64):
+def drf(program, max_states=50000, max_atomic_steps=64, reduce=None):
     """``DRF(P)``: no race in the preemptive semantics."""
     ctx = GlobalContext(program)
     return (
         find_race(
-            ctx, PreemptiveSemantics(), max_states, max_atomic_steps
+            ctx, PreemptiveSemantics(), max_states, max_atomic_steps,
+            reduce=reduce,
         )
         is None
     )
 
 
-def npdrf(program, max_states=50000, max_atomic_steps=64):
+def npdrf(program, max_states=50000, max_atomic_steps=64, reduce=None):
     """``NPDRF(P)``: no race in the non-preemptive semantics."""
     ctx = GlobalContext(program)
     return (
         find_race(
-            ctx, NonPreemptiveSemantics(), max_states, max_atomic_steps
+            ctx, NonPreemptiveSemantics(), max_states, max_atomic_steps,
+            reduce=reduce,
         )
         is None
     )

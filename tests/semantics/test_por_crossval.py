@@ -1,0 +1,222 @@
+"""Cross-validation of partial-order reduction against full exploration.
+
+Every example workload — the canonical MiniC suite, the lock-counter
+systems at 1–3 threads, Example 2.2, and ad-hoc CImp programs covering
+races, atomic blocks and divergence — is run with POR on and off under
+both global semantics, asserting identical behaviour sets, DRF/NPDRF
+verdicts, ``find_race`` outcomes across all four mode combinations
+(on-the-fly × reduction), and matching done/stuck classifications.
+This is the empirical soundness net the ``REPRO_POR`` default relies
+on.
+
+The hypothesis property test at the bottom checks the commutation
+lemma the ample construction is built on: two silent steps of
+different threads with non-conflicting footprints reach the same world
+in either order.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.footprint import disjoint
+from repro.common.values import VInt
+from repro.framework.build import ClientSystem, lock_counter_system
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    drf,
+    explore,
+    find_race,
+    npdrf,
+    program_behaviours,
+)
+from repro.semantics.engine import GStep, thread_successors
+
+from tests.helpers import EXAMPLE_2_2, SUITE, cimp_program, minic_program
+
+MAX_STATES = 100000
+MAX_EVENTS = 12
+
+_CIMP_RACY = "t1(){ [C] := 1; x := [C]; } t2(){ [C] := 2; y := [C]; }"
+_CIMP_ATOMIC = (
+    "t1(){ <x := [C]; [C] := x + 1;> }"
+    "t2(){ <y := [C]; [C] := y + 1;> }"
+    "t3(){ print(9); }"
+)
+_CIMP_SPIN = (
+    "t1(){ x := 0; while(x == 0){ skip; } } t2(){ print(7); }"
+)
+
+
+def _workloads():
+    items = {}
+    for name, src in sorted(SUITE.items()):
+        items["minic-" + name] = (
+            lambda src=src: minic_program([src], ["main"])[0]
+        )
+    for n in (1, 2, 3):
+        items["lock-counter-{}".format(n)] = (
+            lambda n=n: lock_counter_system(n).source_program()
+        )
+    items["example-2-2"] = lambda: ClientSystem(
+        [EXAMPLE_2_2], ["thread1", "thread2"], use_lock=True
+    ).source_program()
+    items["cimp-racy"] = lambda: cimp_program(
+        _CIMP_RACY, ["t1", "t2"]
+    )
+    items["cimp-atomic"] = lambda: cimp_program(
+        _CIMP_ATOMIC, ["t1", "t2", "t3"]
+    )
+    items["cimp-spin"] = lambda: cimp_program(_CIMP_SPIN, ["t1", "t2"])
+    return items
+
+
+_WORKLOADS = _workloads()
+_SEMANTICS = [PreemptiveSemantics, NonPreemptiveSemantics]
+
+
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+@pytest.mark.parametrize("sem_cls", _SEMANTICS, ids=lambda c: c.name)
+def test_behaviours_agree(name, sem_cls):
+    build = _WORKLOADS[name]
+    on = program_behaviours(
+        GlobalContext(build()), sem_cls(), MAX_STATES, MAX_EVENTS,
+        reduce=True,
+    )
+    off = program_behaviours(
+        GlobalContext(build()), sem_cls(), MAX_STATES, MAX_EVENTS,
+        reduce=False,
+    )
+    assert on == off, (sorted(map(repr, on)), sorted(map(repr, off)))
+
+
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+def test_race_verdicts_agree(name):
+    prog = _WORKLOADS[name]()
+    assert drf(prog, MAX_STATES, reduce=True) == drf(
+        prog, MAX_STATES, reduce=False
+    )
+    assert npdrf(prog, MAX_STATES, reduce=True) == npdrf(
+        prog, MAX_STATES, reduce=False
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+@pytest.mark.parametrize("sem_cls", _SEMANTICS, ids=lambda c: c.name)
+def test_find_race_modes_agree(name, sem_cls):
+    # On-the-fly vs stored-graph, with and without reduction: all four
+    # paths must agree on whether the workload races.
+    build = _WORKLOADS[name]
+    verdicts = {
+        (
+            find_race(
+                GlobalContext(build()), sem_cls(), MAX_STATES,
+                reduce=red, on_the_fly=otf,
+            )
+            is None
+        )
+        for red in (True, False)
+        for otf in (True, False)
+    }
+    assert len(verdicts) == 1, verdicts
+
+
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+def test_classifications_agree(name):
+    build = _WORKLOADS[name]
+    sem = PreemptiveSemantics()
+    red = explore(GlobalContext(build()), sem, MAX_STATES, reduce=True)
+    full = explore(GlobalContext(build()), sem, MAX_STATES,
+                   reduce=False)
+    assert not red.truncated and not full.truncated
+    assert not red.halted and not full.halted
+    assert bool(red.done) == bool(full.done)
+    assert bool(red.stuck) == bool(full.stuck)
+    assert red.state_count() <= full.state_count()
+
+
+# ----- the commutation lemma, property-based ---------------------------------
+
+_CIMP_POOL = [
+    "[C] := x + 1;",
+    "x := [C];",
+    "x := x + 1;",
+    "[D] := 3;",
+    "y := [D];",
+    "print(x);",
+    "skip;",
+]
+
+
+@st.composite
+def _two_thread_programs(draw):
+    def body():
+        stmts = draw(
+            st.lists(st.sampled_from(_CIMP_POOL), min_size=1,
+                     max_size=4)
+        )
+        return " ".join(stmts)
+
+    return "t1(){{ {} }} t2(){{ {} }}".format(body(), body())
+
+
+def _silent_steps(ctx, world, tid):
+    """Thread ``tid``'s silent global steps, scheduled explicitly."""
+    results = thread_successors(ctx, world.with_current(tid))
+    return [
+        r
+        for r in results
+        if isinstance(r, GStep) and r.label is None and r.fp is not None
+    ]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_two_thread_programs())
+def test_disjoint_silent_steps_commute(source):
+    """δ(a) ⌣̸ δ(b) for steps of different threads ⇒ a;b ≡ b;a.
+
+    The independence relation behind the ample construction (and the
+    paper's locality/forward lemmas): from any reachable world, if
+    thread 0 and thread 1 each have a silent step and the two
+    footprints do not conflict, executing them in either order reaches
+    the same world (scheduler component normalized).
+    """
+    prog = cimp_program(
+        source,
+        ["t1", "t2"],
+        symbols={"C": 100, "D": 101},
+        init={100: VInt(0), 101: VInt(0)},
+    )
+    ctx = GlobalContext(prog)
+    graph = explore(ctx, PreemptiveSemantics(), max_states=400)
+
+    checked = 0
+    for world in graph.states:
+        if checked >= 40:
+            break
+        if any(world.bits) or not world.threads[0] or not world.threads[1]:
+            continue
+        steps0 = _silent_steps(ctx, world, 0)
+        steps1 = _silent_steps(ctx, world, 1)
+        # CImp is deterministic: at most one successor per thread.
+        assert len(steps0) <= 1 and len(steps1) <= 1
+        if not steps0 or not steps1:
+            continue
+        a, b = steps0[0], steps1[0]
+        if not disjoint(a.fp, b.fp):
+            continue
+        checked += 1
+        after_ab = _silent_steps(ctx, a.world, 1)
+        after_ba = _silent_steps(ctx, b.world, 0)
+        assert len(after_ab) == 1 and len(after_ba) == 1, (
+            "a non-conflicting step changed the other thread's options"
+        )
+        end_ab = after_ab[0].world.with_current(0)
+        end_ba = after_ba[0].world.with_current(0)
+        assert end_ab == end_ba, (source, world)
