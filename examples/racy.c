@@ -1,0 +1,13 @@
+// A deliberately racy two-thread program, for the witness workflow:
+//
+//   python -m repro drf     examples/racy.c --threads t1,t2 --witness-out w.json
+//   python -m repro replay  examples/racy.c --threads t1,t2 --witness w.json
+//   python -m repro inspect w.json
+//
+// Both threads write the shared global without synchronization, so
+// `drf` finds a conflicting prediction pair and records the schedule
+// that reaches it. Linking `--lock` and wrapping the writes would make
+// it race-free (compare examples/quickstart.c).
+int x = 0;
+void t1() { x = 1; }
+void t2() { x = 2; }

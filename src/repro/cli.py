@@ -9,12 +9,20 @@ Commands:
   semantics (optionally linked against the lock object);
 * ``validate FILE [-O] [--max-failures N]`` — translation-validate
   every pass;
-* ``drf FILE --threads entry1,entry2 [--lock]`` — race-check.
+* ``drf FILE --threads entry1,entry2 [--lock]`` — race-check; with
+  ``--witness-out W`` a found race is written as a replayable witness
+  artifact (``--minimize`` shrinks it first);
+* ``replay FILE --witness W`` — re-execute a witness against the
+  program and verify its verdict reproduces (``--minimize`` /
+  ``--witness-out`` shrink and re-save it);
+* ``inspect ARTIFACT`` — render a witness as a per-thread timeline,
+  or summarize a ``--trace`` JSONL file.
 
-All commands accept ``--metrics`` (print a metrics summary table) and
+All commands accept ``--metrics`` (print a metrics summary table),
+``--metrics-out FILE`` (write the final metrics snapshot as JSON) and
 ``--trace FILE`` (write a JSON-lines span trace); the
-``REPRO_METRICS`` / ``REPRO_TRACE`` environment variables switch the
-same machinery on without flags.
+``REPRO_METRICS`` / ``REPRO_METRICS_OUT`` / ``REPRO_TRACE``
+environment variables switch the same machinery on without flags.
 
 ``run`` and ``drf`` accept ``--por/--no-por`` to control the
 footprint-directed partial-order reduction (default: the ``REPRO_POR``
@@ -22,6 +30,7 @@ environment setting, on unless set to ``0``).
 """
 
 import argparse
+import os
 import sys
 
 from repro import obs
@@ -31,8 +40,14 @@ from repro.langs.minic import compile_unit, link_units
 from repro.semantics import (
     GlobalContext,
     PreemptiveSemantics,
-    drf,
+    ReplayDivergence,
+    find_race,
+    load_witness,
+    minimize_witness,
     program_behaviours,
+    record_race,
+    replay_witness,
+    save_witness,
 )
 from repro.compiler import compile_minic
 from repro.compiler.pprint import dump_pipeline, dump_stage
@@ -122,9 +137,74 @@ def cmd_drf(args):
     result = compile_minic(module, optimize=args.optimize)
     entries = args.threads.split(",")
     prog = _program(result.source, genv, entries, args.lock)
-    verdict = drf(prog, max_states=args.max_states, reduce=args.por)
+    witness = find_race(
+        GlobalContext(prog),
+        PreemptiveSemantics(),
+        max_states=args.max_states,
+        reduce=args.por,
+    )
+    verdict = witness is None
     print("DRF:", verdict)
+    if witness is not None and args.witness_out:
+        record = record_race(
+            witness,
+            program={
+                "file": args.file,
+                "threads": args.threads,
+                "lock": args.lock,
+                "optimize": args.optimize,
+            },
+            meta={"max_atomic_steps": 64},
+        )
+        if args.minimize:
+            record = minimize_witness(GlobalContext(prog), record)
+        save_witness(args.witness_out, record)
+        print(
+            "witness: {} step(s){} -> {}".format(
+                len(record.schedule),
+                " (minimized)" if record.minimized else "",
+                args.witness_out,
+            )
+        )
     return 0 if verdict else 1
+
+
+def cmd_replay(args):
+    record = load_witness(args.witness)
+    # CLI flags win; the witness's recorded program info fills the gaps,
+    # so `repro replay FILE --witness W` needs no repeated flags.
+    info = record.program
+    threads = args.threads or info.get("threads", "main")
+    use_lock = args.lock or bool(info.get("lock"))
+    optimize = args.optimize or bool(info.get("optimize"))
+    module, genv = _build(args.file, use_lock)
+    result = compile_minic(module, optimize=optimize)
+    entries = threads.split(",")
+    prog = _program(result.source, genv, entries, use_lock)
+    try:
+        res = replay_witness(GlobalContext(prog), record)
+    except ReplayDivergence as exc:
+        print("replay: DIVERGED: {}".format(exc))
+        return 1
+    print(
+        "replay: OK ({} step(s), end={}, verdict={})".format(
+            len(record.schedule), res.end, record.verdict
+        )
+    )
+    if args.minimize and record.verdict == "race":
+        record = minimize_witness(GlobalContext(prog), record)
+        print("minimized: {} step(s)".format(len(record.schedule)))
+    if args.witness_out:
+        save_witness(args.witness_out, record)
+        print("witness written to {}".format(args.witness_out))
+    return 0
+
+
+def cmd_inspect(args):
+    from repro.obs.explain import inspect_path
+
+    print(inspect_path(args.artifact))
+    return 0
 
 
 def make_parser():
@@ -149,6 +229,11 @@ def make_parser():
             "--metrics", action="store_true",
             help="collect metrics and print a summary table "
             "(also REPRO_METRICS=1)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="FILE",
+            help="write the final metrics snapshot as JSON to FILE "
+            "(also REPRO_METRICS_OUT=FILE)",
         )
         p.add_argument(
             "--trace", metavar="FILE",
@@ -196,7 +281,51 @@ def make_parser():
     por_flag(p)
     p.add_argument("--threads", default="main")
     p.add_argument("--max-states", type=int, default=400000)
+    p.add_argument(
+        "--witness-out", metavar="FILE",
+        help="write a found race as a replayable witness artifact",
+    )
+    p.add_argument(
+        "--minimize", action="store_true",
+        help="shrink the witness schedule before writing it",
+    )
     p.set_defaults(func=cmd_drf)
+
+    p = sub.add_parser(
+        "replay", help="re-execute a recorded witness and verify it"
+    )
+    common(p)
+    p.add_argument(
+        "--witness", required=True, metavar="FILE",
+        help="witness artifact to replay (from drf --witness-out)",
+    )
+    p.add_argument(
+        "--threads", default=None,
+        help="thread entry functions (default: the witness's recorded "
+        "program info)",
+    )
+    p.add_argument(
+        "--minimize", action="store_true",
+        help="shrink the witness schedule after verifying it",
+    )
+    p.add_argument(
+        "--witness-out", metavar="FILE",
+        help="re-save the (possibly minimized) witness artifact",
+    )
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "inspect",
+        help="render a witness timeline or summarize a trace file",
+    )
+    p.add_argument(
+        "artifact",
+        help="witness JSON or --trace JSONL file to render",
+    )
+    p.add_argument(
+        "--metrics", action="store_true", help=argparse.SUPPRESS
+    )
+    p.set_defaults(func=cmd_inspect)
     return parser
 
 
@@ -208,14 +337,20 @@ def main(argv=None):
         obs.configure(
             metrics=getattr(args, "metrics", False),
             trace=getattr(args, "trace", None),
+            metrics_out_path=getattr(args, "metrics_out", None),
         )
     except OSError as exc:
         print("repro: cannot open trace file: {}".format(exc),
               file=sys.stderr)
         return 2
+    # --metrics-out implies the registry but not the stdout table;
+    # only an explicit --metrics (or REPRO_METRICS) prints the summary.
+    show_summary = getattr(args, "metrics", False) or os.environ.get(
+        obs.ENV_METRICS, ""
+    ).strip().lower() in ("1", "true", "yes", "on")
     try:
         result = args.func(args)
-        if obs.metrics_enabled():
+        if show_summary and obs.metrics_enabled():
             print()
             print(obs.render_summary())
         return result

@@ -17,10 +17,17 @@ validation, the compiler pipeline) report through. Its contract:
   to the trace and its duration observed into the
   ``span.<name>.seconds`` histogram, which is how per-phase profiling
   appears in the metrics table.
-* **Warnings always flow.** :func:`warn` prints one line to stderr
-  regardless of the flags (and records it as a counter + trace event
-  when they are on), so diagnosable conditions — e.g. exploration
-  truncation — surface from the CLI without extra flags.
+* **Warnings always flow, once.** :func:`warn` prints one line to
+  stderr regardless of the flags (and records it as a counter + trace
+  event when they are on), so diagnosable conditions — e.g.
+  exploration truncation — surface from the CLI without extra flags.
+  Identical messages are printed only the first time; repeats are
+  counted and a per-message suppression summary is printed on
+  :func:`shutdown`, so a hot loop cannot flood stderr.
+* **Machine-readable exit snapshot.** ``metrics_out`` (``--metrics-out
+  FILE`` / ``REPRO_METRICS_OUT=FILE``) implies the registry and makes
+  :func:`shutdown` write the final metrics snapshot as one JSON
+  document — the artifact CI jobs diff and archive.
 
 Typical instrumentation::
 
@@ -34,6 +41,7 @@ Typical instrumentation::
                 obs.inc("explore.states_visited", graph.state_count())
 """
 
+import json
 import os
 import sys
 import time
@@ -48,6 +56,7 @@ __all__ = [
     "shutdown",
     "reset",
     "metrics_enabled",
+    "metrics_out",
     "trace_enabled",
     "span",
     "event",
@@ -71,11 +80,19 @@ enabled = False
 registry = None
 tracer = None
 
+#: Destination for the final metrics snapshot (path or file-like), or
+#: ``None``; written by :func:`shutdown`.
+metrics_out = None
+
 #: Env-var toggles honoured by :func:`configure_from_env` (and the CLI).
 ENV_METRICS = "REPRO_METRICS"
+ENV_METRICS_OUT = "REPRO_METRICS_OUT"
 ENV_TRACE = "REPRO_TRACE"
 
 _TRUTHY = ("1", "true", "yes", "on")
+
+#: Per-message occurrence counts backing the warn rate limiter.
+_warn_counts = {}
 
 
 def _refresh_enabled():
@@ -83,14 +100,20 @@ def _refresh_enabled():
     enabled = registry is not None or tracer is not None
 
 
-def configure(metrics=False, trace=None):
+def configure(metrics=False, trace=None, metrics_out_path=None):
     """Enable observability backends (idempotent; layers on top of any
     already-active configuration).
 
     ``metrics`` — truthy to activate the process-wide registry.
     ``trace`` — a path or file-like object for JSON-lines output.
+    ``metrics_out_path`` — a path or file-like object the final metrics
+    snapshot is written to (as JSON) on :func:`shutdown`; implies
+    ``metrics``.
     """
-    global registry, tracer
+    global registry, tracer, metrics_out
+    if metrics_out_path is not None and metrics_out is None:
+        metrics_out = metrics_out_path
+        metrics = True
     if metrics and registry is None:
         registry = MetricsRegistry()
     if trace is not None and tracer is None:
@@ -102,31 +125,66 @@ def configure(metrics=False, trace=None):
 
 
 def configure_from_env(environ=None):
-    """Apply ``REPRO_METRICS`` / ``REPRO_TRACE`` from the environment."""
+    """Apply ``REPRO_METRICS`` / ``REPRO_METRICS_OUT`` / ``REPRO_TRACE``
+    from the environment."""
     environ = os.environ if environ is None else environ
     metrics = environ.get(ENV_METRICS, "").strip().lower() in _TRUTHY
     trace = environ.get(ENV_TRACE) or None
-    configure(metrics=metrics, trace=trace)
+    metrics_out_path = environ.get(ENV_METRICS_OUT) or None
+    configure(
+        metrics=metrics, trace=trace, metrics_out_path=metrics_out_path
+    )
+
+
+def _flush_warn_summary():
+    suppressed = {
+        msg: n - 1 for msg, n in _warn_counts.items() if n > 1
+    }
+    _warn_counts.clear()
+    for msg, extra in suppressed.items():
+        print(
+            "repro: warning: (suppressed {} repeat(s) of: {})".format(
+                extra, msg
+            ),
+            file=sys.stderr,
+        )
+
+
+def _write_metrics_out():
+    if metrics_out is None or registry is None:
+        return
+    data = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    if hasattr(metrics_out, "write"):
+        metrics_out.write(data + "\n")
+    else:
+        with open(metrics_out, "w") as handle:
+            handle.write(data + "\n")
 
 
 def shutdown():
-    """Flush and close the tracer (appending the metrics snapshot when
-    both backends are on) and disable everything."""
-    global registry, tracer
+    """Flush everything and disable: append the metrics snapshot to the
+    tracer (when both backends are on), write the ``metrics_out`` JSON
+    snapshot, print the suppressed-warning summary, close the tracer."""
+    global registry, tracer, metrics_out
     if tracer is not None:
         if registry is not None:
             tracer.metrics(registry.snapshot())
         tracer.close()
+    _write_metrics_out()
+    _flush_warn_summary()
     registry = None
     tracer = None
+    metrics_out = None
     _refresh_enabled()
 
 
 def reset():
     """Hard reset for tests: drop state without flushing."""
-    global registry, tracer
+    global registry, tracer, metrics_out
     registry = None
     tracer = None
+    metrics_out = None
+    _warn_counts.clear()
     _refresh_enabled()
 
 
@@ -241,10 +299,21 @@ def observe(name, value):
 
 
 def warn(message, **attrs):
-    """One-line diagnostic on stderr, always; counted/traced when on."""
-    print("repro: warning: {}".format(message), file=sys.stderr)
+    """One-line diagnostic on stderr; counted/traced when on.
+
+    Rate-limited per message text: the first occurrence prints, repeats
+    are silently tallied and summarized by :func:`shutdown` (every
+    occurrence still reaches the ``warnings`` counter and the trace, so
+    artifacts see the true count).
+    """
+    count = _warn_counts.get(message, 0) + 1
+    _warn_counts[message] = count
+    if count == 1:
+        print("repro: warning: {}".format(message), file=sys.stderr)
     if registry is not None:
         registry.inc("warnings")
+        if count > 1:
+            registry.inc("warnings.suppressed")
     if tracer is not None:
         tracer.event("warning", dict(attrs, message=message))
 

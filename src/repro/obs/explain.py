@@ -1,0 +1,258 @@
+"""The interleaving inspector: render artifacts for human eyes.
+
+Two artifact families come out of the tool — **witness** files (one
+JSON object: a replayable schedule plus its verdict, written by ``drf
+--witness-out`` / ``repro replay``) and **trace** files (JSON lines of
+spans/events/metrics, written by ``--trace``). ``repro inspect FILE``
+sniffs which one it was handed and renders it:
+
+* a witness becomes a per-thread timeline — one column per thread,
+  one row per scheduling step, each cell showing what the acting
+  thread did (``τ``, an event, a context switch, the abort) with the
+  step footprint alongside and every address involved in the racy
+  conflict marked with ``*``;
+* a trace becomes a summary — per-span aggregates (count / total /
+  mean / max seconds), event and warning tallies, and the final
+  metrics snapshot when one was appended.
+
+Rendering is pure string-building over the deserialized artifacts; it
+never re-executes anything (that is ``repro replay``'s job).
+"""
+
+import json
+
+from repro.obs.trace import read_trace
+
+
+def racy_addrs(race):
+    """The addresses that make a recorded prediction pair conflict.
+
+    A conflict needs one side's writes to meet the other side's
+    footprint, so the culprits are ``(ws1 ∩ locs2) ∪ (ws2 ∩ locs1)``.
+    Empty for abort witnesses (no race dict).
+    """
+    if not race:
+        return frozenset()
+    rs1 = set(race.get("rs1", ()))
+    ws1 = set(race.get("ws1", ()))
+    rs2 = set(race.get("rs2", ()))
+    ws2 = set(race.get("ws2", ()))
+    return frozenset((ws1 & (rs2 | ws2)) | (ws2 & (rs1 | ws1)))
+
+
+def _addr_list(addrs, hot):
+    return ",".join(
+        "{}{}".format(a, "*" if a in hot else "") for a in addrs
+    )
+
+
+def _fp_str(rs, ws, hot):
+    """``r{...} w{...}`` with racy addresses starred; '' when absent."""
+    parts = []
+    if rs:
+        parts.append("r{" + _addr_list(rs, hot) + "}")
+    if ws:
+        parts.append("w{" + _addr_list(ws, hot) + "}")
+    return " ".join(parts)
+
+
+def _cell(step):
+    kind = step.kind
+    if kind == "tau":
+        return "τ"
+    if kind == "sw":
+        return "~~> t{}".format(step.to)
+    if kind == "event":
+        if step.detail is not None:
+            return "{} {}".format(step.detail[0], step.detail[1])
+        return "event"
+    if kind == "abort":
+        return "ABORT"
+    return kind
+
+
+def _pred_str(race, side, hot):
+    return "t{} {} (atomic={})".format(
+        race.get("tid" + side),
+        _fp_str(race.get("rs" + side, ()), race.get("ws" + side, ()),
+                hot) or "∅",
+        race.get("bit" + side, 0),
+    )
+
+
+def render_witness(record):
+    """The per-thread timeline of a witness record, as plain text."""
+    from repro.framework.report import format_table
+
+    schedule = record.schedule
+    hot = racy_addrs(record.race)
+    tids = sorted(
+        {st.tid for st in schedule.steps if st.tid is not None}
+        | {st.to for st in schedule.steps if st.to is not None}
+        | {
+            record.race[k]
+            for k in ("tid1", "tid2")
+            if record.race and k in record.race
+        }
+    )
+    lines = [
+        "witness: verdict={}{}  semantics={}  por={}  steps={}".format(
+            record.verdict,
+            " (minimized)" if record.minimized else "",
+            schedule.semantics,
+            schedule.por,
+            len(schedule.steps),
+        )
+    ]
+    if record.program:
+        prog = record.program
+        desc = ", ".join(
+            "{}={}".format(k, prog[k]) for k in sorted(prog)
+        )
+        lines.append("program: " + desc)
+    lines.append("")
+    if schedule.steps:
+        headers = ["Step"] + ["t{}".format(t) for t in tids] + [
+            "Footprint"
+        ]
+        rows = []
+        for n, st in enumerate(schedule.steps):
+            cells = [""] * len(tids)
+            if st.tid in tids:
+                cells[tids.index(st.tid)] = _cell(st)
+            fp = _fp_str(st.rs or (), st.ws or (), hot)
+            if st.kind == "abort" and st.detail:
+                fp = str(st.detail)
+            rows.append([str(n)] + cells + [fp])
+        lines.append(format_table(rows, headers=headers))
+    else:
+        lines.append("(empty schedule: the initial world is already "
+                     "the witness state)")
+    lines.append("")
+    if record.verdict == "race" and record.race:
+        lines.append(
+            "race at the final world: {}  ⌢  {}".format(
+                _pred_str(record.race, "1", hot),
+                _pred_str(record.race, "2", hot),
+            )
+        )
+        if hot:
+            lines.append(
+                "conflicting address(es): {}".format(
+                    ", ".join(str(a) for a in sorted(hot))
+                )
+            )
+    elif record.verdict == "abort":
+        last = schedule.steps[-1] if schedule.steps else None
+        reason = last.detail if last is not None else None
+        lines.append("abort: {}".format(reason or "(unknown reason)"))
+    return "\n".join(lines)
+
+
+def render_trace_summary(records):
+    """Aggregate a trace's records into a plain-text summary."""
+    from repro.framework.report import format_table
+    from repro.obs.render import render_metrics
+
+    spans = {}
+    events = {}
+    warnings = {}
+    metrics = None
+    meta = None
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "span":
+            name = rec.get("name", "?")
+            agg = spans.setdefault(name, [0, 0.0, 0.0])
+            agg[0] += 1
+            dur = rec.get("dur", 0.0) or 0.0
+            agg[1] += dur
+            agg[2] = max(agg[2], dur)
+        elif kind == "event":
+            name = rec.get("name", "?")
+            if name == "warning":
+                msg = (rec.get("attrs") or {}).get("message", "?")
+                warnings[msg] = warnings.get(msg, 0) + 1
+            else:
+                events[name] = events.get(name, 0) + 1
+        elif kind == "metrics":
+            metrics = rec.get("data")
+        elif kind == "meta":
+            meta = rec
+    lines = [
+        "trace: {} record(s){}".format(
+            len(records),
+            ""
+            if meta is None
+            else ", schema v{}".format(meta.get("version")),
+        )
+    ]
+    if spans:
+        rows = [
+            (
+                name,
+                agg[0],
+                "{:.6f}".format(agg[1]),
+                "{:.6f}".format(agg[1] / agg[0]),
+                "{:.6f}".format(agg[2]),
+            )
+            for name, agg in sorted(spans.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                rows,
+                headers=("Span", "Count", "Total s", "Mean s",
+                         "Max s"),
+            )
+        )
+    if events:
+        lines.append("")
+        lines.append(
+            format_table(
+                sorted(events.items()),
+                headers=("Event", "Count"),
+            )
+        )
+    if warnings:
+        lines.append("")
+        lines.append(
+            format_table(
+                [(m, n) for m, n in sorted(warnings.items())],
+                headers=("Warning", "Count"),
+            )
+        )
+    if metrics is not None:
+        lines.append("")
+        lines.append("final metrics:")
+        lines.append(render_metrics(metrics))
+    return "\n".join(lines)
+
+
+def sniff_artifact(path):
+    """``"witness"`` or ``"trace"``: what kind of artifact ``path`` is.
+
+    A witness file is one (typically indented) JSON object with
+    ``"type": "witness"``; anything else that parses line-by-line is
+    treated as a JSON-lines trace.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        rec = json.loads(text)
+    except ValueError:
+        return "trace"
+    return (
+        "witness"
+        if isinstance(rec, dict) and rec.get("type") == "witness"
+        else "trace"
+    )
+
+
+def inspect_path(path):
+    """Render whichever artifact lives at ``path``."""
+    from repro.semantics.witness import load_witness
+
+    if sniff_artifact(path) == "witness":
+        return render_witness(load_witness(path))
+    return render_trace_summary(read_trace(path))

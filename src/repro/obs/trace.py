@@ -171,11 +171,45 @@ class Tracer:
                     self.sink.close()
 
 
-def read_trace(path_or_file):
-    """Parse a JSON-lines trace back into a list of records."""
+def read_trace(path_or_file, strict=False):
+    """Parse a JSON-lines trace back into a list of records.
+
+    Trace files get truncated — a crashed run leaves a torn final
+    line, a filled disk leaves garbage — so by default corrupt lines
+    are *skipped*, not fatal: the good records still parse, the skip
+    count lands in the ``trace.read.skipped_lines`` counter and a
+    single (rate-limited) warning names the file. ``strict=True``
+    restores the raising behaviour for tests that want to pin down
+    writer bugs.
+    """
     if hasattr(path_or_file, "read"):
         lines = path_or_file.read().splitlines()
+        name = getattr(path_or_file, "name", "<trace>")
     else:
         with open(path_or_file) as handle:
             lines = handle.read().splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+        name = str(path_or_file)
+    records = []
+    skipped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            if strict:
+                raise
+            skipped += 1
+            continue
+        records.append(rec)
+    if skipped:
+        # Imported here: repro.obs imports this module at load time.
+        from repro import obs
+
+        obs.inc("trace.read.skipped_lines", skipped)
+        obs.warn(
+            "skipped {} corrupt line(s) reading trace {}".format(
+                skipped, name
+            )
+        )
+    return records

@@ -21,6 +21,26 @@ from repro.semantics.refinement import (
 )
 from repro.semantics.race import RaceWitness, drf, find_race, npdrf, predict
 from repro.semantics.por import AmpleReducer, default_reduce
+from repro.semantics.witness import (
+    CaptureError,
+    Schedule,
+    ScheduleStep,
+    WitnessRecord,
+    capture_schedule,
+    capture_walk,
+    load_witness,
+    record_abort,
+    record_race,
+    save_witness,
+)
+from repro.semantics.replay import (
+    ReplayDivergence,
+    ReplayResult,
+    minimize_witness,
+    replay_schedule,
+    replay_witness,
+    semantics_for,
+)
 
 __all__ = [
     "AmpleReducer",
@@ -45,4 +65,20 @@ __all__ = [
     "find_race",
     "drf",
     "npdrf",
+    "CaptureError",
+    "Schedule",
+    "ScheduleStep",
+    "WitnessRecord",
+    "capture_schedule",
+    "capture_walk",
+    "record_race",
+    "record_abort",
+    "save_witness",
+    "load_witness",
+    "ReplayDivergence",
+    "ReplayResult",
+    "replay_schedule",
+    "replay_witness",
+    "minimize_witness",
+    "semantics_for",
 ]

@@ -32,6 +32,25 @@ from repro.semantics.world import Frame
 SW = "sw"
 
 
+def label_kind(label):
+    """The schedule-artifact classification of a global-step label.
+
+    The witness subsystem records and replays edges by this kind tag:
+    ``"tau"`` (silent, including internal call/return and atomic
+    boundaries), ``"sw"`` (a pure context switch), ``"event"`` (an
+    observable event — non-preemptively this may also carry a bundled
+    switch, visible as a changed current thread), or the stringified
+    label otherwise (the explorer's ``"abort"`` pseudo-label).
+    """
+    if label is None:
+        return "tau"
+    if label == SW:
+        return "sw"
+    if isinstance(label, EventMsg):
+        return "event"
+    return str(label)
+
+
 class GStep:
     """A successful global step: label, footprint, successor world.
 

@@ -87,7 +87,9 @@ class StateGraph:
     with no successors (a semantics bug surfaced loudly);
     ``truncated``: ids whose successors were cut off by the state bound;
     ``halted``: an observer stopped the exploration early (the graph is
-    a prefix, not the full reachable set).
+    a prefix, not the full reachable set), with ``halted_sid`` the id of
+    the world the observer halted at — the witness-capture machinery's
+    entry point into the graph (:mod:`repro.semantics.witness`).
     """
 
     def __init__(self):
@@ -99,6 +101,7 @@ class StateGraph:
         self.stuck = set()
         self.truncated = set()
         self.halted = False
+        self.halted_sid = None
 
     def state_count(self):
         return len(self.states)
@@ -135,9 +138,19 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
     ``observer(world, outcomes)`` for every expanded non-terminated
     world — ``outcomes`` is the current thread's raw local outcome list
     when the expansion already computed it (the reduced path), else
-    ``None``. A truthy return halts the exploration (``graph.halted``)
-    — the hook the on-the-fly race detector uses to stop at the first
-    witness without retaining the rest of the state space.
+    ``None``. A truthy return halts the exploration (``graph.halted``,
+    with the halting world's id in ``graph.halted_sid``) — the hook the
+    on-the-fly race detector uses to stop at the first witness without
+    retaining the rest of the state space.
+
+    Both loops append each expanded world's edges in successor-list
+    order, which is what makes the halted graph *replayable*: a path of
+    edge indices through ``graph.edges`` is a schedule the plain
+    semantics re-executes deterministically (under reduction, ample
+    edges are a prefix of the full successor list — see
+    :meth:`repro.semantics.por.AmpleReducer.decide`), so witness
+    capture (:mod:`repro.semantics.witness`) needs no per-step hook on
+    this hot path.
     """
     use_por = bool(reduce) and getattr(semantics, "supports_por", False)
     # Hoisted observability flag: the loops below are the system's
@@ -230,6 +243,7 @@ def _explore_full(ctx, semantics, max_states, strict, observer):
             continue
         if observer is not None and observer(world, None):
             graph.halted = True
+            graph.halted_sid = sid
             break
         outs = successors(ctx, world)
         if not outs:
@@ -323,6 +337,7 @@ def _explore_reduced(ctx, semantics, max_states, strict, observer):
             outs, results, ample = decide(ctx, world)
             if observer is not None and observer(world, outs):
                 graph.halted = True
+                graph.halted_sid = sid
                 halted = True
                 break
             edges = []

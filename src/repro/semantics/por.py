@@ -153,6 +153,16 @@ class AmpleReducer:
         this in lock-step with the engine's Fig. 7 rules and admits
         silent cross-module calls/returns, whose only effects are the
         thread's own activation stack and its private freelists.
+
+        The ample ``results`` are exactly the thread's global steps in
+        ``thread_successors`` order — i.e. a *prefix* of what the full
+        ``semantics.successors`` list would be (the pruned Switch edges
+        are appended after the thread steps). Witness capture and
+        replay (:mod:`repro.semantics.witness`) rely on this: an
+        edge-index path recorded through a reduced expansion replays
+        verbatim under the full semantics. Sleep sets are accounting
+        only (``sleep_hits``) and never drop additional edges, so they
+        cannot corrupt recorded schedules.
         """
         cur = world.cur
         if world.bits[cur] != 0:

@@ -22,6 +22,14 @@ memoized per ``(frame, memory, atomic-bit)``: distinct worlds that
 differ only in other threads' components reuse each other's
 predictions, which the hash-consed state machinery makes a single dict
 probe.
+
+Witnesses are *replayable*: :func:`find_race` attaches the schedule
+(the edge-index path from an initial world to the racy world, with
+per-step labels and footprints) to every witness it returns, so a
+verdict can be independently re-executed
+(:mod:`repro.semantics.replay`), shrunk to a locally minimal racy
+interleaving, and rendered as a per-thread timeline (``repro
+inspect``).
 """
 
 from collections import deque
@@ -34,15 +42,23 @@ from repro.semantics.explore import explore
 from repro.semantics.nonpreemptive import NonPreemptiveSemantics
 from repro.semantics.por import default_reduce
 from repro.semantics.preemptive import PreemptiveSemantics
+from repro.semantics.witness import capture_schedule
 from repro.semantics.world import GlobalContext
 
 
 class RaceWitness:
-    """Evidence of a data race: the world and the two predictions."""
+    """Evidence of a data race: the world and the two predictions.
 
-    __slots__ = ("world", "tid1", "fp1", "bit1", "tid2", "fp2", "bit2")
+    ``schedule`` (attached by :func:`find_race` unless capture is
+    disabled) is the replayable path from an initial world to
+    ``world`` — see :mod:`repro.semantics.witness`.
+    """
 
-    def __init__(self, world, tid1, fp1, bit1, tid2, fp2, bit2):
+    __slots__ = ("world", "tid1", "fp1", "bit1", "tid2", "fp2", "bit2",
+                 "schedule")
+
+    def __init__(self, world, tid1, fp1, bit1, tid2, fp2, bit2,
+                 schedule=None):
         self.world = world
         self.tid1 = tid1
         self.fp1 = fp1
@@ -50,6 +66,7 @@ class RaceWitness:
         self.tid2 = tid2
         self.fp2 = fp2
         self.bit2 = bit2
+        self.schedule = schedule
 
     def __repr__(self):
         return (
@@ -250,7 +267,7 @@ class _RaceChecker:
 
 
 def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
-              reduce=None, on_the_fly=True):
+              reduce=None, on_the_fly=True, capture=True):
     """Search reachable worlds for a race; returns a witness or ``None``.
 
     Non-preemptive exploration uses quantum (region) prediction — see
@@ -261,6 +278,12 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
     pre-POR code path, kept for cross-validation). ``reduce=None``
     defers to the ``REPRO_POR`` default; reduction only engages for
     semantics that support it (preemptive).
+
+    With ``capture=True`` (the default) a found witness carries a
+    replayable :class:`~repro.semantics.witness.Schedule` from an
+    initial world to the racy world; for a witness discovered under
+    partial-order reduction, capture re-walks the path under the full
+    semantics, so POR-found witnesses are cross-checked on the spot.
     """
     quantum = isinstance(semantics, NonPreemptiveSemantics)
     if reduce is None:
@@ -273,7 +296,7 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
     ) as sp:
         checker = _RaceChecker(ctx, quantum, max_atomic_steps)
         if on_the_fly:
-            explore(
+            graph = explore(
                 ctx, semantics, max_states, strict=True,
                 reduce=reduce, observer=checker,
             )
@@ -285,6 +308,15 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
                 if checker(world):
                     break
         witness = checker.witness
+        if witness is not None and capture:
+            sid = graph.ids.get(witness.world)
+            if sid is not None:
+                witness.schedule = capture_schedule(
+                    ctx, semantics, graph, sid,
+                    por=bool(reduce) and getattr(
+                        semantics, "supports_por", False
+                    ),
+                )
         if track:
             obs.inc("race.worlds_checked", checker.worlds_checked)
             obs.inc("race.predictions", checker.predictions)
@@ -297,6 +329,8 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
                 pairs=checker.pairs_checked,
                 racy=witness is not None,
             )
+            if witness is not None and witness.schedule is not None:
+                sp.set(schedule_steps=len(witness.schedule))
     return witness
 
 

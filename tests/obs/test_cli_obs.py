@@ -172,3 +172,39 @@ class TestValidateFailureCap:
         out = capsys.readouterr().out
         assert out.count("failure") == 2
         assert "more)" not in out
+
+
+class TestMetricsOutFlag:
+    def test_snapshot_file_written(self, quickstart_file, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["run", quickstart_file, "--metrics-out", str(out)]
+        ) == 0
+        snap = json.loads(out.read_text())
+        assert snap["counters"]["explore.states_visited"] > 0
+
+    def test_no_stdout_table_without_metrics_flag(
+        self, quickstart_file, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["run", quickstart_file, "--metrics-out", str(out)]
+        ) == 0
+        assert "Metric" not in capsys.readouterr().out
+
+    def test_combines_with_metrics_flag(
+        self, quickstart_file, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["run", quickstart_file, "--metrics",
+             "--metrics-out", str(out)]
+        ) == 0
+        assert "explore.states_visited" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_env_var(self, quickstart_file, tmp_path, monkeypatch):
+        out = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(out))
+        assert main(["run", quickstart_file]) == 0
+        assert "counters" in json.loads(out.read_text())

@@ -1,0 +1,140 @@
+"""The witness workflow through the CLI: drf --witness-out, replay,
+inspect — smoke-tested on a deliberately racy MiniC program."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RACY = """
+int x = 0;
+void t1() { x = 1; }
+void t2() { x = 2; }
+"""
+
+SAFE = """
+int g = 0;
+void main() { g = 1; print(g); }
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text(RACY)
+    return str(path)
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.c"
+    path.write_text(SAFE)
+    return str(path)
+
+
+class TestDrfWitnessOut:
+    def test_witness_written_on_race(
+        self, racy_file, tmp_path, capsys
+    ):
+        out = tmp_path / "w.json"
+        assert main(
+            ["drf", racy_file, "--threads", "t1,t2",
+             "--witness-out", str(out)]
+        ) == 1
+        stdout = capsys.readouterr().out
+        assert "DRF: False" in stdout
+        assert "witness:" in stdout
+        record = json.loads(out.read_text())
+        assert record["type"] == "witness"
+        assert record["verdict"] == "race"
+        assert record["program"]["threads"] == "t1,t2"
+
+    def test_no_witness_when_drf(self, safe_file, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        assert main(
+            ["drf", safe_file, "--witness-out", str(out)]
+        ) == 0
+        assert "DRF: True" in capsys.readouterr().out
+        assert not out.exists()
+
+    def test_minimize_flag(self, racy_file, tmp_path, capsys):
+        plain = tmp_path / "plain.json"
+        small = tmp_path / "small.json"
+        main(["drf", racy_file, "--threads", "t1,t2",
+              "--witness-out", str(plain)])
+        main(["drf", racy_file, "--threads", "t1,t2",
+              "--witness-out", str(small), "--minimize"])
+        rec_plain = json.loads(plain.read_text())
+        rec_small = json.loads(small.read_text())
+        assert rec_small["minimized"] is True
+        assert len(rec_small["schedule"]["steps"]) <= len(
+            rec_plain["schedule"]["steps"]
+        )
+
+
+class TestReplayCommand:
+    def _witness(self, racy_file, tmp_path):
+        out = tmp_path / "w.json"
+        main(["drf", racy_file, "--threads", "t1,t2",
+              "--witness-out", str(out)])
+        return str(out)
+
+    def test_replay_verifies(self, racy_file, tmp_path, capsys):
+        witness = self._witness(racy_file, tmp_path)
+        # --threads comes from the witness's recorded program info.
+        assert main(
+            ["replay", racy_file, "--witness", witness]
+        ) == 0
+        assert "replay: OK" in capsys.readouterr().out
+
+    def test_replay_divergence_exits_nonzero(
+        self, racy_file, tmp_path, capsys
+    ):
+        witness = self._witness(racy_file, tmp_path)
+        rec = json.loads(open(witness).read())
+        rec["race"]["ws1"] = [424242]
+        with open(witness, "w") as handle:
+            json.dump(rec, handle)
+        assert main(
+            ["replay", racy_file, "--witness", witness]
+        ) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_minimize_and_resave(
+        self, racy_file, tmp_path, capsys
+    ):
+        witness = self._witness(racy_file, tmp_path)
+        out = tmp_path / "min.json"
+        assert main(
+            ["replay", racy_file, "--witness", witness,
+             "--minimize", "--witness-out", str(out)]
+        ) == 0
+        rec = json.loads(out.read_text())
+        assert rec["minimized"] is True
+        # The minimized artifact replays too.
+        assert main(
+            ["replay", racy_file, "--witness", str(out)]
+        ) == 0
+
+
+class TestInspectCommand:
+    def test_inspect_witness(self, racy_file, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        main(["drf", racy_file, "--threads", "t1,t2",
+              "--witness-out", str(out)])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "verdict=race" in text
+        assert "t0" in text and "t1" in text
+
+    def test_inspect_trace(self, racy_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["drf", racy_file, "--threads", "t1,t2",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["inspect", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "trace:" in text
+        assert "race.find" in text

@@ -1,0 +1,158 @@
+"""The interleaving inspector: witness timelines and trace summaries."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs.explain import (
+    inspect_path,
+    racy_addrs,
+    render_trace_summary,
+    render_witness,
+    sniff_artifact,
+)
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    explore,
+    find_race,
+)
+from repro.semantics.witness import (
+    capture_abort_schedule,
+    record_abort,
+    record_race,
+    save_witness,
+)
+
+from tests.helpers import cimp_program
+
+GUARDED = (
+    "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+    " t2(){ [C] := 2; }"
+)
+
+
+def _race_record():
+    ctx = GlobalContext(cimp_program(GUARDED, ["t1", "t2"]))
+    witness = find_race(ctx, PreemptiveSemantics())
+    return record_race(
+        witness, program={"threads": "t1,t2"},
+        meta={"max_atomic_steps": 64},
+    )
+
+
+class TestRacyAddrs:
+    def test_conflicting_write_starred(self):
+        race = {"rs1": [], "ws1": [100], "rs2": [], "ws2": [100]}
+        assert racy_addrs(race) == {100}
+
+    def test_read_write_conflict(self):
+        race = {"rs1": [100], "ws1": [], "rs2": [], "ws2": [100]}
+        assert racy_addrs(race) == {100}
+
+    def test_disjoint_footprints_empty(self):
+        race = {"rs1": [1], "ws1": [2], "rs2": [3], "ws2": [4]}
+        assert racy_addrs(race) == frozenset()
+
+    def test_no_race_dict(self):
+        assert racy_addrs(None) == frozenset()
+
+
+class TestRenderWitness:
+    def test_timeline_has_thread_columns(self):
+        text = render_witness(_race_record())
+        assert "t0" in text and "t1" in text
+        assert "Step" in text and "Footprint" in text
+        assert "verdict=race" in text
+        assert "semantics=preemptive" in text
+
+    def test_conflict_addresses_starred(self):
+        record = _race_record()
+        text = render_witness(record)
+        hot = racy_addrs(record.race)
+        assert hot  # the guarded program really races
+        addr = next(iter(hot))
+        assert "{}*".format(addr) in text
+        assert "conflicting address(es):" in text
+
+    def test_program_info_shown(self):
+        text = render_witness(_race_record())
+        assert "threads=t1,t2" in text
+
+    def test_empty_schedule_notice(self):
+        ctx = GlobalContext(
+            cimp_program(
+                "t1(){ [C] := 1; } t2(){ [C] := 2; }", ["t1", "t2"]
+            )
+        )
+        record = record_race(find_race(ctx, PreemptiveSemantics()))
+        text = render_witness(record)
+        assert "empty schedule" in text
+
+    def test_abort_witness_rendered(self):
+        ctx = GlobalContext(
+            cimp_program(
+                "t1(){ [D] := 1; } t2(){ skip; }", ["t1", "t2"],
+                symbols={"D": 999}, init={},
+            )
+        )
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000)
+        record = record_abort(capture_abort_schedule(ctx, sem, graph))
+        text = render_witness(record)
+        assert "verdict=abort" in text
+        assert "ABORT" in text
+
+
+class TestRenderTraceSummary:
+    def _trace_records(self):
+        buf = io.StringIO()
+        obs.configure(metrics=True, trace=buf)
+        with obs.span("explore"):
+            obs.inc("explore.states_visited", 5)
+        with obs.span("explore"):
+            pass
+        obs.event("witness.captured", steps=3)
+        obs.warn("something odd")
+        obs.shutdown()
+        return obs.read_trace(io.StringIO(buf.getvalue()))
+
+    def test_span_aggregates(self):
+        text = render_trace_summary(self._trace_records())
+        assert "explore" in text
+        assert "Span" in text and "Count" in text
+        assert "schema v1" in text
+
+    def test_events_and_warnings_tallied(self):
+        text = render_trace_summary(self._trace_records())
+        assert "witness.captured" in text
+        assert "something odd" in text
+
+    def test_final_metrics_shown(self):
+        text = render_trace_summary(self._trace_records())
+        assert "final metrics:" in text
+        assert "explore.states_visited" in text
+
+    def test_empty_trace(self):
+        assert "0 record(s)" in render_trace_summary([])
+
+
+class TestSniffAndInspect:
+    def test_sniff_witness(self, tmp_path):
+        path = tmp_path / "w.json"
+        save_witness(str(path), _race_record())
+        assert sniff_artifact(str(path)) == "witness"
+        assert "verdict=race" in inspect_path(str(path))
+
+    def test_sniff_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"type": "meta", "version": 1, "clock": "monotonic"},
+            {"type": "span", "name": "explore", "sid": 1,
+             "parent": None, "ts": 0.0, "dur": 0.25},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert sniff_artifact(str(path)) == "trace"
+        assert "explore" in inspect_path(str(path))

@@ -170,3 +170,139 @@ class TestFacade:
         obs.configure(metrics=True)
         obs.warn("again")
         assert obs.counter_value("warnings") == 1
+
+
+class TestWarnRateLimit:
+    def test_identical_messages_print_once(self, capsys):
+        for _ in range(5):
+            obs.warn("same thing")
+        err = capsys.readouterr().err
+        assert err.count("repro: warning: same thing") == 1
+
+    def test_distinct_messages_all_print(self, capsys):
+        obs.warn("first")
+        obs.warn("second")
+        err = capsys.readouterr().err
+        assert "first" in err and "second" in err
+
+    def test_every_occurrence_still_counted(self):
+        obs.configure(metrics=True)
+        for _ in range(4):
+            obs.warn("noisy")
+        assert obs.counter_value("warnings") == 4
+        assert obs.counter_value("warnings.suppressed") == 3
+
+    def test_every_occurrence_still_traced(self):
+        buf = io.StringIO()
+        obs.configure(trace=buf)
+        for _ in range(3):
+            obs.warn("traced")
+        events = [
+            r for r in _records(buf)
+            if r["type"] == "event" and r["name"] == "warning"
+        ]
+        assert len(events) == 3
+
+    def test_shutdown_prints_suppressed_summary(self, capsys):
+        for _ in range(4):
+            obs.warn("hot loop")
+        obs.shutdown()
+        err = capsys.readouterr().err
+        assert "suppressed 3 repeat(s)" in err
+        assert "hot loop" in err
+
+    def test_shutdown_silent_without_repeats(self, capsys):
+        obs.warn("once")
+        obs.shutdown()
+        err = capsys.readouterr().err
+        assert "suppressed" not in err
+
+    def test_reset_clears_dedup(self, capsys):
+        obs.warn("resettable")
+        obs.reset()
+        obs.warn("resettable")
+        err = capsys.readouterr().err
+        assert err.count("repro: warning: resettable") == 2
+
+
+class TestMetricsOut:
+    def test_snapshot_written_on_shutdown(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        obs.configure(metrics_out_path=str(path))
+        assert obs.metrics_enabled()  # metrics_out implies the registry
+        obs.inc("c", 7)
+        obs.shutdown()
+        snap = json.loads(path.read_text())
+        assert snap["counters"]["c"] == 7
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+    def test_file_object_sink(self):
+        buf = io.StringIO()
+        obs.configure(metrics_out_path=buf)
+        obs.inc("k")
+        obs.shutdown()
+        assert json.loads(buf.getvalue())["counters"]["k"] == 1
+
+    def test_env_var(self, tmp_path):
+        path = tmp_path / "env-metrics.json"
+        obs.configure_from_env({"REPRO_METRICS_OUT": str(path)})
+        assert obs.metrics_enabled()
+        obs.inc("from_env", 2)
+        obs.shutdown()
+        assert (
+            json.loads(path.read_text())["counters"]["from_env"] == 2
+        )
+
+    def test_not_written_without_configure(self, tmp_path):
+        obs.configure(metrics=True)
+        obs.inc("c")
+        obs.shutdown()  # no metrics_out: nothing to write, no error
+
+
+class TestReadTraceHardening:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                '{"type": "meta", "version": 1}',
+                "not json at all {{{",
+                '{"type": "span", "name": "x"}',
+                '{"torn": "lin',
+            ],
+        )
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["meta", "span"]
+
+    def test_skip_count_and_warning(self, tmp_path, capsys):
+        obs.configure(metrics=True)
+        path = self._write(
+            tmp_path, ['{"ok": 1}', "garbage", "more garbage"]
+        )
+        records = read_trace(path)
+        assert len(records) == 1
+        assert obs.counter_value("trace.read.skipped_lines") == 2
+        assert "corrupt line(s)" in capsys.readouterr().err
+
+    def test_strict_mode_raises(self, tmp_path):
+        import pytest
+
+        path = self._write(tmp_path, ['{"ok": 1}', "garbage"])
+        with pytest.raises(ValueError):
+            read_trace(path, strict=True)
+
+    def test_clean_trace_untouched(self, tmp_path):
+        obs.configure(metrics=True)
+        path = self._write(
+            tmp_path, ['{"a": 1}', "", '{"b": 2}']
+        )
+        assert len(read_trace(path)) == 2
+        assert obs.counter_value("trace.read.skipped_lines") == 0
+
+    def test_file_object_input(self):
+        buf = io.StringIO('{"a": 1}\nbroken\n')
+        assert len(read_trace(buf)) == 1

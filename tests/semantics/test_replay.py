@@ -1,0 +1,305 @@
+"""Deterministic replay and witness minimization.
+
+The hypothesis property at the bottom is the determinism contract the
+whole subsystem stands on: for arbitrary pick sequences over the
+lock-counter workload, a schedule captured under either semantics
+(explored with POR on or off for the discovery side) replays to the
+exact same world, step for step. The tamper tests pin the divergence
+reporting; the minimizer tests check shrinkage, verdict preservation
+and replayability of the result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.framework.build import lock_counter_system
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    find_race,
+)
+from repro.semantics.engine import label_kind
+from repro.semantics.replay import (
+    ReplayDivergence,
+    minimize_witness,
+    replay_schedule,
+    replay_witness,
+    semantics_for,
+)
+from repro.semantics.witness import (
+    CaptureError,
+    Schedule,
+    ScheduleStep,
+    WitnessRecord,
+    _make_step,
+    capture_walk,
+    record_race,
+)
+
+from tests.helpers import cimp_program
+
+GUARDED = (
+    "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+    " t2(){ [C] := 2; }"
+)
+
+
+def _racy_ctx():
+    return GlobalContext(cimp_program(GUARDED, ["t1", "t2"]))
+
+
+def _racy_record(reduce=False):
+    witness = find_race(_racy_ctx(), PreemptiveSemantics(),
+                        reduce=reduce)
+    return record_race(witness, meta={"max_atomic_steps": 64})
+
+
+class TestSemanticsForName:
+    def test_known_names(self):
+        assert isinstance(
+            semantics_for("preemptive"), PreemptiveSemantics
+        )
+        assert isinstance(
+            semantics_for("non-preemptive"), NonPreemptiveSemantics
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(CaptureError):
+            semantics_for("sequentially-consistent")
+
+
+class TestReplayDivergence:
+    def _schedule(self):
+        return _racy_record().schedule
+
+    def _tamper(self, schedule, n, **changes):
+        st0 = schedule.steps[n]
+        fields = {
+            "index": st0.index, "tid": st0.tid, "to": st0.to,
+            "kind": st0.kind, "detail": st0.detail, "rs": st0.rs,
+            "ws": st0.ws,
+        }
+        fields.update(changes)
+        steps = list(schedule.steps)
+        steps[n] = ScheduleStep(**fields)
+        return Schedule(schedule.init, steps, schedule.semantics)
+
+    def test_wrong_tid_detected(self):
+        schedule = self._schedule()
+        n = next(
+            i for i, s in enumerate(schedule.steps)
+            if s.kind != "sw"
+        )
+        bad = self._tamper(schedule, n, tid=schedule.steps[n].tid + 1)
+        with pytest.raises(ReplayDivergence) as err:
+            replay_schedule(_racy_ctx(), bad)
+        assert err.value.step == n
+        assert "thread" in err.value.reason
+
+    def test_out_of_range_index_detected(self):
+        schedule = self._schedule()
+        bad = self._tamper(schedule, 0, index=995)
+        with pytest.raises(ReplayDivergence) as err:
+            replay_schedule(_racy_ctx(), bad)
+        assert err.value.step == 0
+        assert "range" in err.value.reason
+
+    def test_wrong_footprint_detected(self):
+        schedule = self._schedule()
+        n = next(
+            i for i, s in enumerate(schedule.steps)
+            if s.rs is not None
+        )
+        bad = self._tamper(schedule, n, rs=(123456,), ws=(123457,))
+        with pytest.raises(ReplayDivergence) as err:
+            replay_schedule(_racy_ctx(), bad)
+        assert err.value.step == n
+        assert "footprint" in err.value.reason
+
+    def test_bad_initial_index_detected(self):
+        schedule = self._schedule()
+        bad = Schedule(42, schedule.steps, schedule.semantics)
+        with pytest.raises(ReplayDivergence) as err:
+            replay_schedule(_racy_ctx(), bad)
+        assert err.value.step == -1
+
+    def test_divergence_message_names_step(self):
+        schedule = self._schedule()
+        bad = self._tamper(schedule, 0, index=995)
+        with pytest.raises(ReplayDivergence, match="step 0"):
+            replay_schedule(_racy_ctx(), bad)
+
+    def test_race_verdict_reverified(self):
+        record = _racy_record()
+        # Truncate the schedule: the walk succeeds but the final world
+        # is no longer the racy one, so verdict verification must fail.
+        short = Schedule(
+            record.schedule.init,
+            record.schedule.steps[:1],
+            record.schedule.semantics,
+        )
+        broken = WitnessRecord(
+            "race", short, record.race, record.program,
+            meta=record.meta,
+        )
+        with pytest.raises(ReplayDivergence, match="not reproduced"):
+            replay_witness(_racy_ctx(), broken)
+
+    def test_unknown_verdict_rejected(self):
+        record = _racy_record()
+        weird = WitnessRecord(
+            "maybe", record.schedule, record.race, meta=record.meta
+        )
+        with pytest.raises(ReplayDivergence, match="verdict"):
+            replay_witness(_racy_ctx(), weird)
+
+
+class TestMinimize:
+    def test_minimized_no_longer_and_still_racy(self):
+        record = _racy_record()
+        mini = minimize_witness(_racy_ctx(), record)
+        assert mini.minimized
+        assert len(mini.schedule) <= len(record.schedule)
+        replay_witness(_racy_ctx(), mini)
+
+    def test_padding_removed(self):
+        # Pad the front of a real racy schedule with a switch
+        # round-trip (t0 -> t1 -> t0 lands back on the identical
+        # interned world): minimization must strip it.
+        record = _racy_record()
+        ctx = _racy_ctx()
+        sem = PreemptiveSemantics()
+        world = sem.initial_worlds(ctx)[record.schedule.init]
+        outs = sem.successors(ctx, world)
+        away = next(
+            i for i, o in enumerate(outs)
+            if label_kind(o.label) == "sw" and o.world.cur == 1
+        )
+        mid = outs[away].world
+        back_outs = sem.successors(ctx, mid)
+        back = next(
+            i for i, o in enumerate(back_outs)
+            if label_kind(o.label) == "sw" and o.world.cur == 0
+        )
+        assert back_outs[back].world == world
+        pad = [
+            _make_step(away, world, outs[away]),
+            _make_step(back, mid, back_outs[back]),
+        ]
+        padded = WitnessRecord(
+            "race",
+            Schedule(
+                record.schedule.init,
+                pad + list(record.schedule.steps),
+                record.schedule.semantics,
+            ),
+            record.race,
+            meta=record.meta,
+        )
+        replay_witness(_racy_ctx(), padded)  # still a valid witness
+        mini = minimize_witness(_racy_ctx(), padded)
+        assert len(mini.schedule) < len(padded.schedule)
+        replay_witness(_racy_ctx(), mini)
+
+    def test_race_pair_rederived(self):
+        record = _racy_record()
+        mini = minimize_witness(_racy_ctx(), record)
+        assert set(mini.race) == set(record.race)
+
+    def test_abort_witness_rejected(self):
+        record = _racy_record()
+        fake = WitnessRecord("abort", record.schedule)
+        with pytest.raises(CaptureError):
+            minimize_witness(_racy_ctx(), fake)
+
+    def test_original_untouched(self):
+        record = _racy_record()
+        before = record.schedule.steps
+        minimize_witness(_racy_ctx(), record)
+        assert record.schedule.steps == before
+        assert not record.minimized
+
+    def test_minimizes_por_found_witness(self):
+        record = _racy_record(reduce=True)
+        assert record.schedule.por
+        mini = minimize_witness(_racy_ctx(), record)
+        replay_witness(_racy_ctx(), mini)
+
+
+# ----- the determinism property, hypothesis-driven ---------------------------
+
+
+def _lock_counter_ctx():
+    return GlobalContext(lock_counter_system(2).source_program())
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=11), min_size=1,
+        max_size=30,
+    ),
+    sem_cls=st.sampled_from(
+        [PreemptiveSemantics, NonPreemptiveSemantics]
+    ),
+)
+def test_replay_is_deterministic(picks, sem_cls):
+    """Capture then replay lands on the identical world, every time.
+
+    The worlds are hash-consed, so ``==`` here is full structural
+    equality of thread stacks, memory, scheduler state and atomic
+    bits.
+    """
+    sem = sem_cls()
+    schedule, final = capture_walk(_lock_counter_ctx(), sem, picks)
+    # A fresh context: replay must not depend on shared mutable state.
+    result = replay_schedule(_lock_counter_ctx(), schedule, sem)
+    assert result.world == final
+    assert (result.end == "abort") == (
+        bool(schedule.steps) and schedule.steps[-1].kind == "abort"
+    )
+    # Replay twice: still the same world (no hidden statefulness).
+    again = replay_schedule(_lock_counter_ctx(), schedule, sem)
+    assert again.world == final
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=11), min_size=1,
+        max_size=20,
+    ),
+    reduce=st.booleans(),
+)
+def test_serialized_schedule_replays(picks, reduce):
+    """JSON round-trip + POR-on/off discovery do not affect replay."""
+    import io
+
+    from repro.semantics.witness import Schedule as Sched
+
+    ctx = _lock_counter_ctx()
+    sem = PreemptiveSemantics()
+    # `reduce` varies which graph the exploration would build, but a
+    # capture_walk schedule is discovery-independent; fold the flag in
+    # by touching the por marker, which replay must ignore.
+    schedule, final = capture_walk(ctx, sem, picks)
+    marked = Sched(
+        schedule.init, schedule.steps, schedule.semantics, por=reduce
+    )
+    buf = io.StringIO()
+    import json
+
+    json.dump(marked.as_dict(), buf)
+    loaded = Sched.from_dict(json.loads(buf.getvalue()))
+    result = replay_schedule(_lock_counter_ctx(), loaded)
+    assert result.world == final

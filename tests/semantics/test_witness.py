@@ -1,0 +1,275 @@
+"""Witness capture: schedules, serialization, and the POR cross-check.
+
+Covers path extraction from recorded graphs (including halted ones),
+the annotating re-walk, abort schedules, ``find_race``'s attached
+schedules under every mode combination, and the JSON artifact
+round-trip.
+"""
+
+import io
+
+import pytest
+
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    explore,
+    find_race,
+)
+from repro.semantics.replay import replay_schedule, replay_witness
+from repro.semantics.witness import (
+    CaptureError,
+    Schedule,
+    ScheduleStep,
+    WitnessRecord,
+    capture_abort_schedule,
+    capture_schedule,
+    capture_walk,
+    graph_path,
+    load_witness,
+    record_abort,
+    record_race,
+    save_witness,
+)
+
+from tests.helpers import cimp_program
+
+RACY = "t1(){ [C] := 1; } t2(){ [C] := 2; }"
+#: Race guarded behind a few private steps, so schedules are nontrivial.
+GUARDED = (
+    "t1(){ x := 0; while(x < 2){ x := x + 1; } [C] := 1; }"
+    " t2(){ [C] := 2; }"
+)
+SAFE = "t1(){ x := 1; } t2(){ y := 2; }"
+ABORTING = "t1(){ [D] := 1; } t2(){ skip; }"
+
+
+def _racy_ctx(src=GUARDED):
+    return GlobalContext(cimp_program(src, ["t1", "t2"]))
+
+
+def _aborting_ctx():
+    return GlobalContext(
+        cimp_program(ABORTING, ["t1", "t2"], symbols={"D": 999},
+                     init={})
+    )
+
+
+class TestGraphPath:
+    def test_initial_state_has_empty_path(self):
+        ctx = _racy_ctx()
+        graph = explore(ctx, PreemptiveSemantics(), 10000)
+        init_idx, hops = graph_path(graph, graph.initial[0])
+        assert hops == []
+        assert graph.initial[init_idx] == graph.initial[0]
+
+    def test_path_edges_exist_in_graph(self):
+        ctx = _racy_ctx()
+        graph = explore(ctx, PreemptiveSemantics(), 10000)
+        target = graph.state_count() - 1
+        _init_idx, hops = graph_path(graph, target)
+        assert hops[-1][2] == target
+        for sid, i, dst in hops:
+            assert graph.edges[sid][i][1] == dst
+
+    def test_unreachable_raises(self):
+        ctx = _racy_ctx()
+        graph = explore(ctx, PreemptiveSemantics(), 10000)
+        with pytest.raises(CaptureError):
+            graph_path(graph, graph.state_count() + 7)
+
+
+class TestCaptureSchedule:
+    @pytest.mark.parametrize(
+        "sem_cls", [PreemptiveSemantics, NonPreemptiveSemantics],
+        ids=lambda c: c.name,
+    )
+    def test_every_state_capturable_and_replayable(self, sem_cls):
+        ctx = _racy_ctx()
+        sem = sem_cls()
+        graph = explore(ctx, sem, 10000)
+        for sid in range(graph.state_count()):
+            schedule = capture_schedule(ctx, sem, graph, sid)
+            result = replay_schedule(ctx, schedule, sem)
+            assert result.world == graph.states[sid]
+
+    def test_por_schedule_replays_under_full_semantics(self):
+        # The ample-prefix cross-check: a path recorded through a
+        # reduced graph must re-walk verbatim under full expansion.
+        ctx = _racy_ctx()
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000, reduce=True)
+        for sid in range(graph.state_count()):
+            schedule = capture_schedule(ctx, sem, graph, sid, por=True)
+            assert schedule.por
+            result = replay_schedule(ctx, schedule, sem)
+            assert result.world == graph.states[sid]
+
+    def test_steps_annotated(self):
+        ctx = _racy_ctx()
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000)
+        schedule = capture_schedule(ctx, sem, graph,
+                                    graph.state_count() - 1)
+        for st in schedule.steps:
+            assert st.kind in ("tau", "sw", "event")
+            assert st.tid is not None and st.to is not None
+            if st.kind == "sw":
+                assert st.rs is None and st.ws is None
+            else:
+                assert st.rs is not None and st.ws is not None
+
+    def test_abort_schedule(self):
+        ctx = _aborting_ctx()
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000)
+        schedule = capture_abort_schedule(ctx, sem, graph)
+        assert schedule is not None
+        assert schedule.steps[-1].kind == "abort"
+        result = replay_schedule(ctx, schedule, sem)
+        assert result.end == "abort"
+
+    def test_no_abort_no_schedule(self):
+        ctx = _racy_ctx(SAFE)
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000)
+        assert capture_abort_schedule(ctx, sem, graph) is None
+
+
+class TestFindRaceCapture:
+    @pytest.mark.parametrize("reduce", [False, True], ids=["full", "por"])
+    @pytest.mark.parametrize("otf", [False, True], ids=["stored", "otf"])
+    @pytest.mark.parametrize(
+        "sem_cls", [PreemptiveSemantics, NonPreemptiveSemantics],
+        ids=lambda c: c.name,
+    )
+    def test_witness_carries_replayable_schedule(
+        self, sem_cls, otf, reduce
+    ):
+        ctx = _racy_ctx()
+        witness = find_race(
+            ctx, sem_cls(), reduce=reduce, on_the_fly=otf
+        )
+        assert witness is not None
+        assert witness.schedule is not None
+        record = record_race(witness, meta={"max_atomic_steps": 64})
+        replay_witness(_racy_ctx(), record)
+
+    def test_capture_off(self):
+        witness = find_race(
+            _racy_ctx(), PreemptiveSemantics(), capture=False
+        )
+        assert witness is not None
+        assert witness.schedule is None
+        with pytest.raises(CaptureError):
+            record_race(witness)
+
+    def test_immediate_race_has_empty_schedule(self):
+        # Both threads race from the very first world: the witness is
+        # an initial state and its schedule has no steps.
+        witness = find_race(_racy_ctx(RACY), PreemptiveSemantics())
+        assert witness is not None
+        record = record_race(witness)
+        assert len(record.schedule) == 0
+        replay_witness(_racy_ctx(RACY), record)
+
+
+class TestCaptureWalk:
+    def test_walk_replays_to_same_world(self):
+        ctx = _racy_ctx()
+        sem = PreemptiveSemantics()
+        schedule, final = capture_walk(
+            ctx, sem, [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        )
+        result = replay_schedule(ctx, schedule, sem)
+        assert result.world == final
+
+    def test_walk_stops_at_abort(self):
+        ctx = _aborting_ctx()
+        schedule, _final = capture_walk(
+            ctx, PreemptiveSemantics(), [0] * 50
+        )
+        assert schedule.steps[-1].kind == "abort"
+
+
+class TestSerialization:
+    def _record(self):
+        witness = find_race(_racy_ctx(), PreemptiveSemantics())
+        return record_race(
+            witness,
+            program={"threads": "t1,t2"},
+            meta={"max_atomic_steps": 64},
+        )
+
+    def test_round_trip_preserves_schedule(self, tmp_path):
+        record = self._record()
+        path = tmp_path / "w.json"
+        save_witness(str(path), record)
+        loaded = load_witness(str(path))
+        assert loaded.verdict == "race"
+        assert loaded.schedule == record.schedule
+        assert loaded.race == record.race
+        assert loaded.program == record.program
+        assert loaded.meta == record.meta
+
+    def test_round_trip_file_objects(self):
+        record = self._record()
+        buf = io.StringIO()
+        save_witness(buf, record)
+        loaded = load_witness(io.StringIO(buf.getvalue()))
+        assert loaded.schedule == record.schedule
+
+    def test_loaded_witness_replays(self, tmp_path):
+        path = tmp_path / "w.json"
+        save_witness(str(path), self._record())
+        replay_witness(_racy_ctx(), load_witness(str(path)))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(CaptureError):
+            load_witness(io.StringIO('{"type": "trace"}'))
+
+    def test_rejects_wrong_version(self):
+        rec = self._record().as_dict()
+        rec["version"] = 999
+        import json
+
+        with pytest.raises(CaptureError):
+            load_witness(io.StringIO(json.dumps(rec)))
+
+    def test_abort_record_requires_abort_step(self):
+        schedule = Schedule(
+            0, [ScheduleStep(0, 0, 0, "tau")], "preemptive"
+        )
+        with pytest.raises(CaptureError):
+            record_abort(schedule)
+
+    def test_abort_record_round_trip(self, tmp_path):
+        ctx = _aborting_ctx()
+        sem = PreemptiveSemantics()
+        graph = explore(ctx, sem, 10000)
+        schedule = capture_abort_schedule(ctx, sem, graph)
+        record = record_abort(schedule)
+        path = tmp_path / "abort.json"
+        save_witness(str(path), record)
+        loaded = load_witness(str(path))
+        assert loaded.verdict == "abort"
+        result = replay_witness(_aborting_ctx(), loaded)
+        assert result.end == "abort"
+
+    def test_record_is_plain_json(self):
+        rec = self._record().as_dict()
+        import json
+
+        json.dumps(rec)  # no custom types anywhere
+        assert rec["type"] == "witness"
+        assert rec["version"] == 1
+        assert isinstance(rec["schedule"]["steps"], list)
+
+
+class TestWitnessRecordValidation:
+    def test_minimized_flag_round_trips(self):
+        witness = find_race(_racy_ctx(), PreemptiveSemantics())
+        record = record_race(witness, minimized=True)
+        loaded = WitnessRecord.from_dict(record.as_dict())
+        assert loaded.minimized
