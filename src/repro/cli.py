@@ -26,7 +26,18 @@ environment variables switch the same machinery on without flags.
 
 ``run`` and ``drf`` accept ``--por/--no-por`` to control the
 footprint-directed partial-order reduction (default: the ``REPRO_POR``
-environment setting, on unless set to ``0``).
+environment setting, on unless set to ``0``), and ``--jobs N`` to
+shard the exploration across ``N`` forked worker processes (default:
+the ``REPRO_JOBS`` environment setting, 1 = sequential; see
+:mod:`repro.semantics.parallel`).
+
+Exit codes are uniform across commands: **0** — success (program is
+DRF, behaviours printed, validation passed, replay reproduced);
+**1** — an analysis *finding* (a race was found, a validation pass
+failed, a replay diverged); **2** — usage or internal error (bad
+flags, unknown thread entries, unreadable files, crashes). Scripts
+can therefore distinguish "the tool found a race" from "the tool
+broke" — previously both surfaced as non-zero.
 """
 
 import argparse
@@ -51,8 +62,49 @@ from repro.semantics import (
 )
 from repro.compiler import compile_minic
 from repro.compiler.pprint import dump_pipeline, dump_stage
+from repro.semantics.parallel import default_jobs
 from repro.simulation.validate import validate_compilation
 from repro.tso import DEFAULT_LOCK_ADDR, lock_spec
+
+
+class UsageError(Exception):
+    """A user-input problem surfaced after argparse: exit code 2."""
+
+
+def _parse_threads(spec):
+    """Split a ``--threads`` value into clean entry names.
+
+    Whitespace around entries is stripped (``--threads "main, worker"``
+    is the natural shell spelling); empty entries — a trailing comma,
+    ``",,"``, or a blank value — are rejected instead of silently
+    producing a bogus entry name that failed later with a raw
+    traceback.
+    """
+    entries = [name.strip() for name in spec.split(",")]
+    if not entries or any(not name for name in entries):
+        raise UsageError(
+            "--threads: empty entry name in {!r} (expected "
+            "comma-separated function names)".format(spec)
+        )
+    return entries
+
+
+def _check_entries(ctx, entries):
+    """Reject entry names the program cannot resolve, listing the
+    known ones (languages without entry listings skip the check and
+    fail at thread-creation time as before)."""
+    known = ctx.entry_names()
+    if known is None:
+        return
+    unknown = [name for name in entries if name not in known]
+    if unknown:
+        raise UsageError(
+            "--threads: unknown entry point(s) {}; known entries: {}"
+            .format(
+                ", ".join(repr(n) for n in unknown),
+                ", ".join(known) or "(none)",
+            )
+        )
 
 
 def _build(path, use_lock):
@@ -100,13 +152,16 @@ def cmd_run(args):
         if args.stage == "source"
         else result.stage(args.stage)
     )
-    entries = args.threads.split(",")
+    entries = _parse_threads(args.threads)
     prog = _program(stage, genv, entries, args.lock)
+    ctx = GlobalContext(prog)
+    _check_entries(ctx, entries)
     behs = program_behaviours(
-        GlobalContext(prog),
+        ctx,
         PreemptiveSemantics(),
         max_states=args.max_states,
         reduce=args.por,
+        jobs=args.jobs,
     )
     for b in sorted(behs, key=repr):
         print(b)
@@ -135,13 +190,19 @@ def cmd_validate(args):
 def cmd_drf(args):
     module, genv = _build(args.file, args.lock)
     result = compile_minic(module, optimize=args.optimize)
-    entries = args.threads.split(",")
+    entries = _parse_threads(args.threads)
     prog = _program(result.source, genv, entries, args.lock)
+    ctx = GlobalContext(prog)
+    _check_entries(ctx, entries)
+    semantics = PreemptiveSemantics(
+        max_atomic_steps=args.max_atomic_steps
+    )
     witness = find_race(
-        GlobalContext(prog),
-        PreemptiveSemantics(),
+        ctx,
+        semantics,
         max_states=args.max_states,
         reduce=args.por,
+        jobs=args.jobs,
     )
     verdict = witness is None
     print("DRF:", verdict)
@@ -150,14 +211,17 @@ def cmd_drf(args):
             witness,
             program={
                 "file": args.file,
-                "threads": args.threads,
+                "threads": ",".join(entries),
                 "lock": args.lock,
                 "optimize": args.optimize,
             },
-            meta={"max_atomic_steps": 64},
+            # The semantics' actual bound: replay re-derives the race
+            # via predict() with this value, so a hardcoded 64 would
+            # silently diverge under --max-atomic-steps.
+            meta={"max_atomic_steps": semantics.max_atomic_steps},
         )
         if args.minimize:
-            record = minimize_witness(GlobalContext(prog), record)
+            record = minimize_witness(ctx, record)
         save_witness(args.witness_out, record)
         print(
             "witness: {} step(s){} -> {}".format(
@@ -179,10 +243,12 @@ def cmd_replay(args):
     optimize = args.optimize or bool(info.get("optimize"))
     module, genv = _build(args.file, use_lock)
     result = compile_minic(module, optimize=optimize)
-    entries = threads.split(",")
+    entries = _parse_threads(threads)
     prog = _program(result.source, genv, entries, use_lock)
+    ctx = GlobalContext(prog)
+    _check_entries(ctx, entries)
     try:
-        res = replay_witness(GlobalContext(prog), record)
+        res = replay_witness(ctx, record)
     except ReplayDivergence as exc:
         print("replay: DIVERGED: {}".format(exc))
         return 1
@@ -192,7 +258,7 @@ def cmd_replay(args):
         )
     )
     if args.minimize and record.verdict == "race":
-        record = minimize_witness(GlobalContext(prog), record)
+        record = minimize_witness(ctx, record)
         print("minimized: {} step(s)".format(len(record.schedule)))
     if args.witness_out:
         save_witness(args.witness_out, record)
@@ -257,9 +323,19 @@ def make_parser():
             "setting, on unless set to 0)",
         )
 
+    def jobs_flag(p):
+        p.add_argument(
+            "-j", "--jobs", type=int, default=default_jobs(),
+            metavar="N",
+            help="shard the exploration across N forked worker "
+            "processes (default: REPRO_JOBS env setting or 1 = "
+            "sequential)",
+        )
+
     p = sub.add_parser("run", help="enumerate behaviours")
     common(p)
     por_flag(p)
+    jobs_flag(p)
     p.add_argument(
         "--threads", default="main",
         help="comma-separated thread entry functions",
@@ -279,8 +355,14 @@ def make_parser():
     p = sub.add_parser("drf", help="data-race-freedom check")
     common(p)
     por_flag(p)
+    jobs_flag(p)
     p.add_argument("--threads", default="main")
     p.add_argument("--max-states", type=int, default=400000)
+    p.add_argument(
+        "--max-atomic-steps", type=int, default=64, metavar="N",
+        help="bound on atomic-block prediction runs (recorded in "
+        "witness metadata so replay uses the same horizon)",
+    )
     p.add_argument(
         "--witness-out", metavar="FILE",
         help="write a found race as a replayable witness artifact",
@@ -357,6 +439,22 @@ def main(argv=None):
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except UsageError as exc:
+        print("repro: error: {}".format(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        # Internal failure, distinct from an analysis finding (1):
+        # scripts gating on "race found" must not confuse it with a
+        # crash or an exceeded exploration bound.
+        print(
+            "repro: internal error: {}: {}".format(
+                type(exc).__name__, exc
+            ),
+            file=sys.stderr,
+        )
+        return 2
     finally:
         obs.shutdown()
 

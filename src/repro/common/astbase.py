@@ -65,6 +65,16 @@ class Node:
         )
         return "{}({})".format(type(self).__name__, args)
 
+    def __reduce__(self):
+        # Nodes live inside core states, which the parallel explorer
+        # ships between worker processes; the immutability guard breaks
+        # pickle's default slot-state restore, so rebuild through the
+        # constructor (``_hash`` is recomputed, never transported).
+        return (
+            type(self),
+            tuple(getattr(self, f) for f in self._fields),
+        )
+
     def replace(self, **kwargs):
         """A copy with the given fields replaced."""
         values = {f: getattr(self, f) for f in self._fields}

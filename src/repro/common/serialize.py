@@ -1,0 +1,291 @@
+"""Cross-process serialization of worlds and runtime state.
+
+The parallel explorer (:mod:`repro.semantics.parallel`) partitions the
+frontier across worker processes and ships cross-shard successor worlds
+as pickled batches. Plain pickling fails on this codebase on purpose:
+every runtime-state class blocks ``__setattr__`` (worlds are graph-node
+keys and must stay immutable), so the default slot-state restore path
+raises ``<class> is immutable`` on load. This module registers
+``copyreg`` reducers that rebuild each class through its blessed
+constructor instead:
+
+* :class:`~repro.semantics.world.World` / ``Frame`` go through their
+  ``make`` classmethods, so decoded worlds re-enter the receiver's
+  intern tables and regain pointer-equality fast paths;
+* :class:`~repro.common.memory.Memory` rebuilds from its merged
+  contents (the Zobrist hash is recomputed, never trusted from the
+  wire) and :class:`~repro.common.footprint.Footprint` re-interns
+  through its hash-consing ``__new__``;
+* value/message singletons (``VUndef``, ``TAU``, ``EntAtom``,
+  ``ExtAtom``) decode to the receiver's singletons;
+* language cores and frames restore via ``object.__setattr__`` with
+  cached ``_hash`` slots dropped (they all recompute lazily), so a
+  decoded core can never carry a stale hash.
+
+Batches travel in a versioned envelope, mirroring the witness
+artifact's schema discipline (:data:`repro.semantics.witness
+.WITNESS_SCHEMA_VERSION`): a version tag guards layout changes and a
+*hash-seed probe* guards transport between interpreters with different
+string-hash seeds — world identity is hash-partitioned, so decoding
+into a differently-seeded interpreter would silently scramble shard
+ownership. The parallel explorer forks its workers (seed inherited),
+making the probe a tripwire, not a tax; batches are transport-only and
+must never be persisted.
+
+Batch pickling is what makes sharding affordable: hash-consed frames,
+cores and memories shared between the worlds of one batch serialize
+once (pickle's memo table sees pointer-equal objects), so a batch of
+``n`` sibling worlds costs far less than ``n`` independent dumps.
+"""
+
+import copyreg
+import pickle
+
+from repro.common import footprint as _footprint
+from repro.common import freelist as _freelist
+from repro.common import immutables as _immutables
+from repro.common import memory as _memory
+from repro.common import values as _values
+from repro.lang import messages as _messages
+from repro.lang import steps as _steps
+
+#: Version tag of the batch envelope (bump on layout changes).
+SERIAL_SCHEMA_VERSION = 1
+
+#: Detects decoding under a different string-hash seed (see module
+#: docstring): equal across fork, different across unrelated
+#: interpreter launches unless ``PYTHONHASHSEED`` is pinned.
+_SEED_PROBE = hash("repro.common.serialize:seed-probe")
+
+
+class SerializationError(Exception):
+    """A batch could not be encoded or decoded."""
+
+
+# ----- reducers -------------------------------------------------------------
+
+
+def _restore_slots(cls, items):
+    """Rebuild a setattr-blocking slots instance from ``(name, value)``
+    pairs, bypassing the immutability guard the way the constructors do."""
+    obj = object.__new__(cls)
+    for name, value in items:
+        object.__setattr__(obj, name, value)
+    return obj
+
+
+def _all_slots(cls):
+    names = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+#: Lazily-recomputed cache slots that must not cross the wire.
+_CACHE_SLOTS = frozenset({"_hash", "_locs", "_merged"})
+
+
+def register_slots(cls):
+    """Register a generic reducer: all slots except cached ones.
+
+    Only sound for classes whose cached slots are recomputed lazily via
+    the ``try/except AttributeError`` pattern (every language core and
+    frame — see e.g. ``CImpCore.__hash__``).
+    """
+    slots = tuple(n for n in _all_slots(cls) if n not in _CACHE_SLOTS)
+
+    def _reduce(obj, _cls=cls, _slots=slots):
+        items = []
+        for name in _slots:
+            try:
+                items.append((name, getattr(obj, name)))
+            except AttributeError:
+                pass
+        return _restore_slots, (_cls, tuple(items))
+
+    copyreg.pickle(cls, _reduce)
+
+
+def register_constructor(cls, fields):
+    """Register a reducer that calls ``cls(*fields)`` on decode."""
+
+    def _reduce(obj, _cls=cls, _fields=tuple(fields)):
+        return _cls, tuple(getattr(obj, f) for f in _fields)
+
+    copyreg.pickle(cls, _reduce)
+
+
+def register_singleton(cls):
+    """Register a reducer for a ``__new__``-singleton class."""
+    copyreg.pickle(cls, lambda obj, _cls=cls: (_cls, ()))
+
+
+def _restore_world(threads, cur, bits, mem):
+    from repro.semantics.world import World
+
+    return World.make(threads, cur, bits, mem)
+
+
+def _restore_frame(mod_idx, flist, core):
+    from repro.semantics.world import Frame
+
+    return Frame.make(mod_idx, flist, core)
+
+
+def _restore_memory(items):
+    return _memory.Memory(dict(items))
+
+
+def _registered():
+    """Install every reducer once (idempotent; keyed on World)."""
+    from repro.semantics import world as _world
+
+    if _world.World in copyreg.dispatch_table:
+        return
+
+    copyreg.pickle(
+        _world.World,
+        lambda w: (
+            _restore_world, (w.threads, w.cur, w.bits, w.mem)
+        ),
+    )
+    copyreg.pickle(
+        _world.Frame,
+        lambda f: (_restore_frame, (f.mod_idx, f.flist, f.core)),
+    )
+    copyreg.pickle(
+        _memory.Memory,
+        lambda m: (_restore_memory, (tuple(m.items()),)),
+    )
+    copyreg.pickle(
+        _footprint.Footprint,
+        lambda fp: (_footprint.Footprint, (tuple(fp.rs), tuple(fp.ws))),
+    )
+    register_constructor(_freelist.FreeList, ("base",))
+    copyreg.pickle(
+        _immutables.ImmutableMap,
+        lambda m: (_immutables.ImmutableMap, (dict(m.items()),)),
+    )
+    register_constructor(_values.VInt, ("n",))
+    register_constructor(_values.VPtr, ("addr",))
+    register_singleton(_values._VUndef)
+    register_singleton(_messages._Tau)
+    register_singleton(_messages._EntAtom)
+    register_singleton(_messages._ExtAtom)
+    register_constructor(_messages.EventMsg, ("kind", "value"))
+    register_constructor(_messages.RetMsg, ("value",))
+    register_constructor(_messages.CallMsg, ("fname", "args"))
+    register_constructor(_messages.SpawnMsg, ("fname",))
+    register_constructor(_steps.Step, ("msg", "fp", "core", "mem"))
+    register_constructor(_steps.StepAbort, ("fp", "reason"))
+
+    # Language cores, frames and static code containers: the generic
+    # slot reducer (cached hashes dropped, recomputed lazily on the
+    # receiving side). AST nodes need none of this — their shared base
+    # defines ``__reduce__`` (see repro.common.astbase.Node).
+    from repro.langs.cimp import ast as _cimp_ast
+    from repro.langs.cimp.semantics import CImpCore
+    from repro.langs.ir.base import IRModule
+    from repro.langs.ir.cminor import CmCore, CmFrame
+    from repro.langs.ir.csharpminor import CshmCore, CshmFrame
+    from repro.langs.ir.linear import LinCore, LinearFunction, LinFrame
+    from repro.langs.ir.ltl import LTLCore, LTLFrame, LTLFunction
+    from repro.langs.ir.mach import MachCore, MachFrame, MachFunction
+    from repro.langs.ir.rtl import RTLCore, RTLFrame, RTLFunction
+    from repro.langs.minic import ast as _minic_ast
+    from repro.langs.minic.semantics import MFrame, MiniCCore
+    from repro.langs.x86.ast import X86Function
+    from repro.langs.x86.sc import X86Core
+
+    for cls in (
+        CImpCore,
+        _cimp_ast.Function,
+        _cimp_ast.CImpModule,
+        IRModule,
+        CmCore,
+        CmFrame,
+        CshmCore,
+        CshmFrame,
+        LinCore,
+        LinFrame,
+        LinearFunction,
+        LTLCore,
+        LTLFrame,
+        LTLFunction,
+        MachCore,
+        MachFrame,
+        MachFunction,
+        RTLCore,
+        RTLFrame,
+        RTLFunction,
+        _minic_ast.MiniCModule,
+        MFrame,
+        MiniCCore,
+        X86Function,
+        X86Core,
+    ):
+        register_slots(cls)
+
+    # CImp AST nodes have their own immutable base (not astbase.Node);
+    # every concrete node is a lazily-hashed slots class, so the
+    # generic reducer applies uniformly.
+    for obj in vars(_cimp_ast).values():
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, _cimp_ast._Node)
+            and obj is not _cimp_ast._Node
+        ):
+            register_slots(obj)
+
+
+# ----- the batch envelope ---------------------------------------------------
+
+
+def encode_batch(payload):
+    """Pickle ``payload`` (worlds, records, ...) into a versioned batch.
+
+    One batch shares one pickle memo table, so hash-consed state shared
+    between the payload's worlds is serialized exactly once.
+    """
+    _registered()
+    try:
+        return pickle.dumps(
+            (SERIAL_SCHEMA_VERSION, _SEED_PROBE, payload),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception as exc:
+        raise SerializationError(
+            "cannot encode batch: {}".format(exc)
+        ) from exc
+
+
+def decode_batch(data):
+    """Decode a batch, checking the version tag and the seed probe."""
+    _registered()
+    try:
+        version, probe, payload = pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(
+            "cannot decode batch: {}".format(exc)
+        ) from exc
+    if version != SERIAL_SCHEMA_VERSION:
+        raise SerializationError(
+            "unsupported batch schema version {!r} (expected {})".format(
+                version, SERIAL_SCHEMA_VERSION
+            )
+        )
+    if probe != _SEED_PROBE:
+        raise SerializationError(
+            "hash-seed mismatch: batch was encoded under a different "
+            "string-hash seed (batches are transport-only; use forked "
+            "workers or pin PYTHONHASHSEED)"
+        )
+    return payload
+
+
+def roundtrip(value):
+    """Encode then decode one value (the test hook)."""
+    return decode_batch(encode_batch(value))

@@ -21,6 +21,11 @@ from repro.semantics.refinement import (
 )
 from repro.semantics.race import RaceWitness, drf, find_race, npdrf, predict
 from repro.semantics.por import AmpleReducer, default_reduce
+from repro.semantics.parallel import (
+    default_jobs,
+    parallel_explore,
+    parallel_find_race,
+)
 from repro.semantics.witness import (
     CaptureError,
     Schedule,
@@ -65,6 +70,9 @@ __all__ = [
     "find_race",
     "drf",
     "npdrf",
+    "default_jobs",
+    "parallel_explore",
+    "parallel_find_race",
     "CaptureError",
     "Schedule",
     "ScheduleStep",

@@ -129,7 +129,7 @@ ABORT_DST = -1
 
 
 def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
-            observer=None):
+            observer=None, jobs=None):
     """Build the reachable :class:`StateGraph` under ``semantics``.
 
     ``reduce=True`` enables partial-order reduction when the semantics
@@ -151,7 +151,28 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
     :meth:`repro.semantics.por.AmpleReducer.decide`), so witness
     capture (:mod:`repro.semantics.witness`) needs no per-step hook on
     this hot path.
+
+    ``jobs > 1`` dispatches to the process-parallel explorer
+    (:mod:`repro.semantics.parallel`), which produces an identical
+    graph; local ``observer`` closures cannot cross the process
+    boundary, so the combination is rejected — fused race detection
+    has its own parallel entry point
+    (:func:`repro.semantics.race.find_race` with ``jobs``).
     """
+    if jobs is not None and jobs > 1:
+        from repro.semantics import parallel
+
+        if parallel.available():
+            if observer is not None:
+                raise ValueError(
+                    "parallel exploration cannot run a local observer "
+                    "closure; use find_race(jobs=...) for fused race "
+                    "detection"
+                )
+            return parallel.parallel_explore(
+                ctx, semantics, max_states=max_states, strict=strict,
+                reduce=reduce, jobs=jobs,
+            )
     use_por = bool(reduce) and getattr(semantics, "supports_por", False)
     # Hoisted observability flag: the loops below are the system's
     # hottest path, so the disabled cost is one truthiness test per
@@ -643,15 +664,17 @@ def _behaviours(graph, max_events, max_nodes, strict):
 
 
 def program_behaviours(ctx, semantics, max_states=50000, max_events=10,
-                       reduce=None):
+                       reduce=None, jobs=None):
     """Explore and extract behaviours in one call.
 
     ``reduce=None`` defers to the ``REPRO_POR`` environment default
     (on unless disabled) — sound because the cross-validation suite
     pins POR-on and POR-off to identical behaviour sets; pass
-    ``reduce=False`` to force the full graph.
+    ``reduce=False`` to force the full graph. ``jobs`` shards the
+    exploration across worker processes (the behaviour set is
+    unchanged — see :mod:`repro.semantics.parallel`).
     """
     if reduce is None:
         reduce = default_reduce()
-    graph = explore(ctx, semantics, max_states, reduce=reduce)
+    graph = explore(ctx, semantics, max_states, reduce=reduce, jobs=jobs)
     return behaviours(graph, max_events)

@@ -29,6 +29,12 @@ class NonPreemptiveSemantics:
 
     name = "non-preemptive"
 
+    def __init__(self, max_atomic_steps=64):
+        #: Bound on atomic-block / quantum prediction runs (see
+        #: :func:`repro.semantics.race.predict`); carried on the
+        #: semantics so callers and witness metadata agree on it.
+        self.max_atomic_steps = max_atomic_steps
+
     def successors(self, ctx, world):
         """All global steps from ``world``; switches only at sync points."""
         results = []

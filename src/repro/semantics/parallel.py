@@ -1,0 +1,740 @@
+"""Process-parallel frontier-sharded exploration.
+
+The sequential explorer (:mod:`repro.semantics.explore`) is a single
+Python process; on the suite's larger workloads the expansion loop is
+the cost center of every whole-program property. This module runs the
+same reachability computation across ``jobs`` forked worker processes
+with a *hash-partitioned frontier*, in the style of classic distributed
+model checking (Stern–Dill): every world is **owned** by the worker
+whose shard index matches its (incremental, hash-consed) hash —
+``hash(world) % jobs`` — so no two workers ever expand the same
+full-expansion state, and the dedup table is sharded for free.
+
+* Workers expand the worlds they own with the *identical* successor
+  machinery the sequential explorer uses, streaming ``(world, kind,
+  edges)`` records back to the coordinator and batching cross-shard
+  successors to their owners as serialized worlds
+  (:mod:`repro.common.serialize` — versioned envelope, hash-seed
+  probe, shared pickle memo per batch).
+* The coordinator merges the per-shard records into one
+  :class:`~repro.semantics.explore.StateGraph` by a **deterministic
+  canonical BFS** from the initial worlds in recorded successor-list
+  order. Without reduction this replays exactly the traversal
+  ``_explore_full`` performs, so the merged graph is *identical* —
+  same state numbering, edge lists, ``done``/``stuck`` sets — and
+  behaviour sets, race verdicts and state fingerprints match the
+  sequential explorer's by construction, not just extensionally.
+* **POR composes** (design: worker-local region DFS). Ample decisions
+  are per-world (:meth:`repro.semantics.por.AmpleReducer.decide` needs
+  no cross-shard state); a worker descends ample successors *locally*
+  in a DFS with the on-stack cycle proviso and only hash-routes
+  full-expansion successors. Soundness of the proviso: for a merged
+  all-ample cycle, every worker that recorded one of its states must
+  have recorded (and locally descended) all of them — the merge
+  prefers ``full`` records over ``ample`` — so the standard
+  single-DFS back-edge argument applies within that worker, a
+  contradiction. Regions reachable from several shards are expanded
+  at most once per worker (≤ ``jobs`` duplicates), which is the price
+  of coordination-free ample decisions.
+* **Fused race detection composes.** Each worker runs its own
+  :class:`~repro.semantics.race._RaceChecker` (observer closures
+  cannot cross the process boundary); the first witness reaching the
+  coordinator broadcasts a halt to all workers, and witness capture
+  (:mod:`repro.semantics.witness`) re-walks the merged graph under
+  the full semantics exactly as in the sequential path. The race
+  *verdict* is deterministic; which witness is reported first is not
+  (the sequential explorer's witness choice is a schedule artifact
+  too).
+
+Differences from the sequential explorer, by design:
+
+* ``max_states`` bounds the number of *expansions* through a shared
+  counter instead of the discovered-state count. Without reduction
+  the truncation condition is the same (truncate iff the reachable
+  set exceeds the bound); under POR, duplicate region expansions can
+  consume budget faster. A world cut by the bound is recorded as
+  truncated *itself* (the sequential explorer marks the parent), so
+  ``cut`` behaviours still appear at the boundary.
+* Workers report plain counters; the coordinator publishes them
+  (``parallel.shards``, ``parallel.batches``, ``parallel.cross_edges``,
+  ``parallel.idle_seconds``, per-worker ``parallel.worker`` spans).
+  Worker processes run with observability reset — the parent's trace
+  file descriptors must not be written from two processes.
+
+Workers are **forked**, never spawned: the string-hash seed is
+inherited, which is what makes ``hash(world) % jobs`` agree across
+processes (the serialize envelope's seed probe double-checks this).
+Platforms without ``fork`` fall back to the sequential explorer.
+
+Termination uses cumulative message counters (a Mattern-style
+four-counter scheme): a worker going idle reports how many batches it
+has sent to each peer and received in total; the coordinator halts
+when every worker's latest report is idle and, for every shard, the
+batches sent to it (by the coordinator's seeding plus all peers)
+equal the batches it has received.
+"""
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from queue import Empty
+
+from repro import obs
+from repro.common.serialize import decode_batch, encode_batch
+from repro.semantics.engine import GAbort
+from repro.semantics.explore import (
+    ABORT_DST,
+    Behaviour,
+    ExplorationLimit,
+    StateGraph,
+)
+from repro.semantics.nonpreemptive import NonPreemptiveSemantics
+from repro.semantics.por import AmpleReducer
+from repro.semantics.race import RaceWitness, _RaceChecker
+
+#: Environment variable the CLI's ``--jobs`` defaults from.
+ENV_JOBS = "REPRO_JOBS"
+
+#: Cross-shard worlds per batch message.
+_BATCH_WORLDS = 128
+
+#: Expansion records per flush to the coordinator.
+_REC_BATCH = 256
+
+#: Coordinator receive timeout (liveness check cadence), seconds.
+_GET_TIMEOUT = 15.0
+
+# Record kinds. Ranked so the merge can prefer the more-expanded
+# record when duplicate POR regions meet: a full expansion beats an
+# ample one (which is what keeps the cycle proviso intact after the
+# merge), and anything beats a budget cut.
+_FULL = "full"
+_AMPLE = "ample"
+_DONE = "done"
+_STUCK = "stuck"
+_CUT = "cut"
+_RANK = {_CUT: 0, _AMPLE: 1, _FULL: 2, _DONE: 2, _STUCK: 2}
+
+
+def available():
+    """True iff the platform can fork workers (see module docstring)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_jobs(environ=None):
+    """The ``REPRO_JOBS`` default for the CLI's ``--jobs`` (min 1)."""
+    env = os.environ if environ is None else environ
+    value = env.get(ENV_JOBS)
+    if value is None:
+        return 1
+    try:
+        n = int(value.strip())
+    except ValueError:
+        return 1
+    return max(1, n)
+
+
+class _Limit(Exception):
+    """Worker-internal: the shared expansion budget is exhausted."""
+
+
+class _Budget:
+    """Shared expansion budget (one unit per recorded expansion).
+
+    Chunk size 1: a worker never holds unused budget, so without
+    reduction the truncation condition coincides exactly with the
+    sequential explorer's (truncate iff reachable > ``max_states``).
+    """
+
+    __slots__ = ("counter", "limit")
+
+    def __init__(self, counter, limit):
+        self.counter = counter
+        self.limit = limit
+
+    def take(self):
+        counter = self.counter
+        with counter.get_lock():
+            if counter.value >= self.limit:
+                return False
+            counter.value += 1
+        return True
+
+
+class _Worker:
+    """One shard: owns the worlds hashing to its index and expands them."""
+
+    def __init__(self, wid, jobs, ctx, semantics, cfg, counter, inboxes,
+                 coord_q):
+        self.wid = wid
+        self.jobs = jobs
+        self.ctx = ctx
+        self.semantics = semantics
+        self.successors = semantics.successors
+        self.use_por = cfg["use_por"]
+        self.strict = cfg["strict"]
+        self.max_states = cfg["max_states"]
+        self.budget = _Budget(counter, cfg["max_states"])
+        self.inboxes = inboxes
+        self.coord_q = coord_q
+        self.reducer = AmpleReducer() if self.use_por else None
+        race = cfg["race"]
+        if race is None:
+            self.checker = None
+        else:
+            quantum, max_atomic_steps = race
+            self.checker = _RaceChecker(ctx, quantum, max_atomic_steps)
+            # Workers run with obs disabled; keep the checker's plain
+            # accounting on so the coordinator can publish the sums.
+            self.checker.track = True
+        self.recorded = set()
+        self.pending = deque()
+        self.pending_set = set()
+        self.outboxes = [[] for _ in range(jobs)]
+        self.sent_cache = [set() for _ in range(jobs)]
+        self.recs = []
+        self.sent = [0] * jobs
+        self.recv = 0
+        self.halted = False
+        self.racing = False
+        self.idle_seconds = 0.0
+        self.cross_worlds = 0
+        self.batches_out = 0
+
+    # -- plumbing ----------------------------------------------------
+
+    def record(self, world, kind, edges):
+        self.recorded.add(world)
+        self.recs.append((world, kind, edges))
+        if len(self.recs) >= _REC_BATCH:
+            self.flush_recs()
+
+    def flush_recs(self):
+        if self.recs:
+            self.coord_q.put(("rec", self.wid, encode_batch(self.recs)))
+            self.recs = []
+
+    def flush_box(self, shard):
+        box = self.outboxes[shard]
+        if box:
+            self.inboxes[shard].put(("w", encode_batch(box)))
+            self.sent[shard] += 1
+            self.batches_out += 1
+            self.cross_worlds += len(box)
+            self.outboxes[shard] = []
+
+    def flush_boxes(self):
+        for shard in range(self.jobs):
+            self.flush_box(shard)
+
+    def enqueue_local(self, world):
+        if world not in self.recorded and world not in self.pending_set:
+            self.pending_set.add(world)
+            self.pending.append(world)
+
+    def route(self, world):
+        """Send a full-expansion successor to its owner (or queue it)."""
+        shard = hash(world) % self.jobs
+        if shard == self.wid:
+            self.enqueue_local(world)
+            return
+        cache = self.sent_cache[shard]
+        if world in cache:
+            return
+        cache.add(world)
+        box = self.outboxes[shard]
+        box.append(world)
+        if len(box) >= _BATCH_WORLDS:
+            self.flush_box(shard)
+
+    def charge(self):
+        if self.budget.take():
+            return True
+        if self.strict:
+            raise _Limit(
+                "state bound {} exceeded".format(self.max_states)
+            )
+        return False
+
+    def report_race(self):
+        witness = self.checker.witness
+        self.flush_recs()
+        payload = (
+            witness.world, witness.tid1, witness.fp1, witness.bit1,
+            witness.tid2, witness.fp2, witness.bit2,
+        )
+        self.coord_q.put(("race", self.wid, encode_batch(payload)))
+        self.racing = True
+
+    # -- the loop ----------------------------------------------------
+
+    def handle(self, msg):
+        kind = msg[0]
+        if kind == "w":
+            self.recv += 1
+            for world in decode_batch(msg[1]):
+                self.enqueue_local(world)
+        elif kind == "halt":
+            # Outboxes are dropped (nobody will drain them); records
+            # must flow — the witness path is rebuilt from them.
+            self.flush_recs()
+            self.halted = True
+
+    def run(self):
+        inbox = self.inboxes[self.wid]
+        while not self.halted:
+            while True:
+                try:
+                    msg = inbox.get_nowait()
+                except Empty:
+                    break
+                self.handle(msg)
+                if self.halted:
+                    return
+            if self.pending and not self.racing:
+                world = self.pending.popleft()
+                self.pending_set.discard(world)
+                self.expand(world)
+                continue
+            # Idle: flush everything first so the counters reported
+            # below cover every batch actually handed to a queue.
+            self.flush_boxes()
+            self.flush_recs()
+            self.coord_q.put(
+                ("idle", self.wid, tuple(self.sent), self.recv)
+            )
+            t0 = time.monotonic()
+            msg = inbox.get()
+            self.idle_seconds += time.monotonic() - t0
+            self.handle(msg)
+
+    def expand(self, world):
+        if world in self.recorded:
+            return
+        if self.use_por:
+            self.expand_reduced(world)
+        else:
+            self.expand_full(world)
+
+    def expand_full(self, world):
+        """Mirror of ``_explore_full``'s per-state work, routed."""
+        if not self.charge():
+            self.record(world, _CUT, ())
+            return
+        if world.is_done():
+            self.record(world, _DONE, ())
+            return
+        if self.checker is not None and self.checker(world, None):
+            self.report_race()
+            return
+        outs = self.successors(self.ctx, world)
+        if not outs:
+            self.record(world, _STUCK, ())
+            return
+        edges = []
+        for out in outs:
+            if isinstance(out, GAbort):
+                edges.append((Behaviour.ABORT, None))
+                continue
+            edges.append((out.label, out.world))
+            self.route(out.world)
+        self.record(world, _FULL, edges)
+
+    def expand_reduced(self, seed):
+        """Region DFS: ample successors stay local (cycle proviso per
+        worker — see the module docstring for the soundness argument);
+        full-expansion successors are hash-routed to their owners."""
+        decide = self.reducer.decide
+        on_stack = set()
+        stack = [[seed, None]]
+        while stack:
+            entry = stack[-1]
+            world = entry[0]
+            it = entry[1]
+            if it is not None:
+                nxt = next(it, None)
+                if nxt is None:
+                    on_stack.discard(world)
+                    stack.pop()
+                elif nxt not in self.recorded:
+                    stack.append([nxt, None])
+                continue
+            if world in self.recorded:
+                stack.pop()
+                continue
+            if not self.charge():
+                self.record(world, _CUT, ())
+                stack.pop()
+                continue
+            if world.is_done():
+                self.record(world, _DONE, ())
+                stack.pop()
+                continue
+            on_stack.add(world)
+            outs, results, ample = decide(self.ctx, world)
+            if self.checker is not None and self.checker(world, outs):
+                self.report_race()
+                return
+            if ample:
+                dests = []
+                for res in results:
+                    if res.world in on_stack:
+                        # Cycle proviso (C3): this reduction would
+                        # close a cycle of reduced states.
+                        ample = False
+                        self.reducer.proviso_expansions += 1
+                        break
+                    dests.append(res.world)
+            if ample:
+                pruned = len(world.live_threads()) - 1
+                if pruned > 0:
+                    self.reducer.ample_worlds += 1
+                    self.reducer.steps_avoided += pruned
+                else:
+                    self.reducer.full_expansions += 1
+                self.record(
+                    world, _AMPLE, tuple((None, d) for d in dests)
+                )
+                entry[1] = iter(dests)
+                continue
+            self.reducer.full_expansions += 1
+            outs_full = self.successors(
+                self.ctx, world, outs, thread_results=results
+            )
+            if not outs_full:
+                self.record(world, _STUCK, ())
+                on_stack.discard(world)
+                stack.pop()
+                continue
+            edges = []
+            for out in outs_full:
+                if isinstance(out, GAbort):
+                    edges.append((Behaviour.ABORT, None))
+                    continue
+                edges.append((out.label, out.world))
+                self.route(out.world)
+            self.record(world, _FULL, edges)
+            on_stack.discard(world)
+            stack.pop()
+
+    def stats(self):
+        out = {
+            "states": len(self.recorded),
+            "cross_worlds": self.cross_worlds,
+            "batches": self.batches_out,
+            "idle_seconds": round(self.idle_seconds, 6),
+        }
+        if self.reducer is not None:
+            out["ample_worlds"] = self.reducer.ample_worlds
+            out["full_expansions"] = self.reducer.full_expansions
+            out["proviso_expansions"] = self.reducer.proviso_expansions
+            out["steps_avoided"] = self.reducer.steps_avoided
+        if self.checker is not None:
+            out["race_worlds_checked"] = self.checker.worlds_checked
+            out["race_predictions"] = self.checker.predictions
+            out["race_pairs_checked"] = self.checker.pairs_checked
+            out["race_memo_hits"] = self.checker._memo_hits
+        return out
+
+
+def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
+                 coord_q):
+    # The fork inherited the parent's obs state; its sinks (trace file
+    # descriptors, the metrics registry) belong to the parent process.
+    obs.reset()
+    t0 = time.monotonic()
+    worker = _Worker(
+        wid, jobs, ctx, semantics, cfg, counter, inboxes, coord_q
+    )
+    try:
+        worker.run()
+    except _Limit as exc:
+        coord_q.put(("err", wid, ("limit", str(exc))))
+    except BaseException:
+        coord_q.put(("err", wid, ("crash", traceback.format_exc())))
+    stats = worker.stats()
+    stats["wall_seconds"] = round(time.monotonic() - t0, 6)
+    coord_q.put(("bye", wid, stats))
+    # Exit must not block on feeder threads draining batches into
+    # queues of peers that have already halted; the coordinator queue
+    # is NOT cancelled — the bye above has to arrive.
+    for shard in range(jobs):
+        if shard != wid:
+            inboxes[shard].cancel_join_thread()
+
+
+def _merge_record(records, world, kind, edges):
+    old = records.get(world)
+    if old is not None and _RANK[old[0]] >= _RANK[kind]:
+        return
+    records[world] = (kind, edges)
+
+
+def _merge_graph(initial, records):
+    """Canonical BFS over the merged records (see module docstring:
+    without reduction this replays ``_explore_full`` exactly)."""
+    graph = StateGraph()
+    queue = deque()
+    for world in initial:
+        sid = graph.intern(world)
+        graph.initial.append(sid)
+        queue.append(sid)
+    while queue:
+        sid = queue.popleft()
+        if sid in graph.edges:
+            continue
+        rec = records.get(graph.states[sid])
+        if rec is None:
+            # Unexpanded frontier world of an early halt; the
+            # sequential halted graph leaves these edge-less too.
+            continue
+        kind, edges = rec
+        if kind == _DONE:
+            graph.done.add(sid)
+            graph.edges[sid] = []
+            continue
+        if kind == _STUCK:
+            graph.stuck.add(sid)
+            graph.edges[sid] = []
+            continue
+        if kind == _CUT:
+            graph.truncated.add(sid)
+            graph.edges[sid] = []
+            continue
+        out = []
+        for label, dst in edges:
+            if dst is None:
+                out.append((Behaviour.ABORT, ABORT_DST))
+                continue
+            dsid = graph.ids.get(dst)
+            if dsid is None:
+                dsid = graph.add(dst)
+                queue.append(dsid)
+            out.append((label, dsid))
+        graph.edges[sid] = out
+    return graph
+
+
+def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
+                  race_cfg):
+    """Coordinator: fork workers, seed shards, merge, terminate."""
+    mp_ctx = multiprocessing.get_context("fork")
+    inboxes = [mp_ctx.Queue() for _ in range(jobs)]
+    coord_q = mp_ctx.Queue()
+    counter = mp_ctx.Value("l", 0)
+    cfg = {
+        "use_por": use_por,
+        "strict": strict,
+        "max_states": max_states,
+        "race": race_cfg,
+    }
+    procs = []
+    for wid in range(jobs):
+        p = mp_ctx.Process(
+            target=_worker_main,
+            args=(wid, jobs, ctx, semantics, cfg, counter, inboxes,
+                  coord_q),
+            daemon=True,
+        )
+        p.start()
+        procs.append(p)
+
+    initial = list(semantics.initial_worlds(ctx))
+    coord_sent = [0] * jobs
+    seeds = [[] for _ in range(jobs)]
+    for world in initial:
+        seeds[hash(world) % jobs].append(world)
+    for shard, worlds in enumerate(seeds):
+        if worlds:
+            inboxes[shard].put(("w", encode_batch(worlds)))
+            coord_sent[shard] += 1
+
+    records = {}
+    reports = {}
+    byes = {}
+    race_payload = None
+    error = None
+    halted = [False]
+
+    def broadcast_halt():
+        if not halted[0]:
+            halted[0] = True
+            for q in inboxes:
+                q.put(("halt",))
+
+    def balanced():
+        if len(reports) < jobs:
+            return False
+        for j in range(jobs):
+            expect = coord_sent[j] + sum(
+                reports[i][0][j] for i in range(jobs)
+            )
+            if reports[j][1] != expect:
+                return False
+        return True
+
+    try:
+        while len(byes) < jobs:
+            try:
+                msg = coord_q.get(timeout=_GET_TIMEOUT)
+            except Empty:
+                dead = [
+                    wid for wid, p in enumerate(procs)
+                    if not p.is_alive() and wid not in byes
+                ]
+                if dead:
+                    if error is None:
+                        error = (
+                            "crash",
+                            "worker(s) {} died without reporting".format(
+                                dead
+                            ),
+                        )
+                    for wid in dead:
+                        byes[wid] = None
+                    broadcast_halt()
+                continue
+            kind = msg[0]
+            if kind == "rec":
+                for world, k, edges in decode_batch(msg[2]):
+                    _merge_record(records, world, k, edges)
+            elif kind == "race":
+                if race_payload is None:
+                    race_payload = decode_batch(msg[2])
+                    broadcast_halt()
+            elif kind == "idle":
+                reports[msg[1]] = (msg[2], msg[3])
+                if balanced():
+                    broadcast_halt()
+            elif kind == "err":
+                if error is None:
+                    error = msg[2]
+                broadcast_halt()
+            elif kind == "bye":
+                byes[msg[1]] = msg[2]
+    finally:
+        broadcast_halt()
+    for p in procs:
+        p.join(timeout=10)
+    for q in inboxes:
+        q.cancel_join_thread()
+        q.close()
+    coord_q.close()
+
+    if error is not None:
+        kind, detail = error
+        if kind == "limit":
+            raise ExplorationLimit(detail)
+        raise RuntimeError(
+            "parallel exploration failed: {}".format(detail)
+        )
+
+    graph = _merge_graph(initial, records)
+    witness = None
+    if race_payload is not None:
+        world, t1, fp1, b1, t2, fp2, b2 = race_payload
+        witness = RaceWitness(world, t1, fp1, b1, t2, fp2, b2)
+        graph.halted = True
+        graph.halted_sid = graph.ids.get(world)
+    if graph.truncated:
+        obs.inc("explore.truncated_states", len(graph.truncated))
+        obs.warn(
+            "parallel exploration truncated at {} expansions ({} "
+            "state(s) cut); behaviours may include 'cut'".format(
+                max_states, len(graph.truncated)
+            ),
+            max_states=max_states,
+            truncated=len(graph.truncated),
+        )
+    stats = [byes.get(wid) or {} for wid in range(jobs)]
+    _publish(jobs, coord_sent, stats, graph, use_por, race_cfg)
+    return graph, witness, stats
+
+
+def _publish(jobs, coord_sent, stats, graph, use_por, race_cfg):
+    """Flush worker-reported counters into the parent's obs layer."""
+    if not obs.enabled:
+        return
+
+    def total(key):
+        return sum(s.get(key, 0) for s in stats)
+
+    batches = sum(coord_sent) + total("batches")
+    obs.inc("parallel.shards", jobs)
+    obs.inc("parallel.batches", batches)
+    obs.inc("parallel.cross_edges", total("cross_worlds"))
+    obs.inc("parallel.idle_seconds", round(total("idle_seconds"), 6))
+    obs.inc("explore.states_visited", graph.state_count())
+    if use_por:
+        obs.inc("por.ample_worlds", total("ample_worlds"))
+        obs.inc("por.full_expansions", total("full_expansions"))
+        obs.inc("por.proviso_expansions", total("proviso_expansions"))
+        obs.inc("por.steps_avoided", total("steps_avoided"))
+    if race_cfg is not None:
+        obs.inc("race.worlds_checked", total("race_worlds_checked"))
+        obs.inc("race.predictions", total("race_predictions"))
+        obs.inc("race.pairs_checked", total("race_pairs_checked"))
+        obs.inc("race.prediction_memo_hits", total("race_memo_hits"))
+    for wid, s in enumerate(stats):
+        with obs.span("parallel.worker", wid=wid) as sp:
+            sp.set(**{k: v for k, v in s.items()})
+
+
+def parallel_explore(ctx, semantics, max_states=50000, strict=False,
+                     reduce=False, jobs=2):
+    """Parallel :func:`~repro.semantics.explore.explore` (no observer).
+
+    ``jobs <= 1`` — or a platform without ``fork`` — falls back to the
+    sequential explorer, so callers can pass the user's ``--jobs``
+    through unconditionally.
+    """
+    jobs = int(jobs)
+    if jobs <= 1 or not available():
+        from repro.semantics.explore import explore
+
+        return explore(
+            ctx, semantics, max_states=max_states, strict=strict,
+            reduce=reduce,
+        )
+    use_por = bool(reduce) and getattr(semantics, "supports_por", False)
+    with obs.span(
+        "parallel.explore",
+        jobs=jobs,
+        semantics=type(semantics).__name__,
+        por=use_por,
+    ) as sp:
+        graph, _witness, _stats = _run_parallel(
+            ctx, semantics, jobs, max_states, strict, use_por, None
+        )
+        if obs.enabled:
+            sp.set(states=graph.state_count())
+    return graph
+
+
+def parallel_find_race(ctx, semantics, max_states=50000,
+                       max_atomic_steps=64, reduce=False, jobs=2):
+    """Fused parallel race search: ``(witness | None, merged graph)``.
+
+    The caller (:func:`repro.semantics.race.find_race`) owns witness
+    capture: the merged graph's recorded edge lists are in successor
+    order (ample edges a prefix), so ``capture_schedule`` applies
+    unchanged.
+    """
+    jobs = int(jobs)
+    use_por = bool(reduce) and getattr(semantics, "supports_por", False)
+    quantum = isinstance(semantics, NonPreemptiveSemantics)
+    with obs.span(
+        "parallel.find_race",
+        jobs=jobs,
+        semantics=type(semantics).__name__,
+        por=use_por,
+    ) as sp:
+        graph, witness, _stats = _run_parallel(
+            ctx, semantics, jobs, max_states, True, use_por,
+            (quantum, max_atomic_steps),
+        )
+        if obs.enabled:
+            sp.set(states=graph.state_count(), racy=witness is not None)
+    return witness, graph

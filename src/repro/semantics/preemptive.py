@@ -22,6 +22,12 @@ class PreemptiveSemantics:
     #: this semantics (free Switch rule, per-step preemption).
     supports_por = True
 
+    def __init__(self, max_atomic_steps=64):
+        #: Bound on atomic-block prediction runs (Predict-1, Fig. 9).
+        #: Carried on the semantics so race detection and witness
+        #: metadata can never disagree on the configured horizon.
+        self.max_atomic_steps = max_atomic_steps
+
     def successors(self, ctx, world, outcomes=None, thread_results=None):
         """All global steps from ``world``: thread steps plus Switch.
 

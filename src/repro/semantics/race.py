@@ -266,8 +266,8 @@ class _RaceChecker:
         return False
 
 
-def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
-              reduce=None, on_the_fly=True, capture=True):
+def find_race(ctx, semantics, max_states=50000, max_atomic_steps=None,
+              reduce=None, on_the_fly=True, capture=True, jobs=None):
     """Search reachable worlds for a race; returns a witness or ``None``.
 
     Non-preemptive exploration uses quantum (region) prediction — see
@@ -284,30 +284,55 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
     initial world to the racy world; for a witness discovered under
     partial-order reduction, capture re-walks the path under the full
     semantics, so POR-found witnesses are cross-checked on the spot.
+
+    ``max_atomic_steps=None`` adopts the semantics object's own bound
+    (``semantics.max_atomic_steps``), so witness metadata and the
+    prediction horizon can never silently disagree. ``jobs > 1`` runs
+    the fused search across forked worker processes
+    (:mod:`repro.semantics.parallel`): the verdict is unchanged; which
+    of several witnesses is reported first is a scheduling artifact,
+    exactly as in the sequential search.
     """
     quantum = isinstance(semantics, NonPreemptiveSemantics)
+    if max_atomic_steps is None:
+        max_atomic_steps = getattr(semantics, "max_atomic_steps", 64)
     if reduce is None:
         reduce = default_reduce()
+    use_parallel = False
+    if jobs is not None and jobs > 1:
+        from repro.semantics import parallel
+
+        use_parallel = parallel.available()
     track = obs.enabled
     with obs.span(
         "race.find",
         semantics=type(semantics).__name__,
         on_the_fly=on_the_fly,
+        jobs=jobs if jobs else 1,
     ) as sp:
-        checker = _RaceChecker(ctx, quantum, max_atomic_steps)
-        if on_the_fly:
-            graph = explore(
-                ctx, semantics, max_states, strict=True,
-                reduce=reduce, observer=checker,
+        checker = None
+        if use_parallel and on_the_fly:
+            witness, graph = parallel.parallel_find_race(
+                ctx, semantics, max_states=max_states,
+                max_atomic_steps=max_atomic_steps, reduce=reduce,
+                jobs=jobs,
             )
         else:
-            graph = explore(
-                ctx, semantics, max_states, strict=True, reduce=reduce
-            )
-            for world in graph.states:
-                if checker(world):
-                    break
-        witness = checker.witness
+            checker = _RaceChecker(ctx, quantum, max_atomic_steps)
+            if on_the_fly:
+                graph = explore(
+                    ctx, semantics, max_states, strict=True,
+                    reduce=reduce, observer=checker,
+                )
+            else:
+                graph = explore(
+                    ctx, semantics, max_states, strict=True,
+                    reduce=reduce, jobs=jobs,
+                )
+                for world in graph.states:
+                    if checker(world):
+                        break
+            witness = checker.witness
         if witness is not None and capture:
             sid = graph.ids.get(witness.world)
             if sid is not None:
@@ -318,41 +343,46 @@ def find_race(ctx, semantics, max_states=50000, max_atomic_steps=64,
                     ),
                 )
         if track:
-            obs.inc("race.worlds_checked", checker.worlds_checked)
-            obs.inc("race.predictions", checker.predictions)
-            obs.inc("race.pairs_checked", checker.pairs_checked)
-            obs.inc("race.prediction_memo_hits", checker._memo_hits)
+            if checker is not None:
+                # The parallel path publishes the workers' summed
+                # checker counters itself (repro.semantics.parallel).
+                obs.inc("race.worlds_checked", checker.worlds_checked)
+                obs.inc("race.predictions", checker.predictions)
+                obs.inc("race.pairs_checked", checker.pairs_checked)
+                obs.inc("race.prediction_memo_hits", checker._memo_hits)
+                sp.set(
+                    worlds=checker.worlds_checked,
+                    pairs=checker.pairs_checked,
+                )
             if witness is not None:
                 obs.inc("race.witnesses")
-            sp.set(
-                worlds=checker.worlds_checked,
-                pairs=checker.pairs_checked,
-                racy=witness is not None,
-            )
+            sp.set(racy=witness is not None)
             if witness is not None and witness.schedule is not None:
                 sp.set(schedule_steps=len(witness.schedule))
     return witness
 
 
-def drf(program, max_states=50000, max_atomic_steps=64, reduce=None):
+def drf(program, max_states=50000, max_atomic_steps=64, reduce=None,
+        jobs=None):
     """``DRF(P)``: no race in the preemptive semantics."""
     ctx = GlobalContext(program)
     return (
         find_race(
-            ctx, PreemptiveSemantics(), max_states, max_atomic_steps,
-            reduce=reduce,
+            ctx, PreemptiveSemantics(max_atomic_steps), max_states,
+            max_atomic_steps, reduce=reduce, jobs=jobs,
         )
         is None
     )
 
 
-def npdrf(program, max_states=50000, max_atomic_steps=64, reduce=None):
+def npdrf(program, max_states=50000, max_atomic_steps=64, reduce=None,
+          jobs=None):
     """``NPDRF(P)``: no race in the non-preemptive semantics."""
     ctx = GlobalContext(program)
     return (
         find_race(
-            ctx, NonPreemptiveSemantics(), max_states, max_atomic_steps,
-            reduce=reduce,
+            ctx, NonPreemptiveSemantics(max_atomic_steps), max_states,
+            max_atomic_steps, reduce=reduce, jobs=jobs,
         )
         is None
     )

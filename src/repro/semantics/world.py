@@ -297,6 +297,24 @@ class GlobalContext:
     def module(self, idx):
         return self.modules[idx]
 
+    def entry_names(self):
+        """Sorted resolvable entry names, or ``None`` when unknown.
+
+        ``None`` means some module's language has no entry listing
+        (resolution falls back to probing), so callers — e.g. the
+        CLI's ``--threads`` validation — cannot enumerate candidates
+        up front. Ambiguous names (defined in several modules) are
+        excluded: resolving them raises.
+        """
+        table = self._resolve_table
+        if table is None:
+            return None
+        return sorted(
+            fname
+            for fname, entry in table.items()
+            if entry is not _AMBIGUOUS
+        )
+
     def resolve(self, fname, args=()):
         """Find ``(mod_idx, core)`` for a function, or ``None``."""
         cached = self._core_cache.get((fname, args))

@@ -1,0 +1,157 @@
+"""CLI contract tests for PR 5: documented exit codes (0 = ok/DRF,
+1 = finding, 2 = usage/internal error), ``--threads`` hygiene,
+``--jobs`` plumbing and the witness-metadata ``max_atomic_steps``
+bugfix."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RACY = """
+int x = 0;
+void t1() { x = 1; }
+void t2() { x = 2; }
+"""
+
+SAFE = """
+int g = 0;
+void main() { g = 1; print(g); }
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text(RACY)
+    return str(path)
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.c"
+    path.write_text(SAFE)
+    return str(path)
+
+
+class TestThreadsParsing:
+    def test_whitespace_around_entries_accepted(self, racy_file,
+                                                capsys):
+        assert main(["drf", racy_file, "--threads", "t1, t2"]) == 1
+        assert "DRF: False" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("spec", ["t1,t2,", ",t1", "t1,,t2", " ,"])
+    def test_empty_entries_rejected(self, racy_file, spec, capsys):
+        assert main(["drf", racy_file, "--threads", spec]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error" in err and "--threads" in err
+
+    def test_unknown_entry_rejected_with_candidates(self, racy_file,
+                                                    capsys):
+        assert main(["drf", racy_file, "--threads", "t1,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        # A clean argparse-style message listing the known entries,
+        # not a raw traceback from deep inside thread creation.
+        assert "known entries" in err and "t1" in err
+
+    def test_run_checks_threads_too(self, racy_file, capsys):
+        assert main(["run", racy_file, "--threads", "t1,"]) == 2
+        assert main(["run", racy_file, "--threads", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+
+    def test_replay_checks_threads_too(self, racy_file, tmp_path,
+                                       capsys):
+        out = tmp_path / "w.json"
+        assert main(["drf", racy_file, "--threads", "t1,t2",
+                     "--witness-out", str(out)]) == 1
+        assert main(["replay", racy_file, "--witness", str(out),
+                     "--threads", "t1,t2,"]) == 2
+        capsys.readouterr()
+
+
+class TestExitCodes:
+    def test_zero_on_drf(self, safe_file, capsys):
+        assert main(["drf", safe_file]) == 0
+        assert "DRF: True" in capsys.readouterr().out
+
+    def test_one_on_race(self, racy_file, capsys):
+        assert main(["drf", racy_file, "--threads", "t1,t2"]) == 1
+        capsys.readouterr()
+
+    def test_zero_on_run(self, safe_file, capsys):
+        assert main(["run", safe_file]) == 0
+        capsys.readouterr()
+
+    def test_two_on_internal_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "does-not-exist.c")
+        assert main(["drf", missing]) == 2
+        assert "repro: internal error" in capsys.readouterr().err
+
+    def test_two_on_bad_witness_file(self, racy_file, tmp_path,
+                                     capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["replay", racy_file, "--witness",
+                     str(bad)]) == 2
+        assert "repro: internal error" in capsys.readouterr().err
+
+    def test_usage_errors_exit_two_via_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["no-such-command"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+class TestJobsFlag:
+    def test_drf_jobs_verdicts_match(self, racy_file, safe_file,
+                                     capsys):
+        assert main(["drf", racy_file, "--threads", "t1,t2",
+                     "--jobs", "2"]) == 1
+        assert main(["drf", safe_file, "--jobs", "2"]) == 0
+        capsys.readouterr()
+
+    def test_run_jobs_output_matches_sequential(self, racy_file,
+                                                capsys):
+        assert main(["run", racy_file, "--threads", "t1,t2"]) == 0
+        seq = capsys.readouterr().out
+        assert main(["run", racy_file, "--threads", "t1,t2",
+                     "--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        assert seq == par
+
+    def test_parallel_witness_replays(self, racy_file, tmp_path,
+                                      capsys):
+        out = tmp_path / "w.json"
+        assert main(["drf", racy_file, "--threads", "t1,t2",
+                     "--jobs", "2", "--witness-out", str(out)]) == 1
+        assert main(["replay", racy_file, "--witness",
+                     str(out)]) == 0
+        assert "replay: OK" in capsys.readouterr().out
+
+    def test_env_default(self, racy_file, capsys, monkeypatch):
+        from repro.cli import make_parser
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        args = make_parser().parse_args(
+            ["drf", racy_file, "--threads", "t1,t2"]
+        )
+        assert args.jobs == 3
+
+
+class TestWitnessMeta:
+    def test_meta_records_actual_bound(self, racy_file, tmp_path,
+                                       capsys):
+        out = tmp_path / "w.json"
+        assert main(["drf", racy_file, "--threads", "t1,t2",
+                     "--max-atomic-steps", "16",
+                     "--witness-out", str(out)]) == 1
+        record = json.loads(out.read_text())
+        # The bugfix: previously hardcoded to 64 regardless of the
+        # semantics' configured horizon.
+        assert record["meta"]["max_atomic_steps"] == 16
+        assert main(["replay", racy_file, "--witness",
+                     str(out)]) == 0
+        capsys.readouterr()

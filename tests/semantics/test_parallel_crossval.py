@@ -1,0 +1,142 @@
+"""Parallel-vs-sequential cross-validation (PR 5).
+
+Every workload of the POR cross-validation suite
+(:mod:`tests.semantics.test_por_crossval`) is explored at ``jobs ∈
+{1, 2, 4}`` with POR on and off; behaviour *fingerprints* (the
+BENCH-format sha256 over sorted behaviour reprs) and race verdicts
+must be identical across the whole matrix — ``jobs=1`` doubles as the
+sequential baseline, so this pins the parallel explorer to the
+sequential one the same way the POR suite pins reduction to full
+exploration.
+
+The hypothesis property at the bottom checks the ISSUE's replayability
+clause: the shard count never changes whether ``find_race``'s witness
+replays — whatever witness a sharded search reports must re-execute to
+its racy world under the plain semantics, and the verdict must match
+the sequential search's.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    find_race,
+    program_behaviours,
+    replay_schedule,
+)
+from repro.semantics.parallel import available
+
+from tests.helpers import cimp_program
+from tests.semantics.test_por_crossval import (
+    MAX_EVENTS,
+    MAX_STATES,
+    _WORKLOADS,
+)
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="platform cannot fork workers"
+)
+
+_JOBS = (1, 2, 4)
+
+
+def _fingerprint(behs):
+    digest = hashlib.sha256()
+    for line in sorted(repr(b) for b in behs):
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+@pytest.mark.parametrize("red", [False, True], ids=["full", "por"])
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+def test_behaviour_fingerprints_identical_across_jobs(name, red):
+    build = _WORKLOADS[name]
+    prints = {
+        _fingerprint(
+            program_behaviours(
+                GlobalContext(build()), PreemptiveSemantics(),
+                MAX_STATES, MAX_EVENTS, reduce=red, jobs=jobs,
+            )
+        )
+        for jobs in _JOBS
+    }
+    assert len(prints) == 1, prints
+
+
+@pytest.mark.parametrize("red", [False, True], ids=["full", "por"])
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+def test_race_verdicts_identical_across_jobs(name, red):
+    build = _WORKLOADS[name]
+    for sem_cls in (PreemptiveSemantics, NonPreemptiveSemantics):
+        verdicts = {
+            find_race(
+                GlobalContext(build()), sem_cls(), MAX_STATES,
+                reduce=red, jobs=jobs,
+            )
+            is None
+            for jobs in _JOBS
+        }
+        assert len(verdicts) == 1, (sem_cls.name, verdicts)
+
+
+# ----- witness replayability is shard-count independent ----------------------
+
+_CIMP_POOL = [
+    "[C] := x + 1;",
+    "x := [C];",
+    "<x := [C]; [C] := x + 1;>",
+    "[D] := 3;",
+    "y := [D];",
+    "print(x);",
+    "skip;",
+]
+
+
+@st.composite
+def _two_thread_programs(draw):
+    def body():
+        stmts = draw(
+            st.lists(st.sampled_from(_CIMP_POOL), min_size=1,
+                     max_size=3)
+        )
+        return " ".join(stmts)
+
+    return "t1(){{ {} }} t2(){{ {} }}".format(body(), body())
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_two_thread_programs(), st.sampled_from([2, 3]))
+def test_witness_replayability_is_jobs_independent(source, jobs):
+    from repro.common.values import VInt
+
+    prog = cimp_program(
+        source,
+        ["t1", "t2"],
+        symbols={"C": 100, "D": 101},
+        init={100: VInt(0), 101: VInt(0)},
+    )
+    ctx = GlobalContext(prog)
+    seq = find_race(ctx, PreemptiveSemantics(), max_states=5000)
+    par = find_race(
+        ctx, PreemptiveSemantics(), max_states=5000, jobs=jobs
+    )
+    # Verdict is shard-count independent ...
+    assert (seq is None) == (par is None), source
+    # ... and so is replayability: any reported witness re-executes.
+    for witness in (seq, par):
+        if witness is None:
+            continue
+        assert witness.schedule is not None, source
+        res = replay_schedule(ctx, witness.schedule)
+        assert res.world == witness.world, source
