@@ -107,9 +107,13 @@ def _metered_counters(prog, reduce):
             "parallel.shards",
             "parallel.batches",
             "parallel.cross_edges",
-            "parallel.idle_seconds",
         )
     }
+    # Durations are gauges since PR 6 (counters are integer-minded
+    # monotone event counts); keep the key name the old artifacts used.
+    counters["parallel.idle_seconds"] = obs.gauge_value(
+        "parallel.idle_seconds"
+    )
     obs.reset()
     return counters
 

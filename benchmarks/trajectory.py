@@ -1,0 +1,259 @@
+"""Perf-trajectory gate over the committed ``BENCH_*.json`` artifacts.
+
+Every perf-focused PR commits a ``BENCH_pr<N>.json`` snapshot (see
+``benchmarks/bench_pr*.py``). Individually each file is a point; this
+module reads them *as a sequence* and answers the question a reviewer
+actually has: **is the repo getting slower?**
+
+It works in three steps:
+
+1. **Discover** — glob ``BENCH_pr*.json`` in the repo root, ordered by
+   PR number.
+2. **Extract** — normalise each file's sections into named series.
+   The schemas differ per PR (``scale`` / ``fig13`` tables in pr2-3, a
+   ``scaling`` jobs-axis in pr5), so extraction maps them onto shared
+   workload keys: a pr5 ``jobs=1`` full-exploration row continues the
+   same ``states_per_second`` series the pr2 ``scale`` table started;
+   reduced-mode and ``jobs>1`` rows become their own suffixed series.
+   Each series carries a *direction* — ``states_per_second`` is
+   higher-is-better, ``seconds_best`` lower-is-better.
+3. **Gate** — for every series, compare the newest point against its
+   predecessor (``--all`` checks every consecutive transition) and
+   fail when the regression exceeds ``--tolerance`` (default 0.4:
+   benchmark runners are noisy and PRs legitimately trade raw speed
+   for features, so only a >40% cliff fails the gate — the *report*
+   still shows every delta).
+
+Run it from CI (see ``.github/workflows/ci.yml``, job ``perf-gate``)::
+
+    python benchmarks/trajectory.py --report trajectory.txt
+
+Exit codes follow the CLI contract: 0 — no gated regression; 1 — a
+series regressed beyond tolerance; 2 — usage error (no BENCH files,
+unreadable JSON).
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+#: Metric name -> True when larger values are better.
+DIRECTIONS = {
+    "states_per_second": True,
+    "seconds_best": False,
+}
+
+_PR_RE = re.compile(r"BENCH_pr(\d+)\.json$")
+
+
+def discover(root):
+    """``[(pr_number, path)]`` for the committed bench artifacts."""
+    out = []
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        match = _PR_RE.search(os.path.basename(path))
+        if match:
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def extract_series(data):
+    """Normalise one BENCH file into ``{(workload, metric): value}``."""
+    series = {}
+
+    def put(workload, metric, value):
+        if value is not None:
+            series[(workload, metric)] = float(value)
+
+    scale = data.get("scale")
+    if isinstance(scale, dict):
+        wl = scale.get("workload", "scale")
+        put(wl, "states_per_second", scale.get("states_per_second"))
+        put(wl, "seconds_best", scale.get("seconds_best"))
+    fig13 = data.get("fig13")
+    if isinstance(fig13, dict):
+        wl = fig13.get("workload", "fig13")
+        put(wl, "seconds_best", fig13.get("seconds_best"))
+    for entry in data.get("scaling") or []:
+        wl = entry.get("workload", "scaling")
+        if entry.get("mode") == "reduced":
+            wl += " [reduced]"
+        for row in entry.get("rows") or []:
+            jobs = row.get("jobs", 1)
+            key = wl if jobs == 1 else "{} [jobs={}]".format(wl, jobs)
+            put(key, "states_per_second", row.get("states_per_second"))
+    return series
+
+
+def build_trajectories(root):
+    """``{(workload, metric): [(pr, value), ...]}`` across all files."""
+    found = discover(root)
+    if not found:
+        raise FileNotFoundError(
+            "no BENCH_pr*.json artifacts under {}".format(root)
+        )
+    trajectories = {}
+    for pr, path in found:
+        with open(path) as handle:
+            data = json.load(handle)
+        for key, value in extract_series(data).items():
+            trajectories.setdefault(key, []).append((pr, value))
+    return trajectories
+
+
+def _delta(prev, cur, higher_is_better):
+    """Signed relative change, positive = improvement.
+
+    Lower-is-better series are measured against the *new* value
+    (throughput space), so a 1.5x slowdown reads as the same -33%
+    whether the series tracks seconds or states/second — otherwise
+    the same regression would gate differently depending on which
+    unit a benchmark happened to record.
+    """
+    if higher_is_better:
+        return (cur - prev) / abs(prev) if prev else 0.0
+    return (prev - cur) / abs(cur) if cur else 0.0
+
+
+def find_regressions(trajectories, tolerance, check_all=False):
+    """``[(workload, metric, pr_from, pr_to, delta)]`` beyond tolerance.
+
+    By default only each series' newest transition is gated — older
+    transitions were already gated by the PRs that introduced them,
+    and re-failing history would make the gate impossible to satisfy.
+    """
+    out = []
+    for (workload, metric), points in sorted(trajectories.items()):
+        if len(points) < 2:
+            continue
+        higher = DIRECTIONS.get(metric, True)
+        pairs = zip(points, points[1:]) if check_all else [points[-2:]]
+        for (pr_a, va), (pr_b, vb) in pairs:
+            delta = _delta(va, vb, higher)
+            if delta < -tolerance:
+                out.append((workload, metric, pr_a, pr_b, delta))
+    return out
+
+
+def render_report(trajectories, regressions, tolerance):
+    """The trend report: one line per series, newest delta annotated."""
+    failed = {
+        (workload, metric) for workload, metric, _a, _b, _d in regressions
+    }
+    lines = [
+        "perf trajectory ({} series, tolerance {:.0%}):".format(
+            len(trajectories), tolerance
+        ),
+        "",
+    ]
+    for (workload, metric), points in sorted(trajectories.items()):
+        higher = DIRECTIONS.get(metric, True)
+        path = " -> ".join(
+            "pr{}:{:g}".format(pr, value) for pr, value in points
+        )
+        if len(points) >= 2:
+            delta = _delta(points[-2][1], points[-1][1], higher)
+            status = "REGRESSED" if (workload, metric) in failed else (
+                "ok ({}{:.1%})".format("+" if delta >= 0 else "", delta)
+            )
+        else:
+            status = "single point"
+        lines.append(
+            "  {} / {} [{}]".format(
+                workload, metric,
+                "higher is better" if higher else "lower is better",
+            )
+        )
+        lines.append("      {}   {}".format(path, status))
+    if regressions:
+        lines.append("")
+        lines.append("regressions beyond tolerance:")
+        for workload, metric, pr_a, pr_b, delta in regressions:
+            lines.append(
+                "  {} / {}: pr{} -> pr{} changed {:.1%} "
+                "(tolerance {:.0%})".format(
+                    workload, metric, pr_a, pr_b, delta, tolerance
+                )
+            )
+    else:
+        lines.append("")
+        lines.append("no regression beyond tolerance.")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="gate the committed BENCH_*.json perf trajectory"
+    )
+    parser.add_argument(
+        "--dir", default=os.path.join(os.path.dirname(__file__), ".."),
+        help="directory holding BENCH_pr*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.4, metavar="FRAC",
+        help="allowed relative regression per transition (default 0.4)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="gate every consecutive transition, not just the newest",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write trajectories + regressions as JSON",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE",
+        help="also write the trend report to FILE",
+    )
+    args = parser.parse_args(argv)
+    try:
+        trajectories = build_trajectories(os.path.abspath(args.dir))
+    except (FileNotFoundError, ValueError) as exc:
+        print("trajectory: error: {}".format(exc), file=sys.stderr)
+        return 2
+    regressions = find_regressions(
+        trajectories, args.tolerance, check_all=args.all
+    )
+    report = render_report(trajectories, regressions, args.tolerance)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+    if args.json:
+        payload = {
+            "tolerance": args.tolerance,
+            "series": [
+                {
+                    "workload": workload,
+                    "metric": metric,
+                    "higher_is_better": DIRECTIONS.get(metric, True),
+                    "points": [
+                        {"pr": pr, "value": value}
+                        for pr, value in points
+                    ],
+                }
+                for (workload, metric), points in sorted(
+                    trajectories.items()
+                )
+            ],
+            "regressions": [
+                {
+                    "workload": workload,
+                    "metric": metric,
+                    "from_pr": pr_a,
+                    "to_pr": pr_b,
+                    "delta": delta,
+                }
+                for workload, metric, pr_a, pr_b, delta in regressions
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,13 +16,20 @@ Commands:
   program and verify its verdict reproduces (``--minimize`` /
   ``--witness-out`` shrink and re-save it);
 * ``inspect ARTIFACT`` — render a witness as a per-thread timeline,
-  or summarize a ``--trace`` JSONL file.
+  or summarize a ``--trace`` JSONL file;
+* ``profile TRACE [--metrics-in FILE]`` — decompose where a metered
+  run's wall-clock went: per-shard phase breakdown, top spans by
+  self-time, utilization timelines and the wire-cost table (see
+  :mod:`repro.obs.profile`).
 
 All commands accept ``--metrics`` (print a metrics summary table),
 ``--metrics-out FILE`` (write the final metrics snapshot as JSON) and
 ``--trace FILE`` (write a JSON-lines span trace); the
 ``REPRO_METRICS`` / ``REPRO_METRICS_OUT`` / ``REPRO_TRACE``
 environment variables switch the same machinery on without flags.
+``--metrics-format prom`` switches the printed summary (and ``repro
+profile``'s output) from the plain-text table to Prometheus text
+exposition.
 
 ``run`` and ``drf`` accept ``--por/--no-por`` to control the
 footprint-directed partial-order reduction (default: the ``REPRO_POR``
@@ -273,6 +280,28 @@ def cmd_inspect(args):
     return 0
 
 
+def cmd_profile(args):
+    from repro.obs.profile import load_profile, render_profile
+
+    try:
+        profile = load_profile(args.trace_file, args.metrics_in)
+    except OSError as exc:
+        raise UsageError("cannot read profile inputs: {}".format(exc))
+    if args.metrics_format == "prom":
+        if profile["metrics"] is None:
+            raise UsageError(
+                "no metrics snapshot found: pass --metrics-in FILE, or "
+                "re-run the traced command with --metrics/--metrics-out "
+                "so the trace ends with a metrics record"
+            )
+        from repro.obs.prom import render_prometheus
+
+        sys.stdout.write(render_prometheus(profile["metrics"]))
+        return 0
+    print(render_profile(profile, top=args.top))
+    return 0
+
+
 def make_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +334,12 @@ def make_parser():
             "--trace", metavar="FILE",
             help="write a JSON-lines span trace to FILE "
             "(also REPRO_TRACE=FILE)",
+        )
+        p.add_argument(
+            "--metrics-format", choices=("table", "prom"),
+            default="table", metavar="FMT",
+            help="metrics summary format: 'table' (default) or 'prom' "
+            "(Prometheus text exposition)",
         )
 
     p = sub.add_parser("compile", help="run the pipeline")
@@ -408,6 +443,35 @@ def make_parser():
         "--metrics", action="store_true", help=argparse.SUPPRESS
     )
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "profile",
+        help="decompose where a metered run's wall-clock went",
+    )
+    # NB: dest must not be "trace" — main() treats args.trace as the
+    # *output* trace to open for writing, which would truncate the
+    # very file we are here to read.
+    p.add_argument(
+        "trace_file", metavar="TRACE",
+        help="--trace JSONL file from the run (per-worker .w* sibling "
+        "files are picked up automatically)",
+    )
+    p.add_argument(
+        "--metrics-in", metavar="FILE",
+        help="metrics snapshot JSON (from --metrics-out); default: "
+        "the metrics record embedded at the end of the trace",
+    )
+    p.add_argument(
+        "--metrics-format", choices=("table", "prom"),
+        default="table", metavar="FMT",
+        help="emit the full report ('table', default) or just the "
+        "metrics snapshot as Prometheus text exposition ('prom')",
+    )
+    p.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="rows in the top-spans-by-self-time table (default 12)",
+    )
+    p.set_defaults(func=cmd_profile)
     return parser
 
 
@@ -433,8 +497,11 @@ def main(argv=None):
     try:
         result = args.func(args)
         if show_summary and obs.metrics_enabled():
-            print()
-            print(obs.render_summary())
+            if getattr(args, "metrics_format", "table") == "prom":
+                sys.stdout.write(obs.render_prom())
+            else:
+                print()
+                print(obs.render_summary())
         return result
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -39,7 +39,9 @@ once (pickle's memo table sees pointer-equal objects), so a batch of
 """
 
 import copyreg
+import io
 import pickle
+import time
 
 from repro.common import footprint as _footprint
 from repro.common import freelist as _freelist
@@ -249,28 +251,66 @@ def encode_batch(payload):
 
     One batch shares one pickle memo table, so hash-consed state shared
     between the payload's worlds is serialized exactly once.
+
+    When observability is on, every encode lands in the wire-cost
+    metrics: ``serialize.encode.calls`` / ``.bytes`` counters, a
+    ``serialize.encode.seconds`` histogram, and a
+    ``serialize.encode.memo_entries`` histogram (distinct objects the
+    batch's shared memo table held — the sharing the batch envelope
+    buys over per-world dumps).
     """
+    from repro import obs
+
     _registered()
+    track = obs.enabled
+    if track:
+        t0 = time.monotonic()
     try:
-        return pickle.dumps(
-            (SERIAL_SCHEMA_VERSION, _SEED_PROBE, payload),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        buf = io.BytesIO()
+        pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.dump((SERIAL_SCHEMA_VERSION, _SEED_PROBE, payload))
+        data = buf.getvalue()
     except Exception as exc:
         raise SerializationError(
             "cannot encode batch: {}".format(exc)
         ) from exc
+    if track:
+        obs.inc("serialize.encode.calls")
+        obs.inc("serialize.encode.bytes", len(data))
+        obs.observe(
+            "serialize.encode.seconds", time.monotonic() - t0
+        )
+        memo = getattr(pickler, "memo", None)
+        if memo is not None:
+            try:
+                size = len(memo)
+            except TypeError:
+                # The C pickler exposes a len-less memo proxy.
+                size = len(memo.copy())
+            obs.observe("serialize.encode.memo_entries", size)
+    return data
 
 
 def decode_batch(data):
     """Decode a batch, checking the version tag and the seed probe."""
+    from repro import obs
+
     _registered()
+    track = obs.enabled
+    if track:
+        t0 = time.monotonic()
     try:
         version, probe, payload = pickle.loads(data)
     except Exception as exc:
         raise SerializationError(
             "cannot decode batch: {}".format(exc)
         ) from exc
+    if track:
+        obs.inc("serialize.decode.calls")
+        obs.inc("serialize.decode.bytes", len(data))
+        obs.observe(
+            "serialize.decode.seconds", time.monotonic() - t0
+        )
     if version != SERIAL_SCHEMA_VERSION:
         raise SerializationError(
             "unsupported batch schema version {!r} (expected {})".format(

@@ -66,8 +66,12 @@ __all__ = [
     "observe",
     "warn",
     "snapshot",
+    "dump",
+    "merge_dump",
     "counter_value",
+    "gauge_value",
     "render_summary",
+    "render_prom",
     "read_trace",
     "NULL_SPAN",
 ]
@@ -79,6 +83,12 @@ enabled = False
 #: The active registry / tracer, or ``None`` when off.
 registry = None
 tracer = None
+
+#: The path the tracer writes to when :func:`configure` was given one
+#: (``None`` for file-like sinks or when tracing is off). The parallel
+#: explorer reads this to derive per-worker trace paths
+#: (``<path>.w<wid>``) for its forked workers.
+trace_path = None
 
 #: Destination for the final metrics snapshot (path or file-like), or
 #: ``None``; written by :func:`shutdown`.
@@ -100,7 +110,8 @@ def _refresh_enabled():
     enabled = registry is not None or tracer is not None
 
 
-def configure(metrics=False, trace=None, metrics_out_path=None):
+def configure(metrics=False, trace=None, metrics_out_path=None,
+              trace_base_attrs=None):
     """Enable observability backends (idempotent; layers on top of any
     already-active configuration).
 
@@ -109,8 +120,10 @@ def configure(metrics=False, trace=None, metrics_out_path=None):
     ``metrics_out_path`` — a path or file-like object the final metrics
     snapshot is written to (as JSON) on :func:`shutdown`; implies
     ``metrics``.
+    ``trace_base_attrs`` — attributes stamped on every trace record
+    (forked workers pass ``{"wid": N}``).
     """
-    global registry, tracer, metrics_out
+    global registry, tracer, metrics_out, trace_path
     if metrics_out_path is not None and metrics_out is None:
         metrics_out = metrics_out_path
         metrics = True
@@ -118,9 +131,13 @@ def configure(metrics=False, trace=None, metrics_out_path=None):
         registry = MetricsRegistry()
     if trace is not None and tracer is None:
         if hasattr(trace, "write"):
-            tracer = Tracer(trace)
+            tracer = Tracer(trace, base_attrs=trace_base_attrs)
         else:
-            tracer = Tracer(open(trace, "w"), close_sink=True)
+            tracer = Tracer(
+                open(trace, "w"), close_sink=True,
+                base_attrs=trace_base_attrs,
+            )
+            trace_path = str(trace)
     _refresh_enabled()
 
 
@@ -165,7 +182,7 @@ def shutdown():
     """Flush everything and disable: append the metrics snapshot to the
     tracer (when both backends are on), write the ``metrics_out`` JSON
     snapshot, print the suppressed-warning summary, close the tracer."""
-    global registry, tracer, metrics_out
+    global registry, tracer, metrics_out, trace_path
     if tracer is not None:
         if registry is not None:
             tracer.metrics(registry.snapshot())
@@ -175,15 +192,17 @@ def shutdown():
     registry = None
     tracer = None
     metrics_out = None
+    trace_path = None
     _refresh_enabled()
 
 
 def reset():
     """Hard reset for tests: drop state without flushing."""
-    global registry, tracer, metrics_out
+    global registry, tracer, metrics_out, trace_path
     registry = None
     tracer = None
     metrics_out = None
+    trace_path = None
     _warn_counts.clear()
     _refresh_enabled()
 
@@ -328,6 +347,23 @@ def snapshot():
     return registry.snapshot()
 
 
+def dump():
+    """The registry's mergeable state (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.dump`), or ``None`` when
+    metrics are off. What forked workers ship to the coordinator."""
+    if registry is None:
+        return None
+    return registry.dump()
+
+
+def merge_dump(data):
+    """Generically merge a worker's :func:`dump` into the active
+    registry (counters add, gauges max, histograms merge); a no-op
+    when metrics are off or ``data`` is ``None``."""
+    if registry is not None and data is not None:
+        registry.merge(data)
+
+
 def counter_value(name, default=0):
     if registry is None:
         return default
@@ -335,8 +371,25 @@ def counter_value(name, default=0):
     return default if counter is None else counter.value
 
 
+def gauge_value(name, default=0):
+    if registry is None:
+        return default
+    gauge = registry.gauges.get(name)
+    return default if gauge is None else gauge.value
+
+
 def render_summary():
     """The metrics summary as a plain-text table block."""
     from repro.obs.render import render_metrics
 
     return render_metrics(snapshot())
+
+
+def render_prom():
+    """The metrics in Prometheus text exposition format (exact
+    histogram buckets, straight from the live registry's reservoirs)."""
+    from repro.obs.prom import render_prometheus
+
+    return render_prometheus(
+        dump() if registry is not None else snapshot()
+    )

@@ -11,6 +11,16 @@ Histograms keep raw observations (bounded by a reservoir cap) so the
 summary can report exact min/max/mean and nearest-rank p50/p95 for the
 volumes this system produces (per-pass durations, segment sizes —
 thousands of points, not millions).
+
+Every instrument is **mergeable**: :meth:`MetricsRegistry.dump`
+produces a plain-dict state a forked worker can ship across a process
+boundary, and :meth:`MetricsRegistry.merge` folds such a dump into the
+receiving registry *generically* — counters add, gauges keep the max,
+histograms combine their exact aggregates (count/total/min/max) and
+interleave their retained reservoirs. The parallel explorer's
+coordinator uses this to absorb each worker's complete snapshot
+instead of hand-picking counters, so a new worker-side metric needs no
+coordinator change to surface.
 """
 
 
@@ -89,6 +99,40 @@ class Histogram:
         )
         return ordered[rank]
 
+    def dump(self):
+        """Mergeable plain-dict state (exact aggregates + reservoir)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "values": list(self.values),
+        }
+
+    def merge_dump(self, dump):
+        """Fold another histogram's :meth:`dump` into this one.
+
+        count/total/min/max merge exactly; the reservoirs concatenate
+        (re-decimated if the cap is exceeded), so percentiles stay
+        representative of the combined stream.
+        """
+        self.count += dump["count"]
+        self.total += dump["total"]
+        other_min = dump["min"]
+        other_max = dump["max"]
+        if other_min is not None and (
+            self.vmin is None or other_min < self.vmin
+        ):
+            self.vmin = other_min
+        if other_max is not None and (
+            self.vmax is None or other_max > self.vmax
+        ):
+            self.vmax = other_max
+        self.values.extend(dump["values"])
+        while len(self.values) >= RESERVOIR_CAP:
+            self.values = self.values[::2]
+            self._stride *= 2
+
     def summary(self):
         mean = self.total / self.count if self.count else None
         return {
@@ -161,6 +205,37 @@ class MetricsRegistry:
                 for name, h in sorted(self.histograms.items())
             },
         }
+
+    def dump(self):
+        """The registry's complete mergeable state, as plain dicts.
+
+        Unlike :meth:`snapshot` (a human/JSON summary), a dump carries
+        the histograms' exact aggregates and retained reservoirs, so a
+        receiving registry can :meth:`merge` it without losing
+        percentile fidelity. Dumps are what forked workers ship to the
+        coordinator.
+        """
+        return {
+            "counters": {
+                name: c.value for name, c in self.counters.items()
+            },
+            "gauges": {
+                name: g.value for name, g in self.gauges.items()
+            },
+            "histograms": {
+                name: h.dump() for name, h in self.histograms.items()
+            },
+        }
+
+    def merge(self, dump):
+        """Generically fold a :meth:`dump` into this registry:
+        counters add, gauges keep the max, histograms merge."""
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
+        for name, hdump in dump.get("histograms", {}).items():
+            self.histogram(name).merge_dump(hdump)
 
     def reset(self):
         self.counters.clear()

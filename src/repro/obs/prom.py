@@ -1,0 +1,160 @@
+"""Prometheus text exposition of a metrics snapshot or dump.
+
+``render_prometheus`` turns the output of either
+:meth:`~repro.obs.metrics.MetricsRegistry.dump` (exact: raw histogram
+reservoirs) or :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+(summary-only: count/min/max/mean/p50/p95) into the `text exposition
+format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+a Prometheus server scrapes:
+
+* counters become ``<ns>_<name>_total`` with ``# TYPE ... counter``;
+* gauges become ``<ns>_<name>`` with ``# TYPE ... gauge``;
+* histograms become the conventional ``_bucket{le="..."}`` /
+  ``_sum`` / ``_count`` triple.  With raw reservoirs the cumulative
+  bucket counts are computed over a deterministic 1–2–5 ladder
+  spanning the observed range (scaled to the true count when the
+  reservoir was decimated); with only a summary the buckets degrade
+  gracefully to the three honest cut points a summary supports
+  (``le=p50`` ≈ half the count, ``le=p95``, ``le=max``).
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar
+(every other character becomes ``_``) and prefixed with the
+``repro_`` namespace, so ``span.explore.seconds`` is scraped as
+``repro_span_explore_seconds``. This module is pure formatting — the
+``repro profile --metrics-format prom`` reader and the future ``repro
+serve`` scrape endpoint both feed it snapshots they already hold.
+"""
+
+import re
+
+#: Default namespace every exported metric name is prefixed with.
+NAMESPACE = "repro"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Mantissas of the deterministic log bucket ladder.
+_LADDER = (1.0, 2.0, 5.0)
+
+
+def sanitize_name(name, namespace=NAMESPACE):
+    """A Prometheus-legal metric name for ``name``.
+
+    Illegal characters collapse to ``_``; a leading digit gains a
+    ``_`` guard; the namespace is prepended with a ``_`` separator.
+    """
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    if namespace:
+        return "{}_{}".format(_NAME_RE.sub("_", namespace), clean)
+    return clean
+
+
+def _fmt(value):
+    """Prometheus sample values: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value) and (
+        abs(value) < 1e15
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def bucket_bounds(vmin, vmax):
+    """The 1–2–5 ladder covering ``[vmin, vmax]``.
+
+    Deterministic (no data-dependent jitter beyond the range itself),
+    so repeated exports of the same run expose identical bucket
+    layouts — which is what makes scraped series comparable.
+    """
+    if vmin is None or vmax is None:
+        return []
+    if vmax <= 0:
+        return [0.0]
+    # Start one decade below the smallest positive observation.
+    low = vmin if vmin > 0 else vmax / 1000.0
+    exp = -18
+    while 10.0 ** (exp + 1) <= low:
+        exp += 1
+    bounds = []
+    while True:
+        for m in _LADDER:
+            bound = m * (10.0 ** exp)
+            bounds.append(bound)
+            if bound >= vmax:
+                return bounds
+        exp += 1
+        if exp > 18:  # overflow guard; vmax is finite
+            return bounds
+
+
+def _histogram_lines(name, data):
+    """The ``_bucket``/``_sum``/``_count`` block for one histogram.
+
+    ``data`` is either a dump entry (has ``values``/``total``) or a
+    snapshot summary (has ``mean``/``p50``/``p95``).
+    """
+    count = data.get("count", 0)
+    lines = []
+    if "values" in data:
+        values = sorted(data["values"])
+        total = data.get("total", 0.0)
+        # The reservoir may be a decimated sample of the stream;
+        # scale each retained point's weight so the buckets still
+        # sum to the true count.
+        weight = (count / len(values)) if values else 0.0
+        cumulative = 0.0
+        idx = 0
+        for bound in bucket_bounds(data.get("min"), data.get("max")):
+            while idx < len(values) and values[idx] <= bound:
+                idx += 1
+                cumulative += weight
+            lines.append(
+                '{}_bucket{{le="{}"}} {}'.format(
+                    name, _fmt(bound), _fmt(round(cumulative))
+                )
+            )
+    else:
+        total = (data.get("mean") or 0.0) * count
+        seen = set()
+        for bound, share in (
+            (data.get("p50"), 0.5),
+            (data.get("p95"), 0.95),
+            (data.get("max"), 1.0),
+        ):
+            if bound is None or bound in seen:
+                continue
+            seen.add(bound)
+            lines.append(
+                '{}_bucket{{le="{}"}} {}'.format(
+                    name, _fmt(bound), _fmt(round(count * share))
+                )
+            )
+    lines.append('{}_bucket{{le="+Inf"}} {}'.format(name, _fmt(count)))
+    lines.append("{}_sum {}".format(name, _fmt(total)))
+    lines.append("{}_count {}".format(name, _fmt(count)))
+    return lines
+
+
+def render_prometheus(snapshot, namespace=NAMESPACE):
+    """The whole snapshot/dump as Prometheus text exposition."""
+    out = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        pname = sanitize_name(name, namespace) + "_total"
+        out.append("# HELP {} repro counter {}".format(pname, name))
+        out.append("# TYPE {} counter".format(pname))
+        out.append("{} {}".format(pname, _fmt(value)))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = sanitize_name(name, namespace)
+        out.append("# HELP {} repro gauge {}".format(pname, name))
+        out.append("# TYPE {} gauge".format(pname))
+        out.append("{} {}".format(pname, _fmt(value)))
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        pname = sanitize_name(name, namespace)
+        out.append("# HELP {} repro histogram {}".format(pname, name))
+        out.append("# TYPE {} histogram".format(pname))
+        out.extend(_histogram_lines(pname, dict(data)))
+    return "\n".join(out) + ("\n" if out else "")

@@ -75,22 +75,31 @@ NULL_SPAN = NullSpan()
 
 
 class Tracer:
-    """Writes spans and events as JSON lines to a file-like sink."""
+    """Writes spans and events as JSON lines to a file-like sink.
 
-    def __init__(self, sink, close_sink=False):
+    ``base_attrs`` are merged into every span and event record (span
+    attributes win on collision) and echoed on the ``meta`` header
+    line. The parallel explorer's forked workers use this to stamp a
+    ``wid`` on every record of their per-worker trace file, so merged
+    readings can always attribute a span to its shard.
+    """
+
+    def __init__(self, sink, close_sink=False, base_attrs=None):
         self.sink = sink
         self.close_sink = close_sink
+        self.base_attrs = dict(base_attrs) if base_attrs else None
         self.t0 = time.monotonic()
         self._ids = itertools.count(1)
         self._tls = threading.local()
         self._lock = threading.Lock()
-        self._write(
-            {
-                "type": "meta",
-                "version": TRACE_SCHEMA_VERSION,
-                "clock": "monotonic",
-            }
-        )
+        meta = {
+            "type": "meta",
+            "version": TRACE_SCHEMA_VERSION,
+            "clock": "monotonic",
+        }
+        if self.base_attrs:
+            meta["attrs"] = dict(self.base_attrs)
+        self._write(meta)
 
     # ----- span lifecycle --------------------------------------------------
 
@@ -135,8 +144,11 @@ class Tracer:
         }
         if exc_type is not None:
             record["error"] = exc_type.__name__
-        if span.attrs:
-            record["attrs"] = span.attrs
+        attrs = span.attrs
+        if self.base_attrs:
+            attrs = dict(self.base_attrs, **attrs)
+        if attrs:
+            record["attrs"] = attrs
         self._write(record)
         return dur
 
@@ -148,8 +160,11 @@ class Tracer:
             "parent": self.current_sid(),
             "ts": round(time.monotonic() - self.t0, 9),
         }
+        merged = dict(self.base_attrs) if self.base_attrs else {}
         if attrs:
-            record["attrs"] = dict(attrs)
+            merged.update(attrs)
+        if merged:
+            record["attrs"] = merged
         self._write(record)
 
     def metrics(self, snapshot):
@@ -161,6 +176,20 @@ class Tracer:
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
             self.sink.write(line + "\n")
+
+    def flush(self):
+        """Push buffered lines to the OS now.
+
+        The parallel explorer calls this immediately before forking
+        workers: a fork duplicates the sink's userspace buffer, and a
+        child that later garbage-collects its inherited copy would
+        flush those same bytes a second time into the shared file
+        descriptor — interleaving duplicate, possibly torn JSONL lines
+        into the parent's trace. An empty buffer makes the inherited
+        copy harmless.
+        """
+        with self._lock:
+            self.sink.flush()
 
     def close(self):
         with self._lock:

@@ -55,11 +55,25 @@ Differences from the sequential explorer, by design:
   consume budget faster. A world cut by the bound is recorded as
   truncated *itself* (the sequential explorer marks the parent), so
   ``cut`` behaviours still appear at the boundary.
-* Workers report plain counters; the coordinator publishes them
-  (``parallel.shards``, ``parallel.batches``, ``parallel.cross_edges``,
-  ``parallel.idle_seconds``, per-worker ``parallel.worker`` spans).
-  Worker processes run with observability reset — the parent's trace
-  file descriptors must not be written from two processes.
+* **Observability composes across the fork.** Each worker resets the
+  inherited obs state (the parent's sinks must not be written from
+  two processes), then re-enables a *private* registry when the
+  parent collects metrics and a *per-worker* trace file
+  (``<trace>.w<wid>``, every record stamped with a ``wid`` attr) when
+  the parent traces to a path — concurrent workers can never
+  interleave JSONL lines into one file. Workers meter their own
+  phases (``parallel.worker.{expand,encode,decode,idle,wall}_seconds``
+  histograms), wire costs (``parallel.wire.*`` bytes, batch-size and
+  per-world-size histograms, send-memo hit rate) and everything the
+  shared engine instrumentation records, and ship their **entire**
+  metrics snapshot to the coordinator in the ``bye`` message; the
+  coordinator folds the dumps in generically
+  (:meth:`~repro.obs.metrics.MetricsRegistry.merge` — counters add,
+  gauges max, histograms merge), so a new worker-side metric needs no
+  coordinator change. Coordinator-side costs surface as the
+  ``parallel.merge`` span and the ``parallel.merge_seconds`` /
+  ``parallel.idle_seconds`` gauges (durations are gauges, not
+  integer-minded counters).
 
 Workers are **forked**, never spawned: the string-hash seed is
 inherited, which is what makes ``hash(world) % jobs`` agree across
@@ -202,6 +216,17 @@ class _Worker:
         self.idle_seconds = 0.0
         self.cross_worlds = 0
         self.batches_out = 0
+        # Phase/wire accounting. ``timed`` hoists the obs check once:
+        # with observability off the loop must stay clock-read free.
+        self.timed = obs.enabled
+        self.expand_seconds = 0.0
+        self.encode_seconds = 0.0
+        self.decode_seconds = 0.0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.rec_bytes = 0
+        self.memo_hits = 0
+        self.memo_sends = 0
 
     # -- plumbing ----------------------------------------------------
 
@@ -212,18 +237,43 @@ class _Worker:
             self.flush_recs()
 
     def flush_recs(self):
-        if self.recs:
-            self.coord_q.put(("rec", self.wid, encode_batch(self.recs)))
-            self.recs = []
+        if not self.recs:
+            return
+        # The encode window covers the queue put too: handing the
+        # batch to the feeder thread is part of shipping it.
+        if self.timed:
+            t0 = time.monotonic()
+            data = encode_batch(self.recs)
+            self.rec_bytes += len(data)
+            self.coord_q.put(("rec", self.wid, data))
+            self.encode_seconds += time.monotonic() - t0
+        else:
+            data = encode_batch(self.recs)
+            self.coord_q.put(("rec", self.wid, data))
+        self.recs = []
 
     def flush_box(self, shard):
         box = self.outboxes[shard]
-        if box:
-            self.inboxes[shard].put(("w", encode_batch(box)))
-            self.sent[shard] += 1
-            self.batches_out += 1
-            self.cross_worlds += len(box)
-            self.outboxes[shard] = []
+        if not box:
+            return
+        if self.timed:
+            t0 = time.monotonic()
+            data = encode_batch(box)
+            self.bytes_out += len(data)
+            obs.observe("parallel.wire.batch_worlds", len(box))
+            obs.observe("parallel.wire.batch_bytes", len(data))
+            obs.observe(
+                "parallel.wire.world_bytes", len(data) / len(box)
+            )
+            self.inboxes[shard].put(("w", data))
+            self.encode_seconds += time.monotonic() - t0
+        else:
+            data = encode_batch(box)
+            self.inboxes[shard].put(("w", data))
+        self.sent[shard] += 1
+        self.batches_out += 1
+        self.cross_worlds += len(box)
+        self.outboxes[shard] = []
 
     def flush_boxes(self):
         for shard in range(self.jobs):
@@ -242,8 +292,12 @@ class _Worker:
             return
         cache = self.sent_cache[shard]
         if world in cache:
+            # The send memo: this world already crossed to that shard,
+            # so the envelope (encode + enqueue + decode) is saved.
+            self.memo_hits += 1
             return
         cache.add(world)
+        self.memo_sends += 1
         box = self.outboxes[shard]
         box.append(world)
         if len(box) >= _BATCH_WORLDS:
@@ -274,8 +328,20 @@ class _Worker:
         kind = msg[0]
         if kind == "w":
             self.recv += 1
-            for world in decode_batch(msg[1]):
-                self.enqueue_local(world)
+            # The decode window covers the dedup/enqueue of the
+            # decoded worlds: unpacking a batch isn't done until its
+            # worlds are in the pending queue.
+            if self.timed:
+                t0 = time.monotonic()
+                worlds = decode_batch(msg[1])
+                for world in worlds:
+                    self.enqueue_local(world)
+                self.decode_seconds += time.monotonic() - t0
+                self.bytes_in += len(msg[1])
+            else:
+                worlds = decode_batch(msg[1])
+                for world in worlds:
+                    self.enqueue_local(world)
         elif kind == "halt":
             # Outboxes are dropped (nobody will drain them); records
             # must flow — the witness path is rebuilt from them.
@@ -284,29 +350,62 @@ class _Worker:
 
     def run(self):
         inbox = self.inboxes[self.wid]
+        timed = self.timed
         while not self.halted:
             while True:
-                try:
-                    msg = inbox.get_nowait()
-                except Empty:
-                    break
+                # The poll itself is decode time: checking for
+                # incoming batches is part of receiving them, and one
+                # poll per expansion adds up over large runs.
+                if timed:
+                    t0 = time.monotonic()
+                    try:
+                        msg = inbox.get_nowait()
+                    except Empty:
+                        self.decode_seconds += time.monotonic() - t0
+                        break
+                    self.decode_seconds += time.monotonic() - t0
+                else:
+                    try:
+                        msg = inbox.get_nowait()
+                    except Empty:
+                        break
                 self.handle(msg)
                 if self.halted:
                     return
             if self.pending and not self.racing:
                 world = self.pending.popleft()
                 self.pending_set.discard(world)
-                self.expand(world)
+                if self.timed:
+                    # Expansion time excludes the encodes it triggers
+                    # (full outboxes flush mid-expansion), so the
+                    # expand/encode phases stay disjoint and sum
+                    # cleanly against wall-clock.
+                    t0 = time.monotonic()
+                    enc0 = self.encode_seconds
+                    self.expand(world)
+                    self.expand_seconds += (
+                        time.monotonic() - t0
+                        - (self.encode_seconds - enc0)
+                    )
+                else:
+                    self.expand(world)
                 continue
             # Idle: flush everything first so the counters reported
             # below cover every batch actually handed to a queue.
             self.flush_boxes()
             self.flush_recs()
+            # Announcing idleness to the coordinator is idle time.
+            t0 = time.monotonic()
             self.coord_q.put(
                 ("idle", self.wid, tuple(self.sent), self.recv)
             )
-            t0 = time.monotonic()
-            msg = inbox.get()
+            if self.timed:
+                # The blocking wait as a span: the profiler's
+                # utilization timeline is built from these intervals.
+                with obs.span("parallel.worker.idle"):
+                    msg = inbox.get()
+            else:
+                msg = inbox.get()
             self.idle_seconds += time.monotonic() - t0
             self.handle(msg)
 
@@ -425,6 +524,14 @@ class _Worker:
             "cross_worlds": self.cross_worlds,
             "batches": self.batches_out,
             "idle_seconds": round(self.idle_seconds, 6),
+            "expand_seconds": round(self.expand_seconds, 6),
+            "encode_seconds": round(self.encode_seconds, 6),
+            "decode_seconds": round(self.decode_seconds, 6),
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "rec_bytes": self.rec_bytes,
+            "memo_hits": self.memo_hits,
+            "memo_sends": self.memo_sends,
         }
         if self.reducer is not None:
             out["ample_worlds"] = self.reducer.ample_worlds
@@ -438,25 +545,122 @@ class _Worker:
             out["race_memo_hits"] = self.checker._memo_hits
         return out
 
+    def publish_metrics(self, wall_seconds):
+        """Record this worker's complete accounting in its *own*
+        registry; the coordinator absorbs the resulting dump through
+        the generic merge, so everything here (and anything the shared
+        engine instrumentation recorded while expanding) surfaces in
+        the parent without per-counter plumbing."""
+        if not obs.metrics_enabled():
+            return
+        obs.inc("parallel.batches", self.batches_out)
+        obs.inc("parallel.cross_edges", self.cross_worlds)
+        obs.inc("parallel.worker.states", len(self.recorded))
+        obs.inc("parallel.wire.bytes_out", self.bytes_out)
+        obs.inc("parallel.wire.bytes_in", self.bytes_in)
+        obs.inc("parallel.wire.rec_bytes", self.rec_bytes)
+        obs.inc("parallel.wire.memo_hits", self.memo_hits)
+        obs.inc("parallel.wire.memo_sends", self.memo_sends)
+        obs.observe("parallel.worker.wall_seconds", wall_seconds)
+        obs.observe(
+            "parallel.worker.expand_seconds", self.expand_seconds
+        )
+        obs.observe(
+            "parallel.worker.encode_seconds", self.encode_seconds
+        )
+        obs.observe(
+            "parallel.worker.decode_seconds", self.decode_seconds
+        )
+        obs.observe("parallel.worker.idle_seconds", self.idle_seconds)
+        if self.reducer is not None:
+            obs.inc("por.ample_worlds", self.reducer.ample_worlds)
+            obs.inc(
+                "por.full_expansions", self.reducer.full_expansions
+            )
+            obs.inc(
+                "por.proviso_expansions",
+                self.reducer.proviso_expansions,
+            )
+            obs.inc("por.steps_avoided", self.reducer.steps_avoided)
+        if self.checker is not None:
+            obs.inc(
+                "race.worlds_checked", self.checker.worlds_checked
+            )
+            obs.inc("race.predictions", self.checker.predictions)
+            obs.inc("race.pairs_checked", self.checker.pairs_checked)
+            obs.inc(
+                "race.prediction_memo_hits", self.checker._memo_hits
+            )
+
+    def phases(self):
+        """The per-shard phase/wire numbers, for the trace event the
+        profiler's phase-breakdown table is built from."""
+        return {
+            "expand_seconds": round(self.expand_seconds, 6),
+            "encode_seconds": round(self.encode_seconds, 6),
+            "decode_seconds": round(self.decode_seconds, 6),
+            "idle_seconds": round(self.idle_seconds, 6),
+            "states": len(self.recorded),
+            "batches": self.batches_out,
+            "cross_worlds": self.cross_worlds,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "rec_bytes": self.rec_bytes,
+            "memo_hits": self.memo_hits,
+            "memo_sends": self.memo_sends,
+        }
+
 
 def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
                  coord_q):
     # The fork inherited the parent's obs state; its sinks (trace file
     # descriptors, the metrics registry) belong to the parent process.
+    # Reset, then re-enable a *private* registry when the parent
+    # collects metrics, and a *per-worker* trace file when the parent
+    # traces to a path — never the parent's sink.
     obs.reset()
+    trace_path = cfg.get("trace_path")
+    if trace_path:
+        trace_path = "{}.w{}".format(trace_path, wid)
+    if cfg.get("metrics") or trace_path:
+        try:
+            obs.configure(
+                metrics=cfg.get("metrics", False),
+                trace=trace_path,
+                trace_base_attrs={"wid": wid},
+            )
+        except OSError:
+            # An unwritable worker trace must not kill the search;
+            # the worker just runs unmetered.
+            obs.reset()
     t0 = time.monotonic()
     worker = _Worker(
         wid, jobs, ctx, semantics, cfg, counter, inboxes, coord_q
     )
-    try:
-        worker.run()
-    except _Limit as exc:
-        coord_q.put(("err", wid, ("limit", str(exc))))
-    except BaseException:
-        coord_q.put(("err", wid, ("crash", traceback.format_exc())))
+    with obs.span("parallel.worker.run", wid=wid):
+        try:
+            worker.run()
+        except _Limit as exc:
+            coord_q.put(("err", wid, ("limit", str(exc))))
+        except BaseException:
+            coord_q.put(
+                ("err", wid, ("crash", traceback.format_exc()))
+            )
     stats = worker.stats()
     stats["wall_seconds"] = round(time.monotonic() - t0, 6)
+    worker.publish_metrics(stats["wall_seconds"])
+    if obs.trace_enabled():
+        obs.event(
+            "parallel.worker.phases",
+            wall_seconds=stats["wall_seconds"],
+            **worker.phases()
+        )
+    metrics_dump = obs.dump()
+    if metrics_dump is not None:
+        stats["metrics"] = metrics_dump
     coord_q.put(("bye", wid, stats))
+    # Flush and close the per-worker sinks before the queues wind down.
+    obs.shutdown()
     # Exit must not block on feeder threads draining batches into
     # queues of peers that have already halted; the coordinator queue
     # is NOT cancelled — the bye above has to arrive.
@@ -529,7 +733,19 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
         "strict": strict,
         "max_states": max_states,
         "race": race_cfg,
+        # Worker-side observability: a private registry when the
+        # parent meters, per-worker trace files when it traces to a
+        # path (file-like sinks cannot be suffixed — workers then run
+        # untraced).
+        "metrics": obs.metrics_enabled(),
+        "trace_path": obs.trace_path,
     }
+    if obs.tracer is not None:
+        # Empty the sink's userspace buffer before forking: children
+        # inherit it, and a child GC-ing its copy would flush the same
+        # bytes again into the shared descriptor (torn/duplicate JSONL
+        # lines in the parent's trace).
+        obs.tracer.flush()
     procs = []
     for wid in range(jobs):
         p = mp_ctx.Process(
@@ -557,6 +773,8 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
     race_payload = None
     error = None
     halted = [False]
+    track = obs.enabled
+    coord_decode = 0.0
 
     def broadcast_halt():
         if not halted[0]:
@@ -598,7 +816,13 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
                 continue
             kind = msg[0]
             if kind == "rec":
-                for world, k, edges in decode_batch(msg[2]):
+                if track:
+                    t0 = time.monotonic()
+                    batch = decode_batch(msg[2])
+                    coord_decode += time.monotonic() - t0
+                else:
+                    batch = decode_batch(msg[2])
+                for world, k, edges in batch:
                     _merge_record(records, world, k, edges)
             elif kind == "race":
                 if race_payload is None:
@@ -631,7 +855,18 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
             "parallel exploration failed: {}".format(detail)
         )
 
-    graph = _merge_graph(initial, records)
+    if track:
+        with obs.span("parallel.merge", shards=jobs) as sp:
+            t0 = time.monotonic()
+            graph = _merge_graph(initial, records)
+            merge_seconds = coord_decode + time.monotonic() - t0
+            sp.set(
+                states=graph.state_count(),
+                decode_seconds=round(coord_decode, 6),
+            )
+    else:
+        graph = _merge_graph(initial, records)
+        merge_seconds = 0.0
     witness = None
     if race_payload is not None:
         world, t1, fp1, b1, t2, fp2, b2 = race_payload
@@ -649,37 +884,44 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
             truncated=len(graph.truncated),
         )
     stats = [byes.get(wid) or {} for wid in range(jobs)]
-    _publish(jobs, coord_sent, stats, graph, use_por, race_cfg)
+    _publish(jobs, coord_sent, stats, graph, merge_seconds)
     return graph, witness, stats
 
 
-def _publish(jobs, coord_sent, stats, graph, use_por, race_cfg):
-    """Flush worker-reported counters into the parent's obs layer."""
+def _publish(jobs, coord_sent, stats, graph, merge_seconds):
+    """Absorb each worker's complete metrics dump generically and add
+    the coordinator-side aggregates.
+
+    The merge (counters add, gauges max, histograms merge) replaces
+    the old hand-picked counter relay: ``parallel.batches``,
+    ``parallel.cross_edges``, the ``por.*`` / ``race.*`` totals, the
+    wire histograms and anything the engine instrumentation recorded
+    inside a worker all arrive through ``s["metrics"]`` without being
+    named here.
+    """
     if not obs.enabled:
         return
 
     def total(key):
         return sum(s.get(key, 0) for s in stats)
 
-    batches = sum(coord_sent) + total("batches")
+    for s in stats:
+        obs.merge_dump(s.get("metrics"))
     obs.inc("parallel.shards", jobs)
-    obs.inc("parallel.batches", batches)
-    obs.inc("parallel.cross_edges", total("cross_worlds"))
-    obs.inc("parallel.idle_seconds", round(total("idle_seconds"), 6))
+    # Seed batches originate at the coordinator; the workers' own
+    # batch counts arrived via the merge above.
+    obs.inc("parallel.batches", sum(coord_sent))
     obs.inc("explore.states_visited", graph.state_count())
-    if use_por:
-        obs.inc("por.ample_worlds", total("ample_worlds"))
-        obs.inc("por.full_expansions", total("full_expansions"))
-        obs.inc("por.proviso_expansions", total("proviso_expansions"))
-        obs.inc("por.steps_avoided", total("steps_avoided"))
-    if race_cfg is not None:
-        obs.inc("race.worlds_checked", total("race_worlds_checked"))
-        obs.inc("race.predictions", total("race_predictions"))
-        obs.inc("race.pairs_checked", total("race_pairs_checked"))
-        obs.inc("race.prediction_memo_hits", total("race_memo_hits"))
+    # Durations are gauges, not counters (counters are integer-minded
+    # monotone event counts): total idle across shards, and the
+    # coordinator's decode+BFS merge cost.
+    obs.set_gauge(
+        "parallel.idle_seconds", round(total("idle_seconds"), 6)
+    )
+    obs.set_gauge("parallel.merge_seconds", round(merge_seconds, 6))
     for wid, s in enumerate(stats):
         with obs.span("parallel.worker", wid=wid) as sp:
-            sp.set(**{k: v for k, v in s.items()})
+            sp.set(**{k: v for k, v in s.items() if k != "metrics"})
 
 
 def parallel_explore(ctx, semantics, max_states=50000, strict=False,

@@ -1,0 +1,176 @@
+"""The perf-trajectory gate (PR 6): ``benchmarks/trajectory.py``.
+
+Synthetic ``BENCH_pr*.json`` files in a tmp dir exercise discovery,
+series extraction across the differing per-PR schemas, the
+ratio-symmetric delta, gating and the exit-code contract; one test
+runs the gate over the repo's real committed artifacts (the exact
+invocation CI uses) and requires it to pass.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.trajectory import (
+    build_trajectories,
+    discover,
+    extract_series,
+    find_regressions,
+    main,
+    render_report,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def _write(tmp_path, pr, data):
+    path = tmp_path / "BENCH_pr{}.json".format(pr)
+    path.write_text(json.dumps(data))
+    return path
+
+
+def _scale(sps, seconds=None):
+    entry = {"workload": "wl", "states_per_second": sps}
+    if seconds is not None:
+        entry["seconds_best"] = seconds
+    return {"scale": entry}
+
+
+class TestExtraction:
+    def test_discover_orders_by_pr_number(self, tmp_path):
+        for pr in (10, 2, 5):
+            _write(tmp_path, pr, {})
+        (tmp_path / "BENCH_notes.json").write_text("{}")
+        assert [pr for pr, _ in discover(str(tmp_path))] == [2, 5, 10]
+
+    def test_extract_scale_and_fig13(self):
+        series = extract_series(
+            {
+                "scale": {
+                    "workload": "w", "states_per_second": 100.0,
+                    "seconds_best": 2.0,
+                },
+                "fig13": {"workload": "v", "seconds_best": 0.5},
+            }
+        )
+        assert series[("w", "states_per_second")] == 100.0
+        assert series[("w", "seconds_best")] == 2.0
+        assert series[("v", "seconds_best")] == 0.5
+
+    def test_extract_scaling_rows_map_onto_shared_keys(self):
+        """A jobs=1 full row continues the ``scale`` series; reduced
+        and jobs>1 rows become suffixed series of their own."""
+        series = extract_series(
+            {
+                "scaling": [
+                    {
+                        "workload": "w", "mode": "full",
+                        "rows": [
+                            {"jobs": 1, "states_per_second": 90.0},
+                            {"jobs": 2, "states_per_second": 40.0},
+                        ],
+                    },
+                    {
+                        "workload": "w", "mode": "reduced",
+                        "rows": [
+                            {"jobs": 1, "states_per_second": 200.0}
+                        ],
+                    },
+                ]
+            }
+        )
+        assert series[("w", "states_per_second")] == 90.0
+        assert series[("w [jobs=2]", "states_per_second")] == 40.0
+        assert series[("w [reduced]", "states_per_second")] == 200.0
+
+
+class TestGating:
+    def test_improvement_passes(self, tmp_path):
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(150.0))
+        t = build_trajectories(str(tmp_path))
+        assert find_regressions(t, tolerance=0.1) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(50.0))
+        t = build_trajectories(str(tmp_path))
+        regs = find_regressions(t, tolerance=0.4)
+        assert len(regs) == 1
+        workload, metric, pr_a, pr_b, delta = regs[0]
+        assert (pr_a, pr_b) == (1, 2)
+        assert delta == pytest.approx(-0.5)
+
+    def test_regression_within_tolerance_passes(self, tmp_path):
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(70.0))
+        t = build_trajectories(str(tmp_path))
+        assert find_regressions(t, tolerance=0.4) == []
+
+    def test_delta_is_ratio_symmetric(self, tmp_path):
+        """A 2x slowdown reads as -50% whether the series tracks
+        seconds (lower-better) or throughput (higher-better)."""
+        _write(tmp_path, 1, _scale(100.0, seconds=1.0))
+        _write(tmp_path, 2, _scale(50.0, seconds=2.0))
+        t = build_trajectories(str(tmp_path))
+        regs = find_regressions(t, tolerance=0.45)
+        assert {r[1] for r in regs} == {
+            "states_per_second", "seconds_best",
+        }
+        for r in regs:
+            assert r[4] == pytest.approx(-0.5)
+
+    def test_only_newest_transition_gated_by_default(self, tmp_path):
+        """An ancient gated regression must not fail today's PR."""
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(30.0))  # old cliff
+        _write(tmp_path, 3, _scale(31.0))  # newest: flat
+        t = build_trajectories(str(tmp_path))
+        assert find_regressions(t, tolerance=0.4) == []
+        assert len(find_regressions(t, tolerance=0.4, check_all=True)) == 1
+
+    def test_single_point_series_never_gate(self, tmp_path):
+        _write(tmp_path, 1, _scale(100.0))
+        t = build_trajectories(str(tmp_path))
+        assert find_regressions(t, tolerance=0.0) == []
+
+
+class TestCLI:
+    def test_exit_codes_and_report(self, tmp_path, capsys):
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(10.0))
+        report = tmp_path / "report.txt"
+        jout = tmp_path / "traj.json"
+        rc = main(
+            [
+                "--dir", str(tmp_path), "--report", str(report),
+                "--json", str(jout),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "regressions beyond tolerance" in out
+        assert report.read_text() == out.rstrip("\n") + "\n"
+        payload = json.loads(jout.read_text())
+        assert payload["regressions"][0]["delta"] == pytest.approx(-0.9)
+        assert payload["series"][0]["points"][0]["pr"] == 1
+
+    def test_empty_dir_is_usage_error(self, tmp_path):
+        assert main(["--dir", str(tmp_path)]) == 2
+
+    def test_report_mentions_direction(self, tmp_path):
+        _write(tmp_path, 1, _scale(100.0, seconds=1.0))
+        t = build_trajectories(str(tmp_path))
+        report = render_report(t, [], 0.4)
+        assert "higher is better" in report
+        assert "lower is better" in report
+        assert "single point" in report
+
+    def test_committed_history_passes_the_gate(self, capsys):
+        """The invocation CI runs must pass on the repo as committed;
+        otherwise the perf gate is red on arrival."""
+        assert main(["--dir", REPO_ROOT]) == 0
+        out = capsys.readouterr().out
+        assert "no regression beyond tolerance." in out

@@ -1,0 +1,129 @@
+"""The generic cross-process metrics merge (PR 6).
+
+The parallel explorer's forked workers ship their *entire* registry
+dump back to the coordinator, which absorbs it generically: counters
+add, gauges max, histograms merge their raw reservoirs. These tests
+pin the merge algebra directly on the registry, plus the properties
+the wire path depends on: dumps are plain JSON-serializable data, and
+merging preserves exact aggregates even through reservoir decimation.
+"""
+
+import json
+import random
+
+from repro import obs
+from repro.obs.metrics import RESERVOIR_CAP, MetricsRegistry
+
+
+def test_counters_add_across_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("x").inc(3)
+    b.counter("x").inc(4)
+    b.counter("only_b").inc(1)
+    a.merge(b.dump())
+    snap = a.snapshot()
+    assert snap["counters"]["x"] == 7
+    assert snap["counters"]["only_b"] == 1
+
+
+def test_gauges_take_max_across_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.gauge("depth").set(10)
+    b.gauge("depth").set(3)
+    b.gauge("other").set(5)
+    a.merge(b.dump())
+    snap = a.snapshot()
+    assert snap["gauges"]["depth"] == 10
+    assert snap["gauges"]["other"] == 5
+
+
+def test_histograms_merge_exact_aggregates():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        a.histogram("h").observe(v)
+    for v in (10.0, 20.0):
+        b.histogram("h").observe(v)
+    a.merge(b.dump())
+    summ = a.snapshot()["histograms"]["h"]
+    assert summ["count"] == 5
+    assert summ["min"] == 1.0
+    assert summ["max"] == 20.0
+    assert abs(summ["mean"] - 36.0 / 5) < 1e-9
+
+
+def test_merge_is_commutative_on_aggregates():
+    rng = random.Random(7)
+    dumps = []
+    for _ in range(3):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.histogram("h").observe(rng.random())
+        reg.counter("c").inc(rng.randrange(100))
+        dumps.append(reg.dump())
+    fwd = MetricsRegistry()
+    rev = MetricsRegistry()
+    for d in dumps:
+        fwd.merge(d)
+    for d in reversed(dumps):
+        rev.merge(d)
+    sf, sr = fwd.snapshot(), rev.snapshot()
+    assert sf["counters"] == sr["counters"]
+    hf, hr = sf["histograms"]["h"], sr["histograms"]["h"]
+    for key in ("count", "min", "max"):
+        assert hf[key] == hr[key]
+    assert abs(hf["mean"] - hr["mean"]) < 1e-9
+
+
+def test_merge_through_reservoir_decimation():
+    """Merging past the reservoir cap keeps exact count/total/min/max
+    and re-decimates the sample instead of growing without bound."""
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    n = RESERVOIR_CAP // 2 + 10
+    for i in range(n):
+        a.histogram("h").observe(float(i))
+        b.histogram("h").observe(float(i))
+    a.merge(b.dump())
+    hist = a.histograms["h"]
+    assert hist.count == 2 * n
+    assert len(hist.values) < RESERVOIR_CAP
+    summ = a.snapshot()["histograms"]["h"]
+    assert summ["min"] == 0.0
+    assert summ["max"] == float(n - 1)
+
+
+def test_dump_is_json_round_trippable():
+    """Worker dumps cross the process boundary: plain data only."""
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").observe(0.25)
+    wire = json.loads(json.dumps(reg.dump()))
+    other = MetricsRegistry()
+    other.merge(wire)
+    snap = other.snapshot()
+    assert snap["counters"]["c"] == 2
+    assert snap["gauges"]["g"] == 1.5
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_module_level_merge_dump_helpers():
+    """``obs.dump``/``obs.merge_dump`` are no-ops when metrics are off
+    and absorb a worker dump when on (the coordinator-side path)."""
+    assert obs.dump() is None
+    obs.merge_dump({"counters": {"x": 1}})  # silently ignored
+    obs.configure(metrics=True)
+    obs.inc("x", 1)
+    obs.observe("lat", 0.5)
+    worker = MetricsRegistry()
+    worker.counter("x").inc(2)
+    worker.histogram("lat").observe(1.5)
+    obs.merge_dump(worker.dump())
+    obs.merge_dump(None)  # tolerated: a worker that ran unmetered
+    assert obs.counter_value("x") == 3
+    summ = obs.snapshot()["histograms"]["lat"]
+    assert summ["count"] == 2
+    assert summ["max"] == 1.5

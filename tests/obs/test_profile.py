@@ -1,0 +1,233 @@
+"""The ``repro profile`` report (PR 6).
+
+Unit tests build synthetic trace files (deterministic timings), so the
+assertions can be exact; the CLI integration test drives a real
+``drf --jobs 2`` run end-to-end and only asserts structure.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import profile as prof
+
+RACY = "int x = 0;\nvoid t1() { x = 1; }\nvoid t2() { x = 2; }\n"
+
+
+def _write_jsonl(path, records):
+    with open(str(path), "w") as handle:
+        for rec in records:
+            handle.write(json.dumps(rec) + "\n")
+
+
+@pytest.fixture
+def synthetic(tmp_path):
+    """A main trace + two worker traces + a metrics snapshot."""
+    trace = tmp_path / "t.jsonl"
+    metrics = {
+        "counters": {
+            "parallel.wire.bytes_out": 1000,
+            "parallel.wire.bytes_in": 900,
+            "parallel.wire.memo_hits": 3,
+            "parallel.wire.memo_sends": 7,
+        },
+        "gauges": {"parallel.merge_seconds": 0.05},
+        "histograms": {
+            "parallel.wire.batch_worlds": {
+                "count": 4, "min": 1, "max": 10, "mean": 5.0,
+                "p50": 4, "p95": 9,
+            }
+        },
+    }
+    _write_jsonl(
+        trace,
+        [
+            {"type": "meta", "version": 1},
+            {
+                "type": "span", "name": "parallel.find_race",
+                "sid": 1, "parent": None, "ts": 0.0, "dur": 1.0,
+            },
+            {"type": "metrics", "data": metrics},
+        ],
+    )
+    for wid in (0, 1):
+        _write_jsonl(
+            str(trace) + ".w{}".format(wid),
+            [
+                {"type": "meta", "version": 1, "attrs": {"wid": wid}},
+                # One idle span in the middle half of the run.
+                {
+                    "type": "span", "name": "parallel.worker.idle",
+                    "sid": 2, "parent": 1, "ts": 0.25, "dur": 0.5,
+                    "attrs": {"wid": wid},
+                },
+                {
+                    "type": "span", "name": "parallel.worker.run",
+                    "sid": 1, "parent": None, "ts": 0.0, "dur": 1.0,
+                    "attrs": {"wid": wid},
+                },
+                {
+                    "type": "event", "name": "parallel.worker.phases",
+                    "sid": 3, "parent": None, "ts": 1.0,
+                    "attrs": {
+                        "wid": wid,
+                        "wall_seconds": 1.0,
+                        "expand_seconds": 0.4,
+                        "encode_seconds": 0.05,
+                        "decode_seconds": 0.05,
+                        "idle_seconds": 0.5,
+                    },
+                },
+            ],
+        )
+    return trace
+
+
+def test_load_profile_finds_workers_and_metrics(synthetic):
+    profile = prof.load_profile(str(synthetic))
+    assert sorted(profile["workers"]) == [0, 1]
+    assert profile["metrics"]["counters"]["parallel.wire.bytes_out"] == 1000
+
+
+def test_phase_rows_and_coverage(synthetic):
+    profile = prof.load_profile(str(synthetic))
+    rows, totals = prof.phase_rows(profile)
+    assert [r["wid"] for r in rows] == [0, 1]
+    for r in rows:
+        assert r["coverage"] == pytest.approx(1.0)
+    assert totals["wall"] == pytest.approx(2.0)
+    assert totals["idle"] == pytest.approx(1.0)
+
+
+def test_self_time_subtracts_children(synthetic):
+    profile = prof.load_profile(str(synthetic))
+    agg = prof.self_times(profile)
+    count, self_s, total_s = agg["parallel.worker.run"]
+    assert count == 2
+    # Each run span (1.0s) contains one 0.5s idle child.
+    assert self_s == pytest.approx(1.0)
+    assert total_s == pytest.approx(2.0)
+
+
+def test_utilization_marks_idle_middle(synthetic):
+    profile = prof.load_profile(str(synthetic))
+    bars = prof.utilization(profile, width=4)
+    assert len(bars) == 2
+    for _wid, bar, busy in bars:
+        # Busy at the edges, idle in the middle.
+        assert bar[0] == "█" and bar[-1] == "█"
+        assert bar[1] == "·" and bar[2] == "·"
+        assert busy == pytest.approx(0.5)
+
+
+def test_render_profile_sections(synthetic):
+    text = prof.render_profile(prof.load_profile(str(synthetic)))
+    assert "per-shard phase breakdown" in text
+    assert "per-shard utilization" in text
+    assert "top spans by self-time" in text
+    assert "wire cost" in text
+    assert "parallel.wire.memo_hit_rate" in text
+    assert "30.0% (3/10)" in text
+    assert "verdict:" in text
+
+
+def test_metrics_in_overrides_embedded(synthetic, tmp_path):
+    override = tmp_path / "m.json"
+    override.write_text(json.dumps({"counters": {"only.me": 1}}))
+    profile = prof.load_profile(str(synthetic), str(override))
+    assert profile["metrics"] == {"counters": {"only.me": 1}}
+
+
+def test_worker_trace_path_ordering(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    trace.write_text("")
+    for wid in (10, 2, 0):
+        (tmp_path / "t.jsonl.w{}".format(wid)).write_text("")
+    (tmp_path / "t.jsonl.wx").write_text("")  # not a worker file
+    paths = prof.worker_trace_paths(str(trace))
+    assert [p.rsplit(".w", 1)[-1] for p in paths] == ["0", "2", "10"]
+
+
+class TestProfileCLI:
+    def test_profile_of_real_parallel_run(self, tmp_path, capsys):
+        src = tmp_path / "racy.c"
+        src.write_text(RACY)
+        trace = tmp_path / "run.jsonl"
+        mpath = tmp_path / "m.json"
+        assert main(
+            [
+                "drf", str(src), "--threads", "t1,t2", "--jobs", "2",
+                "--trace", str(trace), "--metrics-out", str(mpath),
+            ]
+        ) == 1  # racy: the finding exit code
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-shard phase breakdown" in out
+        assert "wire cost" in out
+        # Reading the inputs must not clobber them (the profile
+        # subcommand's positional is not an output trace).
+        assert trace.stat().st_size > 0
+        assert main(
+            ["profile", str(trace), "--metrics-in", str(mpath)]
+        ) == 0
+
+    def test_profile_prom_output(self, tmp_path, capsys):
+        src = tmp_path / "racy.c"
+        src.write_text(RACY)
+        trace = tmp_path / "run.jsonl"
+        main(
+            [
+                "drf", str(src), "--threads", "t1,t2", "--jobs", "2",
+                "--trace", str(trace), "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["profile", str(trace), "--metrics-format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_parallel_shards_total counter" in out
+        assert "repro_parallel_shards_total 2" in out
+
+    def test_worker_traces_are_fork_safe_and_wid_stamped(
+        self, tmp_path
+    ):
+        """Every record of every trace file parses (strict mode: the
+        pre-fork flush prevented duplicate buffered lines) and every
+        worker span/event carries its shard's ``wid``."""
+        from repro.obs import profile as prof_mod
+        from repro.obs.trace import read_trace
+
+        src = tmp_path / "racy.c"
+        src.write_text(RACY)
+        trace = tmp_path / "run.jsonl"
+        main(
+            [
+                "drf", str(src), "--threads", "t1,t2", "--jobs", "2",
+                "--trace", str(trace),
+            ]
+        )
+        workers = prof_mod.worker_trace_paths(str(trace))
+        assert len(workers) == 2
+        read_trace(str(trace), strict=True)
+        for wid, path in enumerate(workers):
+            records = read_trace(path, strict=True)
+            assert records[0]["type"] == "meta"
+            for rec in records:
+                if rec.get("type") in ("span", "event"):
+                    assert rec["attrs"]["wid"] == wid, rec
+
+    def test_profile_missing_trace_is_usage_error(self, tmp_path):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_profile_prom_without_metrics_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        _write_jsonl(trace, [{"type": "meta", "version": 1}])
+        assert main(
+            ["profile", str(trace), "--metrics-format", "prom"]
+        ) == 2

@@ -1,0 +1,149 @@
+"""Cross-process metrics for the parallel explorer (PR 6).
+
+Workers run with a private registry and ship their *complete* dump
+back inside the ``bye`` stats envelope; the coordinator absorbs every
+dump generically (counters add, gauges max, histograms merge). These
+tests drive real forked runs and assert on the merged snapshot: the
+wire costs only workers can observe must arrive, phase timers must
+account for (nearly) all of each worker's wall-clock, and the numbers
+must stay consistent as ``jobs`` varies.
+"""
+
+import pytest
+
+from repro import obs
+from repro.framework.build import lock_counter_system
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    find_race,
+    parallel_explore,
+)
+from repro.semantics.parallel import available
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="platform cannot fork workers"
+)
+
+_PHASES = ("expand", "encode", "decode", "idle")
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _ctx(nthreads=2):
+    return GlobalContext(lock_counter_system(nthreads).source_program())
+
+
+def _explore(jobs, reduce=False):
+    obs.reset()
+    obs.configure(metrics=True)
+    graph = parallel_explore(
+        _ctx(), PreemptiveSemantics(), reduce=reduce, jobs=jobs
+    )
+    return graph, obs.snapshot()
+
+
+def _phase_total(snap, key):
+    summ = snap["histograms"].get(
+        "parallel.worker.{}_seconds".format(key)
+    )
+    if not summ or not summ["count"]:
+        return 0.0
+    return summ["mean"] * summ["count"]
+
+
+class TestSnapshotConsistency:
+    def test_states_visited_agrees_across_jobs(self):
+        """Full-mode graphs are identical, so the merged snapshot's
+        state count must not depend on the sharding."""
+        seen = {}
+        for jobs in (1, 2, 4):
+            graph, snap = _explore(jobs)
+            seen[jobs] = snap["counters"]["explore.states_visited"]
+            assert seen[jobs] == graph.state_count()
+        assert seen[1] == seen[2] == seen[4]
+
+    def test_sequential_run_has_no_wire_metrics(self):
+        _graph, snap = _explore(jobs=1)
+        for name in snap["counters"]:
+            assert not name.startswith("parallel.wire.")
+
+    def test_worker_only_metrics_round_trip_the_envelope(self):
+        """Wire counters and histograms exist only inside worker
+        registries — seeing them in the coordinator snapshot proves
+        the dump survived the bye envelope and the generic merge."""
+        _graph, snap = _explore(jobs=2)
+        counters = snap["counters"]
+        assert counters["parallel.shards"] == 2
+        assert counters["parallel.wire.bytes_out"] > 0
+        assert counters["parallel.wire.bytes_in"] > 0
+        assert counters["parallel.wire.rec_bytes"] > 0
+        assert counters["serialize.encode.calls"] > 0
+        hists = snap["histograms"]
+        assert hists["parallel.wire.batch_worlds"]["count"] > 0
+        assert hists["parallel.wire.batch_bytes"]["min"] > 0
+        wall = hists["parallel.worker.wall_seconds"]
+        assert wall["count"] == 2
+
+    def test_por_counters_arrive_via_generic_merge(self):
+        """``por.*`` used to be hand-relayed by the coordinator; now
+        they must flow through the workers' merged dumps."""
+        _graph, snap = _explore(jobs=2, reduce=True)
+        counters = snap["counters"]
+        assert counters["por.ample_worlds"] > 0
+        assert counters["por.steps_avoided"] > 0
+
+    def test_race_counters_arrive_via_generic_merge(self):
+        obs.configure(metrics=True)
+        witness = find_race(
+            _ctx(), PreemptiveSemantics(), jobs=2
+        )
+        assert witness is None  # lock-counter is race-free
+        counters = obs.snapshot()["counters"]
+        assert counters["race.worlds_checked"] > 0
+        assert counters["race.predictions"] > 0
+
+
+class TestPhaseAccounting:
+    def test_phases_cover_worker_wall_clock(self):
+        """The acceptance criterion: expand+encode+decode+idle must
+        explain >= 90% of the workers' total wall-clock."""
+        _graph, snap = _explore(jobs=2)
+        wall = _phase_total(snap, "wall")
+        assert wall > 0
+        covered = sum(_phase_total(snap, k) for k in _PHASES)
+        assert covered / wall >= 0.9
+        # And never more than wall: the phases are disjoint.
+        assert covered <= wall * 1.01
+
+    def test_durations_are_gauges_not_counters(self):
+        """Time does not belong in integer-minded counters: idle and
+        merge seconds are published as gauges."""
+        _graph, snap = _explore(jobs=2)
+        assert "parallel.idle_seconds" in snap["gauges"]
+        assert "parallel.merge_seconds" in snap["gauges"]
+        assert "parallel.idle_seconds" not in snap["counters"]
+        assert obs.gauge_value("parallel.idle_seconds") > 0
+
+    def test_memo_accounting_is_consistent(self):
+        """Every routed cross-shard world is either a fresh send or a
+        memo hit; the shipped-world count equals the fresh sends."""
+        _graph, snap = _explore(jobs=2)
+        counters = snap["counters"]
+        sends = counters["parallel.wire.memo_sends"]
+        assert sends == counters["parallel.cross_edges"]
+        assert counters.get("parallel.wire.memo_hits", 0) >= 0
+
+
+class TestDisabledPath:
+    def test_no_metrics_keys_when_disabled(self):
+        graph = parallel_explore(
+            _ctx(), PreemptiveSemantics(), jobs=2
+        )
+        assert graph.state_count() > 0
+        assert obs.dump() is None
