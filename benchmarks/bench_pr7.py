@@ -1,0 +1,305 @@
+"""Benchmark run for the delta-encoded channel transport (PR 7).
+
+Re-runs the PR 5 scaling matrix — the 3- and 4-thread lock-counter
+systems at ``jobs ∈ {1, 2, 4}``, POR off and on — so the trajectory
+series in ``benchmarks/trajectory.py`` continue, and adds the section
+this PR is about: a head-to-head **wire comparison** of the stateful
+channel transport against the PR 5 stateless format
+(``REPRO_WIRE_STATELESS=1``) on the 3-thread full graph at jobs=2.
+
+Writes ``BENCH_pr7.json`` next to the repo root (or to argv[1]):
+
+* per (workload, mode, jobs): state count, wall time, states/second,
+  behaviour fingerprints in the BENCH_pr3 format — checked against the
+  committed PR 3/PR 5 baselines, so a transport bug that perturbs the
+  explored behaviours fails the benchmark, not just the diff review.
+* soundness smoke as in PR 5: full-mode parallel graphs bit-identical
+  to sequential, reduced-mode fingerprints equal across the jobs axis,
+  DRF verdict agreement where affordable.
+* ``wire``: both transports' metered jobs=2 run — per-world wire bytes
+  (p50/mean over the ``parallel.wire.world_bytes`` histogram), total
+  ``bytes_out``, delta/full send counts and wall time. The benchmark
+  exits non-zero unless the channel transport cuts the world_bytes
+  median by at least ``WIRE_TARGET`` (the ≥5x acceptance line) and
+  records at least one delta hit. Each transport runs in a **fresh
+  subprocess**: a stateless run's merge interns worlds whose memories
+  were rebuilt with private base dicts, which silently disables delta
+  encoding for any later in-process channel run over the same program
+  — fresh processes measure what the one-run-per-process CLI does.
+* ``cpu_count`` — the honesty knob carried over from PR 5: on a
+  single-core runner jobs>1 cannot beat sequential; the PR 7 claim is
+  that the *wire work per cross-shard edge* shrank, which the wire
+  section measures directly and the jobs>1 wall-clock rows reflect.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_pr7.py [out.json]
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro import obs
+from repro.common.serialize import ENV_STATELESS
+from repro.framework import lock_counter_system
+from repro.semantics import (
+    GlobalContext,
+    PreemptiveSemantics,
+    behaviours,
+    drf,
+    explore,
+)
+
+JOBS = (1, 2, 4)
+THREAD_COUNTS = (3, 4)
+MAX_STATES = 3000000
+MAX_NODES = 8000000  # behaviour enumeration bound (see bench_pr3)
+
+#: Committed behaviour fingerprints from BENCH_pr3/BENCH_pr5 — the
+#: cross-PR invariant the transport must not move.
+BASELINE_FINGERPRINTS = {
+    3: "50e1ab6d869c3910",
+    4: "4e906154a79c7890",
+}
+
+#: Minimum factor by which the channel transport must cut the
+#: per-world wire byte median versus the stateless format.
+WIRE_TARGET = 5.0
+
+
+def _fingerprint(behs):
+    digest = hashlib.sha256()
+    for line in sorted(repr(b) for b in behs):
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+def _graphs_identical(g1, g2):
+    return (
+        g1.states == g2.states
+        and g1.ids == g2.ids
+        and g1.edges == g2.edges
+        and g1.done == g2.done
+        and g1.stuck == g2.stuck
+        and g1.truncated == g2.truncated
+    )
+
+
+def _explore_timed(prog, reduce, jobs):
+    # Best-of-2 for jobs=1 (matches bench_pr3/pr5); multi-process runs
+    # pay a fork cost per round, so a single round keeps them honest.
+    rounds = 2 if jobs == 1 else 1
+    times = []
+    graph = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        graph = explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=MAX_STATES, strict=True, reduce=reduce,
+            jobs=jobs,
+        )
+        times.append(time.perf_counter() - start)
+    return graph, min(times)
+
+
+def _metered_counters(prog, reduce):
+    obs.reset()
+    obs.configure(metrics=True)
+    explore(
+        GlobalContext(prog), PreemptiveSemantics(),
+        max_states=MAX_STATES, strict=True, reduce=reduce, jobs=2,
+    )
+    counters = {
+        name: obs.counter_value(name)
+        for name in (
+            "parallel.shards",
+            "parallel.batches",
+            "parallel.cross_edges",
+            "parallel.wire.delta_hits",
+            "parallel.wire.full_sends",
+            "parallel.wire.base_registrations",
+            "parallel.wire.channel_resets",
+        )
+    }
+    counters["parallel.idle_seconds"] = obs.gauge_value(
+        "parallel.idle_seconds"
+    )
+    obs.reset()
+    return counters
+
+
+def _bench_workload(nthreads, reduce):
+    prog = lock_counter_system(nthreads).source_program()
+    mode = "reduced" if reduce else "full"
+    heavy = nthreads == 4 and not reduce
+    rows = []
+    baseline = None
+    sound = True
+    for jobs in JOBS:
+        graph, best = _explore_timed(prog, reduce, jobs)
+        states = graph.state_count()
+        row = {
+            "jobs": jobs,
+            "states": states,
+            "seconds": round(best, 4),
+            "states_per_second": round(states / best, 1),
+        }
+        if reduce:
+            row["behaviours_fingerprint"] = _fingerprint(
+                behaviours(graph, max_events=12, max_nodes=MAX_NODES)
+            )
+        if jobs == 1:
+            baseline = graph
+        elif not reduce:
+            row["graph_identical_to_sequential"] = _graphs_identical(
+                baseline, graph)
+            sound = sound and row["graph_identical_to_sequential"]
+        rows.append(row)
+    if reduce:
+        sound = len({r["behaviours_fingerprint"] for r in rows}) == 1
+    else:
+        # The jobs=1 fingerprint alone suffices (graphs are identical).
+        rows[0]["behaviours_fingerprint"] = _fingerprint(
+            behaviours(baseline, max_events=12, max_nodes=MAX_NODES)
+        )
+    fingerprints = {
+        r["behaviours_fingerprint"]
+        for r in rows if "behaviours_fingerprint" in r
+    }
+    crossval = fingerprints == {BASELINE_FINGERPRINTS[nthreads]}
+    entry = {
+        "workload": "lock-counter, {} threads, preemptive".format(
+            nthreads),
+        "mode": mode,
+        "rows": rows,
+        "sound_across_jobs": sound,
+        "fingerprint_matches_pr3_pr5": crossval,
+    }
+    sound = sound and crossval
+    if not heavy:
+        verdicts = {
+            drf(prog, MAX_STATES, reduce=reduce, jobs=jobs) is None
+            for jobs in JOBS
+        }
+        entry["drf_verdicts_agree"] = len(verdicts) == 1
+        sound = sound and entry["drf_verdicts_agree"]
+        entry["metered_jobs2"] = _metered_counters(prog, reduce)
+    if not sound:
+        raise SystemExit(
+            "parallel soundness smoke check failed: "
+            "{} threads, {}".format(nthreads, mode)
+        )
+    return entry
+
+
+def _measure_wire(prog, stateless):
+    if stateless:
+        os.environ[ENV_STATELESS] = "1"
+    else:
+        os.environ.pop(ENV_STATELESS, None)
+    try:
+        obs.reset()
+        obs.configure(metrics=True)
+        start = time.perf_counter()
+        explore(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=MAX_STATES, strict=True, reduce=False, jobs=2,
+        )
+        wall = time.perf_counter() - start
+        snap = obs.snapshot()
+        counters = snap["counters"]
+        hist = snap["histograms"].get("parallel.wire.world_bytes", {})
+        row = {
+            "mode": "stateless-v1" if stateless else "channel",
+            "seconds": round(wall, 4),
+            "world_bytes_p50": round(float(hist.get("p50", 0.0)), 2),
+            "world_bytes_mean": round(float(hist.get("mean", 0.0)), 2),
+            "bytes_out": counters.get("parallel.wire.bytes_out", 0),
+            "delta_hits": counters.get("parallel.wire.delta_hits", 0),
+            "full_sends": counters.get("parallel.wire.full_sends", 0),
+            "base_registrations": counters.get(
+                "parallel.wire.base_registrations", 0),
+            "channel_resets": counters.get(
+                "parallel.wire.channel_resets", 0),
+        }
+        obs.reset()
+        return row
+    finally:
+        os.environ.pop(ENV_STATELESS, None)
+
+
+def _wire_child(stateless):
+    """Entry point for the per-transport subprocess (see module doc)."""
+    prog = lock_counter_system(3).source_program()
+    json.dump(_measure_wire(prog, stateless), sys.stdout)
+    sys.stdout.write("\n")
+
+
+def _wire_section():
+    rows = {}
+    for stateless in (True, False):
+        out = subprocess.check_output(
+            [
+                sys.executable, os.path.abspath(__file__),
+                "--wire-child", "1" if stateless else "0",
+            ],
+        )
+        rows[stateless] = json.loads(out)
+    stateless, channel = rows[True], rows[False]
+    drop = stateless["world_bytes_p50"] / max(
+        channel["world_bytes_p50"], 1e-9
+    )
+    section = {
+        "workload": "lock-counter, 3 threads, preemptive",
+        "mode": "full",
+        "jobs": 2,
+        "rows": [stateless, channel],
+        "world_bytes_p50_drop": round(drop, 2),
+        "target_drop": WIRE_TARGET,
+    }
+    if drop < WIRE_TARGET or channel["delta_hits"] <= 0:
+        raise SystemExit(
+            "wire transport target missed: p50 drop {:.2f}x "
+            "(target {:.0f}x), delta_hits {}".format(
+                drop, WIRE_TARGET, channel["delta_hits"]
+            )
+        )
+    return section
+
+
+def main():
+    if len(sys.argv) > 2 and sys.argv[1] == "--wire-child":
+        _wire_child(sys.argv[2] == "1")
+        return
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr7.json"
+    report = {
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "jobs_axis": list(JOBS),
+        "note": (
+            "wall-clock speedup from --jobs requires real cores; on a "
+            "single-core runner the sharded run adds serialization "
+            "work with no extra parallelism, so expect jobs>1 rows to "
+            "be slower there (see cpu_count). PR 7 shrinks that "
+            "serialization work — see the wire section."
+        ),
+        "wire": _wire_section(),
+        "scaling": [
+            _bench_workload(n, red)
+            for n in THREAD_COUNTS
+            for red in (False, True)
+        ],
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

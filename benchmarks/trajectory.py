@@ -111,10 +111,22 @@ def _delta(prev, cur, higher_is_better):
     whether the series tracks seconds or states/second — otherwise
     the same regression would gate differently depending on which
     unit a benchmark happened to record.
+
+    Zero endpoints are saturated, never silently 0.0: a series
+    collapsing to exactly 0 is a broken measurement (0 states/s, 0
+    seconds), not an infinite speedup, so it gates as a full -100%
+    regression; a series *starting* from 0 reads as the saturated
+    change in the series' own direction.
     """
+    if prev == 0.0 and cur == 0.0:
+        return 0.0
+    if cur == 0.0:
+        return -1.0
+    if prev == 0.0:
+        return 1.0 if higher_is_better else -1.0
     if higher_is_better:
-        return (cur - prev) / abs(prev) if prev else 0.0
-    return (prev - cur) / abs(cur) if cur else 0.0
+        return (cur - prev) / abs(prev)
+    return (prev - cur) / abs(cur)
 
 
 def find_regressions(trajectories, tolerance, check_all=False):
@@ -138,9 +150,17 @@ def find_regressions(trajectories, tolerance, check_all=False):
 
 
 def render_report(trajectories, regressions, tolerance):
-    """The trend report: one line per series, newest delta annotated."""
+    """The trend report: one line per series, newest delta annotated.
+
+    Failures key on the *transition* ``(workload, metric, pr_a,
+    pr_b)``, not the series: under ``--all`` a historical regression
+    annotates its own arrow in the path, and the trailing status
+    describes the newest transition only — a series whose latest
+    point improved is not stamped ``REGRESSED`` for old history.
+    """
     failed = {
-        (workload, metric) for workload, metric, _a, _b, _d in regressions
+        (workload, metric, pr_a, pr_b)
+        for workload, metric, pr_a, pr_b, _d in regressions
     }
     lines = [
         "perf trajectory ({} series, tolerance {:.0%}):".format(
@@ -150,12 +170,22 @@ def render_report(trajectories, regressions, tolerance):
     ]
     for (workload, metric), points in sorted(trajectories.items()):
         higher = DIRECTIONS.get(metric, True)
-        path = " -> ".join(
-            "pr{}:{:g}".format(pr, value) for pr, value in points
-        )
+        parts = ["pr{}:{:g}".format(points[0][0], points[0][1])]
+        for (pr_a, va), (pr_b, vb) in zip(points, points[1:]):
+            if (workload, metric, pr_a, pr_b) in failed:
+                arrow = " -[REGRESSED {:+.1%}]-> ".format(
+                    _delta(va, vb, higher)
+                )
+            else:
+                arrow = " -> "
+            parts.append(arrow)
+            parts.append("pr{}:{:g}".format(pr_b, vb))
+        path = "".join(parts)
         if len(points) >= 2:
-            delta = _delta(points[-2][1], points[-1][1], higher)
-            status = "REGRESSED" if (workload, metric) in failed else (
+            (pr_a, va), (pr_b, vb) = points[-2], points[-1]
+            delta = _delta(va, vb, higher)
+            newest_failed = (workload, metric, pr_a, pr_b) in failed
+            status = "REGRESSED" if newest_failed else (
                 "ok ({}{:.1%})".format("+" if delta >= 0 else "", delta)
             )
         else:

@@ -242,12 +242,19 @@ def cmd_drf(args):
 
 def cmd_replay(args):
     record = load_witness(args.witness)
-    # CLI flags win; the witness's recorded program info fills the gaps,
-    # so `repro replay FILE --witness W` needs no repeated flags.
+    # Explicit CLI flags win (--lock/--no-lock, -O/--no-optimize); the
+    # witness's recorded program info fills the gaps, so
+    # `repro replay FILE --witness W` needs no repeated flags.
     info = record.program
     threads = args.threads or info.get("threads", "main")
-    use_lock = args.lock or bool(info.get("lock"))
-    optimize = args.optimize or bool(info.get("optimize"))
+    use_lock = (
+        bool(info.get("lock")) if args.lock is None else args.lock
+    )
+    optimize = (
+        bool(info.get("optimize"))
+        if args.optimize is None
+        else args.optimize
+    )
     module, genv = _build(args.file, use_lock)
     result = compile_minic(module, optimize=optimize)
     entries = _parse_threads(threads)
@@ -310,16 +317,36 @@ def make_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
+    def common(p, tristate=False):
         p.add_argument("file", help="MiniC source file")
-        p.add_argument(
-            "-O", "--optimize", action="store_true",
-            help="enable ConstProp/CSE/Deadcode",
-        )
-        p.add_argument(
-            "--lock", action="store_true",
-            help="link against the lock object (lock()/unlock())",
-        )
+        if tristate:
+            # Replay merges these with the witness's recorded program
+            # info: an *explicit* CLI choice wins (including
+            # --no-lock/--no-optimize), an omitted flag defers to the
+            # witness. A plain store_true cannot express "explicitly
+            # off", which made lock:true witnesses impossible to
+            # replay unlocked.
+            p.add_argument(
+                "-O", "--optimize",
+                action=argparse.BooleanOptionalAction, default=None,
+                help="enable ConstProp/CSE/Deadcode (default: as "
+                "recorded in the witness)",
+            )
+            p.add_argument(
+                "--lock",
+                action=argparse.BooleanOptionalAction, default=None,
+                help="link against the lock object (default: as "
+                "recorded in the witness)",
+            )
+        else:
+            p.add_argument(
+                "-O", "--optimize", action="store_true",
+                help="enable ConstProp/CSE/Deadcode",
+            )
+            p.add_argument(
+                "--lock", action="store_true",
+                help="link against the lock object (lock()/unlock())",
+            )
         p.add_argument(
             "--metrics", action="store_true",
             help="collect metrics and print a summary table "
@@ -411,7 +438,7 @@ def make_parser():
     p = sub.add_parser(
         "replay", help="re-execute a recorded witness and verify it"
     )
-    common(p)
+    common(p, tristate=True)
     p.add_argument(
         "--witness", required=True, metavar="FILE",
         help="witness artifact to replay (from drf --witness-out)",

@@ -245,6 +245,49 @@ class Memory:
             {a: v for a, v in self._m().items() if a in region}
         )
 
+    # -- transport (repro.common.serialize) ---------------------------
+
+    def delta_parts(self):
+        """The ``(base, overlay)`` split behind this memory.
+
+        The delta transport mirrors the in-memory representation: the
+        base dict is shared structurally between sibling states (ship
+        it once per channel), the overlay is the small private diff
+        (ship it every time). Both are exposed as-is — callers must
+        treat them as immutable.
+        """
+        return self._base, self._over
+
+    @classmethod
+    def rebase(cls, base, base_size, base_hash, over_items):
+        """Rebuild a memory as ``base`` + ``overlay`` without rehashing
+        the base.
+
+        ``base_size``/``base_hash`` describe the *base alone* and must
+        come from a locally-validated memory (the transport recomputes
+        them when a base first arrives — they never cross the wire).
+        The overlay folds in incrementally, exactly as ``store`` /
+        ``alloc`` maintain the Zobrist hash; an overlay entry equal to
+        its base binding stays in the overlay but contributes no hash
+        change (``store`` can produce such overlays by writing a value
+        back).
+        """
+        h = base_hash
+        size = base_size
+        over = {}
+        for addr, value in over_items:
+            old = base.get(addr, _MISSING)
+            if old is _MISSING:
+                size += 1
+                h ^= _mix(hash((addr, value)))
+            elif old != value:
+                h ^= _mix(hash((addr, old)))
+                h ^= _mix(hash((addr, value)))
+            over[addr] = value
+        if not over:
+            over = _NO_OVER
+        return cls._make(base, over, size, h)
+
 
 def eq_on(m1, m2, region):
     """``σ1 ==region== σ2`` (Fig. 6).

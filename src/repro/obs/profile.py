@@ -273,6 +273,10 @@ _WIRE_COUNTERS = (
     ("parallel.wire.rec_bytes", "expansion-record bytes to coordinator"),
     ("parallel.batches", "batches (incl. coordinator seeds)"),
     ("parallel.cross_edges", "cross-shard successor worlds shipped"),
+    ("parallel.wire.delta_hits", "memories shipped as base-cache deltas"),
+    ("parallel.wire.full_sends", "memories shipped in full (new base)"),
+    ("parallel.wire.base_registrations", "memory bases registered"),
+    ("parallel.wire.channel_resets", "channel epoch resets (state bound)"),
     ("serialize.encode.bytes", "total bytes encoded (all envelopes)"),
     ("serialize.decode.bytes", "total bytes decoded (all envelopes)"),
 )
@@ -305,6 +309,20 @@ def wire_rows(metrics):
                 "parallel.wire.memo_hit_rate",
                 "send-memo hit rate (resends avoided)",
                 "{:.1%} ({}/{})".format(rate, hits, hits + sends),
+            )
+        )
+    deltas = counters.get("parallel.wire.delta_hits")
+    fulls = counters.get("parallel.wire.full_sends")
+    if deltas is not None or fulls is not None:
+        deltas = deltas or 0
+        fulls = fulls or 0
+        total = deltas + fulls
+        rate = deltas / total if total else 0.0
+        scalars.append(
+            (
+                "parallel.wire.delta_rate",
+                "memory sends avoided as deltas",
+                "{:.1%} ({}/{})".format(rate, deltas, total),
             )
         )
     hist_rows = [
@@ -502,8 +520,23 @@ def _verdict(rows, totals, merge, metrics):
     if expand > 0 and transport + idle > expand:
         parts.append(
             "— transport and idle dominate: this run paid more to "
-            "ship and wait than to explore (see ROADMAP: cheap "
-            "cross-shard transport)"
+            "ship and wait than to explore (see ROADMAP: real-core "
+            "speedup; on one core, idle is the sibling's CPU time)"
+        )
+    counters = metrics.get("counters", {}) if metrics else {}
+    deltas = counters.get("parallel.wire.delta_hits")
+    fulls = counters.get("parallel.wire.full_sends")
+    if deltas or fulls:
+        total = (deltas or 0) + (fulls or 0)
+        parts.append(
+            "— delta transport: {:.1%} of memory sends crossed as "
+            "base-cache deltas ({} delta / {} full), {} channel "
+            "reset(s)".format(
+                (deltas or 0) / total if total else 0.0,
+                deltas or 0,
+                fulls or 0,
+                counters.get("parallel.wire.channel_resets", 0),
+            )
         )
     return " ".join(parts)
 

@@ -13,9 +13,23 @@ full-expansion state, and the dedup table is sharded for free.
 * Workers expand the worlds they own with the *identical* successor
   machinery the sequential explorer uses, streaming ``(world, kind,
   edges)`` records back to the coordinator and batching cross-shard
-  successors to their owners as serialized worlds
+  successors to their owners over **stateful channels**
   (:mod:`repro.common.serialize` — versioned envelope, hash-seed
-  probe, shared pickle memo per batch).
+  probe). Each worker keeps one long-lived
+  :class:`~repro.common.serialize.ChannelEncoder` per destination
+  shard (plus one for its record stream to the coordinator) and one
+  :class:`~repro.common.serialize.ChannelDecoder` per source, so
+  hash-consed frames, cores and code containers cross each channel
+  once, memories delta-encode against per-channel base caches, and
+  the static fork-inherited segment (modules, functions, initial
+  worlds — pinned by the coordinator before forking) never crosses at
+  all. Channel state is bounded by an epoch protocol: an over-budget
+  sender resets its channel and sends a ``reset`` control message
+  (FIFO queues order it before the next batch); every data message
+  carries its epoch, the receiver re-syncs forward and rejects stale
+  epochs. The per-destination ``sent`` memo (which worlds already
+  crossed) lives on the encoder and is dropped by the same resets, so
+  nothing about a channel grows without bound.
 * The coordinator merges the per-shard records into one
   :class:`~repro.semantics.explore.StateGraph` by a **deterministic
   canonical BFS** from the initial worlds in recorded successor-list
@@ -96,7 +110,14 @@ from collections import deque
 from queue import Empty
 
 from repro import obs
-from repro.common.serialize import decode_batch, encode_batch
+from repro.common.serialize import (
+    ENV_STATELESS,
+    ChannelDecoder,
+    ChannelEncoder,
+    clear_static_table,
+    collect_static_objects,
+    install_static_table,
+)
 from repro.semantics.engine import GAbort
 from repro.semantics.explore import (
     ABORT_DST,
@@ -207,7 +228,13 @@ class _Worker:
         self.pending = deque()
         self.pending_set = set()
         self.outboxes = [[] for _ in range(jobs)]
-        self.sent_cache = [set() for _ in range(jobs)]
+        # One stateful channel per destination shard (the one indexed
+        # by our own wid stays idle), one for the record stream to the
+        # coordinator, and one decoder per source (created lazily;
+        # src -1 is the coordinator's seed batch).
+        self.channels = [ChannelEncoder() for _ in range(jobs)]
+        self.rec_channel = ChannelEncoder()
+        self.decoders = {}
         self.recs = []
         self.sent = [0] * jobs
         self.recv = 0
@@ -239,37 +266,52 @@ class _Worker:
     def flush_recs(self):
         if not self.recs:
             return
+        # The coordinator never sends back, so no reset control
+        # message is needed here: the epoch riding on the next batch
+        # triggers the implicit decoder reset.
+        ch = self.rec_channel
+        if ch.over_budget():
+            ch.reset()
         # The encode window covers the queue put too: handing the
         # batch to the feeder thread is part of shipping it.
         if self.timed:
             t0 = time.monotonic()
-            data = encode_batch(self.recs)
+            epoch, data = ch.encode(self.recs)
             self.rec_bytes += len(data)
-            self.coord_q.put(("rec", self.wid, data))
+            self.coord_q.put(("rec", self.wid, epoch, data))
             self.encode_seconds += time.monotonic() - t0
         else:
-            data = encode_batch(self.recs)
-            self.coord_q.put(("rec", self.wid, data))
+            epoch, data = ch.encode(self.recs)
+            self.coord_q.put(("rec", self.wid, epoch, data))
         self.recs = []
 
     def flush_box(self, shard):
         box = self.outboxes[shard]
         if not box:
             return
+        ch = self.channels[shard]
+        if ch.over_budget():
+            # Bound the channel: drop the pickler memo, base cache and
+            # send memo, and tell the receiver before the next batch
+            # (the FIFO queue orders the reset ahead of it). The memo
+            # for this box's worlds is gone, so re-mark them sent.
+            ch.reset()
+            self.inboxes[shard].put(("reset", self.wid, ch.epoch))
+            ch.sent.update(box)
         if self.timed:
             t0 = time.monotonic()
-            data = encode_batch(box)
+            epoch, data = ch.encode_worlds(box)
             self.bytes_out += len(data)
             obs.observe("parallel.wire.batch_worlds", len(box))
             obs.observe("parallel.wire.batch_bytes", len(data))
             obs.observe(
                 "parallel.wire.world_bytes", len(data) / len(box)
             )
-            self.inboxes[shard].put(("w", data))
+            self.inboxes[shard].put(("w", self.wid, epoch, data))
             self.encode_seconds += time.monotonic() - t0
         else:
-            data = encode_batch(box)
-            self.inboxes[shard].put(("w", data))
+            epoch, data = ch.encode_worlds(box)
+            self.inboxes[shard].put(("w", self.wid, epoch, data))
         self.sent[shard] += 1
         self.batches_out += 1
         self.cross_worlds += len(box)
@@ -290,10 +332,11 @@ class _Worker:
         if shard == self.wid:
             self.enqueue_local(world)
             return
-        cache = self.sent_cache[shard]
+        cache = self.channels[shard].sent
         if world in cache:
             # The send memo: this world already crossed to that shard,
             # so the envelope (encode + enqueue + decode) is saved.
+            # Lives on the channel — a reset drops it with the rest.
             self.memo_hits += 1
             return
         cache.add(world)
@@ -319,29 +362,46 @@ class _Worker:
             witness.world, witness.tid1, witness.fp1, witness.bit1,
             witness.tid2, witness.fp2, witness.bit2,
         )
-        self.coord_q.put(("race", self.wid, encode_batch(payload)))
+        # Same channel as the records: the coordinator decodes both
+        # message kinds through its per-worker record decoder.
+        epoch, data = self.rec_channel.encode(payload)
+        self.coord_q.put(("race", self.wid, epoch, data))
         self.racing = True
 
     # -- the loop ----------------------------------------------------
+
+    def decoder(self, src):
+        """The stateful decoder mirroring ``src``'s encoder for us
+        (``src == -1``: the coordinator's seed channel)."""
+        dec = self.decoders.get(src)
+        if dec is None:
+            dec = self.decoders[src] = ChannelDecoder()
+        return dec
 
     def handle(self, msg):
         kind = msg[0]
         if kind == "w":
             self.recv += 1
+            src, epoch, data = msg[1], msg[2], msg[3]
             # The decode window covers the dedup/enqueue of the
             # decoded worlds: unpacking a batch isn't done until its
             # worlds are in the pending queue.
             if self.timed:
                 t0 = time.monotonic()
-                worlds = decode_batch(msg[1])
+                worlds = self.decoder(src).decode(epoch, data)
                 for world in worlds:
                     self.enqueue_local(world)
                 self.decode_seconds += time.monotonic() - t0
-                self.bytes_in += len(msg[1])
+                self.bytes_in += len(data)
             else:
-                worlds = decode_batch(msg[1])
+                worlds = self.decoder(src).decode(epoch, data)
                 for world in worlds:
                     self.enqueue_local(world)
+        elif kind == "reset":
+            # Control message, uncounted on both ends (the Mattern
+            # balance tracks data batches only): the sender reset its
+            # channel; drop our mirror state before its next batch.
+            self.decoder(msg[1]).reset_to(msg[2])
         elif kind == "halt":
             # Outboxes are dropped (nobody will drain them); records
             # must flow — the witness path is rebuilt from them.
@@ -518,6 +578,19 @@ class _Worker:
             on_stack.discard(world)
             stack.pop()
 
+    def wire_stats(self):
+        """Delta-transport totals summed over this worker's encoders
+        (per-shard channels plus the record channel)."""
+        chans = self.channels + [self.rec_channel]
+        return {
+            "delta_hits": sum(c.delta_hits for c in chans),
+            "full_sends": sum(c.full_sends for c in chans),
+            "base_registrations": sum(
+                c.base_registrations for c in chans
+            ),
+            "channel_resets": sum(c.resets for c in chans),
+        }
+
     def stats(self):
         out = {
             "states": len(self.recorded),
@@ -533,6 +606,7 @@ class _Worker:
             "memo_hits": self.memo_hits,
             "memo_sends": self.memo_sends,
         }
+        out.update(self.wire_stats())
         if self.reducer is not None:
             out["ample_worlds"] = self.reducer.ample_worlds
             out["full_expansions"] = self.reducer.full_expansions
@@ -561,6 +635,8 @@ class _Worker:
         obs.inc("parallel.wire.rec_bytes", self.rec_bytes)
         obs.inc("parallel.wire.memo_hits", self.memo_hits)
         obs.inc("parallel.wire.memo_sends", self.memo_sends)
+        for key, value in self.wire_stats().items():
+            obs.inc("parallel.wire.{}".format(key), value)
         obs.observe("parallel.worker.wall_seconds", wall_seconds)
         obs.observe(
             "parallel.worker.expand_seconds", self.expand_seconds
@@ -595,7 +671,7 @@ class _Worker:
     def phases(self):
         """The per-shard phase/wire numbers, for the trace event the
         profiler's phase-breakdown table is built from."""
-        return {
+        out = {
             "expand_seconds": round(self.expand_seconds, 6),
             "encode_seconds": round(self.encode_seconds, 6),
             "decode_seconds": round(self.decode_seconds, 6),
@@ -609,30 +685,49 @@ class _Worker:
             "memo_hits": self.memo_hits,
             "memo_sends": self.memo_sends,
         }
+        out.update(self.wire_stats())
+        return out
 
 
-def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
-                 coord_q):
-    # The fork inherited the parent's obs state; its sinks (trace file
-    # descriptors, the metrics registry) belong to the parent process.
-    # Reset, then re-enable a *private* registry when the parent
-    # collects metrics, and a *per-worker* trace file when the parent
-    # traces to a path — never the parent's sink.
+def _configure_worker_obs(wid, cfg):
+    """Reset fork-inherited obs state, then re-enable private sinks.
+
+    The fork inherited the parent's obs state; its sinks (trace file
+    descriptors, the metrics registry) belong to the parent process.
+    Reset, then re-enable a *private* registry when the parent
+    collects metrics, and a *per-worker* trace file when the parent
+    traces to a path — never the parent's sink. An unwritable worker
+    trace must not kill the search — and must not silently discard the
+    worker's *metrics* with it: retry with the trace disabled so the
+    worker stays metered, and warn once.
+    """
     obs.reset()
     trace_path = cfg.get("trace_path")
     if trace_path:
         trace_path = "{}.w{}".format(trace_path, wid)
-    if cfg.get("metrics") or trace_path:
-        try:
-            obs.configure(
-                metrics=cfg.get("metrics", False),
-                trace=trace_path,
-                trace_base_attrs={"wid": wid},
-            )
-        except OSError:
-            # An unwritable worker trace must not kill the search;
-            # the worker just runs unmetered.
-            obs.reset()
+    metrics = cfg.get("metrics", False)
+    if not (metrics or trace_path):
+        return
+    try:
+        obs.configure(
+            metrics=metrics,
+            trace=trace_path,
+            trace_base_attrs={"wid": wid},
+        )
+    except OSError as exc:
+        obs.reset()
+        if metrics:
+            obs.configure(metrics=True)
+        obs.warn(
+            "worker {} trace file {!r} is unwritable ({}); continuing "
+            "metered, without a trace".format(wid, trace_path, exc),
+            wid=wid,
+        )
+
+
+def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
+                 coord_q):
+    _configure_worker_obs(wid, cfg)
     t0 = time.monotonic()
     worker = _Worker(
         wid, jobs, ctx, semantics, cfg, counter, inboxes, coord_q
@@ -746,6 +841,28 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
         # bytes again into the shared descriptor (torn/duplicate JSONL
         # lines in the parent's trace).
         obs.tracer.flush()
+    # The static segment must exist *before* forking: every worker
+    # inherits the same table and resolves static refs against its own
+    # pointer-identical copy. Stateless mode (the benchmark's "before"
+    # baseline) runs without one.
+    initial = list(semantics.initial_worlds(ctx))
+    if os.environ.get(ENV_STATELESS):
+        static_count = 0
+    else:
+        static_count = install_static_table(
+            collect_static_objects(ctx, initial)
+        )
+    try:
+        return _run_forked(
+            ctx, semantics, jobs, max_states, mp_ctx, inboxes,
+            coord_q, counter, cfg, initial, static_count,
+        )
+    finally:
+        clear_static_table()
+
+
+def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
+                inboxes, coord_q, counter, cfg, initial, static_count):
     procs = []
     for wid in range(jobs):
         p = mp_ctx.Process(
@@ -757,15 +874,27 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
         p.start()
         procs.append(p)
 
-    initial = list(semantics.initial_worlds(ctx))
     coord_sent = [0] * jobs
     seeds = [[] for _ in range(jobs)]
     for world in initial:
         seeds[hash(world) % jobs].append(world)
     for shard, worlds in enumerate(seeds):
         if worlds:
-            inboxes[shard].put(("w", encode_batch(worlds)))
+            # One-shot channel per shard: each worker's src -1 decoder
+            # sees exactly one message from exactly one fresh encoder.
+            epoch, data = ChannelEncoder().encode(worlds)
+            inboxes[shard].put(("w", -1, epoch, data))
             coord_sent[shard] += 1
+
+    # Stateful record decoders, one per worker (the mirror of each
+    # worker's rec_channel; race payloads ride the same channel).
+    rec_decoders = {}
+
+    def rec_decoder(wid):
+        dec = rec_decoders.get(wid)
+        if dec is None:
+            dec = rec_decoders[wid] = ChannelDecoder()
+        return dec
 
     records = {}
     reports = {}
@@ -818,15 +947,16 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
             if kind == "rec":
                 if track:
                     t0 = time.monotonic()
-                    batch = decode_batch(msg[2])
+                    batch = rec_decoder(msg[1]).decode(msg[2], msg[3])
                     coord_decode += time.monotonic() - t0
                 else:
-                    batch = decode_batch(msg[2])
+                    batch = rec_decoder(msg[1]).decode(msg[2], msg[3])
                 for world, k, edges in batch:
                     _merge_record(records, world, k, edges)
             elif kind == "race":
+                payload = rec_decoder(msg[1]).decode(msg[2], msg[3])
                 if race_payload is None:
-                    race_payload = decode_batch(msg[2])
+                    race_payload = payload
                     broadcast_halt()
             elif kind == "idle":
                 reports[msg[1]] = (msg[2], msg[3])
@@ -884,11 +1014,13 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
             truncated=len(graph.truncated),
         )
     stats = [byes.get(wid) or {} for wid in range(jobs)]
-    _publish(jobs, coord_sent, stats, graph, merge_seconds)
+    _publish(jobs, coord_sent, stats, graph, merge_seconds,
+             static_count)
     return graph, witness, stats
 
 
-def _publish(jobs, coord_sent, stats, graph, merge_seconds):
+def _publish(jobs, coord_sent, stats, graph, merge_seconds,
+             static_count=0):
     """Absorb each worker's complete metrics dump generically and add
     the coordinator-side aggregates.
 
@@ -919,6 +1051,7 @@ def _publish(jobs, coord_sent, stats, graph, merge_seconds):
         "parallel.idle_seconds", round(total("idle_seconds"), 6)
     )
     obs.set_gauge("parallel.merge_seconds", round(merge_seconds, 6))
+    obs.set_gauge("parallel.wire.static_objects", static_count)
     for wid, s in enumerate(stats):
         with obs.span("parallel.worker", wid=wid) as sp:
             sp.set(**{k: v for k, v in s.items() if k != "metrics"})

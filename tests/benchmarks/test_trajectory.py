@@ -135,6 +135,43 @@ class TestGating:
         t = build_trajectories(str(tmp_path))
         assert find_regressions(t, tolerance=0.0) == []
 
+    def test_collapse_to_zero_gates(self, tmp_path):
+        """A nonzero -> zero drop is a broken measurement, not a free
+        pass: it must gate at the saturated -100% in both directions
+        (the old formula returned 0.0 when a zero landed in the
+        denominator)."""
+        _write(tmp_path, 1, _scale(100.0, seconds=1.0))
+        _write(tmp_path, 2, _scale(0.0, seconds=0.0))
+        t = build_trajectories(str(tmp_path))
+        regs = find_regressions(t, tolerance=0.4)
+        assert {r[1] for r in regs} == {
+            "states_per_second", "seconds_best",
+        }
+        for r in regs:
+            assert r[4] == pytest.approx(-1.0)
+
+    def test_zero_start_gates_only_against_direction(self, tmp_path):
+        """Starting from 0 saturates in the series' own direction:
+        0 -> 100 states/s is a +100% recovery, 0 -> 1 seconds a
+        -100% slowdown; an all-zero series stays flat."""
+        _write(tmp_path, 1, _scale(0.0, seconds=0.0))
+        _write(tmp_path, 2, _scale(100.0, seconds=1.0))
+        _write(tmp_path, 3, _scale(100.0, seconds=1.0))
+        t = build_trajectories(str(tmp_path))
+        regs = find_regressions(t, tolerance=0.4, check_all=True)
+        assert [(r[1], r[2], r[3]) for r in regs] == [
+            ("seconds_best", 1, 2)
+        ]
+        assert regs[0][4] == pytest.approx(-1.0)
+        _write(tmp_path, 4, _scale(0.0))
+        _write(tmp_path, 5, _scale(0.0))
+        t = build_trajectories(str(tmp_path))
+        flat = [
+            r for r in find_regressions(t, tolerance=0.0, check_all=True)
+            if r[2] == 4
+        ]
+        assert flat == []
+
 
 class TestCLI:
     def test_exit_codes_and_report(self, tmp_path, capsys):
@@ -159,6 +196,39 @@ class TestCLI:
 
     def test_empty_dir_is_usage_error(self, tmp_path):
         assert main(["--dir", str(tmp_path)]) == 2
+
+    def test_all_mode_annotates_the_failing_transition(
+        self, tmp_path, capsys
+    ):
+        """The issue's repro: pr 100 -> 10 -> 12 under ``--all``. The
+        historical pr1 -> pr2 cliff fails the gate, but the newest
+        transition *improved* — it must read ``ok (+20.0%)`` while the
+        cliff is annotated on its own arrow in the path."""
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(10.0))
+        _write(tmp_path, 3, _scale(12.0))
+        rc = main(["--dir", str(tmp_path), "--all"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "-[REGRESSED -90.0%]->" in out
+        assert "ok (+20.0%)" in out
+        # The newest transition is not stamped with the series status.
+        status_line = next(
+            line for line in out.splitlines() if "pr3:12" in line
+        )
+        assert not status_line.rstrip().endswith("REGRESSED")
+
+    def test_newest_transition_regression_still_stamps(
+        self, tmp_path, capsys
+    ):
+        _write(tmp_path, 1, _scale(100.0))
+        _write(tmp_path, 2, _scale(10.0))
+        assert main(["--dir", str(tmp_path), "--all"]) == 1
+        out = capsys.readouterr().out
+        status_line = next(
+            line for line in out.splitlines() if "pr2:10" in line
+        )
+        assert status_line.rstrip().endswith("REGRESSED")
 
     def test_report_mentions_direction(self, tmp_path):
         _write(tmp_path, 1, _scale(100.0, seconds=1.0))

@@ -118,6 +118,67 @@ class TestReplayCommand:
         ) == 0
 
 
+class TestReplayTristateFlags:
+    """Replay merges --lock/-O with the witness's program info as a
+    tri-state: explicit CLI wins (including the negative forms), an
+    omitted flag defers to the witness. The old truthy-or merge made a
+    ``lock: true`` witness impossible to replay unlocked."""
+
+    def _locked_witness(self, racy_file, tmp_path):
+        out = tmp_path / "w.json"
+        main(["drf", racy_file, "--threads", "t1,t2", "--lock",
+              "--witness-out", str(out)])
+        return str(out)
+
+    def test_replay_flags_default_to_none(self):
+        from repro.cli import make_parser
+
+        args = make_parser().parse_args(["replay", "f.c", "--witness", "w"])
+        assert args.lock is None and args.optimize is None
+        args = make_parser().parse_args(
+            ["replay", "f.c", "--witness", "w", "--no-lock",
+             "--no-optimize"]
+        )
+        assert args.lock is False and args.optimize is False
+        args = make_parser().parse_args(
+            ["replay", "f.c", "--witness", "w", "--lock", "-O"]
+        )
+        assert args.lock is True and args.optimize is True
+        # Other subcommands keep the plain flags: omitted means off.
+        args = make_parser().parse_args(["drf", "f.c"])
+        assert args.lock is False and args.optimize is False
+
+    def test_locked_witness_replays_without_flags(
+        self, racy_file, tmp_path, capsys
+    ):
+        witness = self._locked_witness(racy_file, tmp_path)
+        record = json.loads(open(witness).read())
+        assert record["program"]["lock"] is True
+        assert main(["replay", racy_file, "--witness", witness]) == 0
+        assert "replay: OK" in capsys.readouterr().out
+
+    def test_explicit_no_lock_overrides_the_witness(
+        self, racy_file, tmp_path, monkeypatch
+    ):
+        """--no-lock must actually build the unlocked program even
+        when the witness says ``lock: true``."""
+        from repro import cli
+
+        witness = self._locked_witness(racy_file, tmp_path)
+        seen = {}
+        real_build = cli._build
+
+        def spy(path, use_lock):
+            seen["lock"] = use_lock
+            return real_build(path, use_lock)
+
+        monkeypatch.setattr(cli, "_build", spy)
+        main(["replay", racy_file, "--witness", witness, "--no-lock"])
+        assert seen["lock"] is False
+        main(["replay", racy_file, "--witness", witness])
+        assert seen["lock"] is True
+
+
 class TestInspectCommand:
     def test_inspect_witness(self, racy_file, tmp_path, capsys):
         out = tmp_path / "w.json"
