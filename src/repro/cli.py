@@ -33,10 +33,14 @@ exposition.
 
 ``run`` and ``drf`` accept ``--por/--no-por`` to control the
 footprint-directed partial-order reduction (default: the ``REPRO_POR``
-environment setting, on unless set to ``0``), and ``--jobs N`` to
+environment setting, on unless set to ``0``), ``--jobs N`` to
 shard the exploration across ``N`` forked worker processes (default:
 the ``REPRO_JOBS`` environment setting, 1 = sequential; see
-:mod:`repro.semantics.parallel`).
+:mod:`repro.semantics.parallel`), and
+``--closure-compile/--no-closure-compile`` to control closure
+compilation of the step interpreters (default: the ``REPRO_CLOSURE``
+environment setting, on unless set to ``0``; see
+:mod:`repro.lang.closure`).
 
 Exit codes are uniform across commands: **0** — success (program is
 DRF, behaviours printed, validation passed, replay reproduced);
@@ -52,6 +56,7 @@ import os
 import sys
 
 from repro import obs
+from repro.lang import closure
 from repro.lang.module import ModuleDecl, Program
 from repro.langs.cimp.semantics import CIMP
 from repro.langs.minic import compile_unit, link_units
@@ -385,6 +390,15 @@ def make_parser():
             "setting, on unless set to 0)",
         )
 
+    def closure_flag(p):
+        p.add_argument(
+            "--closure-compile",
+            action=argparse.BooleanOptionalAction, default=None,
+            help="closure-compile the step interpreters before "
+            "exploring (default: REPRO_CLOSURE env setting, on "
+            "unless set to 0)",
+        )
+
     def jobs_flag(p):
         p.add_argument(
             "-j", "--jobs", type=int, default=default_jobs(),
@@ -398,6 +412,7 @@ def make_parser():
     common(p)
     por_flag(p)
     jobs_flag(p)
+    closure_flag(p)
     p.add_argument(
         "--threads", default="main",
         help="comma-separated thread entry functions",
@@ -418,6 +433,7 @@ def make_parser():
     common(p)
     por_flag(p)
     jobs_flag(p)
+    closure_flag(p)
     p.add_argument("--threads", default="main")
     p.add_argument("--max-states", type=int, default=400000)
     p.add_argument(
@@ -521,6 +537,10 @@ def main(argv=None):
     show_summary = getattr(args, "metrics", False) or os.environ.get(
         obs.ENV_METRICS, ""
     ).strip().lower() in ("1", "true", "yes", "on")
+    # --closure-compile/--no-closure-compile layers on REPRO_CLOSURE
+    # the same way --por layers on REPRO_POR: an explicit flag wins,
+    # an omitted one defers to the environment.
+    closure.set_enabled(getattr(args, "closure_compile", None))
     try:
         result = args.func(args)
         if show_summary and obs.metrics_enabled():

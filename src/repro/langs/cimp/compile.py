@@ -1,0 +1,457 @@
+"""Closure compilation of the CImp step interpreter.
+
+Same staging discipline as :mod:`repro.langs.minic.compile`: every
+statement that can appear at the head of a continuation is compiled
+once per module into a closure ``run(core, mem, flist, rest)``; the
+isinstance ladder, operator lookups and ``_flatten`` calls happen at
+compile time. Registers are dynamic (``Assign`` can introduce new
+names), so ``Var`` keeps its run-time regs probe — but the symbol
+fallback (a compile-time ``VPtr`` or an unconditional abort) is
+resolved statically.
+
+Expression read sets: only ``Load`` touches memory, and its address is
+never static (the regs probe is dynamic), so a statement's footprint
+is a compile-time constant exactly when its expressions are
+``Load``-free — the common case for assignments, branches and asserts
+over registers.
+"""
+
+from repro.common.footprint import EMP, Footprint
+from repro.common.values import BINOPS, UNOPS, VInt, VPtr, VUndef
+from repro.lang.messages import (
+    ENT_ATOM,
+    EXT_ATOM,
+    TAU,
+    EventMsg,
+    RetMsg,
+    SpawnMsg,
+)
+from repro.lang.steps import Step, StepAbort
+from repro.langs.cimp import ast
+from repro.langs.cimp.semantics import (
+    EXIT_ATOM_MARK,
+    CImpCore,
+    _EvalAbort,
+    _flatten,
+)
+
+_RET0 = RetMsg(VInt(0))
+_DONE = CImpCore(done=True)
+
+
+def _raiser(reason):
+    def run(regs, mem):
+        raise _EvalAbort(reason)
+
+    return run
+
+
+def _raiser_rec(reason):
+    def run(regs, mem, rs):
+        raise _EvalAbort(reason)
+
+    return run
+
+
+def loads_freely(expr):
+    """True iff ``expr`` performs no memory loads (footprint static)."""
+    if isinstance(expr, (ast.Const, ast.Var)):
+        return True
+    if isinstance(expr, ast.Bin):
+        return loads_freely(expr.left) and loads_freely(expr.right)
+    if isinstance(expr, ast.Un):
+        return loads_freely(expr.arg)
+    return False
+
+
+def compile_expr(module, expr, record, counter):
+    """Compile ``expr`` to ``run(regs, mem[, rs])``; None if unknown."""
+    counter[0] += 1
+
+    if isinstance(expr, ast.Const):
+        v = VInt(expr.n)
+        if record:
+            return lambda regs, mem, rs: v
+        return lambda regs, mem: v
+
+    if isinstance(expr, ast.Var):
+        name = expr.name
+        addr = module.symbols.get(name)
+        if addr is None:
+            reason = "unbound identifier {!r}".format(name)
+            if record:
+                def run(regs, mem, rs):
+                    value = regs.get(name)
+                    if value is None:
+                        raise _EvalAbort(reason)
+                    return value
+            else:
+                def run(regs, mem):
+                    value = regs.get(name)
+                    if value is None:
+                        raise _EvalAbort(reason)
+                    return value
+        else:
+            fallback = VPtr(addr)
+            if record:
+                def run(regs, mem, rs):
+                    value = regs.get(name)
+                    return fallback if value is None else value
+            else:
+                def run(regs, mem):
+                    value = regs.get(name)
+                    return fallback if value is None else value
+        return run
+
+    if isinstance(expr, ast.Load):
+        ptr_run = compile_expr(module, expr.addr, True, counter)
+        if ptr_run is None or not record:
+            # Loads are never footprint-static, so a Load only shows
+            # up in recording mode.
+            return None
+        owned = module.owned
+
+        def run(regs, mem, rs):
+            ptr = ptr_run(regs, mem, rs)
+            if not isinstance(ptr, VPtr):
+                raise _EvalAbort("load from non-pointer {!r}".format(ptr))
+            addr = ptr.addr
+            if owned and addr not in owned:
+                raise _EvalAbort(
+                    "object accessed non-owned address {}".format(addr)
+                )
+            rs.add(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise _EvalAbort("load from unallocated {}".format(addr))
+            return value
+
+        return run
+
+    if isinstance(expr, ast.Bin):
+        left = compile_expr(module, expr.left, record, counter)
+        right = compile_expr(module, expr.right, record, counter)
+        if left is None or right is None:
+            return None
+        op = BINOPS[expr.op]
+        undef = "undefined result of {!r}".format(expr.op)
+        if record:
+            def run(regs, mem, rs):
+                result = op(left(regs, mem, rs), right(regs, mem, rs))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        else:
+            def run(regs, mem):
+                result = op(left(regs, mem), right(regs, mem))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        return run
+
+    if isinstance(expr, ast.Un):
+        arg = compile_expr(module, expr.arg, record, counter)
+        if arg is None:
+            return None
+        op = UNOPS[expr.op]
+        undef = "undefined result of {!r}".format(expr.op)
+        if record:
+            def run(regs, mem, rs):
+                result = op(arg(regs, mem, rs))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        else:
+            def run(regs, mem):
+                result = op(arg(regs, mem))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        return run
+
+    return None
+
+
+def _compile_value(module, expr, counter):
+    """``(run, static)``: non-recording (EMP footprint) iff load-free."""
+    static = loads_freely(expr)
+    run = compile_expr(module, expr, not static, counter)
+    return run, static
+
+
+def _compile_stmt(module, stmt, counter):
+    """One statement → ``run(core, mem, flist, rest)`` or None."""
+    owned = module.owned
+
+    if isinstance(stmt, ast.Skip):
+        def run(core, mem, flist, rest):
+            return [Step(TAU, EMP, CImpCore(core.regs, rest), mem)]
+
+        return run
+
+    if isinstance(stmt, ast.Assign):
+        value_run, static = _compile_value(module, stmt.expr, counter)
+        if value_run is None:
+            return None
+        var = stmt.var
+        if static:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                value = value_run(regs, mem)
+                return [Step(
+                    TAU, EMP, CImpCore(regs.set(var, value), rest), mem,
+                )]
+        else:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                rs = set()
+                value = value_run(regs, mem, rs)
+                return [Step(
+                    TAU, Footprint(rs),
+                    CImpCore(regs.set(var, value), rest), mem,
+                )]
+        return run
+
+    if isinstance(stmt, ast.Store):
+        # Pointer evaluates before the value (abort-order matters).
+        ptr_run = compile_expr(module, stmt.addr, True, counter)
+        value_run = compile_expr(module, stmt.expr, True, counter)
+        if ptr_run is None or value_run is None:
+            return None
+
+        def run(core, mem, flist, rest):
+            regs = core.regs
+            rs = set()
+            ptr = ptr_run(regs, mem, rs)
+            value = value_run(regs, mem, rs)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="store to non-pointer")]
+            addr = ptr.addr
+            if owned and addr not in owned:
+                return [StepAbort(reason=(
+                    "object accessed non-owned address {}".format(addr)
+                ))]
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                return [StepAbort(
+                    reason="store to unallocated {}".format(addr)
+                )]
+            return [Step(
+                TAU, Footprint(rs, (addr,)), CImpCore(regs, rest), mem2,
+            )]
+
+        return run
+
+    if isinstance(stmt, ast.Seq):
+        flat = _flatten(stmt, ())
+
+        def run(core, mem, flist, rest):
+            return [Step(
+                TAU, EMP, CImpCore(core.regs, flat + rest), mem,
+            )]
+
+        return run
+
+    if isinstance(stmt, ast.If):
+        cond_run, static = _compile_value(module, stmt.cond, counter)
+        if cond_run is None:
+            return None
+        then_flat = _flatten(stmt.then, ())
+        els_flat = _flatten(stmt.els, ())
+
+        if static:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                taken = cond_run(regs, mem).is_true()
+                if taken is None:
+                    return [StepAbort(reason="undefined condition")]
+                kont = (then_flat if taken else els_flat) + rest
+                return [Step(TAU, EMP, CImpCore(regs, kont), mem)]
+        else:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                rs = set()
+                taken = cond_run(regs, mem, rs).is_true()
+                if taken is None:
+                    return [StepAbort(reason="undefined condition")]
+                kont = (then_flat if taken else els_flat) + rest
+                return [Step(
+                    TAU, Footprint(rs), CImpCore(regs, kont), mem,
+                )]
+        return run
+
+    if isinstance(stmt, ast.While):
+        cond_run, static = _compile_value(module, stmt.cond, counter)
+        if cond_run is None:
+            return None
+        body_flat = _flatten(stmt.body, ()) + (stmt,)
+
+        if static:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                taken = cond_run(regs, mem).is_true()
+                if taken is None:
+                    return [StepAbort(reason="undefined loop condition")]
+                kont = body_flat + rest if taken else rest
+                return [Step(TAU, EMP, CImpCore(regs, kont), mem)]
+        else:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                rs = set()
+                taken = cond_run(regs, mem, rs).is_true()
+                if taken is None:
+                    return [StepAbort(reason="undefined loop condition")]
+                kont = body_flat + rest if taken else rest
+                return [Step(
+                    TAU, Footprint(rs), CImpCore(regs, kont), mem,
+                )]
+        return run
+
+    if isinstance(stmt, ast.Assert):
+        cond_run, static = _compile_value(module, stmt.cond, counter)
+        if cond_run is None:
+            return None
+
+        if static:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                taken = cond_run(regs, mem).is_true()
+                if taken is None or not taken:
+                    return [StepAbort(reason="assertion failed")]
+                return [Step(TAU, EMP, CImpCore(regs, rest), mem)]
+        else:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                rs = set()
+                taken = cond_run(regs, mem, rs).is_true()
+                if taken is None or not taken:
+                    return [StepAbort(reason="assertion failed")]
+                return [Step(
+                    TAU, Footprint(rs), CImpCore(regs, rest), mem,
+                )]
+        return run
+
+    if isinstance(stmt, ast.Atomic):
+        body_flat = _flatten(stmt.body, (EXIT_ATOM_MARK,))
+
+        def run(core, mem, flist, rest):
+            return [Step(
+                ENT_ATOM, EMP, CImpCore(core.regs, body_flat + rest), mem,
+            )]
+
+        return run
+
+    if isinstance(stmt, ast.Return):
+        if stmt.expr is None:
+            def run(core, mem, flist, rest):
+                return [Step(_RET0, EMP, _DONE, mem)]
+
+            return run
+        value_run, static = _compile_value(module, stmt.expr, counter)
+        if value_run is None:
+            return None
+        if static:
+            def run(core, mem, flist, rest):
+                value = value_run(core.regs, mem)
+                return [Step(RetMsg(value), EMP, _DONE, mem)]
+        else:
+            def run(core, mem, flist, rest):
+                rs = set()
+                value = value_run(core.regs, mem, rs)
+                return [Step(RetMsg(value), Footprint(rs), _DONE, mem)]
+        return run
+
+    if isinstance(stmt, ast.Print):
+        value_run, static = _compile_value(module, stmt.expr, counter)
+        if value_run is None:
+            return None
+        if static:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                value = value_run(regs, mem)
+                if not isinstance(value, VInt):
+                    return [StepAbort(reason="print of non-integer")]
+                return [Step(
+                    EventMsg("print", value.n), EMP,
+                    CImpCore(regs, rest), mem,
+                )]
+        else:
+            def run(core, mem, flist, rest):
+                regs = core.regs
+                rs = set()
+                value = value_run(regs, mem, rs)
+                if not isinstance(value, VInt):
+                    return [StepAbort(reason="print of non-integer")]
+                return [Step(
+                    EventMsg("print", value.n), Footprint(rs),
+                    CImpCore(regs, rest), mem,
+                )]
+        return run
+
+    if isinstance(stmt, ast.Spawn):
+        msg = SpawnMsg(stmt.fname)
+
+        def run(core, mem, flist, rest):
+            return [Step(msg, EMP, CImpCore(core.regs, rest), mem)]
+
+        return run
+
+    return None
+
+
+def _arity_abort(core, mem, flist, rest):
+    return [StepAbort(reason="arity mismatch at module call")]
+
+
+def _exit_atom(core, mem, flist, rest):
+    return [Step(EXT_ATOM, EMP, CImpCore(core.regs, rest, core.done), mem)]
+
+
+def _collect_stmts(stmt, acc):
+    if stmt is None or stmt in acc:
+        return
+    acc[stmt] = True
+    if isinstance(stmt, ast.Seq):
+        for s in stmt.stmts:
+            _collect_stmts(s, acc)
+    elif isinstance(stmt, ast.If):
+        _collect_stmts(stmt.then, acc)
+        _collect_stmts(stmt.els, acc)
+    elif isinstance(stmt, ast.While):
+        _collect_stmts(stmt.body, acc)
+    elif isinstance(stmt, ast.Atomic):
+        _collect_stmts(stmt.body, acc)
+
+
+def stage_module(lang, module):
+    """Compile every statement of ``module``. Returns ``(step, n)``."""
+    counter = [0]
+    # The two string continuation markers dispatch through the same
+    # table as statement nodes.
+    table = {"arity-abort": _arity_abort, EXIT_ATOM_MARK: _exit_atom}
+    acc = {}
+    for func in module.functions.values():
+        _collect_stmts(func.body, acc)
+    for stmt in acc:
+        compiled = _compile_stmt(module, stmt, counter)
+        if compiled is not None:
+            table[stmt] = compiled
+            counter[0] += 1
+    table_get = table.get
+    interp = lang.step
+
+    def step(core, mem, flist):
+        if core.done:
+            return []
+        kont = core.kont
+        if not kont:
+            return [Step(_RET0, EMP, _DONE, mem)]
+        fn = table_get(kont[0])
+        if fn is None:
+            return interp(module, core, mem, flist)
+        try:
+            return fn(core, mem, flist, kont[1:])
+        except _EvalAbort as abort:
+            return [StepAbort(reason=abort.reason)]
+
+    return step, counter[0]

@@ -1,0 +1,1657 @@
+"""Closure compilation of the compiler-IR step interpreters.
+
+One module, seven languages. The statement family (Csharpminor and
+Cminor — CminorSel shares Cminor's semantics) compiles per
+continuation-head statement, exactly like
+:mod:`repro.langs.minic.compile`; the instruction family (RTL, LTL,
+Linear, Mach) compiles one closure **per program point** — the table
+is keyed ``(fname, pc)``, so the hot loop goes straight from the
+frame's position to the staged instruction without touching the
+function object or the isinstance ladder.
+
+Everything the instruction mentions is resolved at compile time:
+operator functions, label targets, successor pcs, symbol addresses,
+register names and their undefined-use abort reasons, and — when the
+accessed locations are static — the footprint itself. Anything the
+compilers cannot handle (malformed operands, unknown nodes, undefined
+labels) is left out of the table, so the interpreter reproduces the
+exact error behaviour at run time.
+"""
+
+from repro.common.footprint import EMP, Footprint
+from repro.common.freelist import is_global
+from repro.common.values import BINOPS, UNOPS, VInt, VPtr, VUndef
+from repro.lang.messages import (
+    TAU,
+    CallMsg,
+    EventMsg,
+    RetMsg,
+    SpawnMsg,
+)
+from repro.lang.steps import Step, StepAbort
+from repro.langs.ir import csharpminor as cshm
+from repro.langs.ir import cminor as cm
+from repro.langs.ir import linear as lin
+from repro.langs.ir import ltl
+from repro.langs.ir import mach
+from repro.langs.ir import rtl
+from repro.langs.ir.base import EvalAbort
+from repro.langs.ir.csharpminor import _flatten
+from repro.langs.x86.regs import ARG_REGS, RET_REG, is_reg, is_slot
+
+_VINT0 = VInt(0)
+
+
+def access_check(module):
+    """The module's permission predicate, or None when vacuous.
+
+    Mirrors :func:`repro.langs.ir.base.check_access` with the region
+    sets bound at compile time.
+    """
+    forbidden = module.forbidden
+    owned = module.owned
+    if not forbidden and not owned:
+        return None
+
+    def check(addr):
+        if addr in forbidden:
+            raise EvalAbort(
+                "client accessed object-owned address {}".format(addr)
+            )
+        if owned and is_global(addr) and addr not in owned:
+            raise EvalAbort(
+                "object accessed non-owned global address "
+                "{}".format(addr)
+            )
+
+    return check
+
+
+def _static_load(module, name):
+    """Compile-time resolution of ``ELoad(EAddrGlobal(name))``.
+
+    Returns ``(addr, abort_reason)``; a statically detected abort
+    still happens at run time (reads are discarded on abort anyway).
+    """
+    addr = module.symbols.get(name)
+    if addr is None:
+        return None, "unresolved global {!r}".format(name)
+    if addr in module.forbidden:
+        return addr, (
+            "client accessed object-owned address {}".format(addr)
+        )
+    if module.owned and is_global(addr) and addr not in module.owned:
+        return addr, (
+            "object accessed non-owned global address {}".format(addr)
+        )
+    return addr, None
+
+
+# ----- statement family: Csharpminor / Cminor (/ CminorSel) -----------------
+
+
+def stmt_expr_reads(module, expr):
+    """Static read set of a stmt-family expression, or None (dynamic)."""
+    if isinstance(
+        expr,
+        (cshm.EConst, cshm.ETemp, cshm.EAddrLocal, cshm.EAddrGlobal,
+         cm.EAddrStack),
+    ):
+        return frozenset()
+    if isinstance(expr, cshm.ELoad):
+        if isinstance(expr.addr, cshm.EAddrGlobal):
+            addr, abort = _static_load(module, expr.addr.name)
+            return frozenset() if abort is not None else frozenset((addr,))
+        return None
+    if isinstance(expr, cshm.EUnop):
+        return stmt_expr_reads(module, expr.arg)
+    if isinstance(expr, cshm.EBinop):
+        left = stmt_expr_reads(module, expr.left)
+        if left is None:
+            return None
+        right = stmt_expr_reads(module, expr.right)
+        if right is None:
+            return None
+        return left | right
+    return None
+
+
+def compile_stmt_expr(module, expr, record, counter, stackaddr):
+    """One stmt-family expression → ``run(frame, mem[, rs])``.
+
+    ``stackaddr`` selects the frame-address form: EAddrLocal for
+    Csharpminor, EAddrStack for Cminor/CminorSel. The other form falls
+    back to the interpreter (which rejects it as an unknown node).
+    """
+    counter[0] += 1
+
+    if isinstance(expr, cshm.EConst):
+        v = VInt(expr.n)
+        if record:
+            return lambda frame, mem, rs: v
+        return lambda frame, mem: v
+
+    if isinstance(expr, cshm.ETemp):
+        name = expr.name
+        reason = "use of undefined temp {!r}".format(name)
+        if record:
+            def run(frame, mem, rs):
+                value = frame.temps.get(name, VUndef)
+                if value is VUndef:
+                    raise EvalAbort(reason)
+                return value
+        else:
+            def run(frame, mem):
+                value = frame.temps.get(name, VUndef)
+                if value is VUndef:
+                    raise EvalAbort(reason)
+                return value
+        return run
+
+    if isinstance(expr, cshm.EAddrLocal):
+        if stackaddr is not cshm.EAddrLocal:
+            return None
+        name = expr.name
+        reason = "unknown stack local {!r}".format(name)
+        if record:
+            def run(frame, mem, rs):
+                addr = frame.env.get(name)
+                if addr is None:
+                    raise EvalAbort(reason)
+                return VPtr(addr)
+        else:
+            def run(frame, mem):
+                addr = frame.env.get(name)
+                if addr is None:
+                    raise EvalAbort(reason)
+                return VPtr(addr)
+        return run
+
+    if isinstance(expr, cm.EAddrStack):
+        if stackaddr is not cm.EAddrStack:
+            return None
+        ofs = expr.ofs
+        if record:
+            def run(frame, mem, rs):
+                if frame.sp is None:
+                    raise EvalAbort(
+                        "stack address in a frame without stack"
+                    )
+                return VPtr(frame.sp + ofs)
+        else:
+            def run(frame, mem):
+                if frame.sp is None:
+                    raise EvalAbort(
+                        "stack address in a frame without stack"
+                    )
+                return VPtr(frame.sp + ofs)
+        return run
+
+    if isinstance(expr, cshm.EAddrGlobal):
+        addr = module.symbols.get(expr.name)
+        if addr is None:
+            reason = "unresolved global {!r}".format(expr.name)
+            if record:
+                def run(frame, mem, rs):
+                    raise EvalAbort(reason)
+            else:
+                def run(frame, mem):
+                    raise EvalAbort(reason)
+            return run
+        v = VPtr(addr)
+        if record:
+            return lambda frame, mem, rs: v
+        return lambda frame, mem: v
+
+    if isinstance(expr, cshm.ELoad):
+        if isinstance(expr.addr, cshm.EAddrGlobal):
+            addr, abort = _static_load(module, expr.addr.name)
+            if abort is not None:
+                if record:
+                    def run(frame, mem, rs):
+                        raise EvalAbort(abort)
+                else:
+                    def run(frame, mem):
+                        raise EvalAbort(abort)
+                return run
+            miss = "load from unallocated {}".format(addr)
+            if record:
+                def run(frame, mem, rs):
+                    rs.add(addr)
+                    value = mem.load(addr)
+                    if value is None:
+                        raise EvalAbort(miss)
+                    return value
+            else:
+                def run(frame, mem):
+                    value = mem.load(addr)
+                    if value is None:
+                        raise EvalAbort(miss)
+                    return value
+            return run
+        sub = compile_stmt_expr(module, expr.addr, True, counter,
+                                stackaddr)
+        if sub is None or not record:
+            return None
+        check = access_check(module)
+
+        def run(frame, mem, rs):
+            ptr = sub(frame, mem, rs)
+            if not isinstance(ptr, VPtr):
+                raise EvalAbort("load through non-pointer")
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            rs.add(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise EvalAbort("load from unallocated {}".format(addr))
+            return value
+
+        return run
+
+    if isinstance(expr, cshm.EUnop):
+        arg = compile_stmt_expr(module, expr.arg, record, counter,
+                                stackaddr)
+        if arg is None:
+            return None
+        try:
+            op = UNOPS[expr.op]
+        except KeyError:
+            return None
+        if record:
+            def run(frame, mem, rs):
+                result = op(arg(frame, mem, rs))
+                if result is VUndef:
+                    raise EvalAbort("undefined unop result")
+                return result
+        else:
+            def run(frame, mem):
+                result = op(arg(frame, mem))
+                if result is VUndef:
+                    raise EvalAbort("undefined unop result")
+                return result
+        return run
+
+    if isinstance(expr, cshm.EBinop):
+        left = compile_stmt_expr(module, expr.left, record, counter,
+                                 stackaddr)
+        right = compile_stmt_expr(module, expr.right, record, counter,
+                                  stackaddr)
+        if left is None or right is None:
+            return None
+        try:
+            op = BINOPS[expr.op]
+        except KeyError:
+            return None
+        if record:
+            def run(frame, mem, rs):
+                result = op(left(frame, mem, rs), right(frame, mem, rs))
+                if result is VUndef:
+                    raise EvalAbort("undefined binop result")
+                return result
+        else:
+            def run(frame, mem):
+                result = op(left(frame, mem), right(frame, mem))
+                if result is VUndef:
+                    raise EvalAbort("undefined binop result")
+                return result
+        return run
+
+    return None
+
+
+def _stmt_value(module, expr, counter, stackaddr):
+    reads = stmt_expr_reads(module, expr)
+    run = compile_stmt_expr(module, expr, reads is None, counter,
+                            stackaddr)
+    return run, reads
+
+
+def _compile_stmt(module, stmt, counter, core_cls, stackaddr):
+    """One stmt-family statement → ``run(core, mem, flist, frame,
+    rest)`` or None."""
+    check = access_check(module)
+
+    if isinstance(stmt, cshm.SSkip):
+        def run(core, mem, flist, frame, rest):
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SSet):
+        value_run, reads = _stmt_value(module, stmt.expr, counter,
+                                       stackaddr)
+        if value_run is None:
+            return None
+        temp = stmt.temp
+        if reads is not None:
+            fp = Footprint(reads)
+
+            def run(core, mem, flist, frame, rest):
+                value = value_run(frame, mem)
+                nxt_frame = frame.with_temps(
+                    frame.temps.set(temp, value), rest
+                )
+                nxt = core_cls(
+                    core.frames[:-1] + (nxt_frame,), core.nidx
+                )
+                return [Step(TAU, fp, nxt, mem)]
+        else:
+            def run(core, mem, flist, frame, rest):
+                rs = set()
+                value = value_run(frame, mem, rs)
+                nxt_frame = frame.with_temps(
+                    frame.temps.set(temp, value), rest
+                )
+                nxt = core_cls(
+                    core.frames[:-1] + (nxt_frame,), core.nidx
+                )
+                return [Step(TAU, Footprint(rs), nxt, mem)]
+        return run
+
+    if isinstance(stmt, cshm.SStore):
+        # The address evaluates before the stored value.
+        ptr_run = compile_stmt_expr(module, stmt.addr, True, counter,
+                                    stackaddr)
+        value_run = compile_stmt_expr(module, stmt.expr, True, counter,
+                                      stackaddr)
+        if ptr_run is None or value_run is None:
+            return None
+
+        def run(core, mem, flist, frame, rest):
+            rs = set()
+            ptr = ptr_run(frame, mem, rs)
+            value = value_run(frame, mem, rs)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="store through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                raise EvalAbort("store to unallocated {}".format(addr))
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(TAU, Footprint(rs, (addr,)), nxt, mem2)]
+
+        return run
+
+    if isinstance(stmt, cshm.SCall):
+        runs = []
+        all_reads = frozenset()
+        for arg in stmt.args:
+            arg_run, arg_reads = _stmt_value(module, arg, counter,
+                                             stackaddr)
+            if arg_run is None:
+                return None
+            runs.append((arg_run, arg_reads))
+            if all_reads is not None and arg_reads is not None:
+                all_reads = all_reads | arg_reads
+            else:
+                all_reads = None
+        runs = tuple(runs)
+        fname = stmt.fname
+        dst = stmt.dst
+        external = stmt.external
+        fp = Footprint(all_reads) if all_reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                args = tuple(
+                    arg_run(frame, mem) for arg_run, _ in runs
+                )
+                afp = fp
+            else:
+                rs = set()
+                args = []
+                for arg_run, arg_reads in runs:
+                    if arg_reads is not None:
+                        args.append(arg_run(frame, mem))
+                        rs.update(arg_reads)
+                    else:
+                        args.append(arg_run(frame, mem, rs))
+                args = tuple(args)
+                afp = Footprint(rs)
+            frames = core.frames[:-1] + (frame.with_kont(rest),)
+            if external:
+                nxt = core_cls(frames, core.nidx, ("ext-wait", dst))
+                return [Step(CallMsg(fname, args), afp, nxt, mem)]
+            nxt = core_cls(
+                frames, core.nidx, ("enter", fname, args, dst)
+            )
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SPrint):
+        value_run, reads = _stmt_value(module, stmt.expr, counter,
+                                       stackaddr)
+        if value_run is None:
+            return None
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                value = value_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                value = value_run(frame, mem, rs)
+                afp = Footprint(rs)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(EventMsg("print", value.n), afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SIf):
+        cond_run, reads = _stmt_value(module, stmt.cond, counter,
+                                      stackaddr)
+        if cond_run is None:
+            return None
+        then_flat = _flatten(stmt.then, ())
+        els_flat = _flatten(stmt.els, ())
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                cond = cond_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                cond = cond_run(frame, mem, rs)
+                afp = Footprint(rs)
+            taken = cond.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined condition")]
+            kont = (then_flat if taken else els_flat) + rest
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(kont),), core.nidx
+            )
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SWhile):
+        cond_run, reads = _stmt_value(module, stmt.cond, counter,
+                                      stackaddr)
+        if cond_run is None:
+            return None
+        body_flat = _flatten(stmt.body, ()) + (stmt,)
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                cond = cond_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                cond = cond_run(frame, mem, rs)
+                afp = Footprint(rs)
+            taken = cond.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined loop condition")]
+            kont = body_flat + rest if taken else rest
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(kont),), core.nidx
+            )
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SSpawn):
+        msg = SpawnMsg(stmt.fname)
+
+        def run(core, mem, flist, frame, rest):
+            nxt = core_cls(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(msg, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, cshm.SReturn):
+        if stmt.expr is None:
+            value_run, reads = None, frozenset()
+        else:
+            value_run, reads = _stmt_value(module, stmt.expr, counter,
+                                           stackaddr)
+            if value_run is None:
+                return None
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if value_run is None:
+                value, afp = _VINT0, EMP
+            elif fp is not None:
+                value = value_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                value = value_run(frame, mem, rs)
+                afp = Footprint(rs)
+            if len(core.frames) > 1:
+                nxt = core_cls(
+                    core.frames[:-1],
+                    core.nidx,
+                    ("assign-result", frame.ret_dst, value),
+                )
+                return [Step(TAU, afp, nxt, mem)]
+            nxt = core_cls(nidx=core.nidx, done=True)
+            return [Step(RetMsg(value), afp, nxt, mem)]
+
+        return run
+
+    return None
+
+
+def _collect_stmts(stmt, acc):
+    if stmt is None or stmt in acc:
+        return
+    acc[stmt] = True
+    if isinstance(stmt, cshm.SSeq):
+        for s in stmt.stmts:
+            _collect_stmts(s, acc)
+    elif isinstance(stmt, cshm.SIf):
+        _collect_stmts(stmt.then, acc)
+        _collect_stmts(stmt.els, acc)
+    elif isinstance(stmt, cshm.SWhile):
+        _collect_stmts(stmt.body, acc)
+
+
+def stage_stmt_module(lang, module, core_cls, stackaddr):
+    """Stage a Csharpminor/Cminor module. Returns ``(step, n)``."""
+    counter = [0]
+    table = {}
+    acc = {}
+    for func in module.functions.values():
+        _collect_stmts(func.body, acc)
+    for stmt in acc:
+        # SSeq never heads a continuation (``_flatten`` dissolves it);
+        # the collector above only walks through it.
+        if isinstance(stmt, cshm.SSeq):
+            continue
+        compiled = _compile_stmt(module, stmt, counter, core_cls,
+                                 stackaddr)
+        if compiled is not None:
+            table[stmt] = compiled
+            counter[0] += 1
+    table_get = table.get
+    interp = lang.step
+
+    def step(core, mem, flist):
+        if core.done:
+            return []
+        if core.pending is not None or not core.frames:
+            return interp(module, core, mem, flist)
+        frame = core.frames[-1]
+        kont = frame.kont
+        if not kont:
+            if len(core.frames) > 1:
+                nxt = core_cls(
+                    core.frames[:-1],
+                    core.nidx,
+                    ("assign-result", frame.ret_dst, _VINT0),
+                )
+                return [Step(TAU, EMP, nxt, mem)]
+            return [Step(
+                RetMsg(_VINT0), EMP, core_cls(nidx=core.nidx, done=True),
+                mem,
+            )]
+        fn = table_get(kont[0])
+        if fn is None:
+            return interp(module, core, mem, flist)
+        try:
+            return fn(core, mem, flist, frame, kont[1:])
+        except EvalAbort as abort:
+            return [StepAbort(reason=abort.reason)]
+
+    return step, counter[0]
+
+
+# ----- instruction family: shared pieces ------------------------------------
+
+
+def _op_apply(op, nargs):
+    """Staged :func:`_apply_op`; None when the interpreter must keep
+    the (failing) call."""
+    if op == "move":
+        if nargs < 1:
+            return None
+        return lambda values: values[0]
+    try:
+        fn = UNOPS[op] if nargs == 1 else BINOPS[op]
+    except KeyError:
+        return None
+    if nargs not in (1, 2):
+        return None
+    reason = "undefined result of {!r}".format(op)
+
+    if nargs == 1:
+        def apply(values):
+            result = fn(values[0])
+            if result is VUndef:
+                raise EvalAbort(reason)
+            return result
+    else:
+        def apply(values):
+            result = fn(values[0], values[1])
+            if result is VUndef:
+                raise EvalAbort(reason)
+            return result
+    return apply
+
+
+def _instr_dispatcher(lang, module, table):
+    """The compiled step for the frame-based instruction IRs."""
+    table_get = table.get
+    interp = lang.step
+
+    def step(core, mem, flist):
+        if core.done:
+            return []
+        if core.pending is not None or not core.frames:
+            return interp(module, core, mem, flist)
+        frame = core.frames[-1]
+        fn = table_get((frame.fname, frame.pc))
+        if fn is None:
+            return interp(module, core, mem, flist)
+        try:
+            return fn(core, mem, frame)
+        except EvalAbort as abort:
+            return [StepAbort(reason=abort.reason)]
+
+    return step
+
+
+# ----- RTL ------------------------------------------------------------------
+
+
+def _rtl_reg(r):
+    reason = "use of undefined register r{}".format(r)
+
+    def read(frame):
+        value = frame.regs.get(r, VUndef)
+        if value is VUndef:
+            raise EvalAbort(reason)
+        return value
+
+    return read
+
+
+def _compile_rtl_instr(module, fname, instr, counter):
+    """One RTL instruction → ``run(core, mem, frame)`` or None."""
+    counter[0] += 1
+    Core = rtl.RTLCore
+    check = access_check(module)
+
+    def tau(core, frame, footprint, mem):
+        nxt = Core(core.frames[:-1] + (frame,), core.nidx)
+        return [Step(TAU, footprint, nxt, mem)]
+
+    if isinstance(instr, rtl.Inop):
+        nxt_pc = instr.next
+
+        def run(core, mem, frame):
+            return tau(core, frame.at(nxt_pc), EMP, mem)
+
+        return run
+
+    if isinstance(instr, rtl.Iconst):
+        v = VInt(instr.n)
+        dst, nxt_pc = instr.dst, instr.next
+
+        def run(core, mem, frame):
+            return tau(
+                core, frame.at(nxt_pc, frame.regs.set(dst, v)), EMP, mem
+            )
+
+        return run
+
+    if isinstance(instr, rtl.Iaddrglobal):
+        addr = module.symbols.get(instr.name)
+        dst, nxt_pc = instr.dst, instr.next
+        if addr is None:
+            reason = "unresolved global {!r}".format(instr.name)
+
+            def run(core, mem, frame):
+                raise EvalAbort(reason)
+
+            return run
+        v = VPtr(addr)
+
+        def run(core, mem, frame):
+            return tau(
+                core, frame.at(nxt_pc, frame.regs.set(dst, v)), EMP, mem
+            )
+
+        return run
+
+    if isinstance(instr, rtl.Iaddrstack):
+        ofs, dst, nxt_pc = instr.ofs, instr.dst, instr.next
+
+        def run(core, mem, frame):
+            if frame.sp is None:
+                return [StepAbort(reason="stack address without stack")]
+            regs = frame.regs.set(dst, VPtr(frame.sp + ofs))
+            return tau(core, frame.at(nxt_pc, regs), EMP, mem)
+
+        return run
+
+    if isinstance(instr, rtl.Iop):
+        readers = tuple(_rtl_reg(r) for r in instr.args)
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        dst, nxt_pc = instr.dst, instr.next
+
+        def run(core, mem, frame):
+            result = apply_op([read(frame) for read in readers])
+            regs = frame.regs.set(dst, result)
+            return tau(core, frame.at(nxt_pc, regs), EMP, mem)
+
+        return run
+
+    if isinstance(instr, rtl.Iload):
+        addr_read = _rtl_reg(instr.addr)
+        dst, nxt_pc = instr.dst, instr.next
+
+        def run(core, mem, frame):
+            ptr = addr_read(frame)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="load through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise EvalAbort("load from unallocated {}".format(addr))
+            regs = frame.regs.set(dst, value)
+            return tau(
+                core, frame.at(nxt_pc, regs), Footprint((addr,)), mem
+            )
+
+        return run
+
+    if isinstance(instr, rtl.Istore):
+        addr_read = _rtl_reg(instr.addr)
+        src_read = _rtl_reg(instr.src)
+        nxt_pc = instr.next
+
+        def run(core, mem, frame):
+            ptr = addr_read(frame)
+            value = src_read(frame)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="store through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                raise EvalAbort("store to unallocated {}".format(addr))
+            return tau(
+                core,
+                frame.at(nxt_pc),
+                Footprint((), (addr,)),
+                mem2,
+            )
+
+        return run
+
+    if isinstance(instr, rtl.Icall):
+        readers = tuple(_rtl_reg(r) for r in instr.args)
+        fname_c, dst, nxt_pc = instr.fname, instr.dst, instr.next
+        external = instr.external
+
+        def run(core, mem, frame):
+            args = tuple(read(frame) for read in readers)
+            frames = core.frames[:-1] + (frame.at(nxt_pc),)
+            if external:
+                nxt = Core(frames, core.nidx, ("ext-wait", dst))
+                return [Step(CallMsg(fname_c, args), EMP, nxt, mem)]
+            nxt = Core(frames, core.nidx, ("enter", fname_c, args, dst))
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, rtl.Itailcall):
+        readers = tuple(_rtl_reg(r) for r in instr.args)
+        fname_c = instr.fname
+
+        def run(core, mem, frame):
+            args = tuple(read(frame) for read in readers)
+            nxt = Core(
+                core.frames[:-1],
+                core.nidx,
+                ("enter", fname_c, args, frame.ret_dst),
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, rtl.Icond):
+        readers = tuple(_rtl_reg(r) for r in instr.args)
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        iftrue, iffalse = instr.iftrue, instr.iffalse
+
+        def run(core, mem, frame):
+            result = apply_op([read(frame) for read in readers])
+            taken = result.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined condition")]
+            return tau(
+                core, frame.at(iftrue if taken else iffalse), EMP, mem
+            )
+
+        return run
+
+    if isinstance(instr, rtl.Ireturn):
+        src_read = _rtl_reg(instr.src) if instr.src is not None else None
+
+        def run(core, mem, frame):
+            value = _VINT0 if src_read is None else src_read(frame)
+            if len(core.frames) > 1:
+                nxt = Core(
+                    core.frames[:-1],
+                    core.nidx,
+                    ("assign-result", frame.ret_dst, value),
+                )
+                return [Step(TAU, EMP, nxt, mem)]
+            nxt = Core(nidx=core.nidx, done=True)
+            return [Step(RetMsg(value), EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, rtl.Ispawn):
+        msg = SpawnMsg(instr.fname)
+        nxt_pc = instr.next
+
+        def run(core, mem, frame):
+            nxt = Core(
+                core.frames[:-1] + (frame.at(nxt_pc),), core.nidx
+            )
+            return [Step(msg, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, rtl.Iprint):
+        src_read = _rtl_reg(instr.src)
+        nxt_pc = instr.next
+
+        def run(core, mem, frame):
+            value = src_read(frame)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = Core(
+                core.frames[:-1] + (frame.at(nxt_pc),), core.nidx
+            )
+            return [Step(EventMsg("print", value.n), EMP, nxt, mem)]
+
+        return run
+
+    return None
+
+
+def stage_rtl_module(lang, module):
+    counter = [0]
+    table = {}
+    for func in module.functions.values():
+        for pc, instr in func.code.items():
+            compiled = _compile_rtl_instr(module, func.name, instr,
+                                          counter)
+            if compiled is not None:
+                table[(func.name, pc)] = compiled
+    return _instr_dispatcher(lang, module, table), counter[0]
+
+
+# ----- LTL / Linear: location-based helpers ---------------------------------
+
+
+def _loc_reader(loc):
+    """``read(core, frame)`` for a location, or None (bad location)."""
+    if is_reg(loc):
+        reason = "use of undefined location {!r}".format(loc)
+
+        def read(core, frame):
+            value = core.regs.get(loc, VUndef)
+            if value is VUndef:
+                raise EvalAbort(reason)
+            return value
+
+        return read
+    if is_slot(loc):
+        idx = loc[1]
+        reason = "use of undefined location {!r}".format(loc)
+
+        def read(core, frame):
+            value = frame.slots.get(idx, VUndef)
+            if value is VUndef:
+                raise EvalAbort(reason)
+            return value
+
+        return read
+    return None
+
+
+def _loc_writer(loc):
+    """``write(core, frame, value) -> (regs, slots)``, or None."""
+    if is_reg(loc):
+        def write(core, frame, value):
+            return core.regs.set(loc, value), frame.slots
+
+        return write
+    if is_slot(loc):
+        idx = loc[1]
+
+        def write(core, frame, value):
+            return core.regs, frame.slots.set(idx, value)
+
+        return write
+    return None
+
+
+def _arg_reg_readers(arity):
+    """Readers for the calling convention's argument registers."""
+    if arity > len(ARG_REGS):
+        return None
+    return tuple(_loc_reader(ARG_REGS[i]) for i in range(arity))
+
+
+def _compile_loc_instr(module, core_cls, instr_at, kinds, instr,
+                       counter, targets=None, check_lop=False):
+    """One LTL/Linear instruction → ``run(core, mem, frame)`` or None.
+
+    ``instr_at(instr)`` gives the successor pc(s); ``kinds`` maps the
+    role names to the language's node classes; ``targets`` resolves
+    labels (Linear); ``check_lop`` enforces LTL's register-operand
+    invariant at compile time (violations fall back to the interpreter,
+    which raises SemanticsError).
+    """
+    counter[0] += 1
+    Core = core_cls
+    check = access_check(module)
+
+    def adv(core, frame, mem, footprint, regs=None):
+        nxt = Core(
+            core.regs if regs is None else regs,
+            core.frames[:-1] + (frame,),
+            core.nidx,
+        )
+        return [Step(TAU, footprint, nxt, mem)]
+
+    if isinstance(instr, kinds["nop"]):
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            return adv(core, frame.at(nxt_pc), mem, EMP)
+
+        return run
+
+    if isinstance(instr, kinds["const"]):
+        write = _loc_writer(instr.dst)
+        if write is None:
+            return None
+        v = VInt(instr.n)
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            regs, slots = write(core, frame, v)
+            return adv(core, frame.at(nxt_pc, slots), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, kinds["addrglobal"]):
+        write = _loc_writer(instr.dst)
+        if write is None:
+            return None
+        addr = module.symbols.get(instr.name)
+        nxt_pc = instr_at(instr)
+        if addr is None:
+            reason = "unresolved global {!r}".format(instr.name)
+
+            def run(core, mem, frame):
+                raise EvalAbort(reason)
+
+            return run
+        v = VPtr(addr)
+
+        def run(core, mem, frame):
+            regs, slots = write(core, frame, v)
+            return adv(core, frame.at(nxt_pc, slots), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, kinds["addrstack"]):
+        write = _loc_writer(instr.dst)
+        if write is None:
+            return None
+        ofs = instr.ofs
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            if frame.sp is None:
+                return [StepAbort(reason="stack address without stack")]
+            regs, slots = write(core, frame, VPtr(frame.sp + ofs))
+            return adv(core, frame.at(nxt_pc, slots), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, kinds["op"]):
+        if check_lop and instr.op != "move":
+            if any(
+                not is_reg(l)
+                for l in tuple(instr.args) + (instr.dst,)
+            ):
+                return None
+        readers = tuple(_loc_reader(l) for l in instr.args)
+        if any(r is None for r in readers):
+            return None
+        write = _loc_writer(instr.dst)
+        if write is None:
+            return None
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            result = apply_op(
+                [read(core, frame) for read in readers]
+            )
+            regs, slots = write(core, frame, result)
+            return adv(core, frame.at(nxt_pc, slots), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, kinds["load"]):
+        addr_read = _loc_reader(instr.addr)
+        write = _loc_writer(instr.dst)
+        if addr_read is None or write is None:
+            return None
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            ptr = addr_read(core, frame)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="load through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise EvalAbort("load from unallocated {}".format(addr))
+            regs, slots = write(core, frame, value)
+            return adv(
+                core,
+                frame.at(nxt_pc, slots),
+                mem,
+                Footprint((addr,)),
+                regs,
+            )
+
+        return run
+
+    if isinstance(instr, kinds["store"]):
+        addr_read = _loc_reader(instr.addr)
+        src_read = _loc_reader(instr.src)
+        if addr_read is None or src_read is None:
+            return None
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            ptr = addr_read(core, frame)
+            value = src_read(core, frame)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="store through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                raise EvalAbort("store to unallocated {}".format(addr))
+            return adv(
+                core,
+                frame.at(nxt_pc),
+                mem2,
+                Footprint((), (addr,)),
+            )
+
+        return run
+
+    if isinstance(instr, kinds["call"]):
+        readers = _arg_reg_readers(instr.arity)
+        if readers is None:
+            return None
+        fname_c = instr.fname
+        external = instr.external
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            args = tuple(read(core, frame) for read in readers)
+            frames = core.frames[:-1] + (frame.at(nxt_pc),)
+            if external:
+                nxt = Core(core.regs, frames, core.nidx, ("ext-wait",))
+                return [Step(CallMsg(fname_c, args), EMP, nxt, mem)]
+            nxt = Core(
+                core.regs, frames, core.nidx, ("enter", fname_c)
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, kinds["tailcall"]):
+        fname_c = instr.fname
+
+        def run(core, mem, frame):
+            nxt = Core(
+                core.regs,
+                core.frames[:-1],
+                core.nidx,
+                ("enter", fname_c),
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, kinds["cond"]):
+        readers = tuple(_loc_reader(l) for l in instr.args)
+        if any(r is None for r in readers):
+            return None
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        branch = instr_at(instr)
+        if branch is None:
+            return None
+        pc_true, pc_false = branch
+
+        def run(core, mem, frame):
+            result = apply_op(
+                [read(core, frame) for read in readers]
+            )
+            taken = result.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined condition")]
+            return adv(
+                core, frame.at(pc_true if taken else pc_false), mem, EMP
+            )
+
+        return run
+
+    if isinstance(instr, kinds["return"]):
+        def run(core, mem, frame):
+            value = core.regs.get(RET_REG, VUndef)
+            if value is VUndef:
+                return [StepAbort(reason="return with undefined eax")]
+            if len(core.frames) > 1:
+                nxt = Core(core.regs, core.frames[:-1], core.nidx)
+                return [Step(TAU, EMP, nxt, mem)]
+            nxt = Core(nidx=core.nidx, done=True)
+            return [Step(RetMsg(value), EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, kinds["spawn"]):
+        msg = SpawnMsg(instr.fname)
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            nxt = Core(
+                core.regs,
+                core.frames[:-1] + (frame.at(nxt_pc),),
+                core.nidx,
+            )
+            return [Step(msg, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, kinds["print"]):
+        src_read = _loc_reader(instr.src)
+        if src_read is None:
+            return None
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            value = src_read(core, frame)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = Core(
+                core.regs,
+                core.frames[:-1] + (frame.at(nxt_pc),),
+                core.nidx,
+            )
+            return [Step(EventMsg("print", value.n), EMP, nxt, mem)]
+
+        return run
+
+    if targets is not None and isinstance(instr, kinds["goto"]):
+        target = targets(instr.lbl)
+        if target is None:
+            return None
+
+        def run(core, mem, frame):
+            return adv(core, frame.at(target), mem, EMP)
+
+        return run
+
+    if targets is not None and isinstance(instr, kinds["label"]):
+        nxt_pc = instr_at(instr)
+
+        def run(core, mem, frame):
+            return adv(core, frame.at(nxt_pc), mem, EMP)
+
+        return run
+
+    return None
+
+
+_LTL_KINDS = {
+    "nop": ltl.Lnop,
+    "const": ltl.Lconst,
+    "addrglobal": ltl.Laddrglobal,
+    "addrstack": ltl.Laddrstack,
+    "op": ltl.Lop,
+    "load": ltl.Lload,
+    "store": ltl.Lstore,
+    "call": ltl.Lcall,
+    "tailcall": ltl.Ltailcall,
+    "cond": ltl.Lcond,
+    "return": ltl.Lreturn,
+    "spawn": ltl.Lspawn,
+    "print": ltl.Lprint,
+}
+
+_LINEAR_KINDS = {
+    "nop": (),  # Linear has no nop; LinLabel plays the role
+    "label": lin.LinLabel,
+    "goto": lin.LinGoto,
+    "const": lin.LinConst,
+    "addrglobal": lin.LinAddrGlobal,
+    "addrstack": lin.LinAddrStack,
+    "op": lin.LinOp,
+    "load": lin.LinLoad,
+    "store": lin.LinStore,
+    "call": lin.LinCall,
+    "tailcall": lin.LinTailcall,
+    "cond": lin.LinCond,
+    "return": lin.LinReturn,
+    "spawn": lin.LinSpawn,
+    "print": lin.LinPrint,
+}
+
+
+def stage_ltl_module(lang, module):
+    counter = [0]
+    table = {}
+
+    def instr_at(instr):
+        if isinstance(instr, ltl.Lcond):
+            return (instr.iftrue, instr.iffalse)
+        return instr.next if "next" in instr._fields else None
+
+    for func in module.functions.values():
+        for pc, instr in func.code.items():
+            compiled = _compile_loc_instr(
+                module, ltl.LTLCore, instr_at, _LTL_KINDS, instr,
+                counter, check_lop=True,
+            )
+            if compiled is not None:
+                table[(func.name, pc)] = compiled
+    return _instr_dispatcher(lang, module, table), counter[0]
+
+
+def stage_linear_module(lang, module):
+    counter = [0]
+    table = {}
+    core_cls = lang.core_cls
+
+    for func in module.functions.values():
+        labels = func.labels
+
+        def targets(lbl, _labels=labels):
+            return _labels.get(lbl)
+
+        for pc, instr in enumerate(func.code):
+            def instr_at(i, _pc=pc, _labels=labels):
+                if isinstance(i, lin.LinCond):
+                    target = _labels.get(i.lbl)
+                    if target is None:
+                        return None
+                    return (target, _pc + 1)
+                return _pc + 1
+
+            compiled = _compile_loc_instr(
+                module, core_cls, instr_at, _LINEAR_KINDS, instr,
+                counter, targets=targets,
+            )
+            if compiled is not None:
+                table[(func.name, pc)] = compiled
+    return _instr_dispatcher(lang, module, table), counter[0]
+
+
+# ----- Mach -----------------------------------------------------------------
+
+
+def _mach_reg(r):
+    if not is_reg(r):
+        return None
+    reason = "use of undefined register {!r}".format(r)
+
+    def read(core):
+        value = core.regs.get(r, VUndef)
+        if value is VUndef:
+            raise EvalAbort(reason)
+        return value
+
+    return read
+
+
+def _compile_mach_instr(module, func, pc, instr, counter):
+    counter[0] += 1
+    Core = mach.MachCore
+    check = access_check(module)
+    nxt_pc = pc + 1
+
+    def adv(core, frame, mem, footprint, regs=None):
+        nxt = Core(
+            core.regs if regs is None else regs,
+            core.frames[:-1] + (frame,),
+            core.nidx,
+        )
+        return [Step(TAU, footprint, nxt, mem)]
+
+    if isinstance(instr, mach.MLabel):
+        def run(core, mem, frame):
+            return adv(core, frame.at(nxt_pc), mem, EMP)
+
+        return run
+
+    if isinstance(instr, mach.MConst):
+        v = VInt(instr.n)
+        dst = instr.dst
+
+        def run(core, mem, frame):
+            return adv(
+                core, frame.at(nxt_pc), mem, EMP,
+                core.regs.set(dst, v),
+            )
+
+        return run
+
+    if isinstance(instr, mach.MAddrGlobal):
+        addr = module.symbols.get(instr.name)
+        if addr is None:
+            reason = "unresolved global {!r}".format(instr.name)
+
+            def run(core, mem, frame):
+                raise EvalAbort(reason)
+
+            return run
+        v = VPtr(addr)
+        dst = instr.dst
+
+        def run(core, mem, frame):
+            return adv(
+                core, frame.at(nxt_pc), mem, EMP,
+                core.regs.set(dst, v),
+            )
+
+        return run
+
+    if isinstance(instr, mach.MAddrStack):
+        ofs, dst = instr.ofs, instr.dst
+
+        def run(core, mem, frame):
+            if frame.sp is None:
+                return [StepAbort(reason="stack address without frame")]
+            regs = core.regs.set(dst, VPtr(frame.sp + ofs))
+            return adv(core, frame.at(nxt_pc), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, mach.MGetstack):
+        idx, dst = instr.idx, instr.dst
+
+        def run(core, mem, frame):
+            if frame.sp is None:
+                return [StepAbort(reason="getstack without frame")]
+            addr = frame.sp + idx
+            if check is not None:
+                check(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise EvalAbort("load from unallocated {}".format(addr))
+            regs = core.regs.set(dst, value)
+            return adv(
+                core, frame.at(nxt_pc), mem, Footprint((addr,)), regs
+            )
+
+        return run
+
+    if isinstance(instr, mach.MSetstack):
+        src_read = _mach_reg(instr.src)
+        if src_read is None:
+            return None
+        idx = instr.idx
+
+        def run(core, mem, frame):
+            if frame.sp is None:
+                return [StepAbort(reason="setstack without frame")]
+            value = src_read(core)
+            addr = frame.sp + idx
+            if check is not None:
+                check(addr)
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                raise EvalAbort("store to unallocated {}".format(addr))
+            return adv(
+                core,
+                frame.at(nxt_pc),
+                mem2,
+                Footprint((), (addr,)),
+            )
+
+        return run
+
+    if isinstance(instr, mach.MOp):
+        readers = tuple(_mach_reg(r) for r in instr.args)
+        if any(r is None for r in readers):
+            return None
+        if not is_reg(instr.dst):
+            return None
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        dst = instr.dst
+
+        def run(core, mem, frame):
+            result = apply_op([read(core) for read in readers])
+            regs = core.regs.set(dst, result)
+            return adv(core, frame.at(nxt_pc), mem, EMP, regs)
+
+        return run
+
+    if isinstance(instr, mach.MLoad):
+        addr_read = _mach_reg(instr.addr)
+        if addr_read is None or not is_reg(instr.dst):
+            return None
+        dst = instr.dst
+
+        def run(core, mem, frame):
+            ptr = addr_read(core)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="load through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise EvalAbort("load from unallocated {}".format(addr))
+            regs = core.regs.set(dst, value)
+            return adv(
+                core, frame.at(nxt_pc), mem, Footprint((addr,)), regs
+            )
+
+        return run
+
+    if isinstance(instr, mach.MStore):
+        addr_read = _mach_reg(instr.addr)
+        src_read = _mach_reg(instr.src)
+        if addr_read is None or src_read is None:
+            return None
+
+        def run(core, mem, frame):
+            ptr = addr_read(core)
+            value = src_read(core)
+            if not isinstance(ptr, VPtr):
+                return [StepAbort(reason="store through non-pointer")]
+            addr = ptr.addr
+            if check is not None:
+                check(addr)
+            mem2 = mem.store(addr, value)
+            if mem2 is None:
+                raise EvalAbort("store to unallocated {}".format(addr))
+            return adv(
+                core,
+                frame.at(nxt_pc),
+                mem2,
+                Footprint((), (addr,)),
+            )
+
+        return run
+
+    if isinstance(instr, mach.MCall):
+        if instr.arity > len(ARG_REGS):
+            return None
+        readers = tuple(
+            _mach_reg(ARG_REGS[i]) for i in range(instr.arity)
+        )
+        fname_c = instr.fname
+        external = instr.external
+
+        def run(core, mem, frame):
+            args = tuple(read(core) for read in readers)
+            frames = core.frames[:-1] + (frame.at(nxt_pc),)
+            if external:
+                nxt = Core(core.regs, frames, core.nidx, ("ext-wait",))
+                return [Step(CallMsg(fname_c, args), EMP, nxt, mem)]
+            nxt = Core(
+                core.regs, frames, core.nidx, ("enter", fname_c)
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, mach.MTailcall):
+        fname_c = instr.fname
+
+        def run(core, mem, frame):
+            nxt = Core(
+                core.regs,
+                core.frames[:-1],
+                core.nidx,
+                ("enter", fname_c),
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, mach.MGoto):
+        target = func.labels.get(instr.lbl)
+        if target is None:
+            return None
+
+        def run(core, mem, frame):
+            return adv(core, frame.at(target), mem, EMP)
+
+        return run
+
+    if isinstance(instr, mach.MCond):
+        readers = tuple(_mach_reg(r) for r in instr.args)
+        if any(r is None for r in readers):
+            return None
+        apply_op = _op_apply(instr.op, len(readers))
+        if apply_op is None:
+            return None
+        target = func.labels.get(instr.lbl)
+        if target is None:
+            return None
+
+        def run(core, mem, frame):
+            result = apply_op([read(core) for read in readers])
+            taken = result.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined condition")]
+            return adv(
+                core, frame.at(target if taken else nxt_pc), mem, EMP
+            )
+
+        return run
+
+    if isinstance(instr, mach.MReturn):
+        def run(core, mem, frame):
+            value = core.regs.get(RET_REG, VUndef)
+            if value is VUndef:
+                return [StepAbort(reason="return with undefined eax")]
+            if len(core.frames) > 1:
+                nxt = Core(core.regs, core.frames[:-1], core.nidx)
+                return [Step(TAU, EMP, nxt, mem)]
+            nxt = Core(nidx=core.nidx, done=True)
+            return [Step(RetMsg(value), EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, mach.MSpawn):
+        msg = SpawnMsg(instr.fname)
+
+        def run(core, mem, frame):
+            nxt = Core(
+                core.regs,
+                core.frames[:-1] + (frame.at(nxt_pc),),
+                core.nidx,
+            )
+            return [Step(msg, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, mach.MPrint):
+        src_read = _mach_reg(instr.src)
+        if src_read is None:
+            return None
+
+        def run(core, mem, frame):
+            value = src_read(core)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = Core(
+                core.regs,
+                core.frames[:-1] + (frame.at(nxt_pc),),
+                core.nidx,
+            )
+            return [Step(EventMsg("print", value.n), EMP, nxt, mem)]
+
+        return run
+
+    return None
+
+
+def stage_mach_module(lang, module):
+    counter = [0]
+    table = {}
+    for func in module.functions.values():
+        for pc, instr in enumerate(func.code):
+            compiled = _compile_mach_instr(module, func, pc, instr,
+                                           counter)
+            if compiled is not None:
+                table[(func.name, pc)] = compiled
+    return _instr_dispatcher(lang, module, table), counter[0]

@@ -1,0 +1,681 @@
+"""Closure compilation of the MiniC step interpreter.
+
+Staging (see :mod:`repro.lang.closure`): every statement node of a
+module is compiled once into a closure over its pre-resolved parts —
+operator functions, global symbol addresses, permission verdicts,
+flattened branch continuations, and the footprint when the accessed
+locations are static — so the per-step interpreter dispatch
+(``isinstance`` ladder, ``UNOPS``/``BINOPS`` lookups, ``_flatten``)
+disappears from the hot loop. Compiled closures live in a side table
+keyed by (structurally hashed) statement node; cores, frames and konts
+are unchanged AST values, so state hashing and the wire format never
+see the difference.
+
+Expressions compile in one of two modes:
+
+* ``record=True`` — ``run(frame, mem, rs)``: loads add their address
+  to ``rs``, exactly like the interpreter's ``_eval``. Used whenever
+  some address in the statement is only known at run time.
+* ``record=False`` — ``run(frame, mem)``: no read-set bookkeeping at
+  all; only used when the *whole statement's* read set was proven
+  static, in which case the statement's footprint is a compile-time
+  constant (interned, so POR's privacy memo hits pointer equality).
+
+Any node the compiler does not recognize falls back to the
+interpretive ``_stmt_step`` at run time (counted by the framework's
+``closure.fallbacks``), so semantic coverage can never regress.
+"""
+
+from repro.common.footprint import EMP, Footprint
+from repro.common.values import BINOPS, UNOPS, VInt, VPtr, VUndef
+from repro.lang.messages import TAU, CallMsg, EventMsg, RetMsg, SpawnMsg
+from repro.lang.steps import Step, StepAbort
+from repro.langs.minic import ast
+from repro.langs.minic.semantics import (
+    MFrame,
+    MiniCCore,
+    _EvalAbort,
+    _flatten,
+)
+
+_VINT0 = VInt(0)
+
+
+def _raiser(reason):
+    def run(frame, mem):
+        raise _EvalAbort(reason)
+
+    return run
+
+
+def _raiser_rec(reason):
+    def run(frame, mem, rs):
+        raise _EvalAbort(reason)
+
+    return run
+
+
+def expr_reads(module, expr):
+    """The static read set of ``expr``, or ``None`` when dynamic.
+
+    An expression that always aborts reports ``frozenset()``: the
+    abort discards the read set anyway (``StepAbort`` carries ``EMP``).
+    """
+    if isinstance(expr, (ast.IntLit, ast.AddrOf)):
+        return frozenset()
+    if isinstance(expr, ast.VarExpr):
+        if expr.scope == "local":
+            return None
+        addr = module.symbols.get(expr.name)
+        if addr is None or addr in module.forbidden:
+            return frozenset()
+        return frozenset((addr,))
+    if isinstance(expr, ast.Unop):
+        return expr_reads(module, expr.arg)
+    if isinstance(expr, ast.Binop):
+        left = expr_reads(module, expr.left)
+        if left is None:
+            return None
+        right = expr_reads(module, expr.right)
+        if right is None:
+            return None
+        return left | right
+    # Deref (address known only at run time) and unknown nodes.
+    return None
+
+
+def compile_expr(module, expr, record, counter):
+    """Compile ``expr`` to ``run(frame, mem[, rs])``; may return None.
+
+    ``None`` means the node is unknown — the caller then leaves the
+    whole statement to the interpreter.
+    """
+    counter[0] += 1
+    forbidden = module.forbidden
+
+    if isinstance(expr, ast.IntLit):
+        v = VInt(expr.n)
+        if record:
+            return lambda frame, mem, rs: v
+        return lambda frame, mem: v
+
+    if isinstance(expr, ast.VarExpr):
+        name = expr.name
+        if expr.scope == "local":
+            # Local slot: the address comes from the activation's
+            # environment; locals live in freelist space, which the
+            # forbidden region (linked globals) never covers unless a
+            # test constructs one — keep the check iff non-empty.
+            if forbidden:
+                def run(frame, mem, rs):
+                    addr = frame.env[name]
+                    if addr in forbidden:
+                        raise _EvalAbort(
+                            "client accessed object-owned address "
+                            "{}".format(addr)
+                        )
+                    rs.add(addr)
+                    value = mem.load(addr)
+                    if value is None:
+                        raise _EvalAbort(
+                            "load from unallocated {}".format(addr)
+                        )
+                    return value
+            else:
+                def run(frame, mem, rs):
+                    addr = frame.env[name]
+                    rs.add(addr)
+                    value = mem.load(addr)
+                    if value is None:
+                        raise _EvalAbort(
+                            "load from unallocated {}".format(addr)
+                        )
+                    return value
+            return run
+        addr = module.symbols.get(name)
+        if addr is None:
+            reason = "unresolved global {!r}".format(name)
+            return _raiser_rec(reason) if record else _raiser(reason)
+        if addr in forbidden:
+            reason = "client accessed object-owned address {}".format(addr)
+            return _raiser_rec(reason) if record else _raiser(reason)
+        miss = "load from unallocated {}".format(addr)
+        if record:
+            def run(frame, mem, rs):
+                rs.add(addr)
+                value = mem.load(addr)
+                if value is None:
+                    raise _EvalAbort(miss)
+                return value
+        else:
+            def run(frame, mem):
+                value = mem.load(addr)
+                if value is None:
+                    raise _EvalAbort(miss)
+                return value
+        return run
+
+    if isinstance(expr, ast.AddrOf):
+        name = expr.name
+        if expr.scope == "local":
+            if record:
+                return lambda frame, mem, rs: VPtr(frame.env[name])
+            return lambda frame, mem: VPtr(frame.env[name])
+        addr = module.symbols.get(name)
+        if addr is None:
+            reason = "unresolved global {!r}".format(name)
+            return _raiser_rec(reason) if record else _raiser(reason)
+        v = VPtr(addr)
+        if record:
+            return lambda frame, mem, rs: v
+        return lambda frame, mem: v
+
+    if isinstance(expr, ast.Deref):
+        # The loaded address is dynamic, so Deref only exists in
+        # recording mode (a statement containing one is never static).
+        arg = compile_expr(module, expr.arg, True, counter)
+        if arg is None or not record:
+            return None
+
+        def run(frame, mem, rs):
+            ptr = arg(frame, mem, rs)
+            if not isinstance(ptr, VPtr):
+                raise _EvalAbort("dereference of non-pointer")
+            addr = ptr.addr
+            if addr in forbidden:
+                raise _EvalAbort(
+                    "client accessed object-owned address {}".format(addr)
+                )
+            rs.add(addr)
+            value = mem.load(addr)
+            if value is None:
+                raise _EvalAbort("load from unallocated {}".format(addr))
+            return value
+
+        return run
+
+    if isinstance(expr, ast.Unop):
+        arg = compile_expr(module, expr.arg, record, counter)
+        if arg is None:
+            return None
+        op = UNOPS[expr.op]
+        if record:
+            def run(frame, mem, rs):
+                result = op(arg(frame, mem, rs))
+                if result is VUndef:
+                    raise _EvalAbort("undefined unop result")
+                return result
+        else:
+            def run(frame, mem):
+                result = op(arg(frame, mem))
+                if result is VUndef:
+                    raise _EvalAbort("undefined unop result")
+                return result
+        return run
+
+    if isinstance(expr, ast.Binop):
+        left = compile_expr(module, expr.left, record, counter)
+        right = compile_expr(module, expr.right, record, counter)
+        if left is None or right is None:
+            return None
+        op = BINOPS[expr.op]
+        undef = "undefined result of {!r}".format(expr.op)
+        if record:
+            def run(frame, mem, rs):
+                result = op(left(frame, mem, rs), right(frame, mem, rs))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        else:
+            def run(frame, mem):
+                result = op(left(frame, mem), right(frame, mem))
+                if result is VUndef:
+                    raise _EvalAbort(undef)
+                return result
+        return run
+
+    return None
+
+
+def _compile_value(module, expr, counter):
+    """``(run, reads)`` for one expression; recording iff dynamic."""
+    reads = expr_reads(module, expr)
+    run = compile_expr(module, expr, reads is None, counter)
+    return run, reads
+
+
+def _lhs_static_addr(module, lhs):
+    """The compile-time store address of an lvalue, or ``None``.
+
+    Returns ``(addr, abort_reason)``: a permission violation or an
+    unresolved global is itself static knowledge — the statement
+    compiles to an unconditional abort.
+    """
+    if not isinstance(lhs, ast.LhsVar) or lhs.scope == "local":
+        return None
+    addr = module.symbols.get(lhs.name)
+    if addr is None:
+        return addr, "unresolved global {!r}".format(lhs.name)
+    if addr in module.forbidden:
+        return addr, (
+            "client accessed object-owned address {}".format(addr)
+        )
+    return addr, None
+
+
+def _compile_stmt(module, stmt, counter):
+    """One statement → closure ``(core, mem, flist, frame, rest)``.
+
+    Returns ``None`` for nodes left to the interpreter.
+    """
+    forbidden = module.forbidden
+
+    if isinstance(stmt, ast.SSkip):
+        def run(core, mem, flist, frame, rest):
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SDecl):
+        if stmt.init is None:
+            def run(core, mem, flist, frame, rest):
+                nxt = MiniCCore(
+                    core.frames[:-1] + (frame.with_kont(rest),),
+                    core.nidx,
+                )
+                return [Step(TAU, EMP, nxt, mem)]
+
+            return run
+        value_run, reads = _compile_value(module, stmt.init, counter)
+        if value_run is None:
+            return None
+        name = stmt.name
+        if reads is not None:
+            def run(core, mem, flist, frame, rest):
+                value = value_run(frame, mem)
+                addr = frame.env[name]
+                mem2 = mem.store(addr, value)
+                if mem2 is None:
+                    return [StepAbort(reason="store to unallocated")]
+                nxt = MiniCCore(
+                    core.frames[:-1] + (frame.with_kont(rest),),
+                    core.nidx,
+                )
+                return [Step(TAU, Footprint(reads, (addr,)), nxt, mem2)]
+        else:
+            def run(core, mem, flist, frame, rest):
+                rs = set()
+                value = value_run(frame, mem, rs)
+                addr = frame.env[name]
+                mem2 = mem.store(addr, value)
+                if mem2 is None:
+                    return [StepAbort(reason="store to unallocated")]
+                nxt = MiniCCore(
+                    core.frames[:-1] + (frame.with_kont(rest),),
+                    core.nidx,
+                )
+                return [Step(TAU, Footprint(rs, (addr,)), nxt, mem2)]
+        return run
+
+    if isinstance(stmt, ast.SAssign):
+        value_run, reads = _compile_value(module, stmt.expr, counter)
+        if value_run is None:
+            return None
+        lhs = stmt.lhs
+        static = _lhs_static_addr(module, lhs)
+        if static is not None:
+            addr, abort = static
+            if abort is not None:
+                # Evaluation order: the rhs evaluates first, so its
+                # aborts still win over the permission abort.
+                if reads is not None:
+                    def run(core, mem, flist, frame, rest):
+                        value_run(frame, mem)
+                        return [StepAbort(reason=abort)]
+                else:
+                    def run(core, mem, flist, frame, rest):
+                        value_run(frame, mem, set())
+                        return [StepAbort(reason=abort)]
+                return run
+            if reads is not None:
+                fp = Footprint(reads, (addr,))
+
+                def run(core, mem, flist, frame, rest):
+                    value = value_run(frame, mem)
+                    mem2 = mem.store(addr, value)
+                    if mem2 is None:
+                        return [StepAbort(reason="store to unallocated")]
+                    nxt = MiniCCore(
+                        core.frames[:-1] + (frame.with_kont(rest),),
+                        core.nidx,
+                    )
+                    return [Step(TAU, fp, nxt, mem2)]
+            else:
+                def run(core, mem, flist, frame, rest):
+                    rs = set()
+                    value = value_run(frame, mem, rs)
+                    mem2 = mem.store(addr, value)
+                    if mem2 is None:
+                        return [StepAbort(reason="store to unallocated")]
+                    nxt = MiniCCore(
+                        core.frames[:-1] + (frame.with_kont(rest),),
+                        core.nidx,
+                    )
+                    return [Step(TAU, Footprint(rs, (addr,)), nxt, mem2)]
+            return run
+        if isinstance(lhs, ast.LhsVar):
+            # Local lvalue: address from the environment.
+            name = lhs.name
+            if reads is not None:
+                def run(core, mem, flist, frame, rest):
+                    value = value_run(frame, mem)
+                    addr = frame.env[name]
+                    if addr in forbidden:
+                        return [StepAbort(reason=(
+                            "client accessed object-owned address "
+                            "{}".format(addr)
+                        ))]
+                    mem2 = mem.store(addr, value)
+                    if mem2 is None:
+                        return [StepAbort(reason="store to unallocated")]
+                    nxt = MiniCCore(
+                        core.frames[:-1] + (frame.with_kont(rest),),
+                        core.nidx,
+                    )
+                    return [Step(TAU, Footprint(reads, (addr,)), nxt, mem2)]
+            else:
+                def run(core, mem, flist, frame, rest):
+                    rs = set()
+                    value = value_run(frame, mem, rs)
+                    addr = frame.env[name]
+                    if addr in forbidden:
+                        return [StepAbort(reason=(
+                            "client accessed object-owned address "
+                            "{}".format(addr)
+                        ))]
+                    mem2 = mem.store(addr, value)
+                    if mem2 is None:
+                        return [StepAbort(reason="store to unallocated")]
+                    nxt = MiniCCore(
+                        core.frames[:-1] + (frame.with_kont(rest),),
+                        core.nidx,
+                    )
+                    return [Step(TAU, Footprint(rs, (addr,)), nxt, mem2)]
+            return run
+        if isinstance(lhs, ast.LhsDeref):
+            ptr_run = compile_expr(module, lhs.arg, True, counter)
+            if ptr_run is None:
+                return None
+
+            def run(core, mem, flist, frame, rest):
+                rs = set()
+                if reads is not None:
+                    value = value_run(frame, mem)
+                    rs.update(reads)
+                else:
+                    value = value_run(frame, mem, rs)
+                ptr = ptr_run(frame, mem, rs)
+                if not isinstance(ptr, VPtr):
+                    return [StepAbort(reason="store through non-pointer")]
+                addr = ptr.addr
+                if addr in forbidden:
+                    return [StepAbort(reason=(
+                        "client accessed object-owned address "
+                        "{}".format(addr)
+                    ))]
+                mem2 = mem.store(addr, value)
+                if mem2 is None:
+                    return [StepAbort(reason="store to unallocated")]
+                nxt = MiniCCore(
+                    core.frames[:-1] + (frame.with_kont(rest),),
+                    core.nidx,
+                )
+                return [Step(TAU, Footprint(rs, (addr,)), nxt, mem2)]
+
+            return run
+        return None
+
+    if isinstance(stmt, ast.SCallStmt):
+        call = stmt.call
+        runs = []
+        all_reads = frozenset()
+        for arg in call.args:
+            arg_run, arg_reads = _compile_value(module, arg, counter)
+            if arg_run is None:
+                return None
+            runs.append((arg_run, arg_reads))
+            if all_reads is not None and arg_reads is not None:
+                all_reads = all_reads | arg_reads
+            else:
+                all_reads = None
+        runs = tuple(runs)
+        fname = call.fname
+        dst = stmt.dst
+        external = call.external
+        fp = Footprint(all_reads) if all_reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                args = tuple(
+                    arg_run(frame, mem) for arg_run, _ in runs
+                )
+                afp = fp
+            else:
+                rs = set()
+                args = []
+                for arg_run, arg_reads in runs:
+                    if arg_reads is not None:
+                        args.append(arg_run(frame, mem))
+                        rs.update(arg_reads)
+                    else:
+                        args.append(arg_run(frame, mem, rs))
+                args = tuple(args)
+                afp = Footprint(rs)
+            frames = core.frames[:-1] + (frame.with_kont(rest),)
+            if external:
+                nxt = MiniCCore(frames, core.nidx, ("ext-wait", dst))
+                return [Step(CallMsg(fname, args), afp, nxt, mem)]
+            nxt = MiniCCore(frames, core.nidx, ("enter", fname, args, dst))
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SPrint):
+        value_run, reads = _compile_value(module, stmt.expr, counter)
+        if value_run is None:
+            return None
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                value = value_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                value = value_run(frame, mem, rs)
+                afp = Footprint(rs)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(EventMsg("print", value.n), afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SIf):
+        if stmt.then is None or stmt.els is None:
+            return None
+        cond_run, reads = _compile_value(module, stmt.cond, counter)
+        if cond_run is None:
+            return None
+        then_flat = _flatten(stmt.then, ())
+        els_flat = _flatten(stmt.els, ())
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                cond = cond_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                cond = cond_run(frame, mem, rs)
+                afp = Footprint(rs)
+            taken = cond.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined condition")]
+            kont = (then_flat if taken else els_flat) + rest
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(kont),), core.nidx
+            )
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SWhile):
+        cond_run, reads = _compile_value(module, stmt.cond, counter)
+        if cond_run is None:
+            return None
+        body_flat = _flatten(stmt.body, ()) + (stmt,)
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if fp is not None:
+                cond = cond_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                cond = cond_run(frame, mem, rs)
+                afp = Footprint(rs)
+            taken = cond.is_true()
+            if taken is None:
+                return [StepAbort(reason="undefined loop condition")]
+            kont = body_flat + rest if taken else rest
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(kont),), core.nidx
+            )
+            return [Step(TAU, afp, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SBlock):
+        flat = _flatten(stmt, ())
+
+        def run(core, mem, flist, frame, rest):
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(flat + rest),),
+                core.nidx,
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SSpawn):
+        msg = SpawnMsg(stmt.fname)
+
+        def run(core, mem, flist, frame, rest):
+            nxt = MiniCCore(
+                core.frames[:-1] + (frame.with_kont(rest),), core.nidx
+            )
+            return [Step(msg, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(stmt, ast.SReturn):
+        if stmt.expr is None:
+            value_run, reads = None, frozenset()
+        else:
+            value_run, reads = _compile_value(module, stmt.expr, counter)
+            if value_run is None:
+                return None
+        fp = Footprint(reads) if reads is not None else None
+
+        def run(core, mem, flist, frame, rest):
+            if value_run is None:
+                value, afp = _VINT0, EMP
+            elif fp is not None:
+                value = value_run(frame, mem)
+                afp = fp
+            else:
+                rs = set()
+                value = value_run(frame, mem, rs)
+                afp = Footprint(rs)
+            if len(core.frames) > 1:
+                nxt = MiniCCore(
+                    core.frames[:-1],
+                    core.nidx,
+                    ("assign-result", frame.ret_dst, value),
+                )
+                return [Step(TAU, afp, nxt, mem)]
+            nxt = MiniCCore(nidx=core.nidx, done=True)
+            return [Step(RetMsg(value), afp, nxt, mem)]
+
+        return run
+
+    return None
+
+
+def _collect_stmts(stmt, acc):
+    if stmt is None or stmt in acc:
+        return
+    acc[stmt] = True
+    if isinstance(stmt, ast.SBlock):
+        for s in stmt.stmts:
+            _collect_stmts(s, acc)
+    elif isinstance(stmt, ast.SIf):
+        _collect_stmts(stmt.then, acc)
+        _collect_stmts(stmt.els, acc)
+    elif isinstance(stmt, ast.SWhile):
+        _collect_stmts(stmt.body, acc)
+
+
+def stage_module(lang, module):
+    """Compile every statement of ``module``; see ModuleLanguage hook.
+
+    Returns ``(step, nodes_compiled)``.
+    """
+    counter = [0]
+    table = {}
+    acc = {}
+    for func in module.functions.values():
+        _collect_stmts(func.body, acc)
+    for stmt in acc:
+        compiled = _compile_stmt(module, stmt, counter)
+        if compiled is not None:
+            table[stmt] = compiled
+            counter[0] += 1
+    table_get = table.get
+    interp = lang.step
+
+    def step(core, mem, flist):
+        if core.done:
+            return []
+        if core.pending is not None or not core.frames:
+            return interp(module, core, mem, flist)
+        frame = core.frames[-1]
+        kont = frame.kont
+        if not kont:
+            # Implicit ``return 0`` at the end of the body.
+            if len(core.frames) > 1:
+                nxt = MiniCCore(
+                    core.frames[:-1],
+                    core.nidx,
+                    ("assign-result", frame.ret_dst, _VINT0),
+                )
+                return [Step(TAU, EMP, nxt, mem)]
+            return [Step(
+                RetMsg(_VINT0), EMP,
+                MiniCCore(nidx=core.nidx, done=True), mem,
+            )]
+        fn = table_get(kont[0])
+        if fn is None:
+            return interp(module, core, mem, flist)
+        try:
+            return fn(core, mem, flist, frame, kont[1:])
+        except _EvalAbort as abort:
+            return [StepAbort(reason=abort.reason)]
+
+    return step, counter[0]

@@ -1,0 +1,499 @@
+"""Closure compilation of the mini-x86 machines (SC and TSO).
+
+One closure per program point, keyed ``(fname, pc)`` like the IR
+instruction languages. The compiled code is shared between the SC and
+TSO machines by closing over the *language instance's* memory hooks
+(``_mem_load``/``_mem_store``), so the TSO overrides keep working; the
+staging cache already keys artifacts on the language instance.
+
+The dispatcher comes in two flavours, chosen at staging time by method
+identity: when ``_extra_outcomes``/``_must_drain`` are the SC
+defaults (no buffer nondeterminism), the per-step hook calls are
+dropped entirely; otherwise the TSO composition — drain-blocking,
+flush outcomes appended after every step, flushes surviving aborts —
+is replicated exactly.
+
+Everything static is folded at compile time: successor positions,
+label targets, global addresses, immediate values, unknown-callee
+aborts, and the blocking-instruction classification that TSO's drain
+rule consults per step.
+"""
+
+from repro.common.errors import SemanticsError
+from repro.common.footprint import EMP, Footprint
+from repro.common.values import BINOPS, VInt, VPtr, VUndef, divs, mods
+from repro.lang.messages import (
+    TAU,
+    CallMsg,
+    EventMsg,
+    RetMsg,
+    SpawnMsg,
+)
+from repro.lang.steps import Step, StepAbort
+from repro.langs.ir.base import EvalAbort, symbol_addr
+from repro.langs.ir.compile import access_check
+from repro.langs.x86 import ast
+from repro.langs.x86.regs import ARG_REGS, RET_REG
+from repro.langs.x86.sc import X86SCLang, _cond_holds, _flags_of
+
+_V0 = VInt(0)
+_V1 = VInt(1)
+
+
+def _reg_reader(r):
+    reason = "use of undefined register {!r}".format(r)
+
+    def read(core):
+        value = core.regs.get(r, VUndef)
+        if value is VUndef:
+            raise EvalAbort(reason)
+        return value
+
+    return read
+
+
+def _compile_mode(module, mode):
+    """An addressing mode → ``addr_of(core)``, or None (unknown kind)."""
+    kind = mode[0]
+    if kind == "global":
+        try:
+            addr = symbol_addr(module, mode[1])
+        except EvalAbort as abort:
+            reason = abort.reason
+
+            def run(core):
+                raise EvalAbort(reason)
+
+            return run
+        return lambda core: addr
+    if kind == "base":
+        reg, ofs = mode[1], mode[2]
+        undef = "use of undefined register {!r}".format(reg)
+
+        def run(core):
+            base = core.regs.get(reg, VUndef)
+            if base is VUndef:
+                raise EvalAbort(undef)
+            if not isinstance(base, VPtr):
+                raise EvalAbort("base register holds non-pointer")
+            return base.addr + ofs
+
+        return run
+    return None
+
+
+def _compile_instr(lang, module, func, pc, instr, counter):
+    """One x86 instruction → ``run(core, mem, flist)`` or None.
+
+    The closure produces exactly ``_instr_step``'s outcomes; the
+    dispatcher layers the TSO extra-outcome composition on top.
+    """
+    counter[0] += 1
+    fname = func.name
+    nxt_cur = (fname, pc + 1)
+    check = access_check(module)
+    mem_load = lang._mem_load
+    mem_store = lang._mem_store
+
+    if isinstance(instr, (ast.Plabel, ast.Pmfence)):
+        def run(core, mem, flist):
+            return [Step(TAU, EMP, core.update(cur=nxt_cur), mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pmov_rr):
+        src_read = _reg_reader(instr.src)
+        dst = instr.dst
+
+        def run(core, mem, flist):
+            regs = core.regs.set(dst, src_read(core))
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pmov_ri):
+        v = VInt(instr.n)
+        dst = instr.dst
+
+        def run(core, mem, flist):
+            regs = core.regs.set(dst, v)
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Plea):
+        addr_of = _compile_mode(module, instr.mode)
+        if addr_of is None:
+            return None
+        dst = instr.dst
+
+        def run(core, mem, flist):
+            regs = core.regs.set(dst, VPtr(addr_of(core)))
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pmov_rm):
+        addr_of = _compile_mode(module, instr.mode)
+        if addr_of is None:
+            return None
+        dst = instr.dst
+
+        def run(core, mem, flist):
+            value, fp = mem_load(module, core, mem, addr_of(core))
+            regs = core.regs.set(dst, value)
+            return [
+                Step(TAU, fp, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pmov_mr):
+        addr_of = _compile_mode(module, instr.mode)
+        if addr_of is None:
+            return None
+        src_read = _reg_reader(instr.src)
+
+        def run(core, mem, flist):
+            addr = addr_of(core)
+            value = src_read(core)
+            core2, mem2, fp = mem_store(module, core, mem, addr, value)
+            return [Step(TAU, fp, core2.update(cur=nxt_cur), mem2)]
+
+        return run
+
+    if isinstance(instr, (ast.Parith_rr, ast.Parith_ri)):
+        try:
+            op = BINOPS[instr.op]
+        except KeyError:
+            return None
+        dst = instr.dst
+        dst_read = _reg_reader(dst)
+        if isinstance(instr, ast.Parith_rr):
+            src_read = _reg_reader(instr.src)
+        else:
+            imm = VInt(instr.n)
+            src_read = lambda core: imm  # noqa: E731
+
+        def run(core, mem, flist):
+            result = op(dst_read(core), src_read(core))
+            if result is VUndef:
+                return [StepAbort(reason="undefined arithmetic result")]
+            regs = core.regs.set(dst, result)
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pneg):
+        dst = instr.dst
+        dst_read = _reg_reader(dst)
+
+        def run(core, mem, flist):
+            value = dst_read(core)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="neg of non-integer")]
+            regs = core.regs.set(dst, VInt(-value.n))
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, (ast.Pdivs, ast.Pmods)):
+        fn = divs if isinstance(instr, ast.Pdivs) else mods
+        reason = (
+            "undefined division"
+            if isinstance(instr, ast.Pdivs)
+            else "undefined modulo"
+        )
+        dst = instr.dst
+        dst_read = _reg_reader(dst)
+        src_read = _reg_reader(instr.src)
+
+        def run(core, mem, flist):
+            result = fn(dst_read(core), src_read(core))
+            if result is VUndef:
+                return [StepAbort(reason=reason)]
+            regs = core.regs.set(dst, result)
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, (ast.Pcmp_rr, ast.Pcmp_ri)):
+        r1_read = _reg_reader(instr.r1)
+        if isinstance(instr, ast.Pcmp_rr):
+            r2_read = _reg_reader(instr.r2)
+        else:
+            imm = VInt(instr.n)
+            r2_read = lambda core: imm  # noqa: E731
+
+        def run(core, mem, flist):
+            flags = _flags_of(r1_read(core), r2_read(core))
+            return [
+                Step(
+                    TAU, EMP, core.update(flags=flags, cur=nxt_cur), mem
+                )
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pjcc):
+        target = func.labels.get(instr.lbl)
+        if target is None:
+            # The interpreter only resolves the label on a taken
+            # branch; keep that behaviour by not compiling.
+            return None
+        taken_cur = (fname, target)
+        cond = instr.cond
+
+        def run(core, mem, flist):
+            cur = taken_cur if _cond_holds(core.flags, cond) else nxt_cur
+            return [Step(TAU, EMP, core.update(cur=cur), mem)]
+
+        return run
+
+    if isinstance(instr, ast.Psetcc):
+        cond = instr.cond
+        dst = instr.dst
+
+        def run(core, mem, flist):
+            value = _V1 if _cond_holds(core.flags, cond) else _V0
+            regs = core.regs.set(dst, value)
+            return [
+                Step(TAU, EMP, core.update(regs=regs, cur=nxt_cur), mem)
+            ]
+
+        return run
+
+    if isinstance(instr, ast.Pjmp):
+        target = func.labels.get(instr.lbl)
+        if target is None:
+            return None
+        jmp_cur = (fname, target)
+
+        def run(core, mem, flist):
+            return [Step(TAU, EMP, core.update(cur=jmp_cur), mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pcall):
+        call_fname = instr.fname
+        if instr.external:
+            if instr.arity > len(ARG_REGS):
+                return None
+            readers = tuple(
+                _reg_reader(ARG_REGS[i]) for i in range(instr.arity)
+            )
+
+            def run(core, mem, flist):
+                args = tuple(read(core) for read in readers)
+                nxt = core.update(cur=nxt_cur, pending=("ext-wait",))
+                return [Step(CallMsg(call_fname, args), EMP, nxt, mem)]
+
+            return run
+        if call_fname not in module.functions:
+            unknown = [
+                StepAbort(
+                    reason="call to unknown {!r}".format(call_fname)
+                )
+            ]
+
+            def run(core, mem, flist):
+                return list(unknown)
+
+            return run
+        callee_cur = (call_fname, 0)
+
+        def run(core, mem, flist):
+            nxt = core.update(
+                cur=callee_cur, rstack=core.rstack + (nxt_cur,)
+            )
+            return [Step(TAU, EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pret):
+        def run(core, mem, flist):
+            if core.rstack:
+                nxt = core.update(
+                    cur=core.rstack[-1], rstack=core.rstack[:-1]
+                )
+                return [Step(TAU, EMP, nxt, mem)]
+            value = core.regs.get(RET_REG, VUndef)
+            if value is VUndef:
+                return [StepAbort(reason="return with undefined eax")]
+            nxt = core.update(cur=None, done=True)
+            return [Step(RetMsg(value), EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pallocframe):
+        if instr.size < 1:
+            # The interpreter rejects this with SemanticsError.
+            return None
+        size = instr.size
+
+        def run(core, mem, flist):
+            ws = set()
+            nidx = core.nidx
+            mem2 = mem
+            base = flist.addr_at(nidx)
+            for _ in range(size):
+                addr = flist.addr_at(nidx)
+                nidx += 1
+                mem2 = mem2.alloc(addr, VUndef)
+                if mem2 is None:
+                    raise SemanticsError(
+                        "freelist slot already allocated"
+                    )
+                ws.add(addr)
+            mem2 = mem2.store(base, core.regs.get("esp", VUndef))
+            regs = core.regs.set("esp", VPtr(base))
+            nxt = core.update(regs=regs, nidx=nidx, cur=nxt_cur)
+            return [Step(TAU, Footprint((), ws), nxt, mem2)]
+
+        return run
+
+    if isinstance(instr, ast.Pfreeframe):
+        esp_read = _reg_reader("esp")
+
+        def run(core, mem, flist):
+            sp = esp_read(core)
+            if not isinstance(sp, VPtr):
+                return [
+                    StepAbort(reason="freeframe with non-pointer esp")
+                ]
+            addr = sp.addr
+            if check is not None:
+                check(addr)
+            saved = mem.load(addr)
+            if saved is None:
+                return [
+                    StepAbort(reason="freeframe on unallocated stack")
+                ]
+            regs = core.regs.set("esp", saved)
+            nxt = core.update(regs=regs, cur=nxt_cur)
+            return [Step(TAU, Footprint((addr,)), nxt, mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pprint):
+        src_read = _reg_reader(instr.src)
+
+        def run(core, mem, flist):
+            value = src_read(core)
+            if not isinstance(value, VInt):
+                return [StepAbort(reason="print of non-integer")]
+            nxt = core.update(cur=nxt_cur)
+            return [Step(EventMsg("print", value.n), EMP, nxt, mem)]
+
+        return run
+
+    if isinstance(instr, ast.Pspawn):
+        msg = SpawnMsg(instr.fname)
+
+        def run(core, mem, flist):
+            return [Step(msg, EMP, core.update(cur=nxt_cur), mem)]
+
+        return run
+
+    if isinstance(instr, ast.Plock_cmpxchg):
+        addr_of = _compile_mode(module, instr.mode)
+        if addr_of is None:
+            return None
+        eax_read = _reg_reader("eax")
+        src_read = _reg_reader(instr.src)
+
+        def run(core, mem, flist):
+            addr = addr_of(core)
+            if check is not None:
+                check(addr)
+            current = mem.load(addr)
+            if current is None:
+                return [StepAbort(reason="cmpxchg on unallocated")]
+            expected = eax_read(core)
+            newval = src_read(core)
+            if current == expected:
+                mem2 = mem.store(addr, newval)
+                nxt = core.update(flags=(True, None), cur=nxt_cur)
+                fp = Footprint({addr}, {addr})
+                return [Step(TAU, fp, nxt, mem2)]
+            regs = core.regs.set("eax", current)
+            nxt = core.update(
+                regs=regs, flags=(False, None), cur=nxt_cur
+            )
+            return [Step(TAU, Footprint({addr}), nxt, mem)]
+
+        return run
+
+    return None
+
+
+def stage_x86_module(lang, module):
+    """Stage an x86 module for ``lang`` (SC or TSO). ``(step, n)``."""
+    counter = [0]
+    table = {}
+    for func in module.functions.values():
+        for pc, instr in enumerate(func.code):
+            compiled = _compile_instr(lang, module, func, pc, instr,
+                                      counter)
+            if compiled is not None:
+                table[(func.name, pc)] = (compiled, lang._blocking(instr))
+    table_get = table.get
+    interp = lang.step
+
+    plain = (
+        type(lang)._extra_outcomes is X86SCLang._extra_outcomes
+        and type(lang)._must_drain is X86SCLang._must_drain
+    )
+
+    if plain:
+        def step(core, mem, flist):
+            if core.done:
+                return []
+            if core.pending is not None:
+                return interp(module, core, mem, flist)
+            entry = table_get(core.cur)
+            if entry is None:
+                return interp(module, core, mem, flist)
+            try:
+                return entry[0](core, mem, flist)
+            except EvalAbort as abort:
+                return [StepAbort(reason=abort.reason)]
+
+        return step, counter[0]
+
+    extra = lang._extra_outcomes
+    must_drain = lang._must_drain
+
+    def step(core, mem, flist):
+        if core.done:
+            return []
+        if core.pending is not None:
+            return interp(module, core, mem, flist)
+        entry = table_get(core.cur)
+        if entry is None:
+            return interp(module, core, mem, flist)
+        fn, blocking = entry
+        try:
+            if blocking and must_drain(core):
+                return extra(module, core, mem, flist)
+            outcomes = fn(core, mem, flist)
+            outcomes.extend(extra(module, core, mem, flist))
+            return outcomes
+        except EvalAbort as abort:
+            return [StepAbort(reason=abort.reason)] + extra(
+                module, core, mem, flist
+            )
+
+    return step, counter[0]

@@ -14,10 +14,10 @@ run leaves behind —
 and renders four sections:
 
 1. **Per-shard phase breakdown** — for every worker, the wall-clock
-   split into expand / encode / decode / idle (from the
+   split into compile / expand / encode / decode / idle (from the
    ``parallel.worker.phases`` event each worker appends to its own
    trace), with a coverage column showing how much of the worker's
-   wall the four phases explain, plus the coordinator's merge cost.
+   wall the five phases explain, plus the coordinator's merge cost.
 2. **Top spans by self-time** — span durations minus their children's,
    aggregated by name across all trace files, so inclusive parents
    (``explore``, ``race.find``) don't drown the leaves that actually
@@ -52,8 +52,10 @@ _RAMP = ("·", "░", "▒", "▓", "█")
 #: Buckets in a utilization bar.
 _TIMELINE_WIDTH = 48
 
-#: The four worker-side phases, in display order.
-_PHASES = ("expand", "encode", "decode", "idle")
+#: The worker-side phases, in display order. ``compile`` is the
+#: up-front closure compilation of every module (see
+#: :mod:`repro.lang.closure`); old traces without it read as zero.
+_PHASES = ("compile", "expand", "encode", "decode", "idle")
 
 
 def worker_trace_paths(trace_path):
@@ -361,25 +363,15 @@ def render_profile(profile, top=12):
         lines.append("")
         lines.append("per-shard phase breakdown (seconds):")
         table = [
-            (
-                "w{}".format(r["wid"]),
-                _sec(r["wall"]),
-                _sec(r["expand"]),
-                _sec(r["encode"]),
-                _sec(r["decode"]),
-                _sec(r["idle"]),
-                "{:.1%}".format(r["coverage"]),
-            )
+            ("w{}".format(r["wid"]), _sec(r["wall"]))
+            + tuple(_sec(r[k]) for k in _PHASES)
+            + ("{:.1%}".format(r["coverage"]),)
             for r in rows
         ]
         table.append(
-            (
-                "total",
-                _sec(totals["wall"]),
-                _sec(totals["expand"]),
-                _sec(totals["encode"]),
-                _sec(totals["decode"]),
-                _sec(totals["idle"]),
+            ("total", _sec(totals["wall"]))
+            + tuple(_sec(totals[k]) for k in _PHASES)
+            + (
                 "{:.1%}".format(
                     totals["covered"] / totals["wall"]
                     if totals["wall"] > 0
@@ -390,10 +382,9 @@ def render_profile(profile, top=12):
         lines.append(
             format_table(
                 table,
-                headers=(
-                    "Shard", "Wall", "Expand", "Encode", "Decode",
-                    "Idle", "Covered",
-                ),
+                headers=("Shard", "Wall")
+                + tuple(k.capitalize() for k in _PHASES)
+                + ("Covered",),
             )
         )
         if merge is not None:

@@ -35,6 +35,7 @@ from collections import deque
 from repro import obs
 from repro.common import intern
 from repro.common.memory import STATS as MEM_STATS
+from repro.lang import closure as _closure
 from repro.lang.messages import EventMsg
 from repro.semantics.engine import SW, GAbort
 from repro.semantics.por import AmpleReducer, default_reduce
@@ -178,6 +179,12 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
     # hottest path, so the disabled cost is one truthiness test per
     # expanded state.
     track = obs.enabled
+    ctx.staging = _closure.enabled()
+    if ctx.staging:
+        # Stage every module up front, in its own span: compile time is
+        # a phase of its own, never booked against expansion.
+        with obs.span("closure_compile"):
+            _closure.prime(ctx)
     with obs.span(
         "explore",
         semantics=type(semantics).__name__,

@@ -128,6 +128,8 @@ from repro.semantics.explore import (
 from repro.semantics.nonpreemptive import NonPreemptiveSemantics
 from repro.semantics.por import AmpleReducer
 from repro.semantics.race import RaceWitness, _RaceChecker
+from repro.lang import closure
+from repro.semantics.world import reset_intern_tables
 
 #: Environment variable the CLI's ``--jobs`` defaults from.
 ENV_JOBS = "REPRO_JOBS"
@@ -249,6 +251,16 @@ class _Worker:
         self.expand_seconds = 0.0
         self.encode_seconds = 0.0
         self.decode_seconds = 0.0
+        # Stage every module before the first expansion, so closure
+        # compilation shows up as its own phase instead of being
+        # booked against the first expand tick of each shard (no-op
+        # when compilation is off). Refresh the hoisted gate first —
+        # the context was built in the parent, possibly before the
+        # CLI override or env var was in force.
+        ctx.staging = closure.enabled()
+        t0 = time.monotonic()
+        closure.prime(ctx)
+        self.compile_seconds = time.monotonic() - t0
         self.bytes_out = 0
         self.bytes_in = 0
         self.rec_bytes = 0
@@ -597,6 +609,7 @@ class _Worker:
             "cross_worlds": self.cross_worlds,
             "batches": self.batches_out,
             "idle_seconds": round(self.idle_seconds, 6),
+            "compile_seconds": round(self.compile_seconds, 6),
             "expand_seconds": round(self.expand_seconds, 6),
             "encode_seconds": round(self.encode_seconds, 6),
             "decode_seconds": round(self.decode_seconds, 6),
@@ -639,6 +652,9 @@ class _Worker:
             obs.inc("parallel.wire.{}".format(key), value)
         obs.observe("parallel.worker.wall_seconds", wall_seconds)
         obs.observe(
+            "parallel.worker.compile_seconds", self.compile_seconds
+        )
+        obs.observe(
             "parallel.worker.expand_seconds", self.expand_seconds
         )
         obs.observe(
@@ -672,6 +688,7 @@ class _Worker:
         """The per-shard phase/wire numbers, for the trace event the
         profiler's phase-breakdown table is built from."""
         out = {
+            "compile_seconds": round(self.compile_seconds, 6),
             "expand_seconds": round(self.expand_seconds, 6),
             "encode_seconds": round(self.encode_seconds, 6),
             "decode_seconds": round(self.decode_seconds, 6),
@@ -819,6 +836,14 @@ def _merge_graph(initial, records):
 def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
                   race_cfg):
     """Coordinator: fork workers, seed shards, merge, terminate."""
+    # Start from empty intern tables: worlds interned by a previous
+    # run in this process — in particular a stateless-decode run whose
+    # memories were rebuilt around private base dicts — would
+    # otherwise become this run's canonical representatives and defeat
+    # the wire encoder's id-matched delta cache (see
+    # ``reset_intern_tables``). Must happen before
+    # ``initial_worlds``, which interns.
+    reset_intern_tables()
     mp_ctx = multiprocessing.get_context("fork")
     inboxes = [mp_ctx.Queue() for _ in range(jobs)]
     coord_q = mp_ctx.Queue()

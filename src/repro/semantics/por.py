@@ -54,7 +54,8 @@ unmodified (``explore`` falls back to the full expansion).
 import os
 
 from repro.common.freelist import LOCAL_BASE, MAX_DEPTH, SLOT_SPACE
-from repro.semantics.engine import GStep, thread_successors
+from repro.lang import closure as _closure
+from repro.semantics.engine import GStep, thread_expansion
 
 #: Width of one thread's private address space: every activation
 #: freelist of thread ``t`` lies in
@@ -92,7 +93,7 @@ def thread_outcomes(ctx, world, tid):
     if frame is None:
         return None
     decl = ctx.module(frame.mod_idx)
-    outs = decl.lang.step(decl.code, frame.core, world.mem, frame.flist)
+    outs = _closure.step_outcomes(decl, frame.core, world.mem, frame.flist)
     return decl, frame, outs
 
 
@@ -170,14 +171,12 @@ class AmpleReducer:
             # there is nothing to prune and EntAtom/ExtAtom handling
             # must stay with the engine.
             return None, None, False
-        info = thread_outcomes(ctx, world, cur)
-        if info is None:
+        outs, results = thread_expansion(ctx, world)
+        if outs is None:
             return None, None, False
-        _decl, _frame, outs = info
         if not outs:
             # Locally stuck: surface through the full path.
             return outs, [], False
-        results = thread_successors(ctx, world, outs)
         private = self.footprint_private
         for res in results:
             if (

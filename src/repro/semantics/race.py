@@ -37,6 +37,7 @@ from collections import deque
 from repro import obs
 from repro.common.footprint import EMP, conflict_atomic
 from repro.lang.messages import ENT_ATOM, is_silent
+from repro.lang import closure as _closure
 from repro.lang.steps import Step
 from repro.semantics.explore import explore
 from repro.semantics.nonpreemptive import NonPreemptiveSemantics
@@ -124,7 +125,7 @@ def predict(ctx, world, tid, max_atomic_steps=64, quantum=False,
     # a full round of quantum-mode prediction).
     seen = {(frame.core, world.mem)}
     frontier = deque([(frame.core, world.mem, 0)])
-    step = decl.lang.step
+    step_outcomes = _closure.step_outcomes
     while frontier:
         core, mem, depth = frontier.popleft()
         if first_outs is not None:
@@ -132,7 +133,7 @@ def predict(ctx, world, tid, max_atomic_steps=64, quantum=False,
             # shared outcomes were computed at.
             outs, first_outs = first_outs, None
         else:
-            outs = step(decl.code, core, mem, frame.flist)
+            outs = step_outcomes(decl, core, mem, frame.flist)
         for out in outs:
             if not isinstance(out, Step):
                 continue
@@ -165,7 +166,7 @@ def _atomic_run_footprints(decl, frame, core, mem, max_steps):
             fps.add(acc)
         if depth >= max_steps:
             continue
-        for out in decl.lang.step(decl.code, cur, m, frame.flist):
+        for out in _closure.step_outcomes(decl, cur, m, frame.flist):
             if not isinstance(out, Step) or not is_silent(out.msg):
                 continue
             nxt = (out.core, out.mem, acc.union(out.fp))

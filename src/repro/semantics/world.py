@@ -66,6 +66,22 @@ def _intern_world(threads, cur, bits, mem):
     table[key] = world
     return world
 
+def reset_intern_tables():
+    """Empty the frame/world intern tables.
+
+    Interning is an optimization (structural ``__eq__`` is the truth),
+    so this is always safe. The parallel explorer calls it at the
+    start of every run: a previous stateless-decode run
+    (``REPRO_WIRE_STATELESS=1``) interns worlds whose memories were
+    rebuilt with private base dicts, and a later channel run in the
+    same process would otherwise inherit those canonical worlds and
+    lose every memory-delta opportunity (the encoder's base cache
+    matches by ``id``).
+    """
+    _FRAMES.table.clear()
+    _WORLDS.table.clear()
+
+
 #: Marks a function name defined by more than one module: linking is
 #: still fine, but resolving that name is an error (as in
 #: :func:`repro.lang.interface.resolve_entry`).
@@ -280,6 +296,19 @@ class GlobalContext:
         # every call site; sharing also makes the interned callee
         # frames pointer-equal.
         self._core_cache = {}
+        # Engine-side staging caches (see semantics.engine): successor
+        # templates keyed (frame, mem) and external-return resumptions
+        # keyed (caller_frame, retval). Per-context, not global —
+        # ``Frame.mod_idx`` is program-relative, so templates must
+        # never leak between programs.
+        self.succ_templates = {}
+        self.resume_cache = {}
+        # Hoisted REPRO_CLOSURE gate: one env read per context instead
+        # of one per expansion. explore() refreshes it per run, so
+        # toggling the env between runs over a shared context works.
+        from repro.lang import closure as _closure
+
+        self.staging = _closure.enabled()
 
     def _build_resolve_table(self):
         table = {}

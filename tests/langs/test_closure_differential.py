@@ -1,0 +1,277 @@
+"""Differential: the compiled step equals the interpreter, everywhere.
+
+The closure-compilation contract (:mod:`repro.lang.closure`) is that a
+staged module's ``step`` is extensionally identical to
+``lang.step(module, ...)`` — same outcome lists in the same order, same
+messages, footprints, successor cores/memories, and the same abort
+*reasons* (``StepAbort.__eq__`` ignores the reason, so we compare it
+explicitly here).
+
+We check this by brute force: explore every reachable world of a
+program and, at every reachable ``(core, mem, flist)`` configuration of
+every thread, run both step functions and compare elementwise. The
+MiniC suite compiled through the full pipeline covers all nine
+pipeline languages (MiniC, C#minor, Cminor, CminorSel, RTL, LTL,
+Linear, Mach, x86-SC); the same x86 module under TSO covers the
+buffered dispatcher; CImp programs cover the tenth core plus spawn and
+atomic blocks; the abort suite covers the undefined-behaviour paths
+the compilers stage (division, wild loads/stores, access checks).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang import closure
+from repro.lang.module import ModuleDecl, Program
+from repro.lang.steps import StepAbort
+from repro.langs.minic import compile_unit, link_units
+from repro.langs.x86 import X86TSO
+from repro.semantics.engine import thread_expansion, switch_targets
+from repro.semantics.world import GlobalContext
+from repro.compiler import compile_minic
+
+from tests.helpers import SUITE, cimp_program
+from tests.integration.test_differential import (
+    cimp_threads,
+    minic_programs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_staging():
+    """Force staging on (the differential needs the compiled path)."""
+    closure.set_enabled(True)
+    closure.clear_cache()
+    yield
+    closure.set_enabled(None)
+    closure.clear_cache()
+
+
+def assert_same_outcomes(lang, module, core, mem, flist, staged):
+    """One configuration: interpreter vs compiled, elementwise."""
+    want = lang.step(module, core, mem, flist)
+    got = staged.step(core, mem, flist)
+    assert len(got) == len(want), (lang.name, core, got, want)
+    for g, w in zip(got, want):
+        assert type(g) is type(w), (lang.name, core, g, w)
+        assert g == w, (lang.name, core, g, w)
+        if isinstance(w, StepAbort):
+            # StepAbort.__eq__ ignores the reason; the compiled path
+            # must reproduce the interpreter's diagnostics verbatim.
+            assert g.reason == w.reason, (lang.name, core, g, w)
+        else:
+            assert g.msg == w.msg and g.fp == w.fp
+            assert g.core == w.core and g.mem == w.mem
+    return want
+
+
+def explore_differential(program, max_worlds=60000, require_compiled=True):
+    """BFS every reachable world, comparing each thread's local step.
+
+    Returns ``(configs_compared, aborts_seen)``. The world successors
+    come from the engine (which itself runs the staged path — the
+    comparison against ``lang.step`` below is independent of how the
+    frontier was produced).
+    """
+    ctx = GlobalContext(program)
+    staged = {}
+    for idx, decl in enumerate(ctx.modules):
+        staged[idx] = closure.stage(decl.lang, decl.code)
+        if require_compiled:
+            assert staged[idx].compiled, decl.lang.name
+            assert staged[idx].nodes_compiled > 0, decl.lang.name
+    seen_worlds = set()
+    seen_configs = set()
+    frontier = list(ctx.load())
+    compared = aborts = 0
+    while frontier:
+        world = frontier.pop()
+        if world in seen_worlds:
+            continue
+        seen_worlds.add(world)
+        assert len(seen_worlds) <= max_worlds, "state-space blow-up"
+        for tid in world.live_threads():
+            frame = world.threads[tid][-1]
+            key = (frame.mod_idx, frame.core, frame.flist, world.mem)
+            if key in seen_configs:
+                continue
+            seen_configs.add(key)
+            decl = ctx.module(frame.mod_idx)
+            assert_same_outcomes(
+                decl.lang, decl.code, frame.core, world.mem,
+                frame.flist, staged[frame.mod_idx],
+            )
+        for result in thread_expansion(ctx, world)[1] or []:
+            nxt = getattr(result, "world", None)
+            if nxt is None:
+                aborts += 1
+            else:
+                frontier.append(nxt)
+        for tid in switch_targets(world, include_self=False):
+            frontier.append(world.with_current(tid))
+        compared += 1
+    return len(seen_configs), aborts
+
+
+def _stage_program(stage, genv, entries=("main",)):
+    return Program(
+        [ModuleDecl(stage.lang, genv, stage.module)], list(entries)
+    )
+
+
+class TestPipelineStages:
+    """Every suite program, every pipeline language."""
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_all_stages(self, name):
+        mods, genvs, _ = link_units([compile_unit(SUITE[name])])
+        result = compile_minic(mods[0])
+        for stage in result.stages:
+            configs, _ = explore_differential(
+                _stage_program(stage, genvs[0])
+            )
+            assert configs > 0, stage.name
+
+    def test_optimized_rtl(self):
+        # ConstProp/CSE/Deadcode reshape the RTL graphs; the compiled
+        # dispatch must agree on those shapes too.
+        mods, genvs, _ = link_units([compile_unit(SUITE["loops"])])
+        result = compile_minic(mods[0], optimize=True)
+        for stage in result.stages:
+            explore_differential(_stage_program(stage, genvs[0]))
+
+
+class TestX86TSO:
+    """The buffered dispatcher: same module, TSO memory model."""
+
+    @pytest.mark.parametrize("name", ["globals", "pointers"])
+    def test_tso_target(self, name):
+        mods, genvs, _ = link_units([compile_unit(SUITE[name])])
+        target = compile_minic(mods[0]).target
+        program = Program(
+            [ModuleDecl(X86TSO, genvs[0], target.module)], ["main"]
+        )
+        configs, _ = explore_differential(program)
+        assert configs > 0
+
+
+class TestCImp:
+    """The object-language core: spawn, atomic blocks, asserts."""
+
+    def test_interleavings(self):
+        prog = cimp_program(
+            "t1(){ x := [C]; [C] := x + 1; } t2(){ [C] := 7; }",
+            ["t1", "t2"],
+        )
+        configs, _ = explore_differential(prog)
+        assert configs > 0
+
+    def test_atomic_and_assert(self):
+        prog = cimp_program(
+            "t1(){ <x := [C]; [C] := x + 1;> assert (x >= 0); }"
+            " t2(){ <[C] := [C] + 1;> }",
+            ["t1", "t2"],
+        )
+        explore_differential(prog)
+
+    def test_spawn(self):
+        prog = cimp_program(
+            "main(){ spawn worker; print(1); } worker(){ [C] := 2; }",
+            ["main"],
+        )
+        explore_differential(prog)
+
+    def test_failed_assert_reason(self):
+        prog = cimp_program("main(){ assert (0 == 1); }", ["main"])
+        _, aborts = explore_differential(prog)
+        assert aborts > 0
+
+
+class TestHypothesisDifferential:
+    """Random programs: the fixed suites pin known node shapes; the
+    hypothesis generators (shared with the end-to-end differential in
+    ``tests/integration/test_differential.py``) search for shapes the
+    per-core compilers mis-stage."""
+
+    # The autouse staging fixture is function-scoped; each example
+    # re-enables staging itself, so sharing it across examples is fine.
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(minic_programs())
+    def test_random_minic_through_pipeline(self, source):
+        closure.set_enabled(True)
+        mods, genvs, _ = link_units([compile_unit(source)])
+        result = compile_minic(mods[0], optimize=True)
+        for stage in result.stages:
+            configs, _ = explore_differential(
+                _stage_program(stage, genvs[0])
+            )
+            assert configs > 0, stage.name
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(cimp_threads())
+    def test_random_cimp_interleavings(self, source):
+        closure.set_enabled(True)
+        prog = cimp_program(source, ["t1", "t2"])
+        configs, _ = explore_differential(prog)
+        assert configs > 0
+
+
+#: Undefined behaviour the compilers stage: each program aborts on at
+#: least one path, and the differential asserts the staged abort reason
+#: matches the interpreter's at every stage of the pipeline.
+ABORT_SUITE = {
+    "div_zero": """
+        void main() {
+          int z = 0;
+          print(10 / z);
+        }
+    """,
+    "mod_zero": """
+        void main() {
+          int z = 0;
+          print(10 % z);
+        }
+    """,
+}
+
+
+class TestAbortReasons:
+    @pytest.mark.parametrize("name", sorted(ABORT_SUITE))
+    def test_all_stages_abort_identically(self, name):
+        mods, genvs, _ = link_units([compile_unit(ABORT_SUITE[name])])
+        result = compile_minic(mods[0])
+        for stage in result.stages:
+            _, aborts = explore_differential(
+                _stage_program(stage, genvs[0])
+            )
+            assert aborts > 0, stage.name
+
+    def test_forbidden_global_access(self):
+        # A module storing to an address it does not own: the staged
+        # access check (resolved at compile time when the forbidden set
+        # is non-empty) must reproduce the interpreter's exact abort
+        # reason at every stage.
+        mods, genvs, _ = link_units(
+            [compile_unit("int g = 0; void main() { g = 1; }")]
+        )
+        addr = genvs[0].address_of("g")
+        result = compile_minic(mods[0].with_forbidden(frozenset({addr})))
+        for stage in result.stages:
+            _, aborts = explore_differential(
+                _stage_program(stage, genvs[0])
+            )
+            assert aborts > 0, stage.name

@@ -173,6 +173,32 @@ class TestProfileCLI:
             ["profile", str(trace), "--metrics-in", str(mpath)]
         ) == 0
 
+    def test_compile_phase_and_closure_counters(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Closure compilation surfaces as its own phase column and
+        its counters flow through the worker metrics merge."""
+        # Pin staging on: this test meters the compile phase, so it
+        # must compile even on the REPRO_CLOSURE=0 CI leg.
+        monkeypatch.setenv("REPRO_CLOSURE", "1")
+        src = tmp_path / "racy.c"
+        src.write_text(RACY)
+        trace = tmp_path / "run.jsonl"
+        mpath = tmp_path / "m.json"
+        main(
+            [
+                "drf", str(src), "--threads", "t1,t2", "--jobs", "2",
+                "--trace", str(trace), "--metrics-out", str(mpath),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Compile" in out
+        counters = json.loads(mpath.read_text())["counters"]
+        assert counters.get("closure.modules_staged", 0) > 0
+        assert counters.get("closure.nodes_compiled", 0) > 0
+
     def test_profile_prom_output(self, tmp_path, capsys):
         src = tmp_path / "racy.c"
         src.write_text(RACY)

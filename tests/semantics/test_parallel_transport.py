@@ -83,6 +83,23 @@ def test_packed_worlds_beat_stateless_bytes(monkeypatch):
     assert channel_out < stateless_out / 2
 
 
+def test_channel_delta_survives_prior_stateless_run(monkeypatch):
+    # Regression: a stateless run interns worlds whose memories were
+    # rebuilt around private base dicts. Without the intern-table
+    # reset at the start of every parallel run, a later channel run in
+    # the same process inherits those canonical worlds and the
+    # encoder's id-matched base cache never hits — delta transport
+    # silently degrades to full sends.
+    monkeypatch.setenv(serialize.ENV_STATELESS, "1")
+    parallel_explore(_ctx(), PreemptiveSemantics(), jobs=2)
+    monkeypatch.delenv(serialize.ENV_STATELESS)
+    obs.reset()
+    obs.configure(metrics=True)
+    parallel_explore(_ctx(), PreemptiveSemantics(), jobs=2)
+    counters = obs.snapshot()["counters"]
+    assert counters["parallel.wire.delta_hits"] > 0
+
+
 def test_unwritable_worker_trace_keeps_metrics(tmp_path):
     blocker = tmp_path / "not-a-dir"
     blocker.write_text("plain file")
