@@ -46,7 +46,8 @@ def _bench_scale():
         times.append(time.perf_counter() - start)
         states = graph.state_count()
     best = min(times)
-    hits, misses = intern.totals()
+    totals = intern.totals()
+    hits, misses = totals.hits, totals.misses
     return {
         "workload": "lock-counter, {} threads, preemptive".format(
             SCALE_THREADS),

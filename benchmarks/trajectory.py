@@ -103,30 +103,16 @@ def build_trajectories(root):
     return trajectories
 
 
-def _delta(prev, cur, higher_is_better):
-    """Signed relative change, positive = improvement.
-
-    Lower-is-better series are measured against the *new* value
-    (throughput space), so a 1.5x slowdown reads as the same -33%
-    whether the series tracks seconds or states/second — otherwise
-    the same regression would gate differently depending on which
-    unit a benchmark happened to record.
-
-    Zero endpoints are saturated, never silently 0.0: a series
-    collapsing to exactly 0 is a broken measurement (0 states/s, 0
-    seconds), not an infinite speedup, so it gates as a full -100%
-    regression; a series *starting* from 0 reads as the saturated
-    change in the series' own direction.
-    """
-    if prev == 0.0 and cur == 0.0:
-        return 0.0
-    if cur == 0.0:
-        return -1.0
-    if prev == 0.0:
-        return 1.0 if higher_is_better else -1.0
-    if higher_is_better:
-        return (cur - prev) / abs(prev)
-    return (prev - cur) / abs(cur)
+# The delta semantics live in repro.obs.ledger (``repro compare``
+# shares them); this script must also run bare from CI without
+# PYTHONPATH, so fall back to wiring up ../src ourselves.
+try:
+    from repro.obs.ledger import ratio_delta as _delta
+except ImportError:
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    from repro.obs.ledger import ratio_delta as _delta
 
 
 def find_regressions(trajectories, tolerance, check_all=False):

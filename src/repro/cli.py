@@ -19,8 +19,16 @@ Commands:
   or summarize a ``--trace`` JSONL file;
 * ``profile TRACE [--metrics-in FILE]`` — decompose where a metered
   run's wall-clock went: per-shard phase breakdown, top spans by
-  self-time, utilization timelines and the wire-cost table (see
-  :mod:`repro.obs.profile`).
+  self-time, utilization timelines, the wire-cost table, and (when the
+  run collected them) the heap/interning census (see
+  :mod:`repro.obs.profile`);
+* ``npdrf FILE --threads e1,e2`` — race-check under the
+  *non-preemptive* semantics (the paper's NPDRF);
+* ``status FILE [--watch]`` — render a live heartbeat file written by
+  a running ``run``/``drf``/``npdrf`` with ``--status`` (see
+  :mod:`repro.obs.status`);
+* ``compare A B [--fail-on-regression]`` — diff two run manifests
+  written with ``--ledger`` (see :mod:`repro.obs.ledger`).
 
 All commands accept ``--metrics`` (print a metrics summary table),
 ``--metrics-out FILE`` (write the final metrics snapshot as JSON) and
@@ -29,7 +37,14 @@ All commands accept ``--metrics`` (print a metrics summary table),
 environment variables switch the same machinery on without flags.
 ``--metrics-format prom`` switches the printed summary (and ``repro
 profile``'s output) from the plain-text table to Prometheus text
-exposition.
+exposition. ``--ledger FILE`` (or ``REPRO_LEDGER=FILE``) additionally
+writes a versioned run manifest — resolved config, content hash of the
+input + pass pipeline, phase wall times, final metrics, behaviour
+fingerprint, verdict and exit status — the artifact ``repro compare``
+consumes. The exploration commands also take ``--status FILE`` (or
+``REPRO_STATUS=FILE``) for a ~1s-interval heartbeat snapshot and
+``--heap-profile`` (or ``REPRO_HEAP_PROFILE=1``) for the post-run
+heap/interning census plus tracemalloc phase gauges.
 
 ``run`` and ``drf`` accept ``--por/--no-por`` to control the
 footprint-directed partial-order reduction (default: the ``REPRO_POR``
@@ -56,12 +71,16 @@ import os
 import sys
 
 from repro import obs
+from repro.common.serialize import ENV_STATELESS
 from repro.lang import closure
 from repro.lang.module import ModuleDecl, Program
 from repro.langs.cimp.semantics import CIMP
 from repro.langs.minic import compile_unit, link_units
+from repro.obs import heap, ledger
+from repro.obs import status as live_status
 from repro.semantics import (
     GlobalContext,
+    NonPreemptiveSemantics,
     PreemptiveSemantics,
     ReplayDivergence,
     find_race,
@@ -156,6 +175,44 @@ def cmd_compile(args):
     return 0
 
 
+def _note_run_config(args, result, entries):
+    """Record the run's *resolved* configuration and input identity in
+    the active ledger (no-op without one): flags, the gate defaults
+    they fell back to, and the content hash of the program + pass
+    pipeline — the key the validation-cache work will index."""
+    from repro.semantics.por import default_reduce
+
+    por = args.por if args.por is not None else default_reduce()
+    pipeline = tuple(s.name for s in result.stages)
+    gates = tuple(
+        name
+        for name, on in (
+            ("por", bool(por)),
+            ("closure", closure.enabled()),
+            ("stateless-wire", bool(os.environ.get(ENV_STATELESS))),
+            ("heap-profile", heap.enabled()),
+        )
+        if on
+    )
+    ledger.set_config(
+        file=args.file,
+        threads=list(entries),
+        lock=bool(args.lock),
+        optimize=bool(args.optimize),
+        por=bool(por),
+        closure_compile=closure.enabled(),
+        jobs=getattr(args, "jobs", 1),
+        max_states=getattr(args, "max_states", None),
+        max_atomic_steps=getattr(args, "max_atomic_steps", None),
+        stateless_wire=bool(os.environ.get(ENV_STATELESS)),
+        heap_profile=heap.enabled(),
+    )
+    ledger.note(
+        content_hash=ledger.content_hash(args.file, pipeline, gates),
+        pipeline=list(pipeline),
+    )
+
+
 def cmd_run(args):
     module, genv = _build(args.file, args.lock)
     result = compile_minic(module, optimize=args.optimize)
@@ -168,12 +225,18 @@ def cmd_run(args):
     prog = _program(stage, genv, entries, args.lock)
     ctx = GlobalContext(prog)
     _check_entries(ctx, entries)
+    _note_run_config(args, result, entries)
     behs = program_behaviours(
         ctx,
         PreemptiveSemantics(),
         max_states=args.max_states,
         reduce=args.por,
         jobs=args.jobs,
+    )
+    ledger.note(
+        verdict="behaviours",
+        behaviours=len(behs),
+        fingerprint=ledger.fingerprint_behaviours(behs),
     )
     for b in sorted(behs, key=repr):
         print(b)
@@ -206,6 +269,7 @@ def cmd_drf(args):
     prog = _program(result.source, genv, entries, args.lock)
     ctx = GlobalContext(prog)
     _check_entries(ctx, entries)
+    _note_run_config(args, result, entries)
     semantics = PreemptiveSemantics(
         max_atomic_steps=args.max_atomic_steps
     )
@@ -217,6 +281,7 @@ def cmd_drf(args):
         jobs=args.jobs,
     )
     verdict = witness is None
+    ledger.note(verdict="drf" if verdict else "race")
     print("DRF:", verdict)
     if witness is not None and args.witness_out:
         record = record_race(
@@ -314,6 +379,69 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_npdrf(args):
+    module, genv = _build(args.file, args.lock)
+    result = compile_minic(module, optimize=args.optimize)
+    entries = _parse_threads(args.threads)
+    prog = _program(result.source, genv, entries, args.lock)
+    ctx = GlobalContext(prog)
+    _check_entries(ctx, entries)
+    _note_run_config(args, result, entries)
+    semantics = NonPreemptiveSemantics(
+        max_atomic_steps=args.max_atomic_steps
+    )
+    witness = find_race(
+        ctx,
+        semantics,
+        max_states=args.max_states,
+        reduce=args.por,
+        jobs=args.jobs,
+    )
+    verdict = witness is None
+    ledger.note(verdict="npdrf" if verdict else "race")
+    print("NPDRF:", verdict)
+    return 0 if verdict else 1
+
+
+def cmd_status(args):
+    import time as _time
+
+    doc = live_status.load(args.file)
+    if doc is None:
+        raise UsageError(
+            "cannot read status file {!r} (no heartbeat yet, or not "
+            "a JSON document)".format(args.file)
+        )
+    print(live_status.render_status(doc))
+    if not args.watch:
+        return 0
+    try:
+        while doc is None or doc.get("phase") != "done":
+            _time.sleep(max(args.interval, 0.05))
+            doc = live_status.load(args.file)
+            if doc is not None:
+                print()
+                print(live_status.render_status(doc))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_compare(args):
+    try:
+        a = ledger.load_manifest(args.a)
+        b = ledger.load_manifest(args.b)
+    except (OSError, ValueError) as exc:
+        raise UsageError("cannot load run manifest: {}".format(exc))
+    report, regressions = ledger.compare_manifests(
+        a, b, tolerance=args.tolerance
+    )
+    print(report)
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
 def make_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -373,6 +501,28 @@ def make_parser():
             help="metrics summary format: 'table' (default) or 'prom' "
             "(Prometheus text exposition)",
         )
+        p.add_argument(
+            "--ledger", metavar="FILE",
+            help="write a versioned run manifest (config, content "
+            "hash, phase times, metrics, verdict) to FILE "
+            "(also REPRO_LEDGER=FILE); diff with 'repro compare'",
+        )
+
+    def live_flags(p):
+        p.add_argument(
+            "--status", metavar="FILE",
+            help="rewrite a live heartbeat JSON snapshot to FILE "
+            "about once per second (also REPRO_STATUS=FILE; "
+            "interval via REPRO_STATUS_INTERVAL); watch with "
+            "'repro status FILE'",
+        )
+        p.add_argument(
+            "--heap-profile", action="store_true",
+            help="census the intern tables and the explored graph's "
+            "sharing-aware deep size after the run (implies "
+            "--metrics; also REPRO_HEAP_PROFILE=1), plus "
+            "tracemalloc phase gauges",
+        )
 
     p = sub.add_parser("compile", help="run the pipeline")
     common(p)
@@ -413,6 +563,7 @@ def make_parser():
     por_flag(p)
     jobs_flag(p)
     closure_flag(p)
+    live_flags(p)
     p.add_argument(
         "--threads", default="main",
         help="comma-separated thread entry functions",
@@ -434,6 +585,7 @@ def make_parser():
     por_flag(p)
     jobs_flag(p)
     closure_flag(p)
+    live_flags(p)
     p.add_argument("--threads", default="main")
     p.add_argument("--max-states", type=int, default=400000)
     p.add_argument(
@@ -450,6 +602,23 @@ def make_parser():
         help="shrink the witness schedule before writing it",
     )
     p.set_defaults(func=cmd_drf)
+
+    p = sub.add_parser(
+        "npdrf",
+        help="race-check under the non-preemptive semantics (NPDRF)",
+    )
+    common(p)
+    por_flag(p)
+    jobs_flag(p)
+    closure_flag(p)
+    live_flags(p)
+    p.add_argument("--threads", default="main")
+    p.add_argument("--max-states", type=int, default=400000)
+    p.add_argument(
+        "--max-atomic-steps", type=int, default=64, metavar="N",
+        help="bound on atomic-block prediction runs",
+    )
+    p.set_defaults(func=cmd_npdrf)
 
     p = sub.add_parser(
         "replay", help="re-execute a recorded witness and verify it"
@@ -515,6 +684,43 @@ def make_parser():
         help="rows in the top-spans-by-self-time table (default 12)",
     )
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "status",
+        help="render a live heartbeat file from a --status run",
+    )
+    p.add_argument(
+        "file", help="heartbeat JSON file a running command rewrites"
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="keep re-rendering until the run reports phase=done "
+        "(Ctrl-C to stop)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="re-render cadence with --watch (default 1.0)",
+    )
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two run manifests written with --ledger",
+    )
+    p.add_argument("a", help="baseline run manifest (run.json)")
+    p.add_argument("b", help="candidate run manifest")
+    p.add_argument(
+        "--tolerance", type=float, default=0.4, metavar="T",
+        help="relative slowdown on a directed metric counted as a "
+        "regression (default 0.4)",
+    )
+    p.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when a directed metric regressed beyond the "
+        "tolerance (or the behaviour fingerprints diverged on "
+        "identical inputs)",
+    )
+    p.set_defaults(func=cmd_compare)
     return parser
 
 
@@ -532,6 +738,27 @@ def main(argv=None):
         print("repro: cannot open trace file: {}".format(exc),
               file=sys.stderr)
         return 2
+    # Live layer: heartbeat, run ledger, heap census. Flags layer on
+    # the env vars the same way the obs sinks do.
+    live_status.configure_from_env()
+    if getattr(args, "status", None):
+        live_status.configure(args.status)
+    if getattr(args, "heap_profile", False):
+        heap.set_enabled(True)
+    ledger.configure_from_env(
+        args.command, argv=sys.argv[1:] if argv is None else list(argv)
+    )
+    if getattr(args, "ledger", None):
+        ledger.configure(
+            args.ledger, args.command,
+            argv=sys.argv[1:] if argv is None else list(argv),
+        )
+    if ledger.active is not None or heap.enabled():
+        # Both the manifest's metrics section and the census gauges
+        # need the registry, whether or not --metrics was passed.
+        obs.configure(metrics=True)
+    if heap.enabled():
+        heap.start_tracemalloc()
     # --metrics-out implies the registry but not the stdout table;
     # only an explicit --metrics (or REPRO_METRICS) prints the summary.
     show_summary = getattr(args, "metrics", False) or os.environ.get(
@@ -541,6 +768,7 @@ def main(argv=None):
     # the same way --por layers on REPRO_POR: an explicit flag wins,
     # an omitted one defers to the environment.
     closure.set_enabled(getattr(args, "closure_compile", None))
+    code = 2
     try:
         result = args.func(args)
         if show_summary and obs.metrics_enabled():
@@ -549,9 +777,11 @@ def main(argv=None):
             else:
                 print()
                 print(obs.render_summary())
+        code = result
         return result
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
+        code = 0
         return 0
     except UsageError as exc:
         print("repro: error: {}".format(exc), file=sys.stderr)
@@ -570,6 +800,27 @@ def main(argv=None):
         )
         return 2
     finally:
+        # Manifest and final heartbeat go first: the ledger reads the
+        # metrics snapshot obs.shutdown() is about to drop, and both
+        # must record the exit status. Neither may mask the command's
+        # own outcome.
+        try:
+            if heap.enabled():
+                heap.phase_snapshot("total")
+            ledger.finalize(code, obs.dump())
+        except Exception as exc:
+            print(
+                "repro: ledger write failed: {}".format(exc),
+                file=sys.stderr,
+            )
+        try:
+            live_status.finalize(exit_status=code)
+        except Exception as exc:
+            print(
+                "repro: status write failed: {}".format(exc),
+                file=sys.stderr,
+            )
+        heap.set_enabled(None)
         obs.shutdown()
 
 

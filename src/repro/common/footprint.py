@@ -47,9 +47,13 @@ class Footprint:
         object.__setattr__(self, "ws", ws)
         object.__setattr__(self, "_hash", hash(key))
         if len(table.table) >= table.max_size:
+            # Inlined mirror of InternTable.intern's bookkeeping.
+            table.clears += 1
             table.table.clear()
         table.table[key] = self
         table.misses += 1
+        if len(table.table) > table.peak_size:
+            table.peak_size = len(table.table)
         return self
 
     def __setattr__(self, name, value):

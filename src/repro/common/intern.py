@@ -17,27 +17,46 @@ they exceed ``max_size``), and structural ``__eq__``/``__hash__`` remain
 the source of truth, so a cleared table never affects semantics — only
 the constant factor.
 
-Hit/miss counts are plain attribute increments (no observability-layer
-lookups on the hot path); :func:`stats` and :func:`totals` expose them,
-and the explorer publishes per-run deltas through ``repro.obs`` as the
-``intern.hits`` / ``intern.misses`` counters.
+Hit/miss/clear counts are plain attribute increments (no
+observability-layer lookups on the hot path); :func:`stats` and
+:func:`totals` expose them, and the explorer publishes per-run deltas
+through ``repro.obs`` as the aggregate ``intern.hits`` /
+``intern.misses`` counters plus per-table ``intern.table.<name>.*``
+metrics. ``peak_size`` survives wholesale clears — it records the
+largest population a table ever held, which is what the heap census
+(:mod:`repro.obs.heap`) needs to reason about occupancy honestly.
+Callers that manipulate ``table`` directly for speed (the inlined
+intern paths in :mod:`repro.semantics.world`) must maintain ``clears``
+and ``peak_size`` at their own clear/insert sites.
 """
+
+from collections import namedtuple
 
 #: Every table ever created, for :func:`stats` / :func:`clear_all`.
 TABLES = []
+
+#: The aggregate counters :func:`totals` returns.
+InternTotals = namedtuple(
+    "InternTotals", ("hits", "misses", "clears", "peak_size")
+)
 
 
 class InternTable:
     """A bounded canonicalization table: ``intern(x)`` returns the first
     object structurally equal to ``x`` that was interned, or ``x``."""
 
-    __slots__ = ("name", "table", "hits", "misses", "max_size")
+    __slots__ = (
+        "name", "table", "hits", "misses", "clears", "peak_size",
+        "max_size",
+    )
 
     def __init__(self, name, max_size=1 << 20):
         self.name = name
         self.table = {}
         self.hits = 0
         self.misses = 0
+        self.clears = 0
+        self.peak_size = 0
         self.max_size = max_size
         TABLES.append(self)
 
@@ -50,9 +69,12 @@ class InternTable:
         if len(table) >= self.max_size:
             # Wholesale clear: O(1) amortized, and future duplicates are
             # simply re-canonicalized against fresh representatives.
+            self.clears += 1
             table.clear()
         table[obj] = obj
         self.misses += 1
+        if len(table) > self.peak_size:
+            self.peak_size = len(table)
         return obj
 
     def __len__(self):
@@ -64,26 +86,41 @@ class InternTable:
         )
 
     def clear(self):
-        """Drop all entries (counters are kept — they are cumulative)."""
+        """Drop all entries (counters are kept — they are cumulative;
+        explicit clears are not counted in ``clears``, which tracks
+        capacity evictions only)."""
         self.table.clear()
 
 
 def stats():
-    """Per-table ``{name: {hits, misses, size}}`` (cumulative counters)."""
+    """Per-table cumulative counters:
+    ``{name: {hits, misses, size, clears, peak_size, max_size}}``."""
     return {
-        t.name: {"hits": t.hits, "misses": t.misses, "size": len(t)}
+        t.name: {
+            "hits": t.hits,
+            "misses": t.misses,
+            "size": len(t),
+            "clears": t.clears,
+            "peak_size": t.peak_size,
+            "max_size": t.max_size,
+        }
         for t in TABLES
     }
 
 
 def totals():
-    """``(hits, misses)`` summed over every table."""
+    """:class:`InternTotals` summed over every table (``peak_size`` is
+    the summed per-table peaks: the worst-case combined population)."""
     hits = 0
     misses = 0
+    clears = 0
+    peak = 0
     for t in TABLES:
         hits += t.hits
         misses += t.misses
-    return hits, misses
+        clears += t.clears
+        peak += t.peak_size
+    return InternTotals(hits, misses, clears, peak)
 
 
 def clear_all():

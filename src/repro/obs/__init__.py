@@ -28,6 +28,18 @@ validation, the compiler pipeline) report through. Its contract:
   FILE`` / ``REPRO_METRICS_OUT=FILE``) implies the registry and makes
   :func:`shutdown` write the final metrics snapshot as one JSON
   document — the artifact CI jobs diff and archive.
+* **A live layer on top.** Three sibling modules reuse this
+  switchboard for *during-* and *after-the-run* introspection:
+  :mod:`~repro.obs.status` (``--status`` / ``REPRO_STATUS``) has the
+  exploration loops atomically rewrite a small heartbeat JSON every
+  interval — progress, rolling states/s, per-shard liveness — read
+  back by ``repro status FILE``; :mod:`~repro.obs.ledger`
+  (``--ledger`` / ``REPRO_LEDGER``) writes a versioned run manifest
+  (resolved config, content hash, phase times, verdict, behaviour
+  fingerprint) that ``repro compare`` diffs; :mod:`~repro.obs.heap`
+  (``--heap-profile``) measures the interning tables and the
+  sharing-aware deep size of the explored state graph, published as
+  ``intern.table.*`` / ``heap.*`` metrics.
 
 Typical instrumentation::
 

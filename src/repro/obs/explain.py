@@ -1,10 +1,11 @@
 """The interleaving inspector: render artifacts for human eyes.
 
-Two artifact families come out of the tool — **witness** files (one
+Four artifact families come out of the tool — **witness** files (one
 JSON object: a replayable schedule plus its verdict, written by ``drf
---witness-out`` / ``repro replay``) and **trace** files (JSON lines of
-spans/events/metrics, written by ``--trace``). ``repro inspect FILE``
-sniffs which one it was handed and renders it:
+--witness-out`` / ``repro replay``), **trace** files (JSON lines of
+spans/events/metrics, written by ``--trace``), **run manifests**
+(``--ledger``), and **heartbeat** snapshots (``--status``).
+``repro inspect FILE`` sniffs which one it was handed and renders it:
 
 * a witness becomes a per-thread timeline — one column per thread,
   one row per scheduling step, each cell showing what the acting
@@ -13,7 +14,10 @@ sniffs which one it was handed and renders it:
   conflict marked with ``*``;
 * a trace becomes a summary — per-span aggregates (count / total /
   mean / max seconds), event and warning tallies, and the final
-  metrics snapshot when one was appended.
+  metrics snapshot when one was appended;
+* a run manifest becomes a compact fact sheet — command, verdict,
+  wall/phase times, states/s, resolved config and content hash;
+* a heartbeat renders through the same view ``repro status`` uses.
 
 Rendering is pure string-building over the deserialized artifacts; it
 never re-executes anything (that is ``repro replay``'s job).
@@ -229,12 +233,74 @@ def render_trace_summary(records):
     return "\n".join(lines)
 
 
-def sniff_artifact(path):
-    """``"witness"`` or ``"trace"``: what kind of artifact ``path`` is.
+def render_manifest_summary(doc):
+    """A run manifest as a compact plain-text fact sheet."""
+    from repro.framework.report import format_table
 
-    A witness file is one (typically indented) JSON object with
-    ``"type": "witness"``; anything else that parses line-by-line is
-    treated as a JSON-lines trace.
+    lines = [
+        "run manifest: command={}  verdict={}  exit={}".format(
+            doc.get("command", "?"),
+            doc.get("verdict", "?"),
+            doc.get("exit_status"),
+        ),
+        "started {}  finished {}  wall {:.3f}s".format(
+            doc.get("started_at", "?"),
+            doc.get("finished_at", "?"),
+            doc.get("wall_seconds") or 0.0,
+        ),
+    ]
+    if doc.get("argv"):
+        lines.append("argv: " + " ".join(str(a) for a in doc["argv"]))
+    if doc.get("content_hash"):
+        lines.append("content hash: {}".format(doc["content_hash"]))
+    if doc.get("fingerprint"):
+        lines.append(
+            "behaviour fingerprint: {}".format(doc["fingerprint"]))
+    if doc.get("states"):
+        rate = doc.get("states_per_second")
+        lines.append(
+            "states: {:,}{}".format(
+                doc["states"],
+                "" if not rate else "  ({:,.1f} states/s)".format(rate),
+            )
+        )
+    config = doc.get("config") or {}
+    if config:
+        lines.append("")
+        lines.append(
+            format_table(
+                [(k, str(config[k])) for k in sorted(config)],
+                headers=("Config", "Value"),
+            )
+        )
+    phases = doc.get("phases") or {}
+    if phases:
+        lines.append("")
+        lines.append(
+            format_table(
+                [
+                    (name, "{:.6f}".format(phases[name]))
+                    for name in sorted(
+                        phases, key=phases.get, reverse=True
+                    )
+                ],
+                headers=("Phase", "Seconds"),
+            )
+        )
+    return "\n".join(lines)
+
+
+#: Whole-file JSON ``"type"`` values the sniffer recognises.
+_DOC_TYPES = ("witness", "run-manifest", "heartbeat")
+
+
+def sniff_artifact(path):
+    """What kind of artifact ``path`` is.
+
+    One of ``"witness"``, ``"run-manifest"``, ``"heartbeat"`` or
+    ``"trace"``: the first three are single (typically indented) JSON
+    objects self-describing via their ``"type"`` key; anything else
+    that parses line-by-line is treated as a JSON-lines trace.
     """
     with open(path) as handle:
         text = handle.read()
@@ -242,17 +308,24 @@ def sniff_artifact(path):
         rec = json.loads(text)
     except ValueError:
         return "trace"
-    return (
-        "witness"
-        if isinstance(rec, dict) and rec.get("type") == "witness"
-        else "trace"
-    )
+    if isinstance(rec, dict) and rec.get("type") in _DOC_TYPES:
+        return rec["type"]
+    return "trace"
 
 
 def inspect_path(path):
     """Render whichever artifact lives at ``path``."""
     from repro.semantics.witness import load_witness
 
-    if sniff_artifact(path) == "witness":
+    kind = sniff_artifact(path)
+    if kind == "witness":
         return render_witness(load_witness(path))
+    if kind == "run-manifest":
+        with open(path) as handle:
+            return render_manifest_summary(json.load(handle))
+    if kind == "heartbeat":
+        from repro.obs.status import render_status
+
+        with open(path) as handle:
+            return render_status(json.load(handle))
     return render_trace_summary(read_trace(path))

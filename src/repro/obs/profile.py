@@ -32,6 +32,11 @@ and renders four sections:
    every worker's full registry; nothing here is hand-picked), ending
    with the expansion-vs-transport verdict that answers "why is
    ``--jobs 2`` slower".
+5. **Heap** — the interning/heap census when the run collected one
+   (``--heap-profile``; see :mod:`repro.obs.heap`): the explored
+   graph's bytes-unique vs bytes-if-copied sharing factor, the
+   per-type byte breakdown, the per-intern-table occupancy/hit-rate
+   rows, and any tracemalloc phase gauges.
 
 Rendering is pure string-building over the artifacts; nothing is
 re-executed. ``--metrics-format prom`` short-circuits the report and
@@ -335,6 +340,58 @@ def wire_rows(metrics):
     return scalars, hist_rows
 
 
+# ----- heap / interning census ---------------------------------------------
+
+
+def _gauge_group(gauges, prefix):
+    """``{name: {field: value}}`` for dotted gauges under ``prefix``."""
+    out = {}
+    for key, value in gauges.items():
+        if not key.startswith(prefix):
+            continue
+        name, _, field = key[len(prefix):].rpartition(".")
+        if name:
+            out.setdefault(name, {})[field] = value
+    return out
+
+
+def heap_rows(metrics):
+    """``(graph, per_type, tables, tracemalloc)`` census groups from
+    the snapshot's ``heap.*`` / ``intern.table.*`` gauges (empty dicts
+    when the run didn't census — the section is simply omitted)."""
+    gauges = metrics.get("gauges", {}) if metrics else {}
+    counters = metrics.get("counters", {}) if metrics else {}
+    graph = {
+        key[len("heap.graph."):]: value
+        for key, value in gauges.items()
+        if key.startswith("heap.graph.")
+    }
+    per_type = _gauge_group(gauges, "heap.type.")
+    tables = _gauge_group(gauges, "intern.table.")
+    for name, entry in _gauge_group(counters, "intern.table.").items():
+        tables.setdefault(name, {}).update(entry)
+    tracemalloc = {
+        key[len("heap.tracemalloc."):]: value
+        for key, value in gauges.items()
+        if key.startswith("heap.tracemalloc.")
+    }
+    return graph, per_type, tables, tracemalloc
+
+
+def _bytes(value):
+    if value is None:
+        return "-"
+    value = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (
+                "{:,.0f} {}".format(value, unit)
+                if unit == "B"
+                else "{:,.1f} {}".format(value, unit)
+            )
+        value /= 1024.0
+
+
 # ----- rendering ------------------------------------------------------------
 
 
@@ -486,6 +543,89 @@ def render_profile(profile, top=12):
                         "Histogram", "Count", "Min", "Mean", "P95",
                         "Max",
                     ),
+                )
+            )
+
+    if metrics:
+        graph_g, type_g, table_g, tm_g = heap_rows(metrics)
+        if graph_g or table_g:
+            lines.append("")
+            lines.append(
+                "heap (interning census; graph deep-size needs "
+                "--heap-profile):"
+            )
+        if graph_g:
+            lines.append(
+                "  graph: {:,} world(s), {:,} object(s); {} unique "
+                "vs {} if-copied -> sharing factor {:.2f}x "
+                "({} B/world unique)".format(
+                    int(graph_g.get("worlds", 0)),
+                    int(graph_g.get("objects", 0)),
+                    _bytes(graph_g.get("bytes_unique")),
+                    _bytes(graph_g.get("bytes_if_copied")),
+                    graph_g.get("sharing_factor", 0.0) or 0.0,
+                    _num(graph_g.get("bytes_per_world_unique")),
+                )
+            )
+        if type_g:
+            ranked = sorted(
+                type_g.items(),
+                key=lambda kv: -(kv[1].get("bytes") or 0),
+            )
+            lines.append(
+                format_table(
+                    [
+                        (
+                            name,
+                            _num(entry.get("count")),
+                            _bytes(entry.get("bytes")),
+                        )
+                        for name, entry in ranked
+                    ],
+                    headers=("Type", "Objects", "Unique bytes"),
+                )
+            )
+        if table_g:
+            table = []
+            for name, entry in sorted(table_g.items()):
+                hits = entry.get("hits")
+                misses = entry.get("misses")
+                if entry.get("hit_rate") is not None:
+                    rate = "{:.1%}".format(entry["hit_rate"])
+                elif hits is not None and misses is not None:
+                    total = hits + misses
+                    rate = (
+                        "{:.1%}".format(hits / total) if total else "-"
+                    )
+                else:
+                    rate = "-"
+                table.append(
+                    (
+                        name,
+                        _num(entry.get("size")),
+                        _num(entry.get("peak_size")),
+                        _num(entry.get("clears")),
+                        rate,
+                        _num(entry.get("collisions_estimate")),
+                    )
+                )
+            lines.append("")
+            lines.append(
+                format_table(
+                    table,
+                    headers=(
+                        "Intern table", "Size", "Peak", "Clears",
+                        "Hit rate", "Collisions (est)",
+                    ),
+                )
+            )
+        if tm_g:
+            lines.append("")
+            lines.append(
+                "tracemalloc: "
+                + "  ".join(
+                    "{}={}".format(name, _bytes(value))
+                    for name, value in sorted(tm_g.items())
                 )
             )
 

@@ -30,6 +30,31 @@ import re
 #: Default namespace every exported metric name is prefixed with.
 NAMESPACE = "repro"
 
+#: Prefix -> human description for known metric families.  Matched
+#: longest-prefix-first so ``intern.table.`` beats ``intern.``.  The
+#: HELP line for an unknown name falls back to the generic
+#: ``repro <kind> <name>`` form, which keeps the exporter total:
+#: new instrumentation never needs to touch this table to scrape.
+HELP_PREFIXES = (
+    ("heap.graph.", "sharing-aware state-graph deep-size census"),
+    ("heap.type.", "per-type share of unique state-graph bytes"),
+    ("heap.tracemalloc.", "tracemalloc snapshot (opt-in --heap-profile)"),
+    ("intern.table.", "per-intern-table census (hash-consing)"),
+    ("intern.", "aggregate intern-table activity"),
+    ("explore.", "state-space exploration progress"),
+    ("por.", "partial-order-reduction effectiveness"),
+    ("wire.", "cross-shard transport cost"),
+    ("span.", "wall-clock span timing"),
+)
+
+
+def help_text(name, kind):
+    """The ``# HELP`` description for metric ``name`` of ``kind``."""
+    for prefix, desc in HELP_PREFIXES:
+        if name.startswith(prefix):
+            return "{} ({})".format(desc, name)
+    return "repro {} {}".format(kind, name)
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Mantissas of the deterministic log bucket ladder.
@@ -144,17 +169,18 @@ def render_prometheus(snapshot, namespace=NAMESPACE):
     out = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
         pname = sanitize_name(name, namespace) + "_total"
-        out.append("# HELP {} repro counter {}".format(pname, name))
+        out.append("# HELP {} {}".format(pname, help_text(name, "counter")))
         out.append("# TYPE {} counter".format(pname))
         out.append("{} {}".format(pname, _fmt(value)))
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         pname = sanitize_name(name, namespace)
-        out.append("# HELP {} repro gauge {}".format(pname, name))
+        out.append("# HELP {} {}".format(pname, help_text(name, "gauge")))
         out.append("# TYPE {} gauge".format(pname))
         out.append("{} {}".format(pname, _fmt(value)))
     for name, data in sorted(snapshot.get("histograms", {}).items()):
         pname = sanitize_name(name, namespace)
-        out.append("# HELP {} repro histogram {}".format(pname, name))
+        out.append(
+            "# HELP {} {}".format(pname, help_text(name, "histogram")))
         out.append("# TYPE {} histogram".format(pname))
         out.extend(_histogram_lines(pname, dict(data)))
     return "\n".join(out) + ("\n" if out else "")

@@ -37,8 +37,16 @@ from repro.common import intern
 from repro.common.memory import STATS as MEM_STATS
 from repro.lang import closure as _closure
 from repro.lang.messages import EventMsg
+from repro.obs import heap as _heap
+from repro.obs import status as _status
 from repro.semantics.engine import SW, GAbort
 from repro.semantics.por import AmpleReducer, default_reduce
+
+#: States expanded between heartbeat clock checks. The heartbeat's own
+#: time gate decides whether to write; the stride just keeps the
+#: monotonic-clock read off the per-state path (one int decrement and
+#: compare per state when a writer is active, nothing when not).
+_HB_STRIDE = 64
 
 
 class ExplorationLimit(Exception):
@@ -179,6 +187,14 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
     # hottest path, so the disabled cost is one truthiness test per
     # expanded state.
     track = obs.enabled
+    hb = _status.writer
+    if hb is not None:
+        hb.update(
+            phase="explore",
+            semantics=type(semantics).__name__,
+            por=use_por,
+            budget=max_states,
+        )
     ctx.staging = _closure.enabled()
     if ctx.staging:
         # Stage every module up front, in its own span: compile time is
@@ -192,7 +208,8 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
         por=use_por,
     ) as sp:
         if track:
-            hits0, misses0 = intern.totals()
+            tot0 = intern.totals()
+            stats0 = intern.stats()
             reused0 = MEM_STATS.nodes_reused
         if use_por:
             graph, hwm, reducer = _explore_reduced(
@@ -219,9 +236,11 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
         if track:
             # Per-run deltas of the hot-path machinery's plain counters
             # (the counters themselves never touch the obs layer).
-            hits1, misses1 = intern.totals()
-            obs.inc("intern.hits", hits1 - hits0)
-            obs.inc("intern.misses", misses1 - misses0)
+            tot1 = intern.totals()
+            obs.inc("intern.hits", tot1.hits - tot0.hits)
+            obs.inc("intern.misses", tot1.misses - tot0.misses)
+            obs.inc("intern.clears", tot1.clears - tot0.clears)
+            _record_intern_table_metrics(stats0, intern.stats())
             obs.inc(
                 "memory.nodes_reused", MEM_STATS.nodes_reused - reused0
             )
@@ -239,6 +258,16 @@ def explore(ctx, semantics, max_states=50000, strict=False, reduce=False,
                     full_expansions=reducer.full_expansions,
                     steps_avoided=reducer.steps_avoided,
                 )
+    if hb is not None:
+        # Forced final beat: even sub-second runs leave a status file
+        # whose state count matches the finished graph.
+        if reducer is not None:
+            hb.update(por_counters=reducer.snapshot())
+        hb.force(states=graph.state_count(), frontier=0)
+    if _heap.enabled():
+        # Post-run heap census (own span, outside "explore" so the
+        # states/s denominator never includes census time).
+        _heap.collect(graph)
     return graph
 
 
@@ -260,9 +289,17 @@ def _explore_full(ctx, semantics, max_states, strict, observer):
     all_edges = graph.edges
     successors = semantics.successors
     track = obs.enabled
+    hb = _status.writer
+    # -1 sentinel decrements forever without hitting 0 when no writer
+    # is configured: the disabled cost is one int op per state.
+    hb_left = _HB_STRIDE if hb is not None else -1
     while queue:
         if track and len(queue) > frontier_hwm:
             frontier_hwm = len(queue)
+        hb_left -= 1
+        if hb_left == 0:
+            hb_left = _HB_STRIDE
+            hb.beat(states=len(states), frontier=len(queue))
         sid = queue.popleft()
         world = states[sid]
         if world.is_done():
@@ -330,6 +367,8 @@ def _explore_reduced(ctx, semantics, max_states, strict, observer):
     stack = []
     stack_hwm = 0
     halted = False
+    hb = _status.writer
+    hb_left = _HB_STRIDE if hb is not None else -1
 
     for root in graph.initial:
         if halted:
@@ -338,6 +377,14 @@ def _explore_reduced(ctx, semantics, max_states, strict, observer):
             continue
         stack.append([root, None, _NO_SLEEP])
         while stack:
+            hb_left -= 1
+            if hb_left == 0:
+                hb_left = _HB_STRIDE
+                if hb.due():
+                    # The POR counter dict is only built when a write
+                    # is actually due.
+                    hb.update(por_counters=reducer.snapshot())
+                    hb.beat(states=len(states), frontier=len(stack))
             entry = stack[-1]
             sid = entry[0]
             it = entry[1]
@@ -445,6 +492,22 @@ def _explore_reduced(ctx, semantics, max_states, strict, observer):
             entry[1] = iter(children)
             entry[2] = child_sleep
     return graph, stack_hwm, reducer
+
+
+def _record_intern_table_metrics(stats0, stats1):
+    """Per-table intern counters as per-run deltas, plus occupancy
+    gauges — the honest inputs the heap census needs (tables created
+    mid-run simply have a zero baseline)."""
+    for name, s1 in stats1.items():
+        s0 = stats0.get(
+            name, {"hits": 0, "misses": 0, "clears": 0}
+        )
+        prefix = "intern.table.{}.".format(name)
+        obs.inc(prefix + "hits", s1["hits"] - s0["hits"])
+        obs.inc(prefix + "misses", s1["misses"] - s0["misses"])
+        obs.inc(prefix + "clears", s1["clears"] - s0["clears"])
+        obs.set_gauge(prefix + "size", s1["size"])
+        obs.gauge_max(prefix + "peak_size", s1["peak_size"])
 
 
 def _record_explore_metrics(graph, frontier_hwm, sp):

@@ -110,6 +110,8 @@ from collections import deque
 from queue import Empty
 
 from repro import obs
+from repro.obs import heap as _heap
+from repro.obs import status as _status
 from repro.common.serialize import (
     ENV_STATELESS,
     ChannelDecoder,
@@ -141,7 +143,26 @@ _BATCH_WORLDS = 128
 _REC_BATCH = 256
 
 #: Coordinator receive timeout (liveness check cadence), seconds.
+#: With a heartbeat active the coordinator shortens this to the beat
+#: interval so shard merges stay fresh.
 _GET_TIMEOUT = 15.0
+
+#: After a halt broadcast: how long a worker may go without either
+#: sending its bye or advancing the shared state counter before the
+#: coordinator declares it wedged and terminates it. Generous — the
+#: only post-halt work is flushing records — but finite: a worker
+#: stuck on a torn queue message must fail the run loudly, not hang
+#: it forever.
+_HALT_GRACE = 30.0
+
+#: How long an exiting worker keeps draining its own inbox after its
+#: bye, so peers' queue feeder threads can finish in-flight writes
+#: (see ``_drain_inbox``).
+_EXIT_DRAIN = 1.0
+
+#: Worker-loop iterations between heartbeat clock checks (mirrors
+#: ``explore._HB_STRIDE``).
+_HB_STRIDE = 64
 
 # Record kinds. Ranked so the merge can prefer the more-expanded
 # record when duplicate POR regions meet: a full expansion beats an
@@ -420,10 +441,43 @@ class _Worker:
             self.flush_recs()
             self.halted = True
 
+    def _idle_get(self, inbox, hb):
+        """Blocking receive that keeps the shard heartbeat alive.
+
+        Without a heartbeat this is a plain ``get()``. With one, the
+        wait wakes once per beat interval to stamp ``phase: idle`` —
+        an idle shard and a dead shard must look different to
+        ``repro status``.
+        """
+        if hb is None:
+            return inbox.get()
+        while True:
+            try:
+                msg = inbox.get(timeout=max(hb.interval, 0.05))
+            except Empty:
+                hb.force(
+                    states=len(self.recorded), frontier=0,
+                    phase="idle",
+                )
+                continue
+            hb.update(phase="expand")
+            return msg
+
     def run(self):
         inbox = self.inboxes[self.wid]
         timed = self.timed
+        hb = _status.writer
+        if hb is not None:
+            hb.update(phase="expand", jobs=self.jobs)
+        hb_left = _HB_STRIDE if hb is not None else -1
         while not self.halted:
+            hb_left -= 1
+            if hb_left == 0:
+                hb_left = _HB_STRIDE
+                hb.beat(
+                    states=len(self.recorded),
+                    frontier=len(self.pending),
+                )
             while True:
                 # The poll itself is decode time: checking for
                 # incoming batches is part of receiving them, and one
@@ -475,9 +529,9 @@ class _Worker:
                 # The blocking wait as a span: the profiler's
                 # utilization timeline is built from these intervals.
                 with obs.span("parallel.worker.idle"):
-                    msg = inbox.get()
+                    msg = self._idle_get(inbox, hb)
             else:
-                msg = inbox.get()
+                msg = self._idle_get(inbox, hb)
             self.idle_seconds += time.monotonic() - t0
             self.handle(msg)
 
@@ -719,6 +773,17 @@ def _configure_worker_obs(wid, cfg):
     worker stays metered, and warn once.
     """
     obs.reset()
+    # Same fork rule for the heartbeat: the inherited parent writer
+    # points at the main status file; replace it with this shard's own
+    # ``FILE.w<wid>`` writer (the coordinator merges the shard files).
+    _status.reset()
+    status_path = cfg.get("status_path")
+    if status_path:
+        _status.configure(
+            _status.shard_path(status_path, wid),
+            interval=cfg.get("status_interval"),
+            wid=wid,
+        )
     trace_path = cfg.get("trace_path")
     if trace_path:
         trace_path = "{}.w{}".format(trace_path, wid)
@@ -740,6 +805,29 @@ def _configure_worker_obs(wid, cfg):
             "metered, without a trace".format(wid, trace_path, exc),
             wid=wid,
         )
+
+
+def _drain_inbox(inbox, deadline):
+    """Keep reading (and discarding) the inbox until it goes quiet.
+
+    An exiting worker must not stop reading the instant it halts:
+    peers' queue feeder threads may still be mid-write into this pipe
+    (uncounted reset control messages, or batches dropped by a
+    race/err halt), and a process exit on the *writer* side kills its
+    feeder mid-message — leaving a torn record that would block this
+    reader's next ``recv`` forever. Draining until the pipe is quiet
+    lets those feeders complete, so nobody ever tears a message into a
+    live reader. Bounded by ``deadline`` as a backstop; a torn message
+    already in the pipe surfaces as a blocked ``get`` that the
+    coordinator's post-halt watchdog resolves by terminating us.
+    """
+    while time.monotonic() < deadline:
+        try:
+            inbox.get(timeout=0.05)
+        except Empty:
+            return
+        except (OSError, EOFError, ValueError):
+            return
 
 
 def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
@@ -770,7 +858,17 @@ def _worker_main(wid, jobs, ctx, semantics, cfg, counter, inboxes,
     metrics_dump = obs.dump()
     if metrics_dump is not None:
         stats["metrics"] = metrics_dump
+    # Final shard beat before the bye: the merged status must show this
+    # worker's full state count and ``phase: done``, not a stale beat.
+    if _status.writer is not None:
+        _status.writer.force(
+            states=len(worker.recorded), frontier=0
+        )
+    _status.finalize()
     coord_q.put(("bye", wid, stats))
+    # Stay a reader a moment longer so peers' in-flight queue writes
+    # complete instead of tearing (see ``_drain_inbox``).
+    _drain_inbox(inboxes[wid], time.monotonic() + _EXIT_DRAIN)
     # Flush and close the per-worker sinks before the queues wind down.
     obs.shutdown()
     # Exit must not block on feeder threads draining batches into
@@ -859,6 +957,16 @@ def _run_parallel(ctx, semantics, jobs, max_states, strict, use_por,
         # untraced).
         "metrics": obs.metrics_enabled(),
         "trace_path": obs.trace_path,
+        # Heartbeat: workers derive their shard file from the main
+        # status path (None when no heartbeat is active).
+        "status_path": (
+            _status.writer.path if _status.writer is not None else None
+        ),
+        "status_interval": (
+            _status.writer.interval
+            if _status.writer is not None
+            else None
+        ),
     }
     if obs.tracer is not None:
         # Empty the sink's userspace buffer before forking: children
@@ -930,11 +1038,49 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
     track = obs.enabled
     coord_decode = 0.0
 
+    # Post-halt watchdog state: when the halt went out, and the shared
+    # state counter's value the last time it moved (progress resets
+    # the grace clock — a worker legitimately finishing a long POR
+    # region after a race halt must not be shot mid-flush).
+    halt_watch = {"t": None, "count": None}
+
     def broadcast_halt():
         if not halted[0]:
             halted[0] = True
+            halt_watch["t"] = time.monotonic()
+            halt_watch["count"] = counter.value
             for q in inboxes:
                 q.put(("halt",))
+
+    def reap_wedged():
+        """Terminate workers that neither bye nor progress after a
+        halt. A worker blocked on a torn queue message (a peer died
+        mid-write before the exit-drain discipline existed, or any
+        other recv wedge) would otherwise never see the halt, and the
+        run would wait for its bye forever."""
+        nonlocal error
+        if halt_watch["t"] is None:
+            return
+        current = counter.value
+        if current != halt_watch["count"]:
+            halt_watch["count"] = current
+            halt_watch["t"] = time.monotonic()
+            return
+        if time.monotonic() - halt_watch["t"] <= _HALT_GRACE:
+            return
+        wedged = [
+            wid for wid, p in enumerate(procs)
+            if wid not in byes and p.is_alive()
+        ]
+        for wid in wedged:
+            procs[wid].terminate()
+            byes[wid] = None
+        if wedged and error is None:
+            error = (
+                "crash",
+                "worker(s) {} unresponsive {}s after halt; "
+                "terminated".format(wedged, _HALT_GRACE),
+            )
 
     def balanced():
         if len(reports) < jobs:
@@ -947,10 +1093,28 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
                 return False
         return True
 
+    hb = _status.writer
+    get_timeout = (
+        _GET_TIMEOUT
+        if hb is None
+        else min(_GET_TIMEOUT, max(hb.interval, 0.05))
+    )
+
+    def merge_beat(phase="parallel"):
+        if hb is not None and hb.due():
+            _status.merge_shards(
+                hb, jobs,
+                alive={
+                    wid: p.is_alive() for wid, p in enumerate(procs)
+                },
+                phase=phase,
+            )
+
     try:
         while len(byes) < jobs:
+            merge_beat()
             try:
-                msg = coord_q.get(timeout=_GET_TIMEOUT)
+                msg = coord_q.get(timeout=get_timeout)
             except Empty:
                 dead = [
                     wid for wid, p in enumerate(procs)
@@ -967,6 +1131,7 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
                     for wid in dead:
                         byes[wid] = None
                     broadcast_halt()
+                reap_wedged()
                 continue
             kind = msg[0]
             if kind == "rec":
@@ -997,6 +1162,12 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
         broadcast_halt()
     for p in procs:
         p.join(timeout=10)
+    for p in procs:
+        # A worker that survived its join timeout is wedged (e.g.
+        # blocked on a torn queue read); it must not outlive the run.
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=5)
     for q in inboxes:
         q.cancel_join_thread()
         q.close()
@@ -1041,6 +1212,19 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
     stats = [byes.get(wid) or {} for wid in range(jobs)]
     _publish(jobs, coord_sent, stats, graph, merge_seconds,
              static_count)
+    if hb is not None:
+        # Unconditional final merge: every shard's last (forced) beat
+        # plus liveness, then the merged graph's true state count.
+        _status.merge_shards(
+            hb, jobs,
+            alive={wid: p.is_alive() for wid, p in enumerate(procs)},
+            phase="merged",
+        )
+        hb.force(states=graph.state_count(), frontier=0)
+    if _heap.enabled():
+        # Parent-side census over the merged graph (workers censusing
+        # their shards would double-count shared structure).
+        _heap.collect(graph)
     return graph, witness, stats
 
 

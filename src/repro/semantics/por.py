@@ -122,6 +122,16 @@ class AmpleReducer:
         self.sleep_hits = 0
         self.steps_avoided = 0
 
+    def snapshot(self):
+        """The counters as a plain dict (heartbeat / status payloads)."""
+        return {
+            "ample_worlds": self.ample_worlds,
+            "full_expansions": self.full_expansions,
+            "proviso_expansions": self.proviso_expansions,
+            "sleep_hits": self.sleep_hits,
+            "steps_avoided": self.steps_avoided,
+        }
+
     def footprint_private(self, fp, tid):
         """True iff ``fp`` touches only thread ``tid``'s freelist space."""
         if fp.is_empty():

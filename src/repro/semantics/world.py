@@ -45,9 +45,15 @@ def _intern_frame(mod_idx, flist, core):
         return frame
     _FRAMES.misses += 1
     if len(table) >= _FRAMES.max_size:
+        # Inlined mirror of InternTable.intern's bookkeeping: the
+        # capacity eviction and the occupancy peak must stay visible
+        # to the census (obs/heap) even on this hand-inlined path.
+        _FRAMES.clears += 1
         table.clear()
     frame = Frame(mod_idx, flist, core)
     table[key] = frame
+    if len(table) > _FRAMES.peak_size:
+        _FRAMES.peak_size = len(table)
     return frame
 
 
@@ -61,9 +67,12 @@ def _intern_world(threads, cur, bits, mem):
         return world
     _WORLDS.misses += 1
     if len(table) >= _WORLDS.max_size:
+        _WORLDS.clears += 1
         table.clear()
     world = World(threads, cur, bits, mem)
     table[key] = world
+    if len(table) > _WORLDS.peak_size:
+        _WORLDS.peak_size = len(table)
     return world
 
 def reset_intern_tables():

@@ -35,8 +35,34 @@ class TestInternTable:
         t = InternTable("t4-stats")
         t.intern((1,))
         assert intern.stats()["t4-stats"]["misses"] == 1
-        hits, misses = intern.totals()
-        assert misses >= 1
+        totals = intern.totals()
+        assert totals.misses >= 1
+        assert totals.peak_size >= 1
+
+    def test_counts_capacity_clears_and_peak(self):
+        t = InternTable("t5-clears", max_size=4)
+        for i in range(10):
+            t.intern((i,))
+        assert t.clears >= 1
+        assert t.peak_size == 4
+        stats = intern.stats()["t5-clears"]
+        assert stats["clears"] == t.clears
+        assert stats["peak_size"] == 4
+        # Explicit clears empty the table without counting as a
+        # capacity eviction, and never lower the recorded peak.
+        before = t.clears
+        t.clear()
+        assert len(t) == 0
+        assert t.clears == before
+        assert t.peak_size == 4
+
+    def test_totals_sums_all_tables(self):
+        t = InternTable("t6-totals", max_size=2)
+        for i in range(5):
+            t.intern((i,))
+        totals = intern.totals()
+        assert totals.clears >= t.clears
+        assert totals.peak_size >= t.peak_size
 
 
 class TestFootprintInterning:

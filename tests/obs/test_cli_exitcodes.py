@@ -155,3 +155,22 @@ class TestWitnessMeta:
         assert main(["replay", racy_file, "--witness",
                      str(out)]) == 0
         capsys.readouterr()
+
+
+class TestNpdrfCommand:
+    def test_zero_when_npdrf(self, safe_file, capsys):
+        assert main(["npdrf", safe_file]) == 0
+        assert "NPDRF: True" in capsys.readouterr().out
+
+    def test_one_on_nonpreemptive_race(self, racy_file, capsys):
+        assert main(["npdrf", racy_file, "--threads", "t1,t2"]) == 1
+        assert "NPDRF: False" in capsys.readouterr().out
+
+    def test_ledger_records_npdrf_verdict(self, safe_file, tmp_path,
+                                          capsys):
+        out = tmp_path / "run.json"
+        assert main(["npdrf", safe_file, "--ledger", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["command"] == "npdrf"
+        assert doc["verdict"] == "npdrf"
+        assert doc["config"]["max_atomic_steps"] == 64

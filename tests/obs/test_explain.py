@@ -156,3 +156,37 @@ class TestSniffAndInspect:
         )
         assert sniff_artifact(str(path)) == "trace"
         assert "explore" in inspect_path(str(path))
+
+    def test_sniff_and_render_run_manifest(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({
+            "type": "run-manifest", "version": 1, "command": "drf",
+            "argv": ["drf", "p.c"], "started_at": "t0",
+            "finished_at": "t1", "wall_seconds": 1.5,
+            "exit_status": 0, "verdict": "drf",
+            "content_hash": "abc123", "fingerprint": "feedbeef",
+            "states": 5028, "states_per_second": 1778.9,
+            "config": {"por": True, "jobs": 2},
+            "phases": {"explore": 1.2, "closure_compile": 0.1},
+        }))
+        assert sniff_artifact(str(path)) == "run-manifest"
+        text = inspect_path(str(path))
+        assert "command=drf" in text and "verdict=drf" in text
+        assert "content hash: abc123" in text
+        assert "behaviour fingerprint: feedbeef" in text
+        assert "5,028" in text and "1,778.9 states/s" in text
+        assert "por" in text and "explore" in text
+
+    def test_sniff_and_render_heartbeat(self, tmp_path):
+        path = tmp_path / "st.json"
+        path.write_text(json.dumps({
+            "type": "heartbeat", "version": 1, "pid": 7,
+            "time": 0.0, "uptime_seconds": 2.0,
+            "interval_seconds": 1.0, "beats": 3, "states": 99,
+            "frontier": 4, "rolling_states_per_second": 50.0,
+            "overall_states_per_second": 49.5, "phase": "done",
+        }))
+        assert sniff_artifact(str(path)) == "heartbeat"
+        text = inspect_path(str(path))
+        assert "phase=done" in text
+        assert "99 state(s)" in text

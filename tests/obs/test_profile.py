@@ -257,3 +257,65 @@ class TestProfileCLI:
         assert main(
             ["profile", str(trace), "--metrics-format", "prom"]
         ) == 2
+
+
+class TestHeapSection:
+    METRICS = {
+        "counters": {
+            "intern.table.world.hits": 90,
+            "intern.table.world.misses": 10,
+        },
+        "gauges": {
+            "heap.graph.worlds": 5028,
+            "heap.graph.objects": 40000,
+            "heap.graph.bytes_unique": 1144000,
+            "heap.graph.bytes_if_copied": 57400000,
+            "heap.graph.sharing_factor": 50.17,
+            "heap.graph.bytes_per_world_unique": 227.6,
+            "heap.graph.bytes_per_world_copied": 11418.0,
+            "heap.type.World.bytes": 300000,
+            "heap.type.World.count": 5028,
+            "intern.table.world.size": 6330,
+            "intern.table.world.peak_size": 6330,
+            "intern.table.world.clears": 0,
+            "intern.table.world.hit_rate": 0.9,
+            "intern.table.world.collisions_estimate": 12,
+            "intern.table.world.table_bytes": 295000,
+            "heap.tracemalloc.total.peak_bytes": 9000000,
+        },
+        "histograms": {},
+    }
+
+    def _profile(self, tmp_path, metrics):
+        trace = tmp_path / "t.jsonl"
+        _write_jsonl(trace, [
+            {"type": "meta", "version": 1},
+            {"type": "span", "name": "explore", "sid": 1,
+             "parent": None, "ts": 0.0, "dur": 1.0},
+            {"type": "metrics", "data": metrics},
+        ])
+        return prof.load_profile(str(trace))
+
+    def test_heap_rows_groups_gauges_and_counters(self):
+        graph, per_type, tables, tm = prof.heap_rows(self.METRICS)
+        assert graph["sharing_factor"] == 50.17
+        assert per_type["World"]["bytes"] == 300000
+        # Counters (hits/misses) merge into the gauge-backed rows.
+        assert tables["world"]["size"] == 6330
+        assert tables["world"]["hits"] == 90
+        assert tm["total.peak_bytes"] == 9000000
+
+    def test_heap_section_renders(self, tmp_path):
+        profile = self._profile(tmp_path, self.METRICS)
+        text = prof.render_profile(profile)
+        assert "heap (interning census" in text
+        assert "sharing factor 50.17x" in text
+        assert "World" in text
+        assert "Intern table" in text
+        assert "90.0%" in text
+
+    def test_heap_section_omitted_without_census(self, tmp_path):
+        profile = self._profile(
+            tmp_path, {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        assert "heap (" not in prof.render_profile(profile)

@@ -106,3 +106,32 @@ def test_render_prom_via_obs():
 
 def test_empty_snapshot_renders_empty():
     assert render_prometheus({}) == ""
+
+
+def test_help_lines_describe_known_families():
+    snap = {
+        "counters": {"intern.table.world.hits": 5},
+        "gauges": {
+            "heap.graph.sharing_factor": 50.2,
+            "some.unknown.metric": 1,
+        },
+        "histograms": {
+            "span.explore.seconds": {
+                "count": 1, "min": 0.1, "max": 0.1, "mean": 0.1,
+                "p50": 0.1, "p95": 0.1,
+            }
+        },
+    }
+    text = render_prometheus(snap)
+    assert (
+        "# HELP repro_intern_table_world_hits_total "
+        "per-intern-table census (hash-consing) "
+        "(intern.table.world.hits)" in text
+    )
+    assert "sharing-aware state-graph deep-size census" in text
+    assert "wall-clock span timing (span.explore.seconds)" in text
+    # Unknown names keep the generic fallback.
+    assert (
+        "# HELP repro_some_unknown_metric repro gauge "
+        "some.unknown.metric" in text
+    )

@@ -1,0 +1,137 @@
+"""Heartbeat fork-safety under the parallel explorer.
+
+The properties that matter: every worker writes its own shard file
+(the fork-inherited parent writer never clobbers the main document),
+a concurrent poller never sees a torn JSON document at any
+parallelism, and the final merged heartbeat accounts for every shard.
+"""
+
+import glob
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.framework.build import lock_counter_system
+from repro.obs import status
+from repro.semantics import GlobalContext, PreemptiveSemantics, explore
+from repro.semantics.parallel import available
+
+from tests.helpers import SUITE, minic_program
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="platform cannot fork workers"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    obs.reset()
+    status.reset()
+    yield
+    obs.reset()
+    status.reset()
+
+
+class _Poller:
+    """Reads the status file in a tight loop, counting torn reads."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.stop = threading.Event()
+        self.failures = 0
+        self.reads = 0
+        self.docs = []
+        self.thread = threading.Thread(target=self._run)
+
+    def _run(self):
+        while not self.stop.is_set():
+            try:
+                with open(self.path) as handle:
+                    doc = json.load(handle)
+            except OSError:
+                continue
+            except ValueError:
+                self.failures += 1
+                continue
+            self.reads += 1
+            self.docs.append(doc)
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop.set()
+        self.thread.join()
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_no_torn_reads_and_full_shard_coverage(tmp_path, jobs):
+    st = tmp_path / "st.json"
+    status.configure(st, interval=0.01)
+    program = lock_counter_system(2).source_program()
+    ctx = GlobalContext(program)
+    with _Poller(st) as poller:
+        graph = explore(
+            ctx, PreemptiveSemantics(), reduce=False, jobs=jobs,
+            max_states=100000,
+        )
+    assert poller.failures == 0
+    assert poller.reads > 0
+
+    final = json.loads(st.read_text())
+    assert final["states"] == graph.state_count()
+    if jobs > 1:
+        # The coordinator's final merge accounts for every worker.
+        assert final["phase"] == "merged"
+        assert final["jobs"] == jobs
+        wids = {row["wid"] for row in final["shards"]}
+        assert wids == set(range(jobs))
+        assert all(row["beats"] > 0 for row in final["shards"])
+        assert sum(
+            row["states"] for row in final["shards"]
+        ) == graph.state_count()
+        # Every worker wrote (and left) its own shard heartbeat.
+        shard_files = glob.glob(str(st) + ".w*")
+        assert len(shard_files) == jobs
+        for path in shard_files:
+            doc = json.loads(open(path).read())
+            assert doc["type"] == "heartbeat"
+            assert "wid" in doc
+
+
+def test_workers_do_not_write_the_main_file(tmp_path):
+    """Shard docs carry wids; the main file is only ever the parent's
+    (its pid) — the fork-inherited writer was reset in the child."""
+    st = tmp_path / "st.json"
+    status.configure(st, interval=0.01)
+    program, _m, _g, _s = minic_program([SUITE["loops"]], ["main"])
+    explore(
+        GlobalContext(program), PreemptiveSemantics(), reduce=False,
+        jobs=2, max_states=100000,
+    )
+    import os
+
+    main_doc = json.loads(st.read_text())
+    assert main_doc["pid"] == os.getpid()
+    assert "wid" not in main_doc
+    for path in glob.glob(str(st) + ".w*"):
+        shard = json.loads(open(path).read())
+        assert shard["pid"] != os.getpid()
+
+
+def test_reduced_mode_parallel_also_beats(tmp_path):
+    st = tmp_path / "st.json"
+    status.configure(st, interval=0.01)
+    program = lock_counter_system(2).source_program()
+    with _Poller(st) as poller:
+        graph = explore(
+            GlobalContext(program), PreemptiveSemantics(),
+            reduce=True, jobs=2, max_states=100000,
+        )
+    assert poller.failures == 0
+    final = json.loads(st.read_text())
+    assert final["states"] == graph.state_count()
+    assert {row["wid"] for row in final["shards"]} == {0, 1}
