@@ -1,0 +1,224 @@
+"""Benchmark run for the differential-fuzzing campaign (PR 10).
+
+Measures what this PR is about — that the campaign substrate is fast
+enough to be left running and trustworthy enough to be believed:
+
+Writes ``BENCH_pr10.json`` next to the repo root (or to argv[1]):
+
+* ``throughput``: sequential campaign throughput per generator family
+  (inputs/second over a seeded batch), plus the determinism gate —
+  running the identical campaign into a second directory must produce
+  the byte-identical program corpus, or the run exits non-zero.
+* ``parallel``: the same mixed campaign at ``jobs=2``; gated on the
+  forked pool producing the same corpus and checkpoint ``done`` map as
+  the sequential run (worker nondeterminism must never leak into the
+  artifacts).
+* ``resume``: a second run over a finished campaign directory; gated
+  on zero re-executed inputs. The wall-clock here is the fixed cost a
+  ``kill -9``-interrupted campaign pays to get back to where it was.
+* ``injection``: the end-to-end alarm test on ``minic-lock-broken``
+  inputs — every injected race must be detected, minimized under the
+  campaign budget and confirmed by a real ``repro replay`` of the
+  written witness artifact (exit 0), or the run exits non-zero.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_pr10.py [out.json]
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.cli import main as cli_main
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generators import DEFAULT_KINDS
+from repro.obs import ledger
+from repro.obs import status as live_status
+
+SEED = 2026
+PER_FAMILY_COUNT = 30
+MIXED_COUNT = 30
+INJECT_COUNT = 8
+
+
+def _fresh_dir(prefix):
+    return os.path.join(tempfile.mkdtemp(prefix=prefix), "corpus")
+
+
+def _reset():
+    ledger.reset()
+    live_status.reset()
+
+
+def _run(out, **kw):
+    _reset()
+    kw.setdefault("seed", SEED)
+    cfg = CampaignConfig(out=out, **kw)
+    start = time.perf_counter()
+    stats = run_campaign(cfg)
+    return stats, time.perf_counter() - start
+
+
+def _corpus_snapshot(out):
+    root = os.path.join(out, "programs")
+    return {
+        name: open(os.path.join(root, name)).read()
+        for name in os.listdir(root)
+    }
+
+
+def _throughput_section():
+    rows = []
+    for kind in DEFAULT_KINDS:
+        out = _fresh_dir("bench-pr10-tp-")
+        stats, seconds = _run(
+            out, count=PER_FAMILY_COUNT, kinds=(kind,)
+        )
+        if stats.unexpected:
+            raise SystemExit(
+                "clean family {} produced {} unexpected finding(s)"
+                .format(kind, stats.unexpected)
+            )
+        rows.append({
+            "kind": kind,
+            "inputs": stats.executed,
+            "programs": stats.programs_added,
+            "dedup_hits": stats.dedup_hits,
+            "seconds": round(seconds, 4),
+            "inputs_per_second": round(stats.executed / seconds, 1),
+        })
+    # The determinism gate: same seed, fresh directory, same bytes.
+    a, b = _fresh_dir("bench-pr10-da-"), _fresh_dir("bench-pr10-db-")
+    _run(a, count=MIXED_COUNT)
+    _run(b, count=MIXED_COUNT)
+    identical = _corpus_snapshot(a) == _corpus_snapshot(b)
+    if not identical:
+        raise SystemExit("same-seed campaigns produced differing corpora")
+    return {
+        "per_family": rows,
+        "determinism_corpus_identical": identical,
+    }
+
+
+def _parallel_section():
+    seq_out = _fresh_dir("bench-pr10-seq-")
+    par_out = _fresh_dir("bench-pr10-par-")
+    seq_stats, seq_seconds = _run(seq_out, count=MIXED_COUNT)
+    par_stats, par_seconds = _run(par_out, count=MIXED_COUNT, jobs=2)
+    same_corpus = _corpus_snapshot(seq_out) == _corpus_snapshot(par_out)
+    same_done = (
+        Corpus(seq_out).load_checkpoint()["done"]
+        == Corpus(par_out).load_checkpoint()["done"]
+    )
+    if not (same_corpus and same_done):
+        raise SystemExit("jobs=2 campaign diverged from sequential")
+    return {
+        "workload": "{} mixed inputs, kinds={}".format(
+            MIXED_COUNT, ",".join(DEFAULT_KINDS)
+        ),
+        "sequential_seconds": round(seq_seconds, 4),
+        "jobs2_seconds": round(par_seconds, 4),
+        "speedup": round(seq_seconds / par_seconds, 2),
+        "executed": par_stats.executed,
+        "corpus_identical": same_corpus,
+        "checkpoint_identical": same_done,
+    }
+
+
+def _resume_section():
+    out = _fresh_dir("bench-pr10-res-")
+    _run(out, count=MIXED_COUNT)
+    stats, seconds = _run(out, count=MIXED_COUNT)
+    if stats.executed != 0 or stats.skipped != MIXED_COUNT:
+        raise SystemExit(
+            "resume re-executed finished inputs: executed={} "
+            "skipped={}".format(stats.executed, stats.skipped)
+        )
+    return {
+        "inputs_skipped": stats.skipped,
+        "seconds": round(seconds, 4),
+    }
+
+
+def _injection_section():
+    out = _fresh_dir("bench-pr10-inj-")
+    stats, seconds = _run(
+        out, count=INJECT_COUNT, kinds=("minic-lock-broken",)
+    )
+    if stats.findings != INJECT_COUNT or stats.unexpected:
+        raise SystemExit(
+            "injection campaign: {} finding(s), {} unexpected "
+            "(wanted {} expected races)".format(
+                stats.findings, stats.unexpected, INJECT_COUNT
+            )
+        )
+    corpus = Corpus(out)
+    findings = corpus.load_findings()["findings"]
+    steps = []
+    replays_ok = 0
+    for finding in findings:
+        if finding["kind"] != "race" or not finding["expected"]:
+            raise SystemExit(
+                "unexpected finding shape: {}".format(finding["kind"])
+            )
+        steps.append(
+            (finding["original_steps"], finding["schedule_steps"])
+        )
+        program = corpus.program_path(finding["input"]["hash"], ".c")
+        _reset()
+        if cli_main(["replay", program, "--witness",
+                     finding["witness"]]) == 0:
+            replays_ok += 1
+    if replays_ok != len(findings):
+        raise SystemExit(
+            "only {}/{} minimized witnesses replayed".format(
+                replays_ok, len(findings)
+            )
+        )
+    return {
+        "injected": INJECT_COUNT,
+        "detected": stats.findings,
+        "seconds": round(seconds, 4),
+        "witness_replays_ok": replays_ok,
+        "mean_original_steps": round(
+            sum(o for o, _ in steps) / len(steps), 1
+        ),
+        "mean_minimized_steps": round(
+            sum(m for _, m in steps) / len(steps), 1
+        ),
+    }
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr10.json"
+    throughput = _throughput_section()
+    parallel = _parallel_section()
+    resume = _resume_section()
+    injection = _injection_section()
+    report = {
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "seed": SEED,
+        "note": (
+            "all sections gate correctness (determinism, pool/"
+            "sequential corpus identity, zero re-execution on resume, "
+            "every injected race detected+minimized+replayed); the "
+            "absolute inputs/second move with the runner."
+        ),
+        "throughput": throughput,
+        "parallel": parallel,
+        "resume": resume,
+        "injection": injection,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,11 @@ Commands:
   :mod:`repro.obs.profile`);
 * ``npdrf FILE --threads e1,e2`` — race-check under the
   *non-preemptive* semantics (the paper's NPDRF);
+* ``fuzz --seed S --count N [--out DIR] [--jobs N]`` — run a
+  persistent differential fuzzing campaign (see :mod:`repro.fuzz`):
+  seeded generators, a content-hash-deduplicated corpus, auto-minimized
+  replayable witnesses for every divergence, and an atomically
+  checkpointed resume that survives ``kill -9``;
 * ``status FILE [--watch]`` — render a live heartbeat file written by
   a running ``run``/``drf``/``npdrf`` with ``--status`` (see
   :mod:`repro.obs.status`);
@@ -61,9 +66,12 @@ Exit codes are uniform across commands: **0** — success (program is
 DRF, behaviours printed, validation passed, replay reproduced);
 **1** — an analysis *finding* (a race was found, a validation pass
 failed, a replay diverged); **2** — usage or internal error (bad
-flags, unknown thread entries, unreadable files, crashes). Scripts
-can therefore distinguish "the tool found a race" from "the tool
-broke" — previously both surfaced as non-zero.
+flags, unknown thread entries, unreadable files, crashes);
+**130** — interrupted (Ctrl-C / SIGINT), the conventional 128+signal
+code, after the run ledger and heartbeat have been finalized and any
+forked workers reaped. Scripts can therefore distinguish "the tool
+found a race" from "the tool broke" — previously both surfaced as
+non-zero.
 """
 
 import argparse
@@ -93,6 +101,7 @@ from repro.semantics import (
 )
 from repro.compiler import compile_minic
 from repro.compiler.pprint import dump_pipeline, dump_stage
+from repro.fuzz.generators import DEFAULT_KINDS as DEFAULT_FUZZ_KINDS
 from repro.semantics.parallel import default_jobs
 from repro.simulation.validate import validate_compilation
 from repro.tso import DEFAULT_LOCK_ADDR, lock_spec
@@ -350,6 +359,59 @@ def cmd_replay(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from repro.fuzz.campaign import CampaignConfig, run_campaign
+    from repro.fuzz.corpus import Corpus, CorpusError
+    from repro.fuzz.generators import GeneratorError, KINDS
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    if not kinds:
+        raise UsageError("--kinds: no generator kinds given")
+    if args.inject_broken and "minic-lock-broken" not in kinds:
+        kinds.append("minic-lock-broken")
+    try:
+        cfg = CampaignConfig(
+            seed=args.seed,
+            count=args.count,
+            kinds=kinds,
+            out=args.out,
+            jobs=args.jobs,
+            max_states=args.max_states,
+            max_events=args.max_events,
+            max_atomic_steps=args.max_atomic_steps,
+            minimize_rounds=args.minimize_rounds,
+            minimize_seconds=args.minimize_seconds,
+            duration=args.duration,
+            fresh=args.fresh,
+        )
+    except GeneratorError as exc:
+        raise UsageError(str(exc))
+    try:
+        stats = run_campaign(cfg)
+    except (CorpusError, GeneratorError) as exc:
+        raise UsageError(str(exc))
+    print(
+        "fuzz: {} input(s) executed, {} resumed from checkpoint, "
+        "{} dedup hit(s){}".format(
+            stats.executed, stats.skipped, stats.dedup_hits,
+            ""
+            if stats.stopped == "done"
+            else " (stopped: {})".format(stats.stopped),
+        )
+    )
+    print(
+        "corpus: {} program(s) at {}".format(
+            Corpus(cfg.out).program_count(), cfg.out
+        )
+    )
+    print(
+        "findings: {} ({} unexpected)".format(
+            stats.findings, stats.unexpected
+        )
+    )
+    return 1 if stats.unexpected else 0
+
+
 def cmd_inspect(args):
     from repro.obs.explain import inspect_path
 
@@ -450,6 +512,35 @@ def make_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def obs_flags(p):
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect metrics and print a summary table "
+            "(also REPRO_METRICS=1)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="FILE",
+            help="write the final metrics snapshot as JSON to FILE "
+            "(also REPRO_METRICS_OUT=FILE)",
+        )
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="write a JSON-lines span trace to FILE "
+            "(also REPRO_TRACE=FILE)",
+        )
+        p.add_argument(
+            "--metrics-format", choices=("table", "prom"),
+            default="table", metavar="FMT",
+            help="metrics summary format: 'table' (default) or 'prom' "
+            "(Prometheus text exposition)",
+        )
+        p.add_argument(
+            "--ledger", metavar="FILE",
+            help="write a versioned run manifest (config, content "
+            "hash, phase times, metrics, verdict) to FILE "
+            "(also REPRO_LEDGER=FILE); diff with 'repro compare'",
+        )
+
     def common(p, tristate=False):
         p.add_argument("file", help="MiniC source file")
         if tristate:
@@ -480,33 +571,7 @@ def make_parser():
                 "--lock", action="store_true",
                 help="link against the lock object (lock()/unlock())",
             )
-        p.add_argument(
-            "--metrics", action="store_true",
-            help="collect metrics and print a summary table "
-            "(also REPRO_METRICS=1)",
-        )
-        p.add_argument(
-            "--metrics-out", metavar="FILE",
-            help="write the final metrics snapshot as JSON to FILE "
-            "(also REPRO_METRICS_OUT=FILE)",
-        )
-        p.add_argument(
-            "--trace", metavar="FILE",
-            help="write a JSON-lines span trace to FILE "
-            "(also REPRO_TRACE=FILE)",
-        )
-        p.add_argument(
-            "--metrics-format", choices=("table", "prom"),
-            default="table", metavar="FMT",
-            help="metrics summary format: 'table' (default) or 'prom' "
-            "(Prometheus text exposition)",
-        )
-        p.add_argument(
-            "--ledger", metavar="FILE",
-            help="write a versioned run manifest (config, content "
-            "hash, phase times, metrics, verdict) to FILE "
-            "(also REPRO_LEDGER=FILE); diff with 'repro compare'",
-        )
+        obs_flags(p)
 
     def live_flags(p):
         p.add_argument(
@@ -619,6 +684,79 @@ def make_parser():
         help="bound on atomic-block prediction runs",
     )
     p.set_defaults(func=cmd_npdrf)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="run a persistent differential fuzzing campaign",
+        description="Generate seeded random programs at scale and push "
+        "each through the differential harness (compile + per-pass "
+        "validation + behaviour equivalence, DRF/NPDRF agreement, "
+        "lock-client race checks). Divergences and unexpected races "
+        "are auto-minimized into replayable witness artifacts in a "
+        "content-hash-deduplicated corpus; the checkpoint is rewritten "
+        "atomically after every input, so a killed campaign resumes "
+        "without re-running finished work. Exit 0: no unexpected "
+        "findings (expected races from --inject-broken do not fail "
+        "the run); exit 1: at least one unexpected finding.",
+    )
+    obs_flags(p)
+    jobs_flag(p)
+    live_flags(p)
+    p.add_argument(
+        "--out", default="fuzz-corpus", metavar="DIR",
+        help="campaign directory: programs/, witnesses/, "
+        "findings.json, checkpoint.json (default ./fuzz-corpus)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed: same seed => byte-identical programs and "
+        "corpus hashes (default 0)",
+    )
+    p.add_argument(
+        "--count", type=int, default=50, metavar="N",
+        help="inputs in the campaign plan (default 50)",
+    )
+    p.add_argument(
+        "--kinds", default=",".join(DEFAULT_FUZZ_KINDS),
+        metavar="K1,K2,...",
+        help="generator kinds to round-robin (default: {})".format(
+            ",".join(DEFAULT_FUZZ_KINDS)
+        ),
+    )
+    p.add_argument(
+        "--inject-broken", action="store_true",
+        help="also generate deliberately broken lock clients whose "
+        "races are *expected* findings — exercises the campaign's own "
+        "detect/minimize/replay alarm path",
+    )
+    p.add_argument("--max-states", type=int, default=60000)
+    p.add_argument(
+        "--max-events", type=int, default=24, metavar="N",
+        help="behaviour-trace event cap for equivalence checks "
+        "(default 24)",
+    )
+    p.add_argument(
+        "--max-atomic-steps", type=int, default=64, metavar="N",
+        help="bound on atomic-block prediction runs (default 64)",
+    )
+    p.add_argument(
+        "--minimize-rounds", type=int, default=16, metavar="N",
+        help="ddmin round budget per witness shrink (default 16)",
+    )
+    p.add_argument(
+        "--minimize-seconds", type=float, default=5.0, metavar="S",
+        help="wall-clock budget per witness shrink (default 5.0)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop admitting new inputs after this many seconds (the "
+        "checkpoint makes the rest resumable)",
+    )
+    p.add_argument(
+        "--fresh", action="store_true",
+        help="discard an existing checkpoint instead of resuming",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "replay", help="re-execute a recorded witness and verify it"
@@ -787,7 +925,14 @@ def main(argv=None):
         print("repro: error: {}".format(exc), file=sys.stderr)
         return 2
     except KeyboardInterrupt:
-        raise
+        # The conventional 128+SIGINT code, with a one-line note
+        # instead of a traceback. The ledger/status finalizers below
+        # still run and stamp the 130, and any parallel coordinator's
+        # ``finally`` has already reaped its forked workers on the way
+        # up — Ctrl-C must leak neither artifacts nor processes.
+        print("repro: interrupted", file=sys.stderr)
+        code = 130
+        return 130
     except Exception as exc:
         # Internal failure, distinct from an analysis finding (1):
         # scripts gating on "race found" must not confuse it with a

@@ -902,3 +902,51 @@ def decode_batch(data):
 def roundtrip(value):
     """Encode then decode one value (the test hook)."""
     return decode_batch(encode_batch(value))
+
+
+# ----- the persistent document envelope -------------------------------------
+
+#: Version tag of persistent JSON *document* envelopes (fuzz campaign
+#: checkpoints and similar on-disk state). Distinct from
+#: :data:`SERIAL_SCHEMA_VERSION` on purpose: batches are transport-only
+#: pickles guarded by a hash-seed probe, while documents must be
+#: durable across interpreter launches — JSON-only payloads, no seed
+#: dependence, no pickle.
+DOC_SCHEMA_VERSION = 1
+
+
+def wrap_document(kind, payload):
+    """Wrap a JSON-safe ``payload`` in the versioned document envelope.
+
+    ``kind`` self-describes the artifact (``repro inspect`` sniffs it),
+    mirroring the witness artifact's schema discipline. The caller owns
+    the atomic write (:func:`repro.obs.status.write_atomic`).
+    """
+    return {
+        "type": str(kind),
+        "version": DOC_SCHEMA_VERSION,
+        "payload": payload,
+    }
+
+
+def unwrap_document(doc, kind):
+    """The payload of a document envelope, after type/version checks.
+
+    Raises :class:`SerializationError` on a foreign or future artifact
+    — a resumed campaign must refuse a checkpoint it cannot faithfully
+    interpret rather than silently re-running (or skipping) work.
+    """
+    if not isinstance(doc, dict) or doc.get("type") != kind:
+        raise SerializationError(
+            "not a {!r} document (type={!r})".format(
+                kind, doc.get("type") if isinstance(doc, dict) else None
+            )
+        )
+    version = doc.get("version")
+    if version != DOC_SCHEMA_VERSION:
+        raise SerializationError(
+            "unsupported {} document version {!r} (expected {})".format(
+                kind, version, DOC_SCHEMA_VERSION
+            )
+        )
+    return doc.get("payload")

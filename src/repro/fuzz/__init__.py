@@ -1,0 +1,57 @@
+"""Differential fuzzing: a persistent, corpus-driven campaign.
+
+The differential tests (:mod:`tests.integration.test_differential`)
+already check the paper's compositionality claims on random programs —
+but only forty examples at a time, regenerated per run, with nothing
+kept. This package promotes those one-off tests into a standing
+campaign:
+
+* :mod:`repro.fuzz.generators` — seeded, library-level random program
+  generators (same seed ⇒ byte-identical program), one per scenario
+  family: sequential MiniC through the optimizing pipeline, two-thread
+  CImp for the DRF ⇔ NPDRF and Lemma 9 lemmas, and lock-disciplined
+  two-thread MiniC clients that must be race-free;
+* :mod:`repro.fuzz.corpus` — the on-disk campaign state: a
+  content-hash-deduplicated program corpus, a versioned JSON findings
+  log (``repro inspect`` renders it), witness artifacts for every
+  auto-minimized divergence, and an atomically-rewritten checkpoint
+  that survives ``kill -9``;
+* :mod:`repro.fuzz.campaign` — the driver: generates programs at
+  scale, runs compile → per-pass validate → explore/drf on each across
+  a forked worker pool, auto-minimizes any divergence or unexpected
+  race into a replayable witness, and resumes from the checkpoint
+  without re-running finished inputs.
+
+``repro fuzz`` is the CLI entry point (see :mod:`repro.cli`).
+"""
+
+from repro.fuzz.generators import (
+    DEFAULT_KINDS,
+    FuzzInput,
+    GeneratorError,
+    KINDS,
+    generate,
+    plan,
+)
+from repro.fuzz.corpus import Corpus, CorpusError
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    CampaignStats,
+    execute_input,
+    run_campaign,
+)
+
+__all__ = [
+    "DEFAULT_KINDS",
+    "KINDS",
+    "FuzzInput",
+    "GeneratorError",
+    "generate",
+    "plan",
+    "Corpus",
+    "CorpusError",
+    "CampaignConfig",
+    "CampaignStats",
+    "execute_input",
+    "run_campaign",
+]

@@ -1,0 +1,663 @@
+"""The campaign driver: generate → execute → minimize → persist.
+
+One campaign is ``count`` deterministic inputs (:func:`repro.fuzz.
+generators.plan`) pushed through the *full* differential harness:
+
+* ``minic-seq`` — compile through the optimizing pipeline, translation-
+  validate every pass, then compare source-vs-target behaviour sets
+  (the GCorrect conclusion);
+* ``cimp-pair`` — check DRF ⇔ NPDRF agreement and, on DRF programs,
+  preemptive ≈ non-preemptive behaviour equality (Lem. 9);
+* ``minic-lock`` — race-check a lock-disciplined client linked against
+  the lock object; any race is a finding. ``minic-lock-broken`` is the
+  injected-divergence variant whose race is *expected* — and whose
+  absence is itself a finding (``missed-race``), because a fuzzer
+  whose alarm never rings is untested equipment.
+
+Any divergence, unexpected race or harness crash becomes a **finding**
+in the corpus's findings log; races are auto-minimized
+(:func:`repro.semantics.replay.minimize_witness`, under the campaign's
+round/wall-clock budget) into replayable witness artifacts that
+``repro replay`` re-executes against the corpus program file.
+
+Execution scales across a forked worker pool (``jobs > 1``): workers
+regenerate their inputs deterministically from ``(kind, seed, index)``
+— nothing but small task/result dicts crosses the queues — and only
+the coordinator touches the corpus directory, so no file needs
+cross-process locking. The checkpoint is rewritten atomically after
+*every* absorbed result: ``kill -9`` at any instant loses at most the
+in-flight inputs, and the next run resumes past everything finished.
+Worker reaping lives in a ``finally`` so a Ctrl-C mid-campaign cannot
+leak forked processes (the same contract as
+:mod:`repro.semantics.parallel`).
+"""
+
+import multiprocessing
+import os
+import time
+import traceback
+from queue import Empty
+
+from repro import obs
+from repro.common.values import VInt
+from repro.compiler import compile_minic
+from repro.lang.module import GlobalEnv, ModuleDecl, Program
+from repro.langs.cimp import CIMP, parse_module as parse_cimp
+from repro.langs.minic import compile_unit, link_units
+from repro.obs import ledger
+from repro.obs import status as _status
+from repro.semantics import (
+    GlobalContext,
+    NonPreemptiveSemantics,
+    PreemptiveSemantics,
+    equivalent,
+    find_race,
+    minimize_witness,
+    program_behaviours,
+    record_race,
+)
+from repro.simulation.validate import validate_compilation
+from repro.tso import DEFAULT_LOCK_ADDR, lock_spec
+from repro.fuzz.corpus import Corpus, CorpusError
+from repro.fuzz.generators import (
+    DEFAULT_KINDS,
+    GENERATOR_VERSION,
+    GeneratorError,
+    KINDS,
+    derive_seed,
+    generate,
+)
+
+#: Address used for the shared CImp cell (mirrors the test helpers).
+_CELL = 100
+
+#: Behaviour samples kept on a divergence finding (full sets can be
+#: huge; the witness of record is the corpus program, not the log).
+_SAMPLE = 8
+
+#: Coordinator receive timeout: worker-liveness check cadence.
+_POOL_TIMEOUT = 1.0
+
+
+class CampaignConfig:
+    """Resolved knobs for one ``repro fuzz`` run."""
+
+    __slots__ = ("seed", "count", "kinds", "out", "jobs", "max_states",
+                 "max_events", "max_atomic_steps", "minimize_rounds",
+                 "minimize_seconds", "duration", "fresh")
+
+    def __init__(self, seed=0, count=50, kinds=DEFAULT_KINDS,
+                 out="fuzz-corpus", jobs=1, max_states=60000,
+                 max_events=24, max_atomic_steps=64, minimize_rounds=16,
+                 minimize_seconds=5.0, duration=None, fresh=False):
+        self.seed = int(seed)
+        self.count = int(count)
+        self.kinds = tuple(kinds)
+        self.out = str(out)
+        self.jobs = max(int(jobs), 1)
+        self.max_states = int(max_states)
+        self.max_events = int(max_events)
+        self.max_atomic_steps = int(max_atomic_steps)
+        self.minimize_rounds = minimize_rounds
+        self.minimize_seconds = minimize_seconds
+        self.duration = None if duration is None else float(duration)
+        self.fresh = bool(fresh)
+        for kind in self.kinds:
+            if kind not in KINDS:
+                raise GeneratorError(
+                    "unknown generator kind {!r} (expected one of {})"
+                    .format(kind, ", ".join(sorted(KINDS)))
+                )
+
+    def campaign_dict(self):
+        """The identity block stamped into findings log + checkpoint."""
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "kinds": list(self.kinds),
+            "generator_version": GENERATOR_VERSION,
+        }
+
+
+class CampaignStats:
+    """What one :func:`run_campaign` call actually did."""
+
+    __slots__ = ("executed", "skipped", "findings", "unexpected",
+                 "dedup_hits", "programs_added", "elapsed_seconds",
+                 "stopped")
+
+    def __init__(self):
+        self.executed = 0
+        self.skipped = 0
+        self.findings = 0
+        self.unexpected = 0
+        self.dedup_hits = 0
+        self.programs_added = 0
+        self.elapsed_seconds = 0.0
+        self.stopped = "done"
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+# ----- program construction --------------------------------------------------
+
+
+def _build_minic(inp):
+    """Compile one generated MiniC unit: ``(pipeline result, genv)``."""
+    extra = {"L": DEFAULT_LOCK_ADDR} if inp.lock else None
+    modules, genvs, _ = link_units([compile_unit(inp.source)], extra)
+    module, genv = modules[0], genvs[0]
+    if inp.lock:
+        module = module.with_forbidden({DEFAULT_LOCK_ADDR})
+    return compile_minic(module, optimize=inp.optimize), genv
+
+
+def _minic_program(stage, genv, entries, lock):
+    decls = [ModuleDecl(stage.lang, genv, stage.module)]
+    if lock:
+        spec_mod, spec_ge = lock_spec()
+        decls.append(ModuleDecl(CIMP, spec_ge, spec_mod))
+    return Program(decls, list(entries))
+
+
+def _cimp_program(inp):
+    symbols = {"C": _CELL}
+    module = parse_cimp(inp.source, symbols=symbols)
+    ge = GlobalEnv(symbols, {_CELL: VInt(0)})
+    return Program([ModuleDecl(CIMP, ge, module)], list(inp.entries))
+
+
+# ----- per-input checks ------------------------------------------------------
+
+
+def _finding(kind, inp, detail, expected=False, extra=None):
+    rec = {
+        "kind": kind,
+        "expected": bool(expected),
+        "detail": detail,
+        "input": {
+            "kind": inp.kind,
+            "index": inp.index,
+            "seed": inp.seed,
+            "hash": inp.content_hash,
+        },
+    }
+    if extra:
+        rec.update(extra)
+    return rec
+
+
+def _check_minic_seq(inp, cfg):
+    """Per-pass validation + source-vs-target behaviour equality."""
+    result, genv = _build_minic(inp)
+    mem = genv.memory()
+    failed = [
+        v.pass_name
+        for v in validate_compilation(result, mem, mem.domain())
+        if not v.ok
+    ]
+    if failed:
+        return _finding(
+            "validation", inp,
+            "pass(es) failed translation validation: {}".format(
+                ", ".join(failed)
+            ),
+        )
+
+    def behs(stage):
+        prog = _minic_program(stage, genv, inp.entries, inp.lock)
+        return program_behaviours(
+            GlobalContext(prog), PreemptiveSemantics(),
+            max_states=cfg.max_states, max_events=cfg.max_events,
+        )
+
+    src = behs(result.source)
+    tgt = behs(result.target)
+    if not equivalent(src, tgt):
+        return _finding(
+            "divergence", inp,
+            "source and x86 behaviour sets diverge after the "
+            "optimizing pipeline",
+            extra={
+                "source_sample": sorted(map(repr, src))[:_SAMPLE],
+                "target_sample": sorted(map(repr, tgt))[:_SAMPLE],
+            },
+        )
+    return None
+
+
+def _drf_verdict(prog, semantics, cfg):
+    ctx = GlobalContext(prog)
+    witness = find_race(
+        ctx, semantics, max_states=cfg.max_states,
+        max_atomic_steps=cfg.max_atomic_steps,
+    )
+    return witness is None
+
+
+def _check_cimp_pair(inp, cfg):
+    """DRF ⇔ NPDRF agreement; Lem. 9 equivalence on DRF programs."""
+    prog = _cimp_program(inp)
+    d = _drf_verdict(
+        prog, PreemptiveSemantics(cfg.max_atomic_steps), cfg
+    )
+    n = _drf_verdict(
+        prog, NonPreemptiveSemantics(cfg.max_atomic_steps), cfg
+    )
+    if d != n:
+        return _finding(
+            "lemma", inp,
+            "DRF/NPDRF disagree: DRF={} NPDRF={}".format(d, n),
+        )
+    if not d:
+        return None  # Lem. 9's premise fails: vacuous.
+    pre = program_behaviours(
+        GlobalContext(prog), PreemptiveSemantics(),
+        max_states=cfg.max_states, max_events=cfg.max_events,
+    )
+    non = program_behaviours(
+        GlobalContext(prog), NonPreemptiveSemantics(),
+        max_states=cfg.max_states, max_events=cfg.max_events,
+    )
+    if not equivalent(pre, non):
+        return _finding(
+            "lemma", inp,
+            "preemptive and non-preemptive behaviours diverge on a "
+            "DRF program (Lem. 9)",
+            extra={
+                "preemptive_sample": sorted(map(repr, pre))[:_SAMPLE],
+                "nonpreemptive_sample": sorted(map(repr, non))[:_SAMPLE],
+            },
+        )
+    return None
+
+
+def _check_minic_lock(inp, cfg, program_file):
+    """Race-check a lock client; minimize any race into a witness."""
+    result, genv = _build_minic(inp)
+    prog = _minic_program(result.source, genv, inp.entries, True)
+    ctx = GlobalContext(prog)
+    semantics = PreemptiveSemantics(
+        max_atomic_steps=cfg.max_atomic_steps
+    )
+    witness = find_race(ctx, semantics, max_states=cfg.max_states)
+    if witness is None:
+        if not inp.expect_drf:
+            return _finding(
+                "missed-race", inp,
+                "injected broken lock client was reported race-free "
+                "(the fuzzer's own alarm failed)",
+            )
+        return None
+    record = record_race(
+        witness,
+        program={
+            "file": program_file,
+            "threads": ",".join(inp.entries),
+            "lock": True,
+            "optimize": inp.optimize,
+        },
+        meta={"max_atomic_steps": semantics.max_atomic_steps},
+    )
+    original_steps = len(record.schedule)
+    record = minimize_witness(
+        ctx, record,
+        max_rounds=cfg.minimize_rounds,
+        max_seconds=cfg.minimize_seconds,
+    )
+    return _finding(
+        "race", inp,
+        "data race in a lock-disciplined client"
+        if inp.expect_drf
+        else "injected race detected (broken lock discipline)",
+        expected=not inp.expect_drf,
+        extra={
+            "witness_record": record.as_dict(),
+            "schedule_steps": len(record.schedule),
+            "original_steps": original_steps,
+        },
+    )
+
+
+def execute_input(inp, cfg):
+    """Run every check for one input; returns a JSON-able result dict.
+
+    Harness crashes are captured as ``crash`` findings (always
+    unexpected) instead of killing the campaign: a program that makes
+    the toolchain raise is exactly the kind of input worth keeping.
+    """
+    corpus = Corpus(cfg.out)
+    program_file = corpus.program_path(inp.content_hash, inp.extension)
+    t0 = time.monotonic()
+    try:
+        if inp.kind == "minic-seq":
+            finding = _check_minic_seq(inp, cfg)
+        elif inp.kind == "cimp-pair":
+            finding = _check_cimp_pair(inp, cfg)
+        elif inp.kind in ("minic-lock", "minic-lock-broken"):
+            finding = _check_minic_lock(inp, cfg, program_file)
+        else:
+            raise GeneratorError(
+                "no harness for generator kind {!r}".format(inp.kind)
+            )
+    except Exception:
+        finding = _finding(
+            "crash", inp, traceback.format_exc(limit=20)
+        )
+    return {
+        "index": inp.index,
+        "kind": inp.kind,
+        "seed": inp.seed,
+        "hash": inp.content_hash,
+        "elapsed_seconds": round(time.monotonic() - t0, 6),
+        "finding": finding,
+    }
+
+
+# ----- the worker pool -------------------------------------------------------
+
+
+def _pool_worker(wid, cfg, status_path, status_interval, task_q,
+                 result_q):
+    """One forked executor: regenerate, execute, ship the result.
+
+    Fork-inherited obs/heartbeat state belongs to the parent: reset it,
+    then (when the parent has a heartbeat) write this shard's own
+    ``FILE.w<wid>`` snapshot so a stuck worker is visible from outside.
+    """
+    obs.reset()
+    _status.reset()
+    if status_path:
+        _status.configure(
+            _status.shard_path(status_path, wid),
+            interval=status_interval, wid=wid,
+        )
+    hb = _status.writer
+    if hb is not None:
+        hb.force(states=0, frontier=0, phase="fuzz")
+    executed = 0
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            index, kind, seed = task
+            inp = generate(kind, seed, index=index)
+            result_q.put(execute_input(inp, cfg))
+            executed += 1
+            if hb is not None:
+                hb.beat(states=executed, frontier=0)
+    except (KeyboardInterrupt, EOFError, OSError):
+        pass
+    finally:
+        _status.finalize()
+        try:
+            result_q.put(("bye", wid))
+        except (OSError, ValueError):
+            pass
+        task_q.cancel_join_thread()
+
+
+def _run_pool(cfg, pending, admit, absorb, deadline, hb):
+    """Coordinator for ``jobs`` forked executors.
+
+    Tasks are fed incrementally (at most ``2 * jobs`` outstanding) so a
+    ``--duration`` budget stops admitting new work promptly; the
+    checkpoint marks only *absorbed* results, so anything in flight at
+    an interrupt simply reruns next time. All worker reaping happens in
+    the ``finally``: a KeyboardInterrupt out of the wait loop must not
+    leak forked processes.
+    """
+    mp_ctx = multiprocessing.get_context("fork")
+    task_q = mp_ctx.Queue()
+    result_q = mp_ctx.Queue()
+    status_path = hb.path if hb is not None else None
+    status_interval = hb.interval if hb is not None else None
+    procs = []
+    for wid in range(cfg.jobs):
+        p = mp_ctx.Process(
+            target=_pool_worker,
+            args=(wid, cfg, status_path, status_interval, task_q,
+                  result_q),
+            daemon=True,
+        )
+        p.start()
+        procs.append(p)
+
+    stopped = "done"
+    queue_it = iter(pending)
+    inflight = 0
+    exhausted = False
+
+    def over_deadline():
+        return deadline is not None and time.monotonic() >= deadline
+
+    def feed():
+        nonlocal inflight, exhausted, stopped
+        while not exhausted and inflight < cfg.jobs * 2:
+            if over_deadline():
+                stopped = "duration"
+                exhausted = True
+                break
+            try:
+                index = next(queue_it)
+            except StopIteration:
+                exhausted = True
+                break
+            inp = admit(index)
+            task_q.put((index, inp.kind, inp.seed))
+            inflight += 1
+
+    def merge_beat():
+        if hb is not None and hb.due():
+            _status.merge_shards(
+                hb, cfg.jobs,
+                alive={
+                    wid: p.is_alive() for wid, p in enumerate(procs)
+                },
+                phase="fuzz",
+            )
+
+    try:
+        feed()
+        while inflight > 0:
+            merge_beat()
+            try:
+                msg = result_q.get(timeout=_POOL_TIMEOUT)
+            except Empty:
+                if over_deadline():
+                    stopped = "duration"
+                    exhausted = True
+                dead = [
+                    wid for wid, p in enumerate(procs)
+                    if not p.is_alive()
+                ]
+                if dead:
+                    # A dead executor's in-flight task will never come
+                    # back; fail loudly — the checkpoint preserves all
+                    # absorbed progress for the resume.
+                    raise RuntimeError(
+                        "fuzz worker(s) {} died mid-campaign".format(
+                            dead
+                        )
+                    )
+                continue
+            if isinstance(msg, tuple):
+                continue  # a stray early bye
+            inflight -= 1
+            absorb(msg)
+            feed()
+        if not exhausted:
+            feed()
+    finally:
+        # Reap unconditionally: sentinels first (a healthy worker
+        # exits its loop), then bounded joins, then terminate anything
+        # still alive — Ctrl-C here must not orphan forked children.
+        for _ in procs:
+            try:
+                task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        for p in procs:
+            p.join(timeout=5)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5)
+        task_q.cancel_join_thread()
+        task_q.close()
+        result_q.cancel_join_thread()
+        result_q.close()
+        if hb is not None:
+            _status.merge_shards(
+                hb, cfg.jobs,
+                alive={wid: False for wid in range(cfg.jobs)},
+                phase="fuzz",
+            )
+    return stopped
+
+
+# ----- the campaign ----------------------------------------------------------
+
+
+def run_campaign(cfg):
+    """Run (or resume) one campaign; returns :class:`CampaignStats`.
+
+    Only this coordinator writes to the corpus directory. After every
+    absorbed result the checkpoint is atomically rewritten, so the
+    campaign survives ``kill -9`` losing at most in-flight inputs.
+    """
+    corpus = Corpus(cfg.out)
+    corpus.ensure_dirs()
+    campaign = cfg.campaign_dict()
+    done = {}
+    if cfg.fresh:
+        try:
+            os.remove(corpus.checkpoint_path)
+        except OSError:
+            pass
+    else:
+        state = corpus.load_checkpoint()
+        if state is not None:
+            if (
+                state.get("seed") != cfg.seed
+                or list(state.get("kinds") or ()) != list(cfg.kinds)
+            ):
+                raise CorpusError(
+                    "checkpoint at {} belongs to a different campaign "
+                    "(seed={!r}, kinds={!r}); pass --fresh to discard "
+                    "it or point --out elsewhere".format(
+                        corpus.checkpoint_path,
+                        state.get("seed"), state.get("kinds"),
+                    )
+                )
+            done = {
+                int(k): v for k, v in (state.get("done") or {}).items()
+            }
+    corpus.write_findings_header(campaign)
+    ledger.set_config(
+        seed=cfg.seed, count=cfg.count, kinds=list(cfg.kinds),
+        jobs=cfg.jobs, out=cfg.out, duration=cfg.duration,
+    )
+
+    stats = CampaignStats()
+    pending = [i for i in range(cfg.count) if i not in done]
+    stats.skipped = cfg.count - len(pending)
+    deadline = (
+        None
+        if cfg.duration is None
+        else time.monotonic() + cfg.duration
+    )
+    hb = _status.writer
+    if hb is not None:
+        hb.update(phase="fuzz", budget=cfg.count, jobs=cfg.jobs)
+        hb.force(states=len(done), frontier=len(pending))
+
+    def save_checkpoint():
+        corpus.save_checkpoint({
+            "generator_version": GENERATOR_VERSION,
+            "seed": cfg.seed,
+            "count": cfg.count,
+            "kinds": list(cfg.kinds),
+            "done": {str(i): h for i, h in sorted(done.items())},
+        })
+
+    def admit(index):
+        """Generate input ``index`` and store its program (deduped)."""
+        kind = cfg.kinds[index % len(cfg.kinds)]
+        inp = generate(kind, derive_seed(cfg.seed, index), index=index)
+        _path, added = corpus.add_program(inp)
+        if added:
+            stats.programs_added += 1
+        else:
+            stats.dedup_hits += 1
+        return inp
+
+    def absorb(result):
+        """Persist one finished input: witness, finding, checkpoint."""
+        done[result["index"]] = result["hash"]
+        stats.executed += 1
+        obs.inc("fuzz.inputs")
+        finding = result.get("finding")
+        if finding:
+            stats.findings += 1
+            obs.inc("fuzz.findings")
+            if finding.get("kind") == "crash":
+                obs.inc("fuzz.crashes")
+            if not finding.get("expected"):
+                stats.unexpected += 1
+                obs.inc("fuzz.unexpected")
+            witness_rec = finding.pop("witness_record", None)
+            if witness_rec is not None:
+                finding["witness"] = corpus.save_witness(
+                    result["hash"], witness_rec
+                )
+            corpus.append_finding(finding, campaign=campaign)
+        save_checkpoint()
+
+    t0 = time.monotonic()
+    with obs.span(
+        "fuzz.campaign", count=cfg.count, jobs=cfg.jobs,
+        pending=len(pending),
+    ):
+        if cfg.jobs <= 1 or not _fork_available():
+            for index in pending:
+                if deadline is not None and \
+                        time.monotonic() >= deadline:
+                    stats.stopped = "duration"
+                    break
+                inp = admit(index)
+                absorb(execute_input(inp, cfg))
+                if hb is not None:
+                    hb.beat(
+                        states=len(done),
+                        frontier=cfg.count - len(done),
+                    )
+        else:
+            stats.stopped = _run_pool(
+                cfg, pending, admit, absorb, deadline, hb
+            )
+    stats.elapsed_seconds = round(time.monotonic() - t0, 6)
+    save_checkpoint()
+    obs.inc("fuzz.dedup_hits", stats.dedup_hits)
+    ledger.note(
+        verdict=(
+            "fuzz-clean" if stats.unexpected == 0 else "fuzz-findings"
+        ),
+        executed=stats.executed,
+        skipped=stats.skipped,
+        findings=stats.findings,
+        unexpected=stats.unexpected,
+        stopped=stats.stopped,
+    )
+    if hb is not None:
+        hb.force(
+            states=len(done), frontier=cfg.count - len(done),
+            phase="fuzz",
+        )
+    return stats
+
+
+def _fork_available():
+    return "fork" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,352 @@
+"""Seeded random-program generators for the fuzzing campaign.
+
+The hypothesis strategies in ``tests/integration/test_differential.py``
+made good one-off tests but a poor campaign substrate: hypothesis owns
+the seed, so a corpus cannot be reproduced from a number, and the
+generators lived inside a test module the library could not import.
+This module is the promotion: plain :class:`random.Random`-driven
+generators with the hard determinism contract the campaign's corpus
+keys depend on — **the same (kind, seed) pair always yields the
+byte-identical program**, across processes, platforms and
+``PYTHONHASHSEED`` values (nothing here consults ``hash()``; per-index
+seeds are derived with sha256).
+
+Three scenario families, mirroring the paper's claims:
+
+* ``minic-seq`` — sequential MiniC through the optimizing pipeline:
+  per-pass translation validation plus source-vs-target behaviour
+  equivalence (the GCorrect conclusion on arbitrary safe programs).
+* ``cimp-pair`` — two-thread CImp programs for the framework lemmas:
+  DRF ⇔ NPDRF must always agree, and the preemptive and
+  non-preemptive behaviour sets must coincide whenever the program is
+  DRF (Lem. 9).
+* ``minic-lock`` — two-thread MiniC clients whose every shared access
+  sits inside a ``lock()``/``unlock()`` critical section; linked
+  against the lock object they must be race-free, so *any* race is a
+  finding. ``minic-lock-broken`` is the deliberately broken variant
+  (one thread's lock discipline dropped, in the style of
+  ``tests/tso/test_broken_objects.py``): it exists so the campaign's
+  own detection/minimization/replay path can be exercised on demand —
+  a fuzzer whose alarm has never rung is untested equipment.
+
+Generated programs are *safe* by construction (locals initialized,
+divisors non-zero, loops bounded): the paper's correctness statements
+assume ``Safe(P)``, so an unsafe program would fuzz the assumption,
+not the theorem.
+"""
+
+import hashlib
+import random
+
+#: Bump when generator output changes shape: the corpus keys programs
+#: by content hash, so a silently changed generator would make old
+#: checkpoints claim coverage of programs that can no longer be
+#: regenerated.
+GENERATOR_VERSION = 1
+
+_LOCALS = ("a", "b", "c")
+
+
+class GeneratorError(Exception):
+    """An unknown kind name or invalid generator request."""
+
+
+class FuzzInput:
+    """One generated program plus how the campaign must run it.
+
+    ``content_hash`` is the corpus/dedup key: sha256 over the kind,
+    entries, flags and source bytes (never Python ``hash()`` — corpus
+    keys must survive interpreter restarts).
+    """
+
+    __slots__ = ("kind", "index", "seed", "source", "entries", "lock",
+                 "optimize", "expect_drf", "_hash")
+
+    def __init__(self, kind, index, seed, source, entries, lock,
+                 optimize, expect_drf):
+        self.kind = kind
+        self.index = index
+        self.seed = seed
+        self.source = source
+        self.entries = tuple(entries)
+        self.lock = bool(lock)
+        self.optimize = bool(optimize)
+        self.expect_drf = bool(expect_drf)
+        self._hash = None
+
+    @property
+    def content_hash(self):
+        if self._hash is None:
+            digest = hashlib.sha256()
+            digest.update(self.kind.encode())
+            digest.update(b"\x00")
+            digest.update(",".join(self.entries).encode())
+            digest.update(b"\x00")
+            digest.update(
+                "lock={} optimize={}".format(
+                    int(self.lock), int(self.optimize)
+                ).encode()
+            )
+            digest.update(b"\x00")
+            digest.update(self.source.encode())
+            self._hash = digest.hexdigest()
+        return self._hash
+
+    @property
+    def language(self):
+        return "cimp" if self.kind.startswith("cimp") else "minic"
+
+    @property
+    def extension(self):
+        return ".cimp" if self.language == "cimp" else ".c"
+
+    def __repr__(self):
+        return "FuzzInput(kind={!r}, index={}, hash={})".format(
+            self.kind, self.index, self.content_hash[:12]
+        )
+
+
+def derive_seed(seed, index):
+    """The per-input seed for position ``index`` of a campaign.
+
+    sha256-based, NOT ``hash()``-based: campaign resumability requires
+    the derivation to agree across interpreter launches regardless of
+    ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.sha256(
+        "repro-fuzz:{}:{}:{}".format(
+            GENERATOR_VERSION, seed, index
+        ).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ----- MiniC expression/statement generators --------------------------------
+
+
+def _minic_expr(rng, depth):
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.5:
+            return str(rng.randint(-5, 5))
+        return rng.choice(_LOCALS + ("g",))
+    form = rng.randrange(3)
+    if form == 0:
+        op = rng.choice(["+", "-", "*", "<", "<=", "==", "!="])
+        return "({} {} {})".format(
+            _minic_expr(rng, depth - 1), op, _minic_expr(rng, depth - 1)
+        )
+    if form == 1:
+        # Division by a positive constant only: Safe(P) forbids
+        # division by zero.
+        op = rng.choice(["/", "%"])
+        return "({} {} {})".format(
+            _minic_expr(rng, depth - 1), op, rng.randint(1, 4)
+        )
+    return "(-{})".format(_minic_expr(rng, depth - 1))
+
+
+def _minic_stmt(rng, depth):
+    form = rng.randrange(5 if depth > 0 else 3)
+    if form == 0:
+        return "{} = {};".format(
+            rng.choice(_LOCALS + ("g",)), _minic_expr(rng, 2)
+        )
+    if form == 1:
+        return "print({});".format(_minic_expr(rng, 2))
+    if form == 2:
+        return "{} = helper({});".format(
+            rng.choice(_LOCALS), _minic_expr(rng, 2)
+        )
+    sub = " ".join(
+        _minic_stmt(rng, depth - 1)
+        for _ in range(rng.randint(1, 3))
+    )
+    if form == 3:
+        alt = " ".join(
+            _minic_stmt(rng, depth - 1)
+            for _ in range(rng.randint(1, 3))
+        )
+        return "if ({}) {{ {} }} else {{ {} }}".format(
+            _minic_expr(rng, 2), sub, alt
+        )
+    # Bounded loop over a dedicated counter no body statement touches.
+    return "i = {}; while (i > 0) {{ i = i - 1; {} }}".format(
+        rng.randint(1, 3), sub
+    )
+
+
+def gen_minic_seq(rng):
+    """A safe sequential MiniC program (the differential-compilation
+    family: worst case 5 top-level bounded loops of 3 iterations)."""
+    body = " ".join(
+        _minic_stmt(rng, 1) for _ in range(rng.randint(1, 5))
+    )
+    source = (
+        "int g = 1;\n"
+        "int helper(int a) { return a * 2 - 1; }\n"
+        "void main() {\n"
+        "  int a = 1; int b = 2; int c = 3; int i = 0;\n"
+        "  " + body + "\n"
+        "}\n"
+    )
+    return source, ("main",), False, True, True
+
+
+# ----- CImp two-thread generator --------------------------------------------
+
+_CIMP_PLAIN = (
+    "[C] := x + 1;",
+    "x := [C];",
+    "x := x + 1;",
+    "print(x);",
+    "skip;",
+)
+
+_CIMP_ATOMIC = (
+    "<y := [C]; [C] := y + 1;>",
+    "<[C] := 5;>",
+    "<y := [C];>",
+)
+
+
+def _cimp_thread(rng):
+    stmts = []
+    for _ in range(rng.randint(1, 4)):
+        if rng.random() < 0.4:
+            stmts.append(rng.choice(_CIMP_ATOMIC))
+        else:
+            stmts.append(rng.choice(_CIMP_PLAIN))
+    return "x := 0; " + " ".join(stmts)
+
+
+def gen_cimp_pair(rng):
+    """Two CImp threads over one shared cell (racy or not — the
+    invariant under test is lemma-level *agreement*, not DRF)."""
+    source = "t1(){{ {} }} t2(){{ {} }}".format(
+        _cimp_thread(rng), _cimp_thread(rng)
+    )
+    return source, ("t1", "t2"), False, False, False
+
+
+# ----- lock-disciplined MiniC clients ---------------------------------------
+
+
+def _critical_stmt(rng, me):
+    """One statement that may touch the shared globals x/y (only ever
+    emitted inside a critical section)."""
+    form = rng.randrange(4)
+    if form == 0:
+        return "x = x + {};".format(rng.randint(1, 3))
+    if form == 1:
+        return "y = x + {};".format(me)
+    if form == 2:
+        return "{} = x;".format(rng.choice(("a", "b")))
+    return "x = {} + {};".format(rng.choice(("a", "b")), rng.randint(0, 2))
+
+
+def _lock_thread(rng, name, me, locked):
+    """One client thread; with ``locked=False`` the discipline is
+    deliberately dropped (the broken-variant injection)."""
+    lines = ["void {}() {{".format(name)]
+    lines.append("  int a = {}; int b = {};".format(
+        rng.randint(0, 3), rng.randint(0, 3)
+    ))
+    if locked:
+        lines.append("  lock();")
+    # Every client writes x at least once: two generated threads then
+    # conflict *by construction* unless the lock discipline protects
+    # them — the broken variant's race must be guaranteed, not left to
+    # the luck of the statement draw (read-read pairs don't conflict).
+    lines.append("  x = x + {};".format(me))
+    for _ in range(rng.randint(0, 2)):
+        lines.append("  " + _critical_stmt(rng, me))
+    if locked:
+        lines.append("  unlock();")
+    lines.append("  print(a);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _gen_minic_lock(rng, broken):
+    threads = [
+        _lock_thread(rng, "t1", 1, True),
+        _lock_thread(rng, "t2", 2, not broken),
+    ]
+    source = (
+        "extern void lock();\n"
+        "extern void unlock();\n"
+        "int x = 0;\n"
+        "int y = 0;\n"
+        + "\n".join(threads)
+        + "\n"
+    )
+    # The broken variant does NOT promise DRF: the race it provokes is
+    # an *expected* finding (the campaign classifies by this flag).
+    return source, ("t1", "t2"), True, False, not broken
+
+
+def gen_minic_lock(rng):
+    """A two-thread lock client: every shared access inside a critical
+    section, so the linked program must be DRF."""
+    return _gen_minic_lock(rng, broken=False)
+
+
+def gen_minic_lock_broken(rng):
+    """The injected-divergence variant: thread 2 skips the lock, so a
+    race is *expected* — the campaign must detect it, minimize it and
+    emit a replayable witness."""
+    return _gen_minic_lock(rng, broken=True)
+
+
+#: kind name -> generator(rng) -> (source, entries, lock, optimize,
+#: expect_drf).
+KINDS = {
+    "minic-seq": gen_minic_seq,
+    "cimp-pair": gen_cimp_pair,
+    "minic-lock": gen_minic_lock,
+    "minic-lock-broken": gen_minic_lock_broken,
+}
+
+#: The campaign default: the clean families only. The broken variant
+#: must be asked for (``--inject-broken``) — it exists to test the
+#: fuzzer, not the compiler.
+DEFAULT_KINDS = ("minic-seq", "cimp-pair", "minic-lock")
+
+
+def generate(kind, seed, index=0):
+    """The deterministic :class:`FuzzInput` for ``(kind, seed)``."""
+    gen = KINDS.get(kind)
+    if gen is None:
+        raise GeneratorError(
+            "unknown generator kind {!r} (expected one of {})".format(
+                kind, ", ".join(sorted(KINDS))
+            )
+        )
+    rng = random.Random(seed)
+    source, entries, lock, optimize, expect_drf = gen(rng)
+    return FuzzInput(
+        kind, index, seed, source, entries, lock, optimize, expect_drf
+    )
+
+
+def plan(seed, count, kinds=DEFAULT_KINDS):
+    """The campaign's input sequence: ``count`` inputs round-robining
+    over ``kinds``, each with its sha256-derived per-index seed.
+
+    Deterministic end to end: ``plan(S, N)[i]`` is the same program in
+    every process, which is what lets a resumed campaign skip finished
+    inputs by content hash alone.
+    """
+    kinds = tuple(kinds)
+    if not kinds:
+        raise GeneratorError("plan needs at least one generator kind")
+    for kind in kinds:
+        if kind not in KINDS:
+            raise GeneratorError(
+                "unknown generator kind {!r} (expected one of {})"
+                .format(kind, ", ".join(sorted(KINDS)))
+            )
+    return [
+        generate(kinds[i % len(kinds)], derive_seed(seed, i), index=i)
+        for i in range(count)
+    ]

@@ -17,7 +17,11 @@ spans/events/metrics, written by ``--trace``), **run manifests**
   metrics snapshot when one was appended;
 * a run manifest becomes a compact fact sheet — command, verdict,
   wall/phase times, states/s, resolved config and content hash;
-* a heartbeat renders through the same view ``repro status`` uses.
+* a heartbeat renders through the same view ``repro status`` uses;
+* a fuzz campaign's **findings log** becomes a per-finding table
+  (kind, generator, input hash, expected?, witness path) and its
+  **checkpoint** a one-glance progress line — the ``repro fuzz``
+  artifacts (see :mod:`repro.fuzz.corpus`).
 
 Rendering is pure string-building over the deserialized artifacts; it
 never re-executes anything (that is ``repro replay``'s job).
@@ -290,8 +294,96 @@ def render_manifest_summary(doc):
     return "\n".join(lines)
 
 
+def _campaign_line(campaign):
+    return "campaign: " + (
+        ", ".join(
+            "{}={}".format(k, campaign[k]) for k in sorted(campaign)
+        )
+        or "(unknown)"
+    )
+
+
+def render_findings_summary(doc):
+    """A fuzz campaign's findings log as a plain-text digest."""
+    from repro.framework.report import format_table
+
+    findings = doc.get("findings") or []
+    unexpected = sum(
+        1 for f in findings if not f.get("expected")
+    )
+    lines = [
+        "fuzz findings: {} total, {} unexpected".format(
+            len(findings), unexpected
+        ),
+        _campaign_line(doc.get("campaign") or {}),
+    ]
+    if findings:
+        rows = []
+        for f in findings:
+            inp = f.get("input") or {}
+            rows.append(
+                (
+                    f.get("kind", "?"),
+                    inp.get("kind", "?"),
+                    str(inp.get("index", "?")),
+                    (inp.get("hash") or "?")[:12],
+                    "yes" if f.get("expected") else "NO",
+                    str(
+                        f.get("schedule_steps")
+                        if f.get("schedule_steps") is not None
+                        else "-"
+                    ),
+                    f.get("witness") or "-",
+                )
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                rows,
+                headers=("Finding", "Generator", "Index", "Hash",
+                         "Expected", "Steps", "Witness"),
+            )
+        )
+        lines.append("")
+        for n, f in enumerate(findings):
+            detail = (f.get("detail") or "").strip().splitlines()
+            if detail:
+                lines.append("[{}] {}".format(n, detail[-1]))
+    return "\n".join(lines)
+
+
+def render_checkpoint_summary(doc):
+    """A fuzz campaign's resume point as a one-glance progress line."""
+    state = doc.get("payload") or {}
+    done = state.get("done") or {}
+    count = state.get("count") or 0
+    lines = [
+        "fuzz checkpoint: {}/{} input(s) finished{}".format(
+            len(done), count,
+            "" if len(done) < count else " (campaign complete)",
+        ),
+        "campaign: seed={}, kinds={}, generator v{}".format(
+            state.get("seed"),
+            ",".join(state.get("kinds") or ()) or "?",
+            state.get("generator_version"),
+        ),
+    ]
+    remaining = [
+        i for i in range(count) if str(i) not in done
+    ]
+    if remaining:
+        shown = ", ".join(str(i) for i in remaining[:12])
+        if len(remaining) > 12:
+            shown += ", ... (+{} more)".format(len(remaining) - 12)
+        lines.append("pending index(es): " + shown)
+    return "\n".join(lines)
+
+
 #: Whole-file JSON ``"type"`` values the sniffer recognises.
-_DOC_TYPES = ("witness", "run-manifest", "heartbeat")
+_DOC_TYPES = (
+    "witness", "run-manifest", "heartbeat", "fuzz-findings",
+    "fuzz-checkpoint",
+)
 
 
 def sniff_artifact(path):
@@ -328,4 +420,10 @@ def inspect_path(path):
 
         with open(path) as handle:
             return render_status(json.load(handle))
+    if kind == "fuzz-findings":
+        with open(path) as handle:
+            return render_findings_summary(json.load(handle))
+    if kind == "fuzz-checkpoint":
+        with open(path) as handle:
+            return render_checkpoint_summary(json.load(handle))
     return render_trace_summary(read_trace(path))

@@ -38,6 +38,7 @@ run so the disabled path is one ``is not None`` test.
 
 import json
 import os
+import re
 import time
 from collections import deque
 
@@ -179,29 +180,82 @@ class StatusWriter:
         write_atomic(self.path, doc, self._tmp)
 
 
-def write_atomic(path, doc, tmp=None):
+def write_atomic(path, doc, tmp=None, raw=False):
     """Write ``doc`` as JSON and atomically rename it over ``path``.
 
     The temp file lives in the same directory (``os.replace`` must not
     cross filesystems), so a concurrent reader of ``path`` always sees
-    a complete document.
+    a complete document. With ``raw=True``, ``doc`` is written as-is
+    (an already-serialized string) instead of being JSON-encoded.
     """
+    path = str(path)
     if tmp is None:
         tmp = "{}.{}.tmp".format(path, os.getpid())
-    data = json.dumps(doc, sort_keys=True)
+    data = doc if raw else json.dumps(doc, sort_keys=True) + "\n"
     with open(tmp, "w") as handle:
-        handle.write(data + "\n")
+        handle.write(data)
     os.replace(tmp, path)
+
+
+def cleanup_artifacts(path):
+    """Remove stale heartbeat by-products next to ``path``.
+
+    Two leak shapes, both regression-tested:
+
+    * a run killed between the temp write and the ``os.replace`` in
+      :func:`write_atomic` leaves ``FILE.<pid>.tmp`` behind (the pid
+      suffix means a *new* writer never reuses the name, so the leak
+      would otherwise accumulate forever);
+    * a previous run at higher ``--jobs`` leaves ``FILE.w<wid>`` shard
+      heartbeats (and their own temp files) behind, and
+      :func:`merge_shards` of the next, narrower run would read the
+      survivors as phantom shards — stale state counts merged into a
+      live status document.
+
+    Called on main-writer init (:func:`configure`), before any shard
+    writer exists, so live files are never touched. Returns the
+    removed paths.
+    """
+    path = str(path)
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    pattern = re.compile(
+        re.escape(base) + r"\.(w\d+(\.\d+\.tmp)?|\d+\.tmp)$"
+    )
+    removed = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        if pattern.match(name):
+            stale = os.path.join(directory, name)
+            try:
+                os.remove(stale)
+            except OSError:
+                continue
+            removed.append(stale)
+    return removed
 
 
 # ----- the module singleton ------------------------------------------------
 
 
 def configure(path, interval=None, wid=None):
-    """Install the process-wide :data:`writer` (idempotent per path)."""
+    """Install the process-wide :data:`writer` (idempotent per path).
+
+    A *main* writer (``wid=None``) first sweeps stale artifacts from a
+    previous run — orphaned ``.tmp`` files and leftover ``.w<wid>``
+    shard heartbeats that a narrower ``--jobs`` run would otherwise
+    merge as phantom shards (:func:`cleanup_artifacts`). Shard writers
+    skip the sweep: by the time a worker configures its own file, the
+    parent has already cleaned the neighbourhood.
+    """
     global writer
     if interval is None:
         interval = interval_from_env()
+    if wid is None:
+        cleanup_artifacts(path)
     writer = StatusWriter(path, interval=interval, wid=wid)
     return writer
 

@@ -1159,19 +1159,26 @@ def _run_forked(ctx, semantics, jobs, max_states, mp_ctx,
             elif kind == "bye":
                 byes[msg[1]] = msg[2]
     finally:
+        # Reaping lives in the finally, not after it: a
+        # KeyboardInterrupt (or any other exception) escaping the
+        # message loop above must still halt, join and — as a last
+        # resort — terminate every forked worker. Before this, Ctrl-C
+        # propagated past the halt broadcast and leaked live workers
+        # to init.
         broadcast_halt()
-    for p in procs:
-        p.join(timeout=10)
-    for p in procs:
-        # A worker that survived its join timeout is wedged (e.g.
-        # blocked on a torn queue read); it must not outlive the run.
-        if p.is_alive():
-            p.terminate()
-            p.join(timeout=5)
-    for q in inboxes:
-        q.cancel_join_thread()
-        q.close()
-    coord_q.close()
+        for p in procs:
+            p.join(timeout=10)
+        for p in procs:
+            # A worker that survived its join timeout is wedged (e.g.
+            # blocked on a torn queue read); it must not outlive the
+            # run.
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5)
+        for q in inboxes:
+            q.cancel_join_thread()
+            q.close()
+        coord_q.close()
 
     if error is not None:
         kind, detail = error

@@ -27,6 +27,8 @@ result is re-captured as an exact index schedule, so minimized
 witnesses are just as replayable as originals.
 """
 
+import time
+
 from repro import obs
 from repro.common.footprint import Footprint, conflict_atomic
 from repro.semantics.engine import GAbort, label_kind
@@ -301,14 +303,36 @@ def _match_move(world, outs, move):
 
 
 class _Minimizer:
-    """ddmin over a racy schedule's moves, with attempt accounting."""
+    """ddmin over a racy schedule's moves, with attempt accounting.
 
-    def __init__(self, ctx, semantics, quantum, max_atomic, init):
+    ``max_rounds``/``deadline`` bound the deletion loop: ddmin on an
+    unshrinkable schedule is quadratic in walk attempts, and one
+    pathological fuzz finding must not stall a whole campaign. A hit
+    bound stops shrinking and keeps the best (still racy, still
+    replayable) schedule found so far — bounded minimization degrades
+    to *less minimal*, never to *invalid*.
+    """
+
+    def __init__(self, ctx, semantics, quantum, max_atomic, init,
+                 max_rounds=None, deadline=None, clock=time.monotonic):
         self.ctx = ctx
         self.semantics = semantics
         self.init = init
         self.checker = _RaceChecker(ctx, quantum, max_atomic)
         self.attempts = 0
+        self.max_rounds = max_rounds
+        self.deadline = deadline
+        self.clock = clock
+        self.budget_hit = False
+
+    def _exhausted(self, rounds):
+        if self.max_rounds is not None and rounds >= self.max_rounds:
+            self.budget_hit = True
+            return True
+        if self.deadline is not None and self.clock() >= self.deadline:
+            self.budget_hit = True
+            return True
+        return False
 
     def walk(self, moves):
         """Re-walk ``moves``; return the surviving move list or ``None``.
@@ -333,15 +357,25 @@ class _Minimizer:
         return list(moves) if self.checker(world) else None
 
     def ddmin(self, moves):
-        """Delta-debugging deletion loop: locally 1-minimal result."""
+        """Delta-debugging deletion loop: locally 1-minimal result
+        (or the best schedule found when a round/deadline budget ran
+        out first)."""
         rounds = 0
         granularity = 2
         while len(moves) >= 1 and granularity <= max(len(moves), 1):
+            if self._exhausted(rounds):
+                break
             rounds += 1
             chunk = max(1, len(moves) // granularity)
             shrunk = False
             start = 0
             while start < len(moves):
+                if self.deadline is not None and \
+                        self.clock() >= self.deadline:
+                    # Mid-round deadline check: one round over a long
+                    # schedule is itself O(len/chunk) full re-walks.
+                    self.budget_hit = True
+                    return moves, rounds
                 candidate = moves[:start] + moves[start + chunk:]
                 survived = self.walk(candidate)
                 if survived is not None:
@@ -357,7 +391,8 @@ class _Minimizer:
         return moves, rounds
 
 
-def minimize_witness(ctx, record, semantics=None):
+def minimize_witness(ctx, record, semantics=None, max_rounds=None,
+                     max_seconds=None):
     """Shrink a racy witness to a locally minimal racy interleaving.
 
     Returns a new, replayable :class:`WitnessRecord` (``minimized``
@@ -365,7 +400,14 @@ def minimize_witness(ctx, record, semantics=None):
     whose final world still satisfies the Race rule; the conflicting
     prediction pair is re-derived at the minimized world. The original
     record is left untouched. Counters: ``witness.minimize.attempts``,
-    ``witness.minimize.rounds``, ``witness.minimize.removed_steps``.
+    ``witness.minimize.rounds``, ``witness.minimize.removed_steps``,
+    ``witness.minimize.budget_hits``.
+
+    ``max_rounds`` caps ddmin deletion rounds and ``max_seconds`` the
+    wall-clock of the whole shrink; hitting either stops early with
+    the best schedule found so far (still racy, still replayable, just
+    possibly not 1-minimal). The fuzz campaign always passes a budget:
+    a single pathological finding must not stall the run.
     """
     if record.verdict != "race":
         raise CaptureError(
@@ -378,11 +420,17 @@ def minimize_witness(ctx, record, semantics=None):
         semantics = semantics_for(schedule.semantics)
     quantum = isinstance(semantics, NonPreemptiveSemantics)
     max_atomic = record.meta.get("max_atomic_steps", 64)
+    deadline = (
+        None
+        if max_seconds is None
+        else time.monotonic() + max(float(max_seconds), 0.0)
+    )
     with obs.span(
         "witness.minimize", steps=len(schedule.steps)
     ) as sp:
         minimizer = _Minimizer(
-            ctx, semantics, quantum, max_atomic, schedule.init
+            ctx, semantics, quantum, max_atomic, schedule.init,
+            max_rounds=max_rounds, deadline=deadline,
         )
         moves = [_move_of(st) for st in schedule.steps]
         baseline = minimizer.walk(moves)
@@ -397,10 +445,13 @@ def minimize_witness(ctx, record, semantics=None):
             obs.inc("witness.minimize.attempts", minimizer.attempts)
             obs.inc("witness.minimize.rounds", rounds)
             obs.inc("witness.minimize.removed_steps", removed)
+            if minimizer.budget_hit:
+                obs.inc("witness.minimize.budget_hits")
             sp.set(
                 attempts=minimizer.attempts,
                 removed=removed,
                 final_steps=len(record_min.schedule.steps),
+                budget_hit=minimizer.budget_hit,
             )
     return record_min
 

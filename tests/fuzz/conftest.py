@@ -1,0 +1,17 @@
+"""Campaign tests touch process-global obs/status/ledger state."""
+
+import pytest
+
+from repro import obs
+from repro.obs import ledger, status
+
+
+@pytest.fixture(autouse=True)
+def _reset_globals():
+    obs.reset()
+    status.reset()
+    ledger.reset()
+    yield
+    obs.reset()
+    status.reset()
+    ledger.reset()

@@ -190,3 +190,70 @@ class TestSniffAndInspect:
         text = inspect_path(str(path))
         assert "phase=done" in text
         assert "99 state(s)" in text
+
+    def test_sniff_and_render_fuzz_findings(self, tmp_path):
+        path = tmp_path / "findings.json"
+        path.write_text(json.dumps({
+            "type": "fuzz-findings", "version": 1,
+            "campaign": {"seed": 3, "count": 10},
+            "findings": [
+                {
+                    "kind": "race", "expected": True,
+                    "detail": "injected race detected",
+                    "input": {"kind": "minic-lock-broken",
+                              "index": 2, "seed": 99,
+                              "hash": "ab" * 32},
+                    "schedule_steps": 17,
+                    "witness": "corpus/witnesses/abab.json",
+                },
+                {
+                    "kind": "crash", "expected": False,
+                    "detail": "Traceback...\nBoomError: bad",
+                    "input": {"kind": "minic-seq", "index": 5,
+                              "seed": 7, "hash": "cd" * 32},
+                },
+            ],
+        }))
+        assert sniff_artifact(str(path)) == "fuzz-findings"
+        text = inspect_path(str(path))
+        assert "fuzz findings: 2 total, 1 unexpected" in text
+        assert "minic-lock-broken" in text
+        assert "NO" in text  # the unexpected row stands out
+        assert "BoomError: bad" in text  # last detail line surfaces
+
+    def test_render_empty_findings_log(self, tmp_path):
+        path = tmp_path / "findings.json"
+        path.write_text(json.dumps({
+            "type": "fuzz-findings", "version": 1,
+            "campaign": {"seed": 1}, "findings": [],
+        }))
+        text = inspect_path(str(path))
+        assert "fuzz findings: 0 total, 0 unexpected" in text
+        assert "seed=1" in text
+
+    def test_sniff_and_render_fuzz_checkpoint(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text(json.dumps({
+            "type": "fuzz-checkpoint", "version": 1,
+            "payload": {
+                "generator_version": 1, "seed": 4, "count": 5,
+                "kinds": ["minic-seq", "cimp-pair"],
+                "done": {"0": "aa", "2": "bb"},
+            },
+        }))
+        assert sniff_artifact(str(path)) == "fuzz-checkpoint"
+        text = inspect_path(str(path))
+        assert "fuzz checkpoint: 2/5 input(s) finished" in text
+        assert "seed=4" in text
+        assert "pending index(es): 1, 3, 4" in text
+
+    def test_complete_checkpoint_says_so(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text(json.dumps({
+            "type": "fuzz-checkpoint", "version": 1,
+            "payload": {
+                "generator_version": 1, "seed": 0, "count": 1,
+                "kinds": ["minic-seq"], "done": {"0": "aa"},
+            },
+        }))
+        assert "campaign complete" in inspect_path(str(path))

@@ -212,6 +212,81 @@ class TestSingleton:
         status.finalize(exit_status=0)
 
 
+class TestCleanupArtifacts:
+    """The stale-artifact sweep on main-writer init (regression for
+    leaked ``FILE.<pid>.tmp`` temps and phantom ``FILE.w<wid>`` shard
+    heartbeats surviving into the next run's merge)."""
+
+    def _litter(self, tmp_path):
+        st = tmp_path / "st.json"
+        stale = [
+            tmp_path / "st.json.1234.tmp",      # orphaned temp write
+            tmp_path / "st.json.w0",            # old shard heartbeat
+            tmp_path / "st.json.w7",
+            tmp_path / "st.json.w7.5678.tmp",   # a shard's own temp
+        ]
+        for path in stale:
+            path.write_text("{}")
+        keep = [
+            tmp_path / "st.json.bak",           # not ours: keep
+            tmp_path / "other.json.w0",         # different heartbeat
+        ]
+        for path in keep:
+            path.write_text("{}")
+        return st, stale, keep
+
+    def test_sweep_removes_only_our_artifacts(self, tmp_path):
+        st, stale, keep = self._litter(tmp_path)
+        removed = status.cleanup_artifacts(st)
+        assert sorted(removed) == sorted(str(p) for p in stale)
+        for path in stale:
+            assert not path.exists()
+        for path in keep:
+            assert path.exists()
+
+    def test_main_configure_sweeps(self, tmp_path):
+        st, stale, _keep = self._litter(tmp_path)
+        status.configure(st, interval=0.0)
+        for path in stale:
+            assert not path.exists()
+
+    def test_shard_configure_does_not_sweep(self, tmp_path):
+        """By the time a worker configures its own shard file the
+        parent already swept; a worker sweeping again would race its
+        siblings' live shard documents."""
+        st, stale, _keep = self._litter(tmp_path)
+        status.configure(status.shard_path(st, 3), interval=0.0,
+                         wid=3)
+        for path in stale:
+            assert path.exists()
+
+    def test_phantom_shards_do_not_haunt_the_merge(self, tmp_path):
+        # A previous --jobs 4 run left shards w0..w3; the next run is
+        # --jobs 1. Without the sweep, merge_shards(jobs=1) still only
+        # reads w0, but a watcher globbing FILE.w* would see ghosts —
+        # and a *wider* merge would read stale state counts.
+        st = tmp_path / "st.json"
+        for wid in range(4):
+            old = StatusWriter(status.shard_path(st, wid),
+                               interval=0.0, wid=wid)
+            old.beat(states=100)
+        hb = status.configure(st, interval=0.0)
+        shard = StatusWriter(status.shard_path(st, 0), interval=0.0,
+                             wid=0)
+        shard.beat(states=7)
+        status.merge_shards(hb, jobs=2)
+        doc = _read(st)
+        assert doc["states"] == 7
+        rows = {row["wid"]: row for row in doc["shards"]}
+        # w1 exists as a never-beaten row, not the stale 100-state one.
+        assert rows[1]["beats"] == 0
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        assert status.cleanup_artifacts(
+            tmp_path / "nowhere" / "st.json"
+        ) == []
+
+
 class TestMergeShards:
     def test_totals_and_rows(self, tmp_path):
         clock = FakeClock()

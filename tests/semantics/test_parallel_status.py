@@ -122,6 +122,91 @@ def test_workers_do_not_write_the_main_file(tmp_path):
         assert shard["pid"] != os.getpid()
 
 
+SLOW_LOCK_CLIENT = """
+extern void lock();
+extern void unlock();
+int x = 0;
+void t1() { int i = 25; while (i > 0) { lock(); x = x + 1; unlock(); i = i - 1; } }
+void t2() { int i = 25; while (i > 0) { lock(); x = x + 2; unlock(); i = i - 1; } }
+"""
+
+
+def _pid_alive(pid):
+    import os
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def test_sigint_exits_130_and_reaps_forked_workers(tmp_path):
+    """Ctrl-C mid-parallel-exploration: the CLI exits 130 with a
+    one-line message, and the coordinator's ``finally`` reaps every
+    forked worker (previously the reap was skipped on the interrupt
+    path and live workers leaked)."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    program = tmp_path / "slow.c"
+    program.write_text(SLOW_LOCK_CLIENT)
+    hb = tmp_path / "hb.json"
+    env = dict(os.environ, PYTHONPATH=src_dir,
+               REPRO_STATUS_INTERVAL="0.05")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", str(program),
+         "--lock", "--threads", "t1,t2", "--jobs", "2",
+         "--max-states", "2000000", "--status", str(hb)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    worker_pids = []
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and len(worker_pids) < 2:
+            if proc.poll() is not None:
+                pytest.fail(
+                    "run finished before workers could be observed "
+                    "(rc={})".format(proc.returncode)
+                )
+            worker_pids = []
+            for wid in (0, 1):
+                doc = status.load(status.shard_path(hb, wid))
+                if doc and "pid" in doc:
+                    worker_pids.append(doc["pid"])
+            time.sleep(0.02)
+        assert len(worker_pids) == 2, "workers never wrote shards"
+        proc.send_signal(signal.SIGINT)
+        _, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
+
+    assert proc.returncode == 130
+    assert b"repro: interrupted" in err
+    # The coordinator's finally reaped both forked workers.
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline and \
+            any(_pid_alive(pid) for pid in worker_pids):
+        time.sleep(0.05)
+    assert not any(_pid_alive(pid) for pid in worker_pids)
+    # The heartbeat finalizer still stamped the interrupt.
+    final = json.loads(hb.read_text())
+    assert final["phase"] == "done"
+    assert final["exit_status"] == 130
+
+
 def test_reduced_mode_parallel_also_beats(tmp_path):
     st = tmp_path / "st.json"
     status.configure(st, interval=0.01)

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.framework.build import lock_counter_system
 from repro.semantics import (
     GlobalContext,
@@ -226,6 +227,53 @@ class TestMinimize:
         assert record.schedule.por
         mini = minimize_witness(_racy_ctx(), record)
         replay_witness(_racy_ctx(), mini)
+
+
+class TestMinimizeBudget:
+    """Bounded minimization (the fuzz campaign's contract): hitting a
+    round or wall-clock budget degrades to *less minimal*, never to
+    *invalid*."""
+
+    def test_zero_rounds_still_yields_a_valid_witness(self):
+        record = _racy_record()
+        mini = minimize_witness(_racy_ctx(), record, max_rounds=0)
+        assert mini.minimized
+        assert len(mini.schedule) <= len(record.schedule)
+        replay_witness(_racy_ctx(), mini)
+
+    def test_expired_deadline_still_yields_a_valid_witness(self):
+        record = _racy_record()
+        mini = minimize_witness(_racy_ctx(), record, max_seconds=0.0)
+        assert len(mini.schedule) <= len(record.schedule)
+        replay_witness(_racy_ctx(), mini)
+
+    def test_bounded_is_no_shorter_than_unbounded(self):
+        record = _racy_record()
+        free = minimize_witness(_racy_ctx(), record)
+        tight = minimize_witness(_racy_ctx(), record, max_rounds=1)
+        assert len(tight.schedule) >= len(free.schedule)
+        replay_witness(_racy_ctx(), tight)
+
+    def test_budget_hit_is_counted(self):
+        obs.reset()
+        obs.configure(metrics=True)
+        try:
+            minimize_witness(_racy_ctx(), _racy_record(),
+                             max_rounds=0)
+            counters = obs.snapshot()["counters"]
+            assert counters["witness.minimize.budget_hits"] == 1
+        finally:
+            obs.reset()
+
+    def test_unbounded_run_does_not_count_a_hit(self):
+        obs.reset()
+        obs.configure(metrics=True)
+        try:
+            minimize_witness(_racy_ctx(), _racy_record())
+            counters = obs.snapshot()["counters"]
+            assert "witness.minimize.budget_hits" not in counters
+        finally:
+            obs.reset()
 
 
 # ----- the determinism property, hypothesis-driven ---------------------------
